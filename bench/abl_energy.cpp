@@ -1,0 +1,39 @@
+// Ablation A7: memory-system energy. The flip side of near-data
+// computing: stack-local HBM accesses cost ~4 pJ/bit against ~20 pJ/bit
+// for off-chip DDR4 and ~10 pJ/bit PCIe staging, so NDFT's energy win
+// exceeds its speedup. (The paper leaves energy to future work; this
+// bench quantifies it under the same workloads.)
+
+#include <cstdio>
+
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "core/ndft_system.hpp"
+
+using namespace ndft;
+
+int main() {
+  std::printf("Ablation A7: memory-system energy per LR-TDDFT iteration\n\n");
+  const core::NdftSystem system;
+  TextTable table({"system", "CPU (DDR4)", "GPU (HBM+PCIe)", "NDFT "
+                   "(HBM+mesh)", "CPU/NDFT", "GPU/NDFT"});
+  for (const std::size_t atoms : {std::size_t{64}, std::size_t{1024}}) {
+    const dft::Workload w = system.workload_for(atoms);
+    const core::RunReport cpu =
+        system.run(w, core::ExecMode::kCpuBaseline);
+    const core::RunReport gpu =
+        system.run(w, core::ExecMode::kGpuBaseline);
+    const core::RunReport ndft = system.run(w, core::ExecMode::kNdft);
+    table.add_row({strformat("Si_%zu", atoms),
+                   strformat("%.1f mJ", cpu.memory_energy_mj),
+                   strformat("%.1f mJ", gpu.memory_energy_mj),
+                   strformat("%.1f mJ", ndft.memory_energy_mj),
+                   format_speedup(cpu.memory_energy_mj /
+                                  ndft.memory_energy_mj),
+                   format_speedup(gpu.memory_energy_mj /
+                                  ndft.memory_energy_mj)});
+    std::fflush(stdout);
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation A1 (Section IV-A1): offload granularity. The paper argues for
+// function-level offloading because finer granularities multiply crossing
+// overheads while LR-TDDFT functions are internally homogeneous, and
+// whole-kernel granularity forfeits the CPU/NDP specialisation.
+
+#include <cstdio>
+
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "core/ndft_system.hpp"
+
+using namespace ndft;
+
+int main() {
+  std::printf("Ablation A1: offload granularity (scheduler estimates)\n\n");
+  const core::NdftSystem system;
+  for (const std::size_t atoms : {std::size_t{64}, std::size_t{1024}}) {
+    const dft::Workload w = system.workload_for(atoms);
+    TextTable table({"granularity", "est. total", "overhead", "overhead %",
+                     "crossings"});
+    const auto row = [&](const char* name, runtime::Granularity g) {
+      const runtime::ExecutionPlan plan = system.plan(w, g);
+      table.add_row({name, format_time(plan.est_total_ps),
+                     format_time(plan.est_overhead_ps),
+                     format_percent(plan.overhead_fraction()),
+                     strformat("%u", plan.crossings)});
+    };
+    row("instruction", runtime::Granularity::kInstruction);
+    row("basic block", runtime::Granularity::kBasicBlock);
+    row("function (NDFT)", runtime::Granularity::kFunction);
+    row("whole kernel", runtime::Granularity::kKernel);
+    std::printf("--- Si_%zu ---\n%s\n", atoms, table.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation A6: how NDFT scales with the number of memory stacks (the
+// "future work" axis of the paper: a bigger mesh means more near-data
+// bandwidth and compute but longer average hop counts).
+
+#include <cstdio>
+
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "core/ndft_system.hpp"
+
+using namespace ndft;
+
+int main() {
+  std::printf("Ablation A6: NDFT vs mesh size (Si_256)\n\n");
+  struct MeshCase {
+    const char* name;
+    unsigned width;
+    unsigned height;
+  };
+  const MeshCase cases[] = {{"2x2 (4 stacks)", 2, 2},
+                            {"2x4 (8 stacks)", 2, 4},
+                            {"4x4 (16 stacks, Table III)", 4, 4},
+                            {"4x8 (32 stacks)", 4, 8}};
+
+  TextTable table({"mesh", "NDP cores", "HBM peak", "CPU time",
+                   "NDFT time", "speedup"});
+  for (const MeshCase& mesh_case : cases) {
+    core::SystemConfig config = core::SystemConfig::paper_default();
+    config.ndp.mesh.width = mesh_case.width;
+    config.ndp.mesh.height = mesh_case.height;
+    config.processes.stacks = config.ndp.stacks();
+    const core::NdftSystem system(config);
+    const dft::Workload workload = system.workload_for(256);
+    const core::RunReport cpu =
+        system.run(workload, core::ExecMode::kCpuBaseline);
+    const core::RunReport ndft = system.run(workload, core::ExecMode::kNdft);
+    const double hbm_gbps =
+        config.ndp.stack.dram.peak_gbps() * config.ndp.stacks();
+    table.add_row({mesh_case.name,
+                   strformat("%u", config.ndp.total_cores()),
+                   strformat("%.0f GB/s", hbm_gbps),
+                   format_time(cpu.total_ps()),
+                   format_time(ndft.total_ps()),
+                   format_speedup(core::speedup(cpu, ndft))});
+    std::fflush(stdout);
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Ablation A2 (Sections IV-B/IV-C): the pseudopotential data layout.
+// Sweeps system sizes and compares the replicated layout against the
+// shared-block layout on the NDP machine and the full NDFT co-design,
+// reporting footprints and the OOM boundary.
+
+#include <cstdio>
+
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "core/ndft_system.hpp"
+#include "runtime/pseudo_store.hpp"
+
+using namespace ndft;
+
+int main() {
+  std::printf("Ablation A2: pseudopotential layout vs system size\n\n");
+  const core::NdftSystem system;
+  const Bytes capacity = system.config().ndp_capacity;
+
+  TextTable table({"system", "replicated (NDP)", "shared blocks (NDP)",
+                   "NDFT hybrid", "replicated status"});
+  for (const std::size_t atoms : {16, 32, 64, 128, 256, 1024, 2048}) {
+    const dft::Workload w = system.workload_for(atoms);
+    const runtime::PseudoStore store(w, system.config().processes);
+    const auto replicated =
+        store.on_ndp(runtime::PseudoLayout::kReplicated, capacity);
+    const auto shared =
+        store.on_ndp(runtime::PseudoLayout::kSharedBlock, capacity);
+    const auto ndft = store.on_ndft(capacity);
+    table.add_row({strformat("Si_%zu", atoms),
+                   strformat("%s (%s)", format_bytes(replicated.total).c_str(),
+                             format_percent(replicated.fraction()).c_str()),
+                   format_bytes(shared.total), format_bytes(ndft.total),
+                   replicated.out_of_memory() ? "OOM" : "fits"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Sharing traffic cost of the distributed layout (per iteration).
+  TextTable traffic({"system", "hierarchical traffic", "flat traffic",
+                     "filter saving"});
+  for (const std::size_t atoms : {std::size_t{64}, std::size_t{1024}}) {
+    const dft::Workload w = system.workload_for(atoms);
+    const runtime::PseudoStore store(w, system.config().processes);
+    const Bytes hier = store.sharing_traffic_bytes(true);
+    const Bytes flat = store.sharing_traffic_bytes(false);
+    traffic.add_row({strformat("Si_%zu", atoms), format_bytes(hier),
+                     format_bytes(flat),
+                     format_speedup(static_cast<double>(flat) /
+                                    static_cast<double>(hier))});
+  }
+  std::printf("%s", traffic.render().c_str());
+  return 0;
+}

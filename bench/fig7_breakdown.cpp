@@ -1,0 +1,96 @@
+// Reproduces Figure 7: execution-time comparison and per-kernel breakdown
+// of CPU, GPU and NDFT on the small (Si_64) and large (Si_1024) systems,
+// plus the quantitative claims the paper attaches to the figure.
+
+#include <cstdio>
+
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "core/ndft_system.hpp"
+
+using namespace ndft;
+
+namespace {
+
+void run_system(const core::NdftSystem& system, std::size_t atoms,
+                const char* label) {
+  const dft::Workload workload = system.workload_for(atoms);
+  const core::RunReport cpu = system.run(workload,
+                                         core::ExecMode::kCpuBaseline);
+  const core::RunReport gpu = system.run(workload,
+                                         core::ExecMode::kGpuBaseline);
+  const core::RunReport ndft = system.run(workload, core::ExecMode::kNdft);
+
+  std::printf("=== Fig. 7(%s): Si_%zu ===\n", label, atoms);
+  TextTable table({"kernel", "CPU", "GPU", "NDFT", "NDFT device"});
+  for (std::size_t i = 0; i < cpu.kernels.size(); ++i) {
+    table.add_row({cpu.kernels[i].name, format_time(cpu.kernels[i].time_ps),
+                   format_time(gpu.kernels[i].time_ps),
+                   format_time(ndft.kernels[i].time_ps),
+                   to_string(ndft.kernels[i].device)});
+  }
+  table.add_row({"(scheduling overhead)", "-", "-",
+                 format_time(ndft.sched_overhead_ps), "-"});
+  table.add_row({"TOTAL", format_time(cpu.total_ps()),
+                 format_time(gpu.total_ps()), format_time(ndft.total_ps()),
+                 "-"});
+  std::printf("%s", table.render().c_str());
+
+  const double vs_cpu = core::speedup(cpu, ndft);
+  const double vs_gpu = core::speedup(gpu, ndft);
+  const double gpu_vs_cpu = core::speedup(cpu, gpu);
+  std::printf("NDFT speedup vs CPU: %.2fx   vs GPU: %.2fx   (GPU vs CPU: "
+              "%.2fx)\n",
+              vs_cpu, vs_gpu, gpu_vs_cpu);
+
+  const auto kernel_speedup = [&](KernelClass cls) {
+    const TimePs c = cpu.time_of(cls);
+    const TimePs n = ndft.time_of(cls);
+    return n == 0 ? 0.0 : static_cast<double>(c) / static_cast<double>(n);
+  };
+  std::printf("  FFT vs CPU: %.2fx   FaceSplit vs CPU: %.2fx\n",
+              kernel_speedup(KernelClass::kFft),
+              kernel_speedup(KernelClass::kFaceSplit));
+  const TimePs gpu_gemm = gpu.time_of(KernelClass::kGemm);
+  const TimePs ndft_gemm = ndft.time_of(KernelClass::kGemm);
+  std::printf("  GEMM: GPU ahead of NDFT by %.1f %%\n",
+              gpu_gemm == 0 ? 0.0
+                            : (static_cast<double>(ndft_gemm) /
+                                   static_cast<double>(gpu_gemm) -
+                               1.0) * 100.0);
+  std::printf("  scheduling overhead: %.2f %% of NDFT total\n",
+              100.0 * static_cast<double>(ndft.sched_overhead_ps) /
+                  static_cast<double>(ndft.total_ps()));
+  const TimePs gpu_comm = gpu.time_of(KernelClass::kAlltoall);
+  const TimePs ndft_comm = ndft.time_of(KernelClass::kAlltoall);
+  std::printf("  Global Comm: NDFT %s vs GPU %s (%+.1f %%)\n",
+              format_time(ndft_comm).c_str(), format_time(gpu_comm).c_str(),
+              gpu_comm == 0 ? 0.0
+                            : (static_cast<double>(ndft_comm) /
+                                   static_cast<double>(gpu_comm) -
+                               1.0) * 100.0);
+
+  // Footprint discussion attached to Fig. 7 in the paper.
+  const core::RunReport ndp = system.run(workload, core::ExecMode::kNdpOnly);
+  std::printf("  pseudopotential footprint: NDP %s -> NDFT %s "
+              "(-%.1f %%), NDFT/CPU = %.2fx\n\n",
+              format_bytes(ndp.pseudo.total).c_str(),
+              format_bytes(ndft.pseudo.total).c_str(),
+              100.0 * (1.0 - static_cast<double>(ndft.pseudo.total) /
+                                 static_cast<double>(ndp.pseudo.total)),
+              static_cast<double>(ndft.pseudo.total) /
+                  static_cast<double>(cpu.pseudo.total));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 7 reproduction: CPU vs GPU vs NDFT breakdown\n");
+  std::printf("(paper: NDFT 1.9x/5.2x vs CPU, 1.6x/2.5x vs GPU; FFT 11.2x "
+              "large; FaceSplit 1.99x small;\n GPU GEMM ahead 35.9/22.2 %%; "
+              "sched overhead 3.8/4.9 %%; footprint -57.8 %%, 1.08x CPU)\n\n");
+  const core::NdftSystem system;
+  run_system(system, 64, "a, small");
+  run_system(system, 1024, "b, large");
+  return 0;
+}

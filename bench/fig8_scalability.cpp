@@ -1,0 +1,33 @@
+// Reproduces Figure 8: speedup of NDFT and the GPU baseline over the CPU
+// baseline across physical system scales Si_16 ... Si_2048.
+
+#include <cstdio>
+
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "core/ndft_system.hpp"
+
+using namespace ndft;
+
+int main() {
+  std::printf("Fig. 8 reproduction: NDFT / GPU speedup over CPU vs system "
+              "scale\n");
+  std::printf("(paper: NDFT advantage grows with size, up to 5.33x at "
+              "Si_2048)\n\n");
+  const core::NdftSystem system;
+  TextTable table({"system", "CPU time", "GPU speedup", "NDFT speedup"});
+  for (const std::size_t atoms : {16, 32, 64, 128, 256, 1024, 2048}) {
+    const dft::Workload workload = system.workload_for(atoms);
+    const core::RunReport cpu =
+        system.run(workload, core::ExecMode::kCpuBaseline);
+    const core::RunReport gpu =
+        system.run(workload, core::ExecMode::kGpuBaseline);
+    const core::RunReport ndft = system.run(workload, core::ExecMode::kNdft);
+    table.add_row({strformat("Si_%zu", atoms), format_time(cpu.total_ps()),
+                   format_speedup(core::speedup(cpu, gpu)),
+                   format_speedup(core::speedup(cpu, ndft))});
+    std::fflush(stdout);
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,124 @@
+// google-benchmark microbenchmarks of the from-scratch numerical kernels
+// (FFT, GEMM, SYEVD, face-splitting product, pseudopotential apply).
+// These measure the functional library itself, not the simulated machines.
+
+#include <benchmark/benchmark.h>
+
+#include "dft/basis.hpp"
+#include "dft/epm.hpp"
+#include "dft/fft.hpp"
+#include "dft/lattice.hpp"
+#include "dft/linalg.hpp"
+#include "dft/pseudopotential.hpp"
+
+using namespace ndft;
+
+namespace {
+
+void BM_Fft1d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<dft::Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = dft::Complex{std::sin(0.1 * static_cast<double>(i)), 0.0};
+  }
+  for (auto _ : state) {
+    dft::fft(data, dft::FftDirection::kForward);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft1d)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(12000);
+
+void BM_Fft3d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dft::Grid3 grid(n, n, n);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] = dft::Complex{static_cast<double>(i % 7), 0.0};
+  }
+  for (auto _ : state) {
+    dft::fft3d(grid, dft::FftDirection::kForward);
+    benchmark::DoNotOptimize(grid.raw().data());
+  }
+}
+BENCHMARK(BM_Fft3d)->Arg(16)->Arg(24)->Arg(32);
+
+void BM_GemmReal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dft::RealMatrix a(n, n);
+  dft::RealMatrix b(n, n);
+  dft::RealMatrix c(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = static_cast<double>((i + j) % 13) * 0.1;
+      b(i, j) = static_cast<double>((i * 3 + j) % 7) * 0.2;
+    }
+  }
+  for (auto _ : state) {
+    dft::gemm(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * static_cast<double>(n) *
+          static_cast<double>(n) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_GemmReal)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Syev(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  dft::RealMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = std::cos(static_cast<double>(i * j + 1));
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  for (auto _ : state) {
+    const dft::EigenResult r = dft::syev(m);
+    benchmark::DoNotOptimize(r.eigenvalues.data());
+  }
+}
+BENCHMARK(BM_Syev)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_FaceSplit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<dft::Complex> v(n);
+  std::vector<dft::Complex> c(n);
+  std::vector<dft::Complex> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = dft::Complex{0.3, 0.1 * static_cast<double>(i % 5)};
+    c[i] = dft::Complex{0.2, -0.1};
+  }
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::conj(v[i]) * c[i];
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 48);
+}
+BENCHMARK(BM_FaceSplit)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PseudoApply(benchmark::State& state) {
+  const dft::Crystal crystal = dft::Crystal::silicon_supercell(8);
+  const dft::PlaneWaveBasis basis(crystal, 1.5);
+  const dft::KbProjectors projectors(basis);
+  std::vector<dft::Complex> psi(basis.size());
+  for (std::size_t i = 0; i < psi.size(); ++i) {
+    psi[i] = dft::Complex{1.0 / static_cast<double>(i + 1), 0.0};
+  }
+  std::vector<dft::Complex> out(psi.size());
+  for (auto _ : state) {
+    std::fill(out.begin(), out.end(), dft::Complex{});
+    projectors.apply(psi, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_PseudoApply);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Reproduces Table I: memory footprint of pseudopotentials in CPU and NDP
+// systems for the small (Si_64) and large (Si_1024) systems, under the
+// traditional per-process replicated layout, plus the paper's headline
+// ratios and the OOM threshold the shared-block design removes.
+
+#include <cstdio>
+
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "core/ndft_system.hpp"
+#include "runtime/pseudo_store.hpp"
+
+using namespace ndft;
+
+int main() {
+  std::printf("Table I reproduction: pseudopotential memory footprint\n");
+  std::printf("(paper: NDP-small 4.43 GB / 6.92 %%, CPU-small 1.84 GB / "
+              "2.88 %%, NDP-large 35.3 GB / 55.15 %%, CPU-large 13.8 GB / "
+              "21.56 %%;\n NDP +140.2 %% / +155.7 %% over CPU)\n\n");
+
+  const core::NdftSystem system;
+  const Bytes capacity = system.config().cpu_capacity;
+
+  TextTable table({"configuration", "footprint", "% of 64 GiB", "status"});
+  double ndp_total[2] = {0, 0};
+  double cpu_total[2] = {0, 0};
+  int index = 0;
+  for (const std::size_t atoms : {std::size_t{64}, std::size_t{1024}}) {
+    const dft::Workload w = system.workload_for(atoms);
+    const runtime::PseudoStore store(w, system.config().processes);
+    const auto ndp =
+        store.on_ndp(runtime::PseudoLayout::kReplicated, capacity);
+    const auto cpu = store.on_cpu(capacity);
+    const char* scale = (atoms == 64) ? "Small" : "Large";
+    table.add_row({strformat("NDP in %s system (Si_%zu)", scale, atoms),
+                   format_bytes(ndp.total), format_percent(ndp.fraction()),
+                   ndp.out_of_memory() ? "OOM" : "fits"});
+    table.add_row({strformat("CPU in %s system (Si_%zu)", scale, atoms),
+                   format_bytes(cpu.total), format_percent(cpu.fraction()),
+                   cpu.out_of_memory() ? "OOM" : "fits"});
+    ndp_total[index] = static_cast<double>(ndp.total);
+    cpu_total[index] = static_cast<double>(cpu.total);
+    ++index;
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("NDP over CPU: +%.1f %% (small), +%.1f %% (large)\n",
+              (ndp_total[0] / cpu_total[0] - 1.0) * 100.0,
+              (ndp_total[1] / cpu_total[1] - 1.0) * 100.0);
+
+  // The OOM cliff the paper attributes to replication on NDP systems.
+  const dft::Workload w2048 = system.workload_for(2048);
+  const runtime::PseudoStore store2048(w2048, system.config().processes);
+  const auto rep =
+      store2048.on_ndp(runtime::PseudoLayout::kReplicated, capacity);
+  const auto shared =
+      store2048.on_ndp(runtime::PseudoLayout::kSharedBlock, capacity);
+  std::printf("Si_2048 on NDP: replicated %s (%s) -> shared blocks %s "
+              "(%s)\n",
+              format_bytes(rep.total).c_str(),
+              rep.out_of_memory() ? "OOM" : "fits",
+              format_bytes(shared.total).c_str(),
+              shared.out_of_memory() ? "OOM" : "fits");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// ndft_run: command-line driver for one-off simulations.
+//
+//   ndft_run --atoms 256 --mode ndft
+//   ndft_run --atoms 64 --mode all --csv
+//   ndft_run --atoms 1024 --plan-only --granularity kernel
+//
+// Modes: cpu | gpu | ndp | ndft | all. With --csv the per-kernel
+// breakdown is emitted as comma-separated values for plotting.
+
+#include <cstdio>
+#include <string>
+
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "core/cli.hpp"
+#include "core/ndft_system.hpp"
+
+using namespace ndft;
+
+namespace {
+
+core::ExecMode mode_from(const std::string& name) {
+  if (name == "cpu") return core::ExecMode::kCpuBaseline;
+  if (name == "gpu") return core::ExecMode::kGpuBaseline;
+  if (name == "ndp") return core::ExecMode::kNdpOnly;
+  if (name == "ndft") return core::ExecMode::kNdft;
+  throw NdftError("unknown mode: " + name + " (cpu|gpu|ndp|ndft|all)");
+}
+
+runtime::Granularity granularity_from(const std::string& name) {
+  if (name == "instruction") return runtime::Granularity::kInstruction;
+  if (name == "block") return runtime::Granularity::kBasicBlock;
+  if (name == "function") return runtime::Granularity::kFunction;
+  if (name == "kernel") return runtime::Granularity::kKernel;
+  throw NdftError("unknown granularity: " + name);
+}
+
+void emit(const core::RunReport& report, bool csv) {
+  if (!csv) {
+    std::printf("%s\n", report.render().c_str());
+    return;
+  }
+  TextTable table({"machine", "kernel", "class", "device", "time_ps"});
+  for (const core::KernelTime& k : report.kernels) {
+    table.add_row({to_string(report.mode), k.name, to_string(k.cls),
+                   to_string(k.device), strformat("%llu",
+                   static_cast<unsigned long long>(k.time_ps))});
+  }
+  std::printf("%s", table.render_csv().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const core::CliArgs args(argc, argv);
+    if (args.has("help")) {
+      std::printf("usage: ndft_run [--atoms N] [--mode cpu|gpu|ndp|ndft|all]"
+                  " [--csv] [--plan-only] [--granularity g] [--ops N]\n");
+      return 0;
+    }
+    const auto atoms =
+        static_cast<std::size_t>(args.get_int("atoms", 64));
+    const std::string mode_name = args.get("mode", "ndft");
+    const bool csv = args.has("csv");
+
+    core::SystemConfig config = core::SystemConfig::paper_default();
+    if (args.has("ops")) {
+      config.sampled_ops_per_kernel =
+          static_cast<std::size_t>(args.get_int("ops", 150000));
+    }
+    const core::NdftSystem system(config);
+    const dft::Workload workload = system.workload_for(atoms);
+
+    if (args.has("plan-only")) {
+      const runtime::ExecutionPlan plan = system.plan(
+          workload, granularity_from(args.get("granularity", "function")));
+      for (std::size_t i = 0; i < workload.kernels.size(); ++i) {
+        std::printf("%-22s -> %-4s%s\n", workload.kernels[i].name.c_str(),
+                    to_string(plan.placements[i].device),
+                    plan.placements[i].crossing ? "  (crossing)" : "");
+      }
+      std::printf("estimated total %s, overhead %s (%.1f %%)\n",
+                  format_time(plan.est_total_ps).c_str(),
+                  format_time(plan.est_overhead_ps).c_str(),
+                  plan.overhead_fraction() * 100.0);
+      return 0;
+    }
+
+    if (mode_name == "all") {
+      const core::RunReport cpu =
+          system.run(workload, core::ExecMode::kCpuBaseline);
+      const core::RunReport gpu =
+          system.run(workload, core::ExecMode::kGpuBaseline);
+      const core::RunReport ndft =
+          system.run(workload, core::ExecMode::kNdft);
+      emit(cpu, csv);
+      emit(gpu, csv);
+      emit(ndft, csv);
+      if (!csv) {
+        std::printf("NDFT speedup: %s vs CPU, %s vs GPU\n",
+                    format_speedup(core::speedup(cpu, ndft)).c_str(),
+                    format_speedup(core::speedup(gpu, ndft)).c_str());
+      }
+      return 0;
+    }
+    emit(system.run(workload, mode_from(mode_name)), csv);
+    return 0;
+  } catch (const NdftError& error) {
+    std::fprintf(stderr, "ndft_run: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,62 @@
+// Quickstart: simulate one LR-TDDFT iteration on all four machines and
+// print the Fig. 7-style comparison for a small silicon system.
+//
+//   ./quickstart [atoms]        (default Si_64; must be a multiple of 8)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str_util.hpp"
+#include "core/ndft_system.hpp"
+
+using namespace ndft;
+
+int main(int argc, char** argv) {
+  std::size_t atoms = 64;
+  if (argc > 1) {
+    atoms = static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10));
+  }
+
+  // 1. Build the framework with the paper's Table III configuration.
+  const core::NdftSystem system;
+
+  // 2. Construct the LR-TDDFT workload for an Si_n supercell.
+  const dft::Workload workload = system.workload_for(atoms);
+  std::printf("Workload Si_%zu: %zu pairs, %zu grid points, %zu plane "
+              "waves, %.1f GFLOP, %.1f GB of DRAM traffic\n\n",
+              atoms, workload.dims.pairs, workload.dims.grid_points,
+              workload.dims.basis_size,
+              static_cast<double>(workload.total_flops()) / 1e9,
+              static_cast<double>(workload.total_dram_bytes()) / 1e9);
+
+  // 3. Inspect the schedule NDFT's cost-aware offloader chooses.
+  const runtime::ExecutionPlan plan = system.plan(workload);
+  std::printf("NDFT schedule (function granularity, %u crossings, est. "
+              "overhead %s):\n",
+              plan.crossings, format_time(plan.est_overhead_ps).c_str());
+  for (std::size_t i = 0; i < workload.kernels.size(); ++i) {
+    std::printf("  %-22s -> %s\n", workload.kernels[i].name.c_str(),
+                to_string(plan.placements[i].device));
+  }
+  std::printf("\n");
+
+  // 4. Simulate the iteration on each machine.
+  for (const core::ExecMode mode :
+       {core::ExecMode::kCpuBaseline, core::ExecMode::kGpuBaseline,
+        core::ExecMode::kNdft}) {
+    const core::RunReport report = system.run(workload, mode);
+    std::printf("%s", report.render().c_str());
+    std::printf("\n");
+  }
+
+  // 5. Headline speedups.
+  const core::RunReport cpu =
+      system.run(workload, core::ExecMode::kCpuBaseline);
+  const core::RunReport gpu =
+      system.run(workload, core::ExecMode::kGpuBaseline);
+  const core::RunReport ndft = system.run(workload, core::ExecMode::kNdft);
+  std::printf("NDFT speedup: %s vs CPU, %s vs GPU\n",
+              format_speedup(core::speedup(cpu, ndft)).c_str(),
+              format_speedup(core::speedup(gpu, ndft)).c_str());
+  return 0;
+}

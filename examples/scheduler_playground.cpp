@@ -1,0 +1,96 @@
+// Explores the cost-aware offloading mechanism: how the SCA classifies
+// each kernel, what the Eq. 1 overheads look like, and how the schedule
+// reacts when the machine balance changes (e.g. a beefier CPU or slower
+// NDP links).
+//
+//   ./scheduler_playground [atoms]           (default Si_1024)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "core/ndft_system.hpp"
+#include "runtime/sca.hpp"
+
+using namespace ndft;
+
+namespace {
+
+void show_plan(const char* title, const dft::Workload& workload,
+               const runtime::DeviceProfile& cpu,
+               const runtime::DeviceProfile& ndp) {
+  const runtime::Sca sca(cpu, ndp);
+  const runtime::CostModel cost(cpu, ndp);
+  const runtime::Scheduler scheduler(sca, cost);
+  const runtime::ExecutionPlan plan = scheduler.plan(workload);
+
+  std::printf("--- %s (CPU %.0f GF / %.0f GB/s, NDP %.0f GF / %.0f GB/s) "
+              "---\n",
+              title, cpu.peak_gflops, cpu.dram_gbps, ndp.peak_gflops,
+              ndp.dram_gbps);
+  TextTable table({"kernel", "AI", "CPU est", "NDP est", "placed on",
+                   "crossing cost"});
+  for (std::size_t i = 0; i < workload.kernels.size(); ++i) {
+    const dft::KernelWork& k = workload.kernels[i];
+    const runtime::KernelAnalysis a = sca.analyze(k);
+    const runtime::Placement& p = plan.placements[i];
+    table.add_row({k.name, strformat("%.2f", a.arithmetic_intensity),
+                   format_time(a.est_cpu_ps), format_time(a.est_ndp_ps),
+                   to_string(p.device),
+                   p.crossing
+                       ? format_time(p.transfer_in_ps + p.switch_in_ps)
+                       : std::string("-")});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("estimated total %s, overhead %s (%.1f %%), %u crossings\n\n",
+              format_time(plan.est_total_ps).c_str(),
+              format_time(plan.est_overhead_ps).c_str(),
+              plan.overhead_fraction() * 100.0, plan.crossings);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t atoms = 1024;
+  if (argc > 1) atoms = std::strtoul(argv[1], nullptr, 10);
+
+  const core::NdftSystem system;
+  const dft::Workload workload = system.workload_for(atoms);
+
+  // The paper's configuration.
+  show_plan("Table III machine", workload, system.config().cpu_profile,
+            system.config().ndp_profile);
+
+  // What if the host CPU had HBM-class bandwidth? Memory-bound kernels
+  // stop being worth offloading.
+  runtime::DeviceProfile fat_cpu = system.config().cpu_profile;
+  fat_cpu.dram_gbps = 2000.0;
+  show_plan("hypothetical HBM-fed CPU", workload, fat_cpu,
+            system.config().ndp_profile);
+
+  // What if CPU<->NDP crossings were nearly free? The schedule stays the
+  // same but the overhead disappears.
+  runtime::DeviceProfile cheap_cpu = system.config().cpu_profile;
+  runtime::DeviceProfile cheap_ndp = system.config().ndp_profile;
+  cheap_cpu.link_gbps = 10000.0;
+  cheap_ndp.link_gbps = 10000.0;
+  cheap_cpu.switch_latency_ps = 0;
+  cheap_ndp.switch_latency_ps = 0;
+  show_plan("free crossings", workload, cheap_cpu, cheap_ndp);
+
+  // Granularity comparison (the Section IV-A1 argument).
+  std::printf("--- offload granularity on Si_%zu ---\n", atoms);
+  TextTable table({"granularity", "est total", "overhead %"});
+  const auto row = [&](const char* name, runtime::Granularity g) {
+    const runtime::ExecutionPlan plan = system.plan(workload, g);
+    table.add_row({name, format_time(plan.est_total_ps),
+                   format_percent(plan.overhead_fraction())});
+  };
+  row("instruction", runtime::Granularity::kInstruction);
+  row("basic block", runtime::Granularity::kBasicBlock);
+  row("function (NDFT)", runtime::Granularity::kFunction);
+  row("whole kernel", runtime::Granularity::kKernel);
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,149 @@
+#pragma once
+// Non-blocking set-associative cache model.
+//
+// Write-back, write-allocate, true-LRU replacement, MSHR-based miss
+// coalescing and an optional table-driven stride prefetcher. Caches chain
+// through the MemoryPort interface: L1 -> L2 -> L3 -> DRAM, and the same
+// class models every level (only the configuration differs).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mem_request.hpp"
+#include "sim/sim_object.hpp"
+
+namespace ndft::cache {
+
+/// Geometry and latency of one cache level.
+struct CacheConfig {
+  Bytes size_bytes = 32 * 1024;
+  unsigned ways = 8;
+  Bytes line_bytes = 64;
+  TimePs hit_latency_ps = 1334;  ///< tag+data access (4 cycles @ 3 GHz)
+  unsigned mshrs = 16;           ///< outstanding distinct-line misses
+  bool prefetch = false;         ///< enable the stride prefetcher
+  unsigned prefetch_degree = 2;  ///< lines fetched ahead per trigger
+
+  /// Number of sets implied by the geometry.
+  unsigned sets() const noexcept {
+    return static_cast<unsigned>(size_bytes / (line_bytes * ways));
+  }
+
+  /// 32 KiB 8-way L1 with 4-cycle latency at `freq_mhz`.
+  static CacheConfig l1(std::uint64_t freq_mhz);
+  /// 256 KiB 8-way L2 with 12-cycle latency at `freq_mhz`.
+  static CacheConfig l2(std::uint64_t freq_mhz);
+  /// 2 MiB 16-way L3 with 38-cycle latency at `freq_mhz`.
+  static CacheConfig l3(std::uint64_t freq_mhz);
+};
+
+/// Event counters kept as plain integers (the access path is too hot for
+/// string-keyed stats); publish_stats() copies them into the StatSet.
+struct CacheCounters {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t coalesced = 0;       ///< misses merged into an MSHR
+  std::uint64_t mshr_stalls = 0;     ///< requests parked for a free MSHR
+  std::uint64_t writebacks = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t prefetches = 0;
+  std::uint64_t flush_writebacks = 0;
+};
+
+/// One cache level. Thread-unsafe by design: the event queue serialises.
+class Cache : public sim::SimObject, public mem::MemoryPort {
+ public:
+  /// `next` is the next level towards memory; must outlive this cache.
+  Cache(std::string name, sim::EventQueue& queue, const CacheConfig& config,
+        mem::MemoryPort& next);
+
+  /// Handles a request from the level above (or a core).
+  void access(mem::MemRequest req) override;
+
+  /// Invalidates every line, writing back dirty ones.
+  void flush();
+
+  /// Drops every line without writebacks. Used between *sampled* kernel
+  /// windows: consecutive windows model independent steady-state slices,
+  /// so carrying one window's full dirty LLC into the next would charge
+  /// the (tiny) sampled window for the whole cache's drain.
+  void invalidate_all();
+
+  /// Hit ratio so far (0 when no accesses).
+  double hit_ratio() const noexcept;
+
+  /// Raw event counters.
+  const CacheCounters& counters() const noexcept { return counters_; }
+
+  /// Copies the counters into the named StatSet (call before reading
+  /// stats()).
+  void publish_stats();
+
+  const CacheConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    std::uint64_t lru = 0;
+  };
+
+  struct Mshr {
+    std::vector<mem::MemRequest> waiters;
+    bool is_prefetch = false;
+  };
+
+  struct StrideStream {
+    Addr last_line = 0;
+    std::int64_t stride = 0;
+    int confidence = 0;
+  };
+
+  Addr line_of(Addr addr) const noexcept { return addr / config_.line_bytes; }
+  unsigned set_of(Addr line) const noexcept {
+    return static_cast<unsigned>(line % sets_);
+  }
+
+  Line* lookup(Addr line_addr);
+  Line& choose_victim(unsigned set);
+  void handle_fill(Addr line_addr);
+  void issue_fill(Addr line_addr, bool is_prefetch);
+  void complete(mem::MemRequest& req, TimePs at);
+  void maybe_prefetch(Addr line_addr);
+  void retry_blocked();
+
+  CacheConfig config_;
+  mem::MemoryPort* next_;
+  unsigned sets_;
+  std::vector<Line> lines_;  // sets_ * ways, row-major by set
+  std::unordered_map<Addr, Mshr> mshrs_;
+  std::deque<mem::MemRequest> blocked_;  // waiting for a free MSHR
+  std::unordered_map<Addr, StrideStream> streams_;  // page -> stream state
+  std::uint64_t lru_tick_ = 0;
+  CacheCounters counters_;
+};
+
+/// A private L1+L2 pair in front of a shared port; convenience for building
+/// per-core hierarchies.
+class PrivateHierarchy {
+ public:
+  PrivateHierarchy(const std::string& name, sim::EventQueue& queue,
+                   const CacheConfig& l1_cfg, const CacheConfig& l2_cfg,
+                   mem::MemoryPort& shared);
+
+  /// The port cores issue into (the L1).
+  mem::MemoryPort& port() noexcept { return *l1_; }
+  Cache& l1() noexcept { return *l1_; }
+  Cache& l2() noexcept { return *l2_; }
+
+ private:
+  std::unique_ptr<Cache> l2_;
+  std::unique_ptr<Cache> l1_;
+};
+
+}  // namespace ndft::cache

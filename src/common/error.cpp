@@ -1,0 +1,17 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace ndft::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream oss;
+  oss << "assertion failed: " << expr << " at " << file << ":" << line;
+  if (!message.empty()) {
+    oss << " (" << message << ")";
+  }
+  throw NdftError(oss.str());
+}
+
+}  // namespace ndft::detail

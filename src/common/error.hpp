@@ -1,0 +1,51 @@
+#pragma once
+// Error handling used throughout NDFT.
+//
+// Configuration and usage errors throw NdftError (these are programmer or
+// user mistakes: invalid machine configuration, out-of-range kernel
+// parameters, ...). Internal invariants use NDFT_ASSERT which also throws so
+// that tests can verify violations without death tests.
+
+#include <stdexcept>
+#include <string>
+
+namespace ndft {
+
+/// Exception type for all NDFT configuration and usage errors.
+class NdftError : public std::runtime_error {
+ public:
+  explicit NdftError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace ndft
+
+/// Checks an invariant; throws ndft::NdftError with location info on failure.
+/// Enabled in all build types: the simulator is a research tool where silent
+/// state corruption is far more expensive than the check.
+#define NDFT_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::ndft::detail::assert_fail(#expr, __FILE__, __LINE__, "");          \
+    }                                                                      \
+  } while (false)
+
+/// NDFT_ASSERT with an explanatory message appended to the exception text.
+#define NDFT_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::ndft::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));       \
+    }                                                                      \
+  } while (false)
+
+/// Validates a user-facing precondition; throws ndft::NdftError on failure.
+#define NDFT_REQUIRE(expr, msg)                                            \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      throw ::ndft::NdftError(std::string("requirement failed: ") + (msg)); \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,17 @@
+#include "common/math_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ndft {
+
+double relative_difference(double a, double b) noexcept {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) / scale;
+}
+
+bool approx_equal(double a, double b, double tolerance) noexcept {
+  return std::fabs(a - b) <= tolerance * std::max({std::fabs(a), std::fabs(b), 1.0});
+}
+
+}  // namespace ndft

@@ -1,0 +1,70 @@
+#pragma once
+// Small integer/floating-point helpers used across the simulator and the
+// numerical library.
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/error.hpp"
+
+namespace ndft {
+
+/// Ceiling division for unsigned integral types.
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr T ceil_div(T numerator, T denominator) {
+  NDFT_ASSERT(denominator != 0);
+  return (numerator + denominator - 1) / denominator;
+}
+
+/// Rounds `value` up to the next multiple of `alignment` (alignment > 0).
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr T round_up(T value, T alignment) {
+  return ceil_div(value, alignment) * alignment;
+}
+
+/// True iff `value` is a power of two (zero is not).
+constexpr bool is_pow2(std::uint64_t value) {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Floor of log2 for a nonzero value.
+constexpr unsigned log2_floor(std::uint64_t value) {
+  NDFT_ASSERT(value != 0);
+  unsigned result = 0;
+  while (value >>= 1) {
+    ++result;
+  }
+  return result;
+}
+
+/// Exact log2; requires `value` to be a power of two.
+constexpr unsigned log2_exact(std::uint64_t value) {
+  NDFT_ASSERT(is_pow2(value));
+  return log2_floor(value);
+}
+
+/// Smallest power of two >= value (value >= 1).
+constexpr std::uint64_t next_pow2(std::uint64_t value) {
+  NDFT_ASSERT(value != 0);
+  std::uint64_t p = 1;
+  while (p < value) {
+    p <<= 1;
+  }
+  return p;
+}
+
+/// Extracts `count` bits of `value` starting at bit `offset`.
+constexpr std::uint64_t bits(std::uint64_t value, unsigned offset,
+                             unsigned count) {
+  return (value >> offset) & ((std::uint64_t{1} << count) - 1);
+}
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); symmetric and safe at zero.
+double relative_difference(double a, double b) noexcept;
+
+/// True iff `a` and `b` agree to within `tolerance` relative difference.
+bool approx_equal(double a, double b, double tolerance = 1e-9) noexcept;
+
+}  // namespace ndft

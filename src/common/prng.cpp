@@ -1,0 +1,83 @@
+#include "common/prng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ndft {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+/// splitmix64: expands a single seed into well-distributed state words.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+  // All-zero state would lock the generator; splitmix64 cannot produce it
+  // for four consecutive outputs, but guard anyway.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Prng::next_u64() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Prng::next_below(std::uint64_t bound) noexcept {
+  // Multiply-shift reduction on the high 32 bits; bias is negligible for
+  // the bounds used here (working-set line counts). Large bounds fall back
+  // to modulo.
+  if ((bound >> 32) != 0) {
+    return next_u64() % bound;
+  }
+  const std::uint64_t high = next_u64() >> 32;
+  return (high * bound) >> 32;
+}
+
+double Prng::next_double() noexcept {
+  // 53 high bits -> uniform in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Prng::next_double(double lo, double hi) noexcept {
+  return lo + (hi - lo) * next_double();
+}
+
+double Prng::next_normal() noexcept {
+  // Box-Muller; discard the second variate to stay stateless.
+  double u1 = next_double();
+  const double u2 = next_double();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Prng::next_bool(double p) noexcept {
+  return next_double() < p;
+}
+
+}  // namespace ndft

@@ -1,0 +1,44 @@
+#pragma once
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible across runs and platforms, so we
+// carry our own xoshiro256** implementation instead of std::mt19937 whose
+// distributions are implementation-defined.
+
+#include <array>
+#include <cstdint>
+
+namespace ndft {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+/// Deterministic across platforms; cheap enough for per-access decisions in
+/// the trace generator.
+class Prng {
+ public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound) using rejection-free Lemire reduction.
+  /// bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) noexcept;
+
+  /// Standard normal variate via Box-Muller (no state besides the PRNG).
+  double next_normal() noexcept;
+
+  /// Bernoulli draw with probability `p` of true.
+  bool next_bool(double p) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace ndft

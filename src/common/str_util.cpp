@@ -1,0 +1,68 @@
+#include "common/str_util.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ndft {
+
+std::string strformat(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string result;
+  if (needed > 0) {
+    result.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+std::string format_bytes(Bytes bytes) {
+  constexpr const char* suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t suffix = 0;
+  while (value >= 1024.0 && suffix + 1 < std::size(suffixes)) {
+    value /= 1024.0;
+    ++suffix;
+  }
+  if (suffix == 0) {
+    return strformat("%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return strformat("%.2f %s", value, suffixes[suffix]);
+}
+
+std::string format_time(TimePs ps) {
+  const double value = static_cast<double>(ps);
+  if (ps < kPsPerNs) return strformat("%llu ps", (unsigned long long)ps);
+  if (ps < kPsPerUs) return strformat("%.2f ns", value / kPsPerNs);
+  if (ps < kPsPerMs) return strformat("%.2f us", value / kPsPerUs);
+  if (ps < kPsPerSec) return strformat("%.2f ms", value / (double)kPsPerMs);
+  return strformat("%.3f s", value / (double)kPsPerSec);
+}
+
+std::string format_speedup(double ratio) { return strformat("%.2fx", ratio); }
+
+std::string format_percent(double fraction) {
+  return strformat("%.2f %%", fraction * 100.0);
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string result;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) result += sep;
+    result += parts[i];
+  }
+  return result;
+}
+
+std::string pad_right(const std::string& text, std::size_t width) {
+  if (text.size() >= width) return text.substr(0, width);
+  return text + std::string(width - text.size(), ' ');
+}
+
+}  // namespace ndft

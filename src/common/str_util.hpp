@@ -1,0 +1,32 @@
+#pragma once
+// String formatting helpers for reports and benchmark output.
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ndft {
+
+/// printf-style formatting into a std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats a byte count with a binary suffix, e.g. "4.43 GiB".
+std::string format_bytes(Bytes bytes);
+
+/// Formats a picosecond duration with an adaptive unit, e.g. "12.4 ms".
+std::string format_time(TimePs ps);
+
+/// Formats a dimensionless ratio as "N.NNx".
+std::string format_speedup(double ratio);
+
+/// Formats a fraction as a percentage, e.g. "55.15 %".
+std::string format_percent(double fraction);
+
+/// Joins strings with a separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Left-pads or truncates to an exact width (for aligned plain-text tables).
+std::string pad_right(const std::string& text, std::size_t width);
+
+}  // namespace ndft

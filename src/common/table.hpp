@@ -1,0 +1,34 @@
+#pragma once
+// Plain-text table rendering used by the benchmark harness to print rows in
+// the same layout as the paper's tables and figure data series.
+
+#include <string>
+#include <vector>
+
+namespace ndft {
+
+/// Accumulates rows of string cells and renders an aligned plain-text table
+/// with a header rule, suitable for terminal output and EXPERIMENTS.md.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table (header, rule, rows) as a multi-line string.
+  std::string render() const;
+
+  /// Renders as comma-separated values (header row first).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ndft

@@ -1,0 +1,37 @@
+#include "common/types.hpp"
+
+namespace ndft {
+
+const char* to_string(DeviceKind kind) noexcept {
+  switch (kind) {
+    case DeviceKind::kCpu: return "CPU";
+    case DeviceKind::kNdp: return "NDP";
+    case DeviceKind::kGpu: return "GPU";
+  }
+  return "?";
+}
+
+const char* to_string(AccessPattern pattern) noexcept {
+  switch (pattern) {
+    case AccessPattern::kSequential: return "sequential";
+    case AccessPattern::kStrided: return "strided";
+    case AccessPattern::kRandom: return "random";
+    case AccessPattern::kBlocked: return "blocked";
+  }
+  return "?";
+}
+
+const char* to_string(KernelClass kernel_class) noexcept {
+  switch (kernel_class) {
+    case KernelClass::kFft: return "FFT";
+    case KernelClass::kFaceSplit: return "FaceSplit";
+    case KernelClass::kGemm: return "GEMM";
+    case KernelClass::kSyevd: return "SYEVD";
+    case KernelClass::kPseudopotential: return "Pseudopotential";
+    case KernelClass::kAlltoall: return "Alltoall";
+    case KernelClass::kOther: return "Other";
+  }
+  return "?";
+}
+
+}  // namespace ndft

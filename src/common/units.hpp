@@ -1,0 +1,71 @@
+#pragma once
+// Unit helpers: byte sizes, frequencies, and time conversion between clock
+// domains. Frequencies are stored in MHz (integer) which is exact for every
+// clock in the paper's Table III.
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ndft {
+
+inline constexpr Bytes operator""_KiB(unsigned long long v) {
+  return static_cast<Bytes>(v) << 10;
+}
+inline constexpr Bytes operator""_MiB(unsigned long long v) {
+  return static_cast<Bytes>(v) << 20;
+}
+inline constexpr Bytes operator""_GiB(unsigned long long v) {
+  return static_cast<Bytes>(v) << 30;
+}
+
+/// A clock domain: converts between cycles and picoseconds.
+class Clock {
+ public:
+  /// Creates a clock running at `freq_mhz` megahertz. The period is the
+  /// floor in picoseconds (e.g. 2400 MHz -> 416 ps, a 0.17 % error);
+  /// every clock in the paper's configuration divides evenly or is
+  /// within that rounding.
+  explicit Clock(std::uint64_t freq_mhz) : freq_mhz_(freq_mhz) {
+    NDFT_REQUIRE(freq_mhz > 0, "clock frequency must be positive");
+    period_ps_ = 1000000 / freq_mhz;
+    NDFT_REQUIRE(period_ps_ > 0, "clock frequency too high (>1 THz)");
+  }
+
+  /// Clock period in picoseconds (rounded down; exact for paper configs).
+  TimePs period_ps() const noexcept { return period_ps_; }
+
+  /// Frequency in MHz.
+  std::uint64_t freq_mhz() const noexcept { return freq_mhz_; }
+
+  /// Converts a cycle count to picoseconds.
+  TimePs to_ps(Cycles cycles) const noexcept { return cycles * period_ps_; }
+
+  /// Cycles elapsed at time `t` (floor).
+  Cycles to_cycles(TimePs t) const noexcept { return t / period_ps_; }
+
+  /// The earliest time >= `t` that falls on a cycle boundary.
+  TimePs next_edge(TimePs t) const noexcept {
+    const TimePs remainder = t % period_ps_;
+    return remainder == 0 ? t : t + (period_ps_ - remainder);
+  }
+
+ private:
+  std::uint64_t freq_mhz_;
+  TimePs period_ps_;
+};
+
+/// Converts a bandwidth in GB/s (decimal) to bytes per picosecond.
+constexpr double gbps_to_bytes_per_ps(double gb_per_s) noexcept {
+  return gb_per_s * 1e9 / 1e12;
+}
+
+/// Time to move `bytes` at `gb_per_s` decimal gigabytes per second.
+inline TimePs transfer_time_ps(Bytes bytes, double gb_per_s) {
+  NDFT_ASSERT(gb_per_s > 0.0);
+  const double ps = static_cast<double>(bytes) / gbps_to_bytes_per_ps(gb_per_s);
+  return static_cast<TimePs>(ps + 0.5);
+}
+
+}  // namespace ndft

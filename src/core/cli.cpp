@@ -1,0 +1,45 @@
+#include "core/cli.hpp"
+
+#include <cstdlib>
+
+namespace ndft::core {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string name = token.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags_[name] = argv[++i];
+      } else {
+        flags_[name] = "";
+      }
+    } else {
+      positional_.push_back(token);
+    }
+  }
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+long CliArgs::get_int(const std::string& name, long fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  NDFT_REQUIRE(end != nullptr && *end == '\0' && !it->second.empty(),
+               "flag --" + name + " expects an integer");
+  return value;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+}  // namespace ndft::core

@@ -1,0 +1,58 @@
+#pragma once
+// NdftSystem: the public facade of the framework.
+//
+// Builds the paper's three machines from a SystemConfig, constructs the
+// LR-TDDFT workload for a silicon system, and simulates one iteration in
+// any of the four execution modes (CPU baseline, GPU baseline, NDP-only,
+// NDFT). Timing for CPU/NDP modes is trace-driven through the cache/DRAM/
+// mesh models; the GPU baseline is analytic (see src/gpu).
+
+#include <memory>
+
+#include "core/report.hpp"
+#include "core/system_config.hpp"
+#include "dft/workload.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace ndft::core {
+
+/// The NDFT framework entry point. Thread-compatible: each run builds a
+/// fresh simulated machine, so concurrent runs need separate instances.
+class NdftSystem {
+ public:
+  explicit NdftSystem(SystemConfig config = SystemConfig::paper_default());
+
+  /// The representative LR-TDDFT iteration for an Si_n system.
+  dft::Workload workload_for(std::size_t atoms) const;
+
+  /// The cost-aware schedule NDFT would use for a workload.
+  runtime::ExecutionPlan plan(
+      const dft::Workload& workload,
+      runtime::Granularity granularity =
+          runtime::Granularity::kFunction) const;
+
+  /// Simulates one iteration of `workload` on the chosen machine.
+  RunReport run(const dft::Workload& workload, ExecMode mode) const;
+
+  /// Convenience: workload_for(atoms) + run().
+  RunReport run(std::size_t atoms, ExecMode mode) const;
+
+  /// Simulates the CPU-NDP machine under a caller-provided schedule
+  /// (e.g. from the adaptive scheduler or a what-if experiment).
+  RunReport run_planned(const dft::Workload& workload,
+                        const runtime::ExecutionPlan& plan) const;
+
+  const SystemConfig& config() const noexcept { return config_; }
+
+ private:
+  RunReport run_cpu_baseline(const dft::Workload& workload) const;
+  RunReport run_gpu_baseline(const dft::Workload& workload) const;
+  RunReport run_ndp(const dft::Workload& workload, bool co_design) const;
+  RunReport run_hybrid(const dft::Workload& workload,
+                       const runtime::ExecutionPlan& plan, ExecMode mode,
+                       bool co_design) const;
+
+  SystemConfig config_;
+};
+
+}  // namespace ndft::core

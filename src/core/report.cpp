@@ -1,0 +1,67 @@
+#include "core/report.hpp"
+
+#include "common/error.hpp"
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+
+namespace ndft::core {
+
+const char* to_string(ExecMode mode) noexcept {
+  switch (mode) {
+    case ExecMode::kCpuBaseline: return "CPU";
+    case ExecMode::kGpuBaseline: return "GPU";
+    case ExecMode::kNdpOnly: return "NDP-only";
+    case ExecMode::kNdft: return "NDFT";
+  }
+  return "?";
+}
+
+TimePs RunReport::total_ps() const noexcept {
+  TimePs total = sched_overhead_ps;
+  for (const KernelTime& k : kernels) {
+    total += k.time_ps;
+  }
+  return total;
+}
+
+TimePs RunReport::time_of(KernelClass cls) const noexcept {
+  TimePs total = 0;
+  for (const KernelTime& k : kernels) {
+    if (k.cls == cls) {
+      total += k.time_ps;
+    }
+  }
+  return total;
+}
+
+std::string RunReport::render() const {
+  TextTable table({"kernel", "class", "device", "time", "share"});
+  const double total = static_cast<double>(total_ps());
+  for (const KernelTime& k : kernels) {
+    table.add_row({k.name, to_string(k.cls), to_string(k.device),
+                   format_time(k.time_ps),
+                   format_percent(static_cast<double>(k.time_ps) /
+                                  (total > 0 ? total : 1.0))});
+  }
+  if (sched_overhead_ps != 0) {
+    table.add_row({"(scheduling overhead)", "-", "-",
+                   format_time(sched_overhead_ps),
+                   format_percent(static_cast<double>(sched_overhead_ps) /
+                                  (total > 0 ? total : 1.0))});
+  }
+  std::string out = strformat("%s on Si_%zu: total %s\n", to_string(mode),
+                              dims.atoms, format_time(total_ps()).c_str());
+  out += table.render();
+  if (memory_energy_mj > 0.0) {
+    out += strformat("memory-system energy: %.2f mJ\n", memory_energy_mj);
+  }
+  return out;
+}
+
+double speedup(const RunReport& baseline, const RunReport& candidate) {
+  NDFT_REQUIRE(candidate.total_ps() > 0, "candidate has zero runtime");
+  return static_cast<double>(baseline.total_ps()) /
+         static_cast<double>(candidate.total_ps());
+}
+
+}  // namespace ndft::core

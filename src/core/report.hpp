@@ -1,0 +1,64 @@
+#pragma once
+// Run reports: per-kernel timing breakdowns in the shape of the paper's
+// Figure 7, plus footprints and communication statistics.
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dft/workload.hpp"
+#include "runtime/pseudo_store.hpp"
+
+namespace ndft::core {
+
+/// Execution mode (machine) for a run.
+enum class ExecMode {
+  kCpuBaseline,  ///< Section V Xeon server
+  kGpuBaseline,  ///< Section V DGX-1
+  kNdpOnly,      ///< all kernels on NDP, replicated pseudopotentials
+  kNdft,         ///< the paper's co-design (scheduler + shared blocks)
+};
+
+/// Human-readable machine name.
+const char* to_string(ExecMode mode) noexcept;
+
+/// One kernel's simulated execution.
+struct KernelTime {
+  std::string name;
+  KernelClass cls = KernelClass::kOther;
+  DeviceKind device = DeviceKind::kCpu;
+  TimePs time_ps = 0;
+};
+
+/// Result of simulating one LR-TDDFT iteration on one machine.
+struct RunReport {
+  ExecMode mode = ExecMode::kCpuBaseline;
+  dft::SystemDims dims;
+  std::vector<KernelTime> kernels;
+  TimePs sched_overhead_ps = 0;  ///< Eq. 1 crossings (NDFT only)
+  runtime::PseudoFootprint pseudo;
+  Bytes mesh_bytes = 0;      ///< NDP fabric traffic
+  Bytes sharing_bytes = 0;   ///< pseudopotential sharing traffic (NDFT)
+  /// Memory-system energy (DRAM + fabric; GPU: HBM + PCIe) in millijoules,
+  /// scaled up from the sampled windows like the kernel times.
+  double memory_energy_mj = 0.0;
+
+  /// Total simulated time including scheduling overhead.
+  TimePs total_ps() const noexcept;
+
+  /// Summed time of all kernels of one class.
+  TimePs time_of(KernelClass cls) const noexcept;
+
+  /// The paper's "Global Comm" bucket: Alltoall plus sharing traffic time.
+  TimePs global_comm_ps() const noexcept {
+    return time_of(KernelClass::kAlltoall);
+  }
+
+  /// Renders the Fig. 7-style breakdown as an aligned text table.
+  std::string render() const;
+};
+
+/// Speedup of `baseline` over `candidate` (how much faster candidate is).
+double speedup(const RunReport& baseline, const RunReport& candidate);
+
+}  // namespace ndft::core

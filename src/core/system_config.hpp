@@ -1,0 +1,50 @@
+#pragma once
+// Top-level machine configuration: Table III defaults plus the Section V
+// baselines, and the executor's sampling knobs.
+
+#include "cpu/cpu_complex.hpp"
+#include "gpu/gpu_model.hpp"
+#include "mem/dram_system.hpp"
+#include "ndp/ndp_system.hpp"
+#include "runtime/device_profile.hpp"
+#include "runtime/pseudo_store.hpp"
+#include "runtime/shared_memory.hpp"
+
+namespace ndft::core {
+
+/// Everything needed to build the three machines of the evaluation.
+struct SystemConfig {
+  /// Table III host CPU (8 cores, 3 GHz) of the CPU-NDP machine.
+  cpu::CpuComplexConfig host_cpu = cpu::CpuComplexConfig::table3_host();
+  /// Table III NDP memory system (4x4 HBM2 stacks, 128 NDP units).
+  ndp::NdpSystemConfig ndp = ndp::NdpSystemConfig::table3();
+  /// Section V CPU baseline (2x Xeon E5-2695, DDR4).
+  cpu::CpuComplexConfig xeon = cpu::CpuComplexConfig::xeon_baseline();
+  mem::DramConfig xeon_dram = mem::DramConfig::xeon_ddr4();
+  /// Section V GPU baseline (DGX-1, 2x V100).
+  gpu::GpuConfig gpu = gpu::GpuConfig::dgx1_v100x2();
+
+  /// Scheduler beliefs about the two sides of the CPU-NDP machine.
+  runtime::DeviceProfile cpu_profile = runtime::DeviceProfile::table3_cpu();
+  runtime::DeviceProfile ndp_profile = runtime::DeviceProfile::table3_ndp();
+
+  /// Worker-process counts (footprint model).
+  runtime::ProcessConfig processes;
+  /// Shared-memory runtime knobs.
+  runtime::SharedMemoryConfig shared_memory;
+
+  /// Trace sampling: total sampled memory ops per kernel, split across
+  /// the executing cores (clamped to [min_ops, max_ops] per core).
+  std::size_t sampled_ops_per_kernel = 150000;
+  std::size_t min_ops_per_core = 1000;
+  std::size_t max_ops_per_core = 40000;
+
+  /// Memory capacity of the machines (64 GiB each, Section V).
+  Bytes cpu_capacity = 64ull << 30;
+  Bytes ndp_capacity = 64ull << 30;
+
+  /// The paper's configuration.
+  static SystemConfig paper_default() { return SystemConfig{}; }
+};
+
+}  // namespace ndft::core

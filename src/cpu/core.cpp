@@ -1,0 +1,136 @@
+#include "cpu/core.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ndft::cpu {
+
+CoreConfig CoreConfig::xeon_core() {
+  CoreConfig c{};
+  c.freq_mhz = 2400;
+  c.issue_width = 4;
+  c.flops_per_cycle = 16.0;  // 2x 256-bit FMA pipes
+  c.max_outstanding = 10;
+  return c;
+}
+
+CoreConfig CoreConfig::host_core() {
+  CoreConfig c{};
+  c.freq_mhz = 3000;
+  c.issue_width = 4;
+  c.flops_per_cycle = 32.0;  // 2x 512-bit FMA pipes
+  c.max_outstanding = 12;
+  return c;
+}
+
+CoreConfig CoreConfig::ndp_core() {
+  CoreConfig c{};
+  c.freq_mhz = 2000;
+  c.issue_width = 2;
+  c.flops_per_cycle = 0.8;   // scalar FPU, no FMA: wimpy by design
+  c.max_outstanding = 2;     // in-order core: one miss + one hit-under-miss
+  return c;
+}
+
+Core::Core(std::string name, sim::EventQueue& queue, const CoreConfig& config,
+           mem::MemoryPort& port)
+    : SimObject(std::move(name), queue),
+      config_(config),
+      clock_(config.freq_mhz),
+      port_(&port) {}
+
+void Core::run_trace(const Trace* trace, std::function<void()> on_done) {
+  NDFT_REQUIRE(!busy(), "core is already executing a trace");
+  NDFT_ASSERT(trace != nullptr);
+  trace_ = trace;
+  on_done_ = std::move(on_done);
+  pc_ = 0;
+  outstanding_ = 0;
+  issue_time_ = now();
+  last_completion_ = now();
+  advance();
+}
+
+void Core::advance() {
+  if (trace_ == nullptr) {
+    return;
+  }
+  issue_time_ = std::max(issue_time_, now());
+  const TimePs issue_cost =
+      std::max<TimePs>(1, clock_.period_ps() / config_.issue_width);
+
+  while (pc_ < trace_->ops.size()) {
+    const TraceOp& op = trace_->ops[pc_];
+    if (op.kind == OpKind::kCompute) {
+      const double cycles_needed = static_cast<double>(op.flops) /
+                                   config_.flops_per_cycle;
+      issue_time_ += static_cast<TimePs>(
+          std::ceil(cycles_needed * static_cast<double>(clock_.period_ps())));
+      counters_.flops += static_cast<double>(op.flops);
+      ++pc_;
+      continue;
+    }
+
+    if (outstanding_ >= config_.max_outstanding) {
+      // MLP limit reached: resume from the next completion callback.
+      ++counters_.mlp_stalls;
+      return;
+    }
+
+    issue_time_ += issue_cost;
+    mem::MemRequest req;
+    req.addr = op.addr;
+    req.size = op.size;
+    req.is_write = (op.kind == OpKind::kStore);
+    req.on_complete = [this](TimePs at) {
+      NDFT_ASSERT(outstanding_ > 0);
+      --outstanding_;
+      last_completion_ = std::max(last_completion_, at);
+      advance();
+      try_finish();
+    };
+    ++outstanding_;
+    if (req.is_write) {
+      ++counters_.stores;
+    } else {
+      ++counters_.loads;
+    }
+    counters_.mem_bytes += static_cast<double>(op.size);
+
+    if (issue_time_ <= now()) {
+      port_->access(std::move(req));
+    } else {
+      queue().schedule_at(issue_time_,
+                          [this, req = std::move(req)]() mutable {
+                            port_->access(std::move(req));
+                          });
+    }
+    ++pc_;
+  }
+  try_finish();
+}
+
+void Core::try_finish() {
+  if (trace_ == nullptr || pc_ < trace_->ops.size() || outstanding_ != 0) {
+    return;
+  }
+  const TimePs end = std::max({issue_time_, last_completion_, now()});
+  trace_ = nullptr;
+  auto done = std::move(on_done_);
+  on_done_ = nullptr;
+  queue().schedule_at(end, [done = std::move(done)] {
+    if (done) done();
+  });
+}
+
+void Core::publish_stats() {
+  stats().set("loads", static_cast<double>(counters_.loads));
+  stats().set("stores", static_cast<double>(counters_.stores));
+  stats().set("mlp_stalls", static_cast<double>(counters_.mlp_stalls));
+  stats().set("flops", counters_.flops);
+  stats().set("mem_bytes", counters_.mem_bytes);
+}
+
+}  // namespace ndft::cpu

@@ -1,0 +1,40 @@
+#pragma once
+// Synthesises representative operation traces from kernel-level parameters
+// (flop count, traffic, access pattern). This is how large physical systems
+// (Si_1024, Si_2048) are simulated in seconds: the trace is sampled down to
+// `max_mem_ops` while preserving per-op arithmetic intensity and the access
+// pattern's cache/row-buffer behaviour, and the elapsed time is scaled back
+// up by the sampling factor.
+
+#include "common/types.hpp"
+#include "cpu/trace.hpp"
+
+namespace ndft::cpu {
+
+/// Parameters describing one kernel slice (the work of one core).
+struct TraceParams {
+  Flops flops = 0;           ///< FP work in this slice
+  Bytes bytes_read = 0;      ///< total bytes loaded (not unique)
+  Bytes bytes_written = 0;   ///< total bytes stored
+  AccessPattern pattern = AccessPattern::kSequential;
+  Bytes working_set = 1 << 20;  ///< unique footprint of the slice
+  Bytes stride_bytes = 256;     ///< step for kStrided
+  Addr base_addr = 0;           ///< placement of the slice's data
+  Bytes access_bytes = 64;      ///< granularity of each memory op
+  std::uint64_t seed = 1;       ///< PRNG seed for kRandom
+  std::size_t max_mem_ops = 40000;  ///< sampling bound
+  /// Tile size for kBlocked sweeps; set to roughly half the private cache
+  /// of the executing core (128 KiB for host cores, 16 KiB for NDP cores).
+  Bytes block_bytes = 128 * 1024;
+};
+
+/// Generates a sampled trace for the given parameters.
+///
+/// Invariants (checked by tests):
+///  - per-op arithmetic intensity equals flops / (bytes_read+bytes_written)
+///    up to rounding;
+///  - ops.size() memory ops <= max_mem_ops;
+///  - trace.scale * sampled traffic == requested traffic (±1 op).
+Trace generate_trace(const TraceParams& params);
+
+}  // namespace ndft::cpu

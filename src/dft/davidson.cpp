@@ -1,0 +1,191 @@
+#include "dft/davidson.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace ndft::dft {
+namespace {
+
+/// Orthonormalises `candidate` against the columns of `basis` (modified
+/// Gram-Schmidt, two passes); returns false if it vanished.
+bool orthonormalise(const std::vector<std::vector<double>>& basis,
+                    std::vector<double>& candidate) {
+  const std::size_t n = candidate.size();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& b : basis) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += b[i] * candidate[i];
+      for (std::size_t i = 0; i < n; ++i) candidate[i] -= dot * b[i];
+    }
+  }
+  double norm2 = 0.0;
+  for (const double v : candidate) norm2 += v * v;
+  if (norm2 < 1e-20) {
+    return false;
+  }
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (double& v : candidate) v *= inv;
+  return true;
+}
+
+}  // namespace
+
+DavidsonResult davidson(std::size_t n, const ApplyFn& apply,
+                        const std::vector<double>& diagonal,
+                        const DavidsonConfig& config) {
+  NDFT_REQUIRE(n > 0, "operator dimension must be positive");
+  NDFT_REQUIRE(diagonal.size() == n, "diagonal length must match n");
+  NDFT_REQUIRE(config.wanted > 0 && config.wanted <= n,
+               "wanted eigenpair count out of range");
+  const std::size_t block = std::min<std::size_t>(
+      std::max(config.block, config.wanted), n);
+  const std::size_t max_subspace =
+      std::min<std::size_t>(config.max_subspace == 0
+                                ? 8 * config.wanted + block
+                                : config.max_subspace,
+                            n);
+  NDFT_REQUIRE(max_subspace >= 2 * config.wanted || max_subspace == n,
+               "subspace cap too small for the request");
+
+  DavidsonResult result;
+
+  // Initial guesses: unit vectors on the smallest diagonal entries.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return diagonal[a] < diagonal[b];
+  });
+  std::vector<std::vector<double>> basis;    // V
+  std::vector<std::vector<double>> applied;  // W = A V
+  for (std::size_t b = 0; b < block; ++b) {
+    std::vector<double> v(n, 0.0);
+    v[order[b]] = 1.0;
+    basis.push_back(std::move(v));
+  }
+
+  std::vector<double> ritz_values;
+  RealMatrix ritz_vectors;
+
+  for (unsigned iteration = 1; iteration <= config.max_iterations;
+       ++iteration) {
+    result.iterations = iteration;
+    // Apply the operator to any new basis vectors.
+    while (applied.size() < basis.size()) {
+      std::vector<double> w(n);
+      apply(basis[applied.size()], w);
+      ++result.operator_applications;
+      applied.push_back(std::move(w));
+    }
+
+    // Rayleigh-Ritz in the subspace.
+    const std::size_t m = basis.size();
+    RealMatrix projected(m, m);
+    for (std::size_t a = 0; a < m; ++a) {
+      for (std::size_t b = a; b < m; ++b) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          dot += basis[a][i] * applied[b][i];
+        }
+        projected(a, b) = dot;
+        projected(b, a) = dot;
+      }
+    }
+    const EigenResult small = syev(projected);
+
+    // Ritz vectors and residuals for the lowest `wanted` pairs.
+    const std::size_t keep = std::min(config.wanted, m);
+    ritz_values.assign(small.eigenvalues.begin(),
+                       small.eigenvalues.begin() +
+                           static_cast<std::ptrdiff_t>(keep));
+    ritz_vectors = RealMatrix(n, keep);
+    bool all_converged = true;
+    std::vector<std::vector<double>> residuals;
+    for (std::size_t k = 0; k < keep; ++k) {
+      std::vector<double> x(n, 0.0);
+      std::vector<double> r(n, 0.0);
+      for (std::size_t a = 0; a < m; ++a) {
+        const double coeff = small.eigenvectors(a, k);
+        for (std::size_t i = 0; i < n; ++i) {
+          x[i] += coeff * basis[a][i];
+          r[i] += coeff * applied[a][i];
+        }
+      }
+      double rnorm2 = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        r[i] -= ritz_values[k] * x[i];
+        rnorm2 += r[i] * r[i];
+        ritz_vectors(i, k) = x[i];
+      }
+      if (std::sqrt(rnorm2) > config.tolerance) {
+        all_converged = false;
+        residuals.push_back(std::move(r));
+      }
+    }
+
+    if (all_converged && m >= config.wanted) {
+      result.converged = true;
+      break;
+    }
+
+    // Restart: collapse the subspace onto the current Ritz vectors.
+    if (m + residuals.size() > max_subspace) {
+      std::vector<std::vector<double>> fresh;
+      for (std::size_t k = 0; k < keep; ++k) {
+        std::vector<double> x(n);
+        for (std::size_t i = 0; i < n; ++i) x[i] = ritz_vectors(i, k);
+        if (orthonormalise(fresh, x)) {
+          fresh.push_back(std::move(x));
+        }
+      }
+      basis = std::move(fresh);
+      applied.clear();
+    }
+
+    // Preconditioned residual expansion: r_i /= (diag_i - theta).
+    for (std::size_t k = 0; k < residuals.size(); ++k) {
+      std::vector<double>& r = residuals[k];
+      const double theta = ritz_values[std::min(k, ritz_values.size() - 1)];
+      for (std::size_t i = 0; i < n; ++i) {
+        const double denom = diagonal[i] - theta;
+        r[i] /= (std::fabs(denom) > 1e-6) ? denom
+                                          : std::copysign(1e-6, denom);
+      }
+      if (orthonormalise(basis, r)) {
+        basis.push_back(std::move(r));
+      }
+      if (basis.size() >= max_subspace) break;
+    }
+    if (basis.size() == applied.size()) {
+      // No expansion vector survived orthogonalisation: stagnated, but
+      // the Ritz pairs are the best available answer.
+      break;
+    }
+  }
+
+  result.eigenvalues = std::move(ritz_values);
+  result.eigenvectors = std::move(ritz_vectors);
+  return result;
+}
+
+DavidsonResult davidson(const RealMatrix& symmetric,
+                        const DavidsonConfig& config) {
+  NDFT_REQUIRE(symmetric.rows() == symmetric.cols(),
+               "davidson: matrix must be square");
+  const std::size_t n = symmetric.rows();
+  std::vector<double> diagonal(n);
+  for (std::size_t i = 0; i < n; ++i) diagonal[i] = symmetric(i, i);
+  const ApplyFn apply = [&symmetric, n](const std::vector<double>& x,
+                                        std::vector<double>& y) {
+    y.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = symmetric.row(i);
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) acc += row[j] * x[j];
+      y[i] = acc;
+    }
+  };
+  return davidson(n, apply, diagonal, config);
+}
+
+}  // namespace ndft::dft

@@ -1,0 +1,52 @@
+#pragma once
+// Block Davidson iterative eigensolver for the lowest eigenpairs of a
+// real symmetric operator.
+//
+// Production LR-TDDFT codes never diagonalise the full Casida matrix for
+// large systems: they run a block iterative solver whose hot loop is the
+// response GEMM the paper's workload model carries (the Davidson block
+// Nx). This module provides that solver, matrix-free: the operator is a
+// callback, so it works both on explicit matrices and on implicitly
+// applied response kernels.
+
+#include <functional>
+#include <vector>
+
+#include "dft/linalg.hpp"
+
+namespace ndft::dft {
+
+/// y = A x for the operator under diagonalisation.
+using ApplyFn =
+    std::function<void(const std::vector<double>& x, std::vector<double>& y)>;
+
+/// Solver controls.
+struct DavidsonConfig {
+  std::size_t wanted = 4;        ///< lowest eigenpairs to converge
+  std::size_t block = 8;         ///< trial vectors added per iteration
+  std::size_t max_subspace = 0;  ///< restart threshold (0 = 8x wanted)
+  unsigned max_iterations = 200;
+  double tolerance = 1e-8;       ///< residual 2-norm per eigenpair
+};
+
+/// Result of a Davidson run.
+struct DavidsonResult {
+  std::vector<double> eigenvalues;  ///< ascending, size = wanted
+  RealMatrix eigenvectors;          ///< n x wanted, orthonormal columns
+  bool converged = false;
+  unsigned iterations = 0;
+  std::size_t operator_applications = 0;  ///< #times ApplyFn was called
+};
+
+/// Runs block Davidson on an n-dimensional symmetric operator whose
+/// diagonal is `diagonal` (used for the preconditioner and the initial
+/// guess). Throws NdftError on invalid configuration.
+DavidsonResult davidson(std::size_t n, const ApplyFn& apply,
+                        const std::vector<double>& diagonal,
+                        const DavidsonConfig& config = {});
+
+/// Convenience overload for an explicit symmetric matrix.
+DavidsonResult davidson(const RealMatrix& symmetric,
+                        const DavidsonConfig& config = {});
+
+}  // namespace ndft::dft

@@ -1,0 +1,92 @@
+#include "dft/epm.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ndft::dft {
+namespace {
+
+/// Hartree per Rydberg.
+constexpr double kHaPerRy = 0.5;
+/// Hartree to electronvolt.
+constexpr double kEvPerHa = 27.211386;
+
+}  // namespace
+
+double GroundState::band_gap_ev() const {
+  NDFT_REQUIRE(valence_bands > 0 && valence_bands < energies_ha.size(),
+               "band gap needs both valence and conduction bands");
+  return (energies_ha[valence_bands] - energies_ha[valence_bands - 1]) *
+         kEvPerHa;
+}
+
+double silicon_form_factor(double g2_units) {
+  // Cohen & Bergstresser, PRB 141, 789 (1966), symmetric form factors for
+  // Si: V(sqrt3) = -0.21 Ry, V(sqrt8) = +0.04 Ry, V(sqrt11) = +0.08 Ry.
+  const double tolerance = 1e-6;
+  if (std::fabs(g2_units - 3.0) < tolerance) return -0.21 * kHaPerRy;
+  if (std::fabs(g2_units - 8.0) < tolerance) return 0.04 * kHaPerRy;
+  if (std::fabs(g2_units - 11.0) < tolerance) return 0.08 * kHaPerRy;
+  return 0.0;
+}
+
+double epm_potential(const Crystal& crystal, const GVector& g,
+                     const GVector& gp) {
+  const Vec3 dg = g.g - gp.g;
+  const double unit = 2.0 * std::numbers::pi / kSiliconLatticeBohr;
+  const double g2_units = dg.norm2() / (unit * unit);
+  const double form = silicon_form_factor(g2_units);
+  if (form == 0.0) {
+    return 0.0;
+  }
+  // Structure factor averaged over atoms; real because atoms sit at +/-tau
+  // around the bond-centred origin. Nonzero only on G vectors commensurate
+  // with the primitive cell, which the average captures automatically.
+  double structure = 0.0;
+  for (const Vec3& position : crystal.positions()) {
+    structure += std::cos(dg.dot(position));
+  }
+  structure /= static_cast<double>(crystal.atom_count());
+  return form * structure;
+}
+
+GroundState solve_epm(const PlaneWaveBasis& basis, std::size_t bands,
+                      OpCount* count) {
+  const std::size_t n = basis.size();
+  NDFT_REQUIRE(n > 0, "empty plane-wave basis");
+  const auto& g = basis.gvectors();
+
+  RealMatrix hamiltonian(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    hamiltonian(i, i) = 0.5 * g[i].g2;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = epm_potential(basis.crystal(), g[i], g[j]);
+      hamiltonian(i, j) = v;
+      hamiltonian(j, i) = v;
+    }
+  }
+  if (count != nullptr) {
+    count->add(static_cast<Flops>(n) * n * 8,
+               static_cast<Bytes>(n) * n * sizeof(double));
+  }
+
+  EigenResult eigen = syev(hamiltonian, count);
+
+  GroundState state;
+  state.valence_bands = basis.crystal().atom_count() * 2;  // 4 e- per Si
+  const std::size_t keep = (bands == 0) ? n : std::min(bands, n);
+  NDFT_REQUIRE(keep > state.valence_bands,
+               "band window must extend past the valence bands");
+  state.energies_ha.assign(eigen.eigenvalues.begin(),
+                           eigen.eigenvalues.begin() +
+                               static_cast<std::ptrdiff_t>(keep));
+  state.orbitals = RealMatrix(n, keep);
+  for (std::size_t j = 0; j < keep; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      state.orbitals(i, j) = eigen.eigenvectors(i, j);
+    }
+  }
+  return state;
+}
+
+}  // namespace ndft::dft

@@ -1,0 +1,221 @@
+#include "dft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/math_util.hpp"
+
+namespace ndft::dft {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+Complex unit_root(double turns) {
+  // exp(2*pi*i*turns), computed from the angle for accuracy.
+  return Complex{std::cos(kTwoPi * turns), std::sin(kTwoPi * turns)};
+}
+
+/// Iterative radix-2 FFT, in place; n must be a power of two.
+void fft_pow2(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) {
+      j ^= bit;
+    }
+    j |= bit;
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 1.0 : -1.0) / static_cast<double>(len);
+    const Complex step = unit_root(angle);
+    for (std::size_t block = 0; block < n; block += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex even = data[block + k];
+        const Complex odd = data[block + k + len / 2] * w;
+        data[block + k] = even + odd;
+        data[block + k + len / 2] = even - odd;
+        w *= step;
+      }
+    }
+  }
+}
+
+/// Smallest factor of n among {2,3,5}; 0 if none divides n.
+std::size_t small_factor(std::size_t n) {
+  if (n % 2 == 0) return 2;
+  if (n % 3 == 0) return 3;
+  if (n % 5 == 0) return 5;
+  return 0;
+}
+
+/// Recursive mixed-radix DIT for n = 2^a * 3^b * 5^c.
+/// Reads in[0], in[stride], ... and writes out[0..n-1] contiguously.
+void fft_mixed(const Complex* in, Complex* out, std::size_t n,
+               std::size_t stride, bool inverse) {
+  if (n == 1) {
+    out[0] = in[0];
+    return;
+  }
+  const std::size_t p = small_factor(n);
+  NDFT_ASSERT(p != 0);
+  const std::size_t m = n / p;
+
+  // Sub-transforms of the p decimated sequences, laid out back to back.
+  std::vector<Complex> sub(n);
+  for (std::size_t r = 0; r < p; ++r) {
+    fft_mixed(in + r * stride, sub.data() + r * m, m, stride * p, inverse);
+  }
+
+  // Combine: X[q + s*m] = sum_r w_n^{r q} * w_p^{r s} * Sub_r[q].
+  const double direction = inverse ? 1.0 : -1.0;
+  for (std::size_t q = 0; q < m; ++q) {
+    // Twiddled sub values for this q.
+    Complex twiddled[5];
+    for (std::size_t r = 0; r < p; ++r) {
+      const double turns =
+          direction * static_cast<double>(r * q) / static_cast<double>(n);
+      twiddled[r] = sub[r * m + q] * unit_root(turns);
+    }
+    for (std::size_t s = 0; s < p; ++s) {
+      Complex acc{};
+      for (std::size_t r = 0; r < p; ++r) {
+        const double turns =
+            direction * static_cast<double>(r * s) / static_cast<double>(p);
+        acc += twiddled[r] * unit_root(turns);
+      }
+      out[q + s * m] = acc;
+    }
+  }
+}
+
+/// Bluestein's chirp-z transform for arbitrary n, via a pow2 convolution.
+void fft_bluestein(std::vector<Complex>& data, bool inverse) {
+  const std::size_t n = data.size();
+  // Forward chirp is w^{k^2/2} with w = exp(-2*pi*i/n), i.e. a *negative*
+  // angle; the -0.5 below carries the sign, so forward uses +1 here.
+  const double direction = inverse ? -1.0 : 1.0;
+  // a_k = x_k * w^{k^2/2};  b_k = w^{-k^2/2} (chirp).
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids catastrophic angle loss for large k. Transform
+    // lengths stay far below 2^32, so the product fits in 64 bits.
+    const std::size_t k2 = (k * k) % (2 * n);
+    chirp[k] = unit_root(direction * -0.5 * static_cast<double>(k2) /
+                         static_cast<double>(n));
+  }
+  const std::size_t conv_n = next_pow2(2 * n - 1);
+  std::vector<Complex> a(conv_n);
+  std::vector<Complex> b(conv_n);
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k] = data[k] * chirp[k];
+    b[k] = std::conj(chirp[k]);
+  }
+  for (std::size_t k = 1; k < n; ++k) {
+    b[conv_n - k] = std::conj(chirp[k]);
+  }
+  fft_pow2(a, false);
+  fft_pow2(b, false);
+  for (std::size_t k = 0; k < conv_n; ++k) {
+    a[k] *= b[k];
+  }
+  fft_pow2(a, true);
+  const double scale = 1.0 / static_cast<double>(conv_n);
+  for (std::size_t k = 0; k < n; ++k) {
+    data[k] = a[k] * scale * chirp[k];
+  }
+}
+
+}  // namespace
+
+bool is_friendly_size(std::size_t n) {
+  if (n == 0) return false;
+  for (std::size_t p : {2, 3, 5}) {
+    while (n % p == 0) n /= p;
+  }
+  return n == 1;
+}
+
+std::size_t friendly_size(std::size_t n) {
+  NDFT_REQUIRE(n >= 1, "friendly_size needs n >= 1");
+  while (!is_friendly_size(n)) {
+    ++n;
+  }
+  return n;
+}
+
+void fft(std::vector<Complex>& data, FftDirection direction) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  const bool inverse = (direction == FftDirection::kInverse);
+  if (is_pow2(n)) {
+    fft_pow2(data, inverse);
+  } else if (is_friendly_size(n)) {
+    std::vector<Complex> out(n);
+    fft_mixed(data.data(), out.data(), n, 1, inverse);
+    data = std::move(out);
+  } else {
+    fft_bluestein(data, inverse);
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n);
+    for (Complex& value : data) {
+      value *= scale;
+    }
+  }
+}
+
+Flops fft_flops(std::size_t n) {
+  if (n <= 1) return 0;
+  const double logn = std::log2(static_cast<double>(n));
+  return static_cast<Flops>(5.0 * static_cast<double>(n) * logn);
+}
+
+void fft3d(Grid3& grid, FftDirection direction, OpCount* count) {
+  const std::size_t nx = grid.nx();
+  const std::size_t ny = grid.ny();
+  const std::size_t nz = grid.nz();
+  NDFT_REQUIRE(nx > 0 && ny > 0 && nz > 0, "fft3d on an empty grid");
+
+  std::vector<Complex> line;
+  // X lines (contiguous).
+  line.resize(nx);
+  for (std::size_t iz = 0; iz < nz; ++iz) {
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      for (std::size_t ix = 0; ix < nx; ++ix) line[ix] = grid.at(ix, iy, iz);
+      fft(line, direction);
+      for (std::size_t ix = 0; ix < nx; ++ix) grid.at(ix, iy, iz) = line[ix];
+    }
+  }
+  // Y lines.
+  line.resize(ny);
+  for (std::size_t iz = 0; iz < nz; ++iz) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      for (std::size_t iy = 0; iy < ny; ++iy) line[iy] = grid.at(ix, iy, iz);
+      fft(line, direction);
+      for (std::size_t iy = 0; iy < ny; ++iy) grid.at(ix, iy, iz) = line[iy];
+    }
+  }
+  // Z lines.
+  line.resize(nz);
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      for (std::size_t iz = 0; iz < nz; ++iz) line[iz] = grid.at(ix, iy, iz);
+      fft(line, direction);
+      for (std::size_t iz = 0; iz < nz; ++iz) grid.at(ix, iy, iz) = line[iz];
+    }
+  }
+  if (count != nullptr) {
+    const std::size_t n = grid.size();
+    count->add(fft_flops(n),
+               // One read + one write of the full grid per dimension.
+               static_cast<Bytes>(6) * n * sizeof(Complex));
+  }
+}
+
+}  // namespace ndft::dft

@@ -1,0 +1,70 @@
+#pragma once
+// From-scratch complex FFT: iterative radix-2, recursive mixed-radix for
+// 2^a*3^b*5^c sizes, and Bluestein's algorithm for arbitrary lengths, plus
+// the 3D transforms used on plane-wave grids. Forward transforms are
+// unnormalised; the inverse divides by N so ifft(fft(x)) == x.
+
+#include <cstddef>
+#include <vector>
+
+#include "dft/linalg.hpp"
+#include "dft/matrix.hpp"
+
+namespace ndft::dft {
+
+/// Transform direction.
+enum class FftDirection { kForward, kInverse };
+
+/// In-place 1D FFT of arbitrary length (Bluestein handles prime sizes).
+void fft(std::vector<Complex>& data, FftDirection direction);
+
+/// True if n factors completely into 2, 3 and 5 (fast path, no Bluestein).
+bool is_friendly_size(std::size_t n);
+
+/// Smallest size >= n that factors into 2, 3 and 5; used when choosing
+/// plane-wave FFT grid dimensions.
+std::size_t friendly_size(std::size_t n);
+
+/// A dense complex scalar field on an nx x ny x nz grid.
+/// Storage order: x fastest, then y, then z.
+class Grid3 {
+ public:
+  Grid3() = default;
+  Grid3(std::size_t nx, std::size_t ny, std::size_t nz)
+      : nx_(nx), ny_(ny), nz_(nz), data_(nx * ny * nz) {}
+
+  std::size_t nx() const noexcept { return nx_; }
+  std::size_t ny() const noexcept { return ny_; }
+  std::size_t nz() const noexcept { return nz_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  Complex& at(std::size_t ix, std::size_t iy, std::size_t iz) {
+    NDFT_ASSERT(ix < nx_ && iy < ny_ && iz < nz_);
+    return data_[(iz * ny_ + iy) * nx_ + ix];
+  }
+  const Complex& at(std::size_t ix, std::size_t iy, std::size_t iz) const {
+    NDFT_ASSERT(ix < nx_ && iy < ny_ && iz < nz_);
+    return data_[(iz * ny_ + iy) * nx_ + ix];
+  }
+
+  Complex& operator[](std::size_t i) { return data_[i]; }
+  const Complex& operator[](std::size_t i) const { return data_[i]; }
+
+  std::vector<Complex>& raw() noexcept { return data_; }
+  const std::vector<Complex>& raw() const noexcept { return data_; }
+
+ private:
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::size_t nz_ = 0;
+  std::vector<Complex> data_;
+};
+
+/// In-place 3D FFT (one 1D pass per dimension). `count`, when non-null,
+/// accumulates the analytic flop/byte cost of the transform.
+void fft3d(Grid3& grid, FftDirection direction, OpCount* count = nullptr);
+
+/// Analytic flop cost of a complex FFT of length n (~5 n log2 n).
+Flops fft_flops(std::size_t n);
+
+}  // namespace ndft::dft

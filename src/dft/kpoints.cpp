@@ -1,0 +1,139 @@
+#include "dft/kpoints.hpp"
+
+#include <cmath>
+
+#include "dft/linalg.hpp"
+
+namespace ndft::dft {
+
+Crystal silicon_primitive() {
+  const double a0 = kSiliconLatticeBohr;
+  const Vec3 a1{0.0, a0 / 2.0, a0 / 2.0};
+  const Vec3 a2{a0 / 2.0, 0.0, a0 / 2.0};
+  const Vec3 a3{a0 / 2.0, a0 / 2.0, 0.0};
+  const Vec3 tau{a0 / 8.0, a0 / 8.0, a0 / 8.0};
+  return Crystal(a1, a2, a3, {tau, tau * -1.0});
+}
+
+std::vector<KPoint> fcc_kpath(double a0, unsigned segments) {
+  NDFT_REQUIRE(segments >= 1, "need at least one point per leg");
+  const double unit = 2.0 * std::numbers::pi / a0;
+  const Vec3 gamma{0.0, 0.0, 0.0};
+  const Vec3 x{0.0, unit, 0.0};                       // zone boundary
+  const Vec3 l{unit / 2.0, unit / 2.0, unit / 2.0};
+  const Vec3 k_point{0.75 * unit, 0.75 * unit, 0.0};  // K
+
+  const struct Leg {
+    Vec3 from;
+    Vec3 to;
+    const char* from_label;
+    const char* to_label;
+  } legs[] = {{l, gamma, "L", "Gamma"},
+              {gamma, x, "Gamma", "X"},
+              {x, k_point, "X", "K"},
+              {k_point, gamma, "K", "Gamma"}};
+
+  std::vector<KPoint> path;
+  for (const Leg& leg : legs) {
+    for (unsigned s = 0; s < segments; ++s) {
+      const double t = static_cast<double>(s) / segments;
+      KPoint kp;
+      kp.k = leg.from + (leg.to - leg.from) * t;
+      if (s == 0) {
+        kp.label = leg.from_label;
+      }
+      path.push_back(kp);
+    }
+  }
+  KPoint last;
+  last.k = gamma;
+  last.label = "Gamma";
+  path.push_back(last);
+  return path;
+}
+
+std::vector<KPoint> monkhorst_pack(const Crystal& crystal, unsigned n1,
+                                   unsigned n2, unsigned n3) {
+  NDFT_REQUIRE(n1 > 0 && n2 > 0 && n3 > 0, "grid dimensions must be >= 1");
+  std::vector<KPoint> grid;
+  grid.reserve(static_cast<std::size_t>(n1) * n2 * n3);
+  const double weight = 1.0 / (static_cast<double>(n1) * n2 * n3);
+  for (unsigned i = 0; i < n1; ++i) {
+    for (unsigned j = 0; j < n2; ++j) {
+      for (unsigned k = 0; k < n3; ++k) {
+        // Monkhorst-Pack fractional coordinates (2r - n - 1) / 2n.
+        const double f1 = (2.0 * i + 1.0 - n1) / (2.0 * n1);
+        const double f2 = (2.0 * j + 1.0 - n2) / (2.0 * n2);
+        const double f3 = (2.0 * k + 1.0 - n3) / (2.0 * n3);
+        KPoint kp;
+        kp.k = crystal.b1() * f1 + crystal.b2() * f2 + crystal.b3() * f3;
+        kp.weight = weight;
+        grid.push_back(kp);
+      }
+    }
+  }
+  return grid;
+}
+
+BandsAtK solve_epm_at_k(const PlaneWaveBasis& basis, const KPoint& kpoint,
+                        std::size_t bands) {
+  const std::size_t n = basis.size();
+  NDFT_REQUIRE(n > 0, "empty plane-wave basis");
+  const auto& g = basis.gvectors();
+
+  RealMatrix hamiltonian(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 kg = kpoint.k + g[i].g;
+    hamiltonian(i, i) = 0.5 * kg.norm2();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = epm_potential(basis.crystal(), g[i], g[j]);
+      hamiltonian(i, j) = v;
+      hamiltonian(j, i) = v;
+    }
+  }
+  EigenResult eigen = syev(hamiltonian);
+
+  BandsAtK result;
+  result.kpoint = kpoint;
+  const std::size_t keep = bands == 0 ? n : std::min(bands, n);
+  result.energies_ha.assign(
+      eigen.eigenvalues.begin(),
+      eigen.eigenvalues.begin() + static_cast<std::ptrdiff_t>(keep));
+  return result;
+}
+
+std::vector<BandsAtK> band_structure(const PlaneWaveBasis& basis,
+                                     const std::vector<KPoint>& path,
+                                     std::size_t bands) {
+  std::vector<BandsAtK> result;
+  result.reserve(path.size());
+  for (const KPoint& kp : path) {
+    result.push_back(solve_epm_at_k(basis, kp, bands));
+  }
+  return result;
+}
+
+GapSummary find_gap(const std::vector<BandsAtK>& bands,
+                    std::size_t valence) {
+  NDFT_REQUIRE(!bands.empty(), "no k-points solved");
+  GapSummary summary;
+  summary.vbm_ha = -1e18;
+  summary.cbm_ha = 1e18;
+  for (const BandsAtK& at_k : bands) {
+    NDFT_REQUIRE(at_k.energies_ha.size() > valence,
+                 "need at least one conduction band per k-point");
+    const double vbm = at_k.energies_ha[valence - 1];
+    const double cbm = at_k.energies_ha[valence];
+    if (vbm > summary.vbm_ha) {
+      summary.vbm_ha = vbm;
+      summary.vbm_label = at_k.kpoint.label;
+    }
+    if (cbm < summary.cbm_ha) {
+      summary.cbm_ha = cbm;
+      summary.cbm_label = at_k.kpoint.label;
+    }
+  }
+  return summary;
+}
+
+}  // namespace ndft::dft

@@ -1,0 +1,71 @@
+#pragma once
+// Beyond-Gamma electronic structure: EPM eigenvalues at arbitrary k,
+// high-symmetry paths through the Brillouin zone, Monkhorst-Pack grids,
+// and the primitive FCC silicon cell (2 atoms) whose unfolded band
+// structure is the textbook Cohen-Bergstresser result.
+//
+// At any k the Hamiltonian H(G,G') = 1/2 |k+G|^2 delta_GG' + V(G-G')
+// stays real symmetric (the potential depends only on G-G' and is real
+// for the bond-centred geometry), so the same SYEVD path serves the whole
+// zone.
+
+#include <string>
+#include <vector>
+
+#include "dft/basis.hpp"
+#include "dft/epm.hpp"
+
+namespace ndft::dft {
+
+/// A k-point in Cartesian reciprocal coordinates (Bohr^-1) with a label
+/// and an integration weight (for grids).
+struct KPoint {
+  Vec3 k;
+  double weight = 1.0;
+  std::string label;  ///< nonempty at high-symmetry points
+};
+
+/// Eigenvalues at one k-point.
+struct BandsAtK {
+  KPoint kpoint;
+  std::vector<double> energies_ha;  ///< ascending
+};
+
+/// The primitive FCC silicon cell: 2 atoms at +/- a0/8 (1,1,1), lattice
+/// vectors a0/2 (0,1,1) etc. Band structures on this cell are unfolded
+/// (no supercell band folding).
+Crystal silicon_primitive();
+
+/// The standard FCC high-symmetry path L -> Gamma -> X -> U|K -> Gamma
+/// for the conventional lattice constant `a0`, sampled with `segments`
+/// points per leg.
+std::vector<KPoint> fcc_kpath(double a0, unsigned segments = 12);
+
+/// A Monkhorst-Pack n1 x n2 x n3 grid for `crystal`, weights summing to 1.
+std::vector<KPoint> monkhorst_pack(const Crystal& crystal, unsigned n1,
+                                   unsigned n2, unsigned n3);
+
+/// EPM eigenvalues at one k (lowest `bands`; 0 keeps all).
+BandsAtK solve_epm_at_k(const PlaneWaveBasis& basis, const KPoint& kpoint,
+                        std::size_t bands = 0);
+
+/// EPM band structure along a path.
+std::vector<BandsAtK> band_structure(const PlaneWaveBasis& basis,
+                                     const std::vector<KPoint>& path,
+                                     std::size_t bands);
+
+/// Valence-band maximum, conduction-band minimum and the indirect gap
+/// (eV) over a set of solved k-points, assuming `valence` filled bands.
+struct GapSummary {
+  double vbm_ha = 0.0;
+  double cbm_ha = 0.0;
+  std::string vbm_label;
+  std::string cbm_label;
+
+  double indirect_gap_ev() const noexcept {
+    return (cbm_ha - vbm_ha) * 27.211386;
+  }
+};
+GapSummary find_gap(const std::vector<BandsAtK>& bands, std::size_t valence);
+
+}  // namespace ndft::dft

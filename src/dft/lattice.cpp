@@ -1,0 +1,79 @@
+#include "dft/lattice.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ndft::dft {
+
+Crystal::Crystal(Vec3 a1, Vec3 a2, Vec3 a3, std::vector<Vec3> positions)
+    : a1_(a1), a2_(a2), a3_(a3), positions_(std::move(positions)) {
+  volume_ = std::fabs(a1_.dot(a2_.cross(a3_)));
+  NDFT_REQUIRE(volume_ > 1e-12, "degenerate lattice vectors");
+  const double factor = 2.0 * std::numbers::pi / a1_.dot(a2_.cross(a3_));
+  b1_ = a2_.cross(a3_) * factor;
+  b2_ = a3_.cross(a1_) * factor;
+  b3_ = a1_.cross(a2_) * factor;
+}
+
+std::array<std::size_t, 3> Crystal::supercell_factors(std::size_t n_cells) {
+  NDFT_REQUIRE(n_cells >= 1, "need at least one cell");
+  // Greedily split the factorisation as evenly as possible: repeatedly
+  // divide by 2 assigning to the smallest dimension. All paper sizes are
+  // powers of two times the 8-atom cell.
+  std::array<std::size_t, 3> dims{1, 1, 1};
+  std::size_t remaining = n_cells;
+  while (remaining % 2 == 0) {
+    auto smallest = std::min_element(dims.begin(), dims.end());
+    *smallest *= 2;
+    remaining /= 2;
+  }
+  // Any odd leftover goes to the smallest dimension.
+  if (remaining > 1) {
+    auto smallest = std::min_element(dims.begin(), dims.end());
+    *smallest *= remaining;
+  }
+  std::sort(dims.begin(), dims.end());
+  return dims;
+}
+
+Crystal Crystal::silicon_supercell(std::size_t n_atoms) {
+  NDFT_REQUIRE(n_atoms >= 8 && n_atoms % 8 == 0,
+               "silicon supercells need a multiple of 8 atoms");
+  const std::size_t n_cells = n_atoms / 8;
+  const auto dims = supercell_factors(n_cells);
+  const double a0 = kSiliconLatticeBohr;
+
+  // Diamond structure in the conventional cubic cell, with the origin at a
+  // bond centre so atoms sit at +/- tau and structure factors are real:
+  // four FCC points, each with a two-atom basis at +/- (1/8)(1,1,1).
+  const std::array<Vec3, 4> fcc{Vec3{0.0, 0.0, 0.0}, Vec3{0.0, 0.5, 0.5},
+                                Vec3{0.5, 0.0, 0.5}, Vec3{0.5, 0.5, 0.0}};
+  const Vec3 tau{0.125, 0.125, 0.125};
+
+  std::vector<Vec3> positions;
+  positions.reserve(n_atoms);
+  for (std::size_t cx = 0; cx < dims[0]; ++cx) {
+    for (std::size_t cy = 0; cy < dims[1]; ++cy) {
+      for (std::size_t cz = 0; cz < dims[2]; ++cz) {
+        const Vec3 cell_origin{static_cast<double>(cx),
+                               static_cast<double>(cy),
+                               static_cast<double>(cz)};
+        for (const Vec3& site : fcc) {
+          for (const double sign : {+1.0, -1.0}) {
+            const Vec3 fractional = cell_origin + site + tau * sign;
+            positions.push_back(fractional * a0);
+          }
+        }
+      }
+    }
+  }
+  NDFT_ASSERT(positions.size() == n_atoms);
+
+  const Vec3 a1{a0 * static_cast<double>(dims[0]), 0.0, 0.0};
+  const Vec3 a2{0.0, a0 * static_cast<double>(dims[1]), 0.0};
+  const Vec3 a3{0.0, 0.0, a0 * static_cast<double>(dims[2])};
+  return Crystal(a1, a2, a3, std::move(positions));
+}
+
+}  // namespace ndft::dft

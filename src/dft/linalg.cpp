@@ -1,0 +1,360 @@
+#include "dft/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/math_util.hpp"
+
+namespace ndft::dft {
+namespace {
+
+/// sqrt(a^2 + b^2) without destructive overflow.
+double pythag(double a, double b) noexcept {
+  const double absa = std::fabs(a);
+  const double absb = std::fabs(b);
+  if (absa > absb) {
+    const double ratio = absb / absa;
+    return absa * std::sqrt(1.0 + ratio * ratio);
+  }
+  if (absb == 0.0) {
+    return 0.0;
+  }
+  const double ratio = absa / absb;
+  return absb * std::sqrt(1.0 + ratio * ratio);
+}
+
+double sign_of(double magnitude, double sign) noexcept {
+  return sign >= 0.0 ? std::fabs(magnitude) : -std::fabs(magnitude);
+}
+
+/// Householder reduction of a real symmetric matrix to tridiagonal form
+/// (EISPACK tred2 lineage). On return `z` holds the accumulated orthogonal
+/// transformation, `d` the diagonal and `e` the subdiagonal (e[0] unused).
+void tred2(RealMatrix& z, std::vector<double>& d, std::vector<double>& e) {
+  const std::size_t n = z.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  if (n == 0) return;
+
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    const std::size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (std::size_t k = 0; k <= l; ++k) scale += std::fabs(z(i, k));
+      if (scale == 0.0) {
+        e[i] = z(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          z(i, k) /= scale;
+          h += z(i, k) * z(i, k);
+        }
+        double f = z(i, l);
+        double g = (f >= 0.0) ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        z(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          z(j, i) = z(i, j) / h;
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += z(j, k) * z(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += z(k, j) * z(i, k);
+          e[j] = g / h;
+          f += e[j] * z(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = z(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (std::size_t k = 0; k <= j; ++k) {
+            z(j, k) -= f * e[k] + g * z(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = z(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  // Accumulate the transformation matrix.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d[i] != 0.0) {
+      for (std::size_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (std::size_t k = 0; k < i; ++k) g += z(i, k) * z(k, j);
+        for (std::size_t k = 0; k < i; ++k) z(k, j) -= g * z(k, i);
+      }
+    }
+    d[i] = z(i, i);
+    z(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      z(j, i) = 0.0;
+      z(i, j) = 0.0;
+    }
+  }
+}
+
+/// Implicit-shift QL iteration on a tridiagonal matrix with eigenvector
+/// accumulation (EISPACK tql2 lineage). `d` holds eigenvalues on return.
+void tql2(std::vector<double>& d, std::vector<double>& e, RealMatrix& z) {
+  const std::size_t n = d.size();
+  if (n <= 1) return;
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  for (std::size_t l = 0; l < n; ++l) {
+    unsigned iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= std::numeric_limits<double>::epsilon() * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        NDFT_REQUIRE(iter++ < 50, "QL iteration failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = pythag(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + sign_of(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        bool underflow = false;
+        for (std::size_t ii = m; ii-- > l;) {
+          const std::size_t i = ii;
+          double f = s * e[i];
+          const double b = c * e[i];
+          e[i + 1] = r = pythag(f, g);
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (std::size_t k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+}  // namespace
+
+void gemm(const RealMatrix& a, const RealMatrix& b, RealMatrix& c,
+          double alpha, double beta, bool transpose_a, bool transpose_b,
+          OpCount* count) {
+  const RealMatrix lhs_copy = transpose_a ? a.transposed() : RealMatrix{};
+  const RealMatrix rhs_copy = transpose_b ? b.transposed() : RealMatrix{};
+  const RealMatrix& A = transpose_a ? lhs_copy : a;
+  const RealMatrix& B = transpose_b ? rhs_copy : b;
+
+  const std::size_t m = A.rows();
+  const std::size_t k = A.cols();
+  const std::size_t n = B.cols();
+  NDFT_REQUIRE(B.rows() == k, "gemm: inner dimensions must agree");
+  if (c.rows() != m || c.cols() != n) {
+    NDFT_REQUIRE(beta == 0.0, "gemm: beta != 0 requires a sized C");
+    c = RealMatrix(m, n);
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    double* crow = c.row(i);
+    if (beta == 0.0) {
+      std::fill(crow, crow + n, 0.0);
+    } else if (beta != 1.0) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    for (std::size_t l = 0; l < k; ++l) {
+      const double aval = alpha * A(i, l);
+      if (aval == 0.0) continue;
+      const double* brow = B.row(l);
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += aval * brow[j];
+      }
+    }
+  }
+  if (count != nullptr) {
+    count->add(2ull * m * n * k,
+               (m * k + k * n + 2 * m * n) * sizeof(double));
+  }
+}
+
+void gemm(const ComplexMatrix& a, const ComplexMatrix& b, ComplexMatrix& c,
+          Complex alpha, Complex beta, bool conj_transpose_a,
+          bool transpose_b, OpCount* count) {
+  ComplexMatrix lhs_copy;
+  if (conj_transpose_a) {
+    lhs_copy = ComplexMatrix(a.cols(), a.rows());
+    for (std::size_t r = 0; r < a.rows(); ++r) {
+      for (std::size_t cidx = 0; cidx < a.cols(); ++cidx) {
+        lhs_copy(cidx, r) = std::conj(a(r, cidx));
+      }
+    }
+  }
+  ComplexMatrix rhs_copy;
+  if (transpose_b) {
+    rhs_copy = b.transposed();
+  }
+  const ComplexMatrix& A = conj_transpose_a ? lhs_copy : a;
+  const ComplexMatrix& B = transpose_b ? rhs_copy : b;
+
+  const std::size_t m = A.rows();
+  const std::size_t k = A.cols();
+  const std::size_t n = B.cols();
+  NDFT_REQUIRE(B.rows() == k, "gemm: inner dimensions must agree");
+  if (c.rows() != m || c.cols() != n) {
+    NDFT_REQUIRE(beta == Complex{},
+                 "gemm: beta != 0 requires a sized C");
+    c = ComplexMatrix(m, n);
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    Complex* crow = c.row(i);
+    if (beta == Complex{}) {
+      std::fill(crow, crow + n, Complex{});
+    } else if (beta != Complex{1.0, 0.0}) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    for (std::size_t l = 0; l < k; ++l) {
+      const Complex aval = alpha * A(i, l);
+      if (aval == Complex{}) continue;
+      const Complex* brow = B.row(l);
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += aval * brow[j];
+      }
+    }
+  }
+  if (count != nullptr) {
+    count->add(8ull * m * n * k,
+               (m * k + k * n + 2 * m * n) * sizeof(Complex));
+  }
+}
+
+EigenResult syev(const RealMatrix& symmetric, OpCount* count) {
+  NDFT_REQUIRE(symmetric.rows() == symmetric.cols(),
+               "syev: matrix must be square");
+  const std::size_t n = symmetric.rows();
+  EigenResult result;
+  result.eigenvectors = symmetric;  // tred2 works in place
+  std::vector<double> d;
+  std::vector<double> e;
+  tred2(result.eigenvectors, d, e);
+  tql2(d, e, result.eigenvectors);
+
+  // Sort ascending, permuting eigenvector columns accordingly.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return d[x] < d[y]; });
+  result.eigenvalues.resize(n);
+  RealMatrix sorted(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.eigenvalues[j] = d[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted(i, j) = result.eigenvectors(i, order[j]);
+    }
+  }
+  result.eigenvectors = std::move(sorted);
+
+  if (count != nullptr) {
+    // Dense two-phase eigensolve: ~(4/3)n^3 for the reduction plus ~6n^3
+    // for QL rotations with eigenvectors.
+    const auto cubic = static_cast<Flops>(n) * n * n;
+    count->add(cubic * 22 / 3, 3 * n * n * sizeof(double));
+  }
+  return result;
+}
+
+HermitianEigenResult heev(const ComplexMatrix& hermitian, OpCount* count) {
+  NDFT_REQUIRE(hermitian.rows() == hermitian.cols(),
+               "heev: matrix must be square");
+  const std::size_t n = hermitian.rows();
+  // Real embedding M = [[A, -B], [B, A]] for H = A + iB.
+  RealMatrix embedded(2 * n, 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const Complex h = hermitian(i, j);
+      embedded(i, j) = h.real();
+      embedded(i + n, j + n) = h.real();
+      embedded(i, j + n) = -h.imag();
+      embedded(i + n, j) = h.imag();
+    }
+  }
+  EigenResult real_result = syev(embedded, count);
+
+  // Each eigenvalue of H appears twice; fold pairs and rebuild complex
+  // eigenvectors v = x + i y, re-orthonormalising inside degenerate groups.
+  HermitianEigenResult result;
+  result.eigenvalues.reserve(n);
+  result.eigenvectors = ComplexMatrix(n, n);
+  std::vector<std::vector<Complex>> kept;
+  kept.reserve(n);
+  for (std::size_t j = 0; j < 2 * n && kept.size() < n; ++j) {
+    std::vector<Complex> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = Complex{real_result.eigenvectors(i, j),
+                     real_result.eigenvectors(i + n, j)};
+    }
+    // Project out already-kept vectors (modified Gram-Schmidt).
+    for (const auto& u : kept) {
+      Complex overlap{};
+      for (std::size_t i = 0; i < n; ++i) overlap += std::conj(u[i]) * v[i];
+      for (std::size_t i = 0; i < n; ++i) v[i] -= overlap * u[i];
+    }
+    double norm = 0.0;
+    for (const Complex& value : v) norm += std::norm(value);
+    norm = std::sqrt(norm);
+    if (norm < 1e-8) {
+      continue;  // duplicate of an already-kept pair partner
+    }
+    for (Complex& value : v) value /= norm;
+    result.eigenvalues.push_back(real_result.eigenvalues[j]);
+    kept.push_back(std::move(v));
+  }
+  NDFT_REQUIRE(kept.size() == n, "heev: failed to fold embedded eigenpairs");
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      result.eigenvectors(i, j) = kept[j][i];
+    }
+  }
+  return result;
+}
+
+double eigen_residual(const RealMatrix& symmetric,
+                      const EigenResult& result) {
+  const std::size_t n = symmetric.rows();
+  double sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double value = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        value += symmetric(i, k) * result.eigenvectors(k, j);
+      }
+      value -= result.eigenvalues[j] * result.eigenvectors(i, j);
+      sum += value * value;
+    }
+  }
+  return std::sqrt(sum);
+}
+
+}  // namespace ndft::dft

@@ -1,0 +1,66 @@
+#pragma once
+// Dense linear algebra kernels: blocked GEMM and symmetric/Hermitian
+// eigensolvers (the paper's SYEVD), implemented from scratch.
+//
+// The eigensolver is the classic two-phase dense path: Householder
+// reduction to tridiagonal form followed by the implicit-shift QL
+// iteration, with eigenvectors accumulated. Complex Hermitian problems are
+// solved through the standard real embedding [[A, -B], [B, A]].
+
+#include <vector>
+
+#include "dft/matrix.hpp"
+
+namespace ndft::dft {
+
+/// Running tally of arithmetic and traffic, used to validate the analytic
+/// kernel descriptors against the real numerics.
+struct OpCount {
+  Flops flops = 0;
+  Bytes bytes = 0;
+
+  void add(Flops f, Bytes b) noexcept {
+    flops += f;
+    bytes += b;
+  }
+};
+
+/// C = alpha * op(A) * op(B) + beta * C for real matrices.
+/// op is controlled by `transpose_a` / `transpose_b`. Blocked for cache
+/// reuse. `count`, when non-null, accumulates flop/byte tallies.
+void gemm(const RealMatrix& a, const RealMatrix& b, RealMatrix& c,
+          double alpha = 1.0, double beta = 0.0, bool transpose_a = false,
+          bool transpose_b = false, OpCount* count = nullptr);
+
+/// Complex version; `transpose_a` applies the conjugate transpose.
+void gemm(const ComplexMatrix& a, const ComplexMatrix& b, ComplexMatrix& c,
+          Complex alpha = Complex{1.0, 0.0}, Complex beta = Complex{0.0, 0.0},
+          bool conj_transpose_a = false, bool transpose_b = false,
+          OpCount* count = nullptr);
+
+/// Result of a symmetric eigensolve.
+struct EigenResult {
+  std::vector<double> eigenvalues;  ///< ascending
+  RealMatrix eigenvectors;          ///< column j pairs with eigenvalue j
+};
+
+/// Solves the full eigenproblem of a real symmetric matrix (SYEVD).
+/// Throws NdftError if the matrix is not square or the QL iteration fails
+/// to converge (pathological input).
+EigenResult syev(const RealMatrix& symmetric, OpCount* count = nullptr);
+
+/// Result of a Hermitian eigensolve.
+struct HermitianEigenResult {
+  std::vector<double> eigenvalues;  ///< ascending
+  ComplexMatrix eigenvectors;       ///< column j pairs with eigenvalue j
+};
+
+/// Solves the full eigenproblem of a complex Hermitian matrix via the real
+/// 2n x 2n embedding (each eigenvalue appears twice; duplicates are folded).
+HermitianEigenResult heev(const ComplexMatrix& hermitian,
+                          OpCount* count = nullptr);
+
+/// Frobenius norm of (A*x - lambda*x) for result verification in tests.
+double eigen_residual(const RealMatrix& symmetric, const EigenResult& result);
+
+}  // namespace ndft::dft

@@ -1,0 +1,242 @@
+#include "dft/lrtddft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace ndft::dft {
+namespace {
+
+constexpr double kEvPerHa = 27.211386;
+constexpr double kFourPi = 4.0 * std::numbers::pi;
+
+/// Puts orbital `j` (real coefficients over G) onto the FFT grid and
+/// transforms it to real space. Returns the real-space values.
+Grid3 orbital_to_grid(const PlaneWaveBasis& basis, const GroundState& ground,
+                      std::size_t band, KernelCounts& counts) {
+  const auto dims = basis.fft_dims();
+  Grid3 grid(dims[0], dims[1], dims[2]);
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    grid[basis.grid_index(i)] = Complex{ground.orbitals(i, band), 0.0};
+  }
+  fft3d(grid, FftDirection::kInverse, &counts[KernelClass::kFft]);
+  // Scale so that sum_r |psi(r)|^2 * (Omega/Nr) = 1 when sum_G |c|^2 = 1:
+  // the inverse FFT divides by Nr, so multiply by Nr/sqrt(Omega) ... we
+  // keep psi(r) = sqrt(Nr/Omega) * sum_G c_G e^{iGr} / ... Concretely:
+  // ifft gives (1/Nr) sum_G c_G e^{iGr}; multiply by Nr/sqrt(Omega).
+  const double scale = static_cast<double>(grid.size()) /
+                       std::sqrt(basis.crystal().volume());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] *= scale;
+  }
+  return grid;
+}
+
+}  // namespace
+
+double LrTddftResult::lowest_ev() const {
+  NDFT_REQUIRE(!excitations_ha.empty(), "no excitations computed");
+  return excitations_ha.front() * kEvPerHa;
+}
+
+std::vector<double> transition_energies(const GroundState& ground,
+                                        const LrTddftConfig& config) {
+  const std::size_t nv_total = ground.valence_bands;
+  const std::size_t nv = (config.valence_window == 0)
+                             ? nv_total
+                             : std::min(config.valence_window, nv_total);
+  const std::size_t nc = config.conduction_window;
+  NDFT_REQUIRE(ground.energies_ha.size() >= nv_total + nc,
+               "ground state carries too few conduction bands");
+  std::vector<double> result;
+  result.reserve(nv * nc);
+  for (std::size_t v = nv_total - nv; v < nv_total; ++v) {
+    for (std::size_t c = nv_total; c < nv_total + nc; ++c) {
+      result.push_back(ground.energies_ha[c] - ground.energies_ha[v]);
+    }
+  }
+  return result;
+}
+
+LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
+                            const GroundState& ground,
+                            const LrTddftConfig& config) {
+  LrTddftResult result;
+  KernelCounts& counts = result.counts;
+
+  const std::size_t nv_total = ground.valence_bands;
+  const std::size_t nv = (config.valence_window == 0)
+                             ? nv_total
+                             : std::min(config.valence_window, nv_total);
+  const std::size_t nc = config.conduction_window;
+  NDFT_REQUIRE(nc > 0, "need at least one conduction band");
+  NDFT_REQUIRE(ground.energies_ha.size() >= nv_total + nc,
+               "ground state carries too few conduction bands");
+  const std::size_t npair = nv * nc;
+  result.pair_count = npair;
+
+  const auto dims = basis.fft_dims();
+  const std::size_t nr = basis.fft_size();
+  const double omega = basis.crystal().volume();
+
+  // Real-space orbitals for the window (valence then conduction).
+  std::vector<Grid3> valence;
+  valence.reserve(nv);
+  for (std::size_t v = nv_total - nv; v < nv_total; ++v) {
+    valence.push_back(orbital_to_grid(basis, ground, v, counts));
+  }
+  std::vector<Grid3> conduction;
+  conduction.reserve(nc);
+  for (std::size_t c = nv_total; c < nv_total + nc; ++c) {
+    conduction.push_back(orbital_to_grid(basis, ground, c, counts));
+  }
+
+  // Ground-state density for the ALDA kernel: n0(r) = 2 sum_v |psi_v|^2
+  // over *all* valence bands (not just the window).
+  std::vector<double> density(nr, 0.0);
+  for (std::size_t v = 0; v < nv_total; ++v) {
+    // Reuse window grids where possible; otherwise transform on demand.
+    const std::size_t window_start = nv_total - nv;
+    const Grid3* grid = nullptr;
+    Grid3 scratch;
+    if (v >= window_start) {
+      grid = &valence[v - window_start];
+    } else {
+      scratch = orbital_to_grid(basis, ground, v, counts);
+      grid = &scratch;
+    }
+    for (std::size_t i = 0; i < nr; ++i) {
+      density[i] += 2.0 * std::norm((*grid)[i]);
+    }
+  }
+
+  // ALDA kernel f_xc(r) = d V_x / d n at n0 (Slater exchange).
+  std::vector<double> fxc(nr, 0.0);
+  if (config.include_xc) {
+    const double prefactor = -std::cbrt(3.0 / std::numbers::pi) / 3.0;
+    for (std::size_t i = 0; i < nr; ++i) {
+      const double n = std::max(density[i], 1e-12);
+      fxc[i] = prefactor / std::cbrt(n * n);
+    }
+  }
+
+  // Face-splitting products P_vc(r) = psi_v(r) * psi_c(r), stored as a
+  // (pair x grid) matrix. Orbitals are real at Gamma, so P is real, but we
+  // keep the complex container because the FFT pass transforms it.
+  ComplexMatrix pair_real(npair, nr);
+  {
+    OpCount& oc = counts[KernelClass::kFaceSplit];
+    for (std::size_t v = 0; v < nv; ++v) {
+      for (std::size_t c = 0; c < nc; ++c) {
+        Complex* row = pair_real.row(v * nc + c);
+        const Grid3& pv = valence[v];
+        const Grid3& pc = conduction[c];
+        for (std::size_t i = 0; i < nr; ++i) {
+          row[i] = std::conj(pv[i]) * pc[i];
+        }
+      }
+    }
+    oc.add(6ull * npair * nr,
+           static_cast<Bytes>(npair) * nr * 3 * sizeof(Complex));
+  }
+
+  // FFT each pair product to reciprocal space.
+  ComplexMatrix pair_recip(npair, nr);
+  for (std::size_t p = 0; p < npair; ++p) {
+    Grid3 grid(dims[0], dims[1], dims[2]);
+    std::copy(pair_real.row(p), pair_real.row(p) + nr, grid.raw().begin());
+    fft3d(grid, FftDirection::kForward, &counts[KernelClass::kFft]);
+    // Forward FFT sum -> density Fourier coefficients need the grid volume
+    // element Omega/Nr.
+    const double element = omega / static_cast<double>(nr);
+    for (std::size_t i = 0; i < nr; ++i) {
+      pair_recip(p, i) = grid[i] * element;
+    }
+  }
+
+  // Coulomb-weighted copy: rows scaled by sqrt(4 pi / |G|^2), G = 0 dropped
+  // (compensated by the neutralising background).
+  ComplexMatrix pair_coulomb = pair_recip;
+  {
+    OpCount& oc = counts[KernelClass::kFaceSplit];
+    std::vector<double> weight(nr, 0.0);
+    // Build |G|^2 on the full FFT grid from the basis mapping: grid points
+    // not covered by any basis vector carry higher |G|^2 than the cutoff;
+    // their pair amplitudes are negligible, so weight 0 is a safe cutoff.
+    for (std::size_t i = 0; i < basis.size(); ++i) {
+      const double g2 = basis.gvectors()[i].g2;
+      weight[basis.grid_index(i)] = (g2 > 1e-12) ? kFourPi / g2 : 0.0;
+    }
+    for (std::size_t p = 0; p < npair; ++p) {
+      Complex* row = pair_coulomb.row(p);
+      for (std::size_t i = 0; i < nr; ++i) {
+        row[i] *= weight[i];
+      }
+    }
+    oc.add(2ull * npair * nr,
+           static_cast<Bytes>(npair) * nr * 2 * sizeof(Complex));
+  }
+
+  // Hartree kernel matrix K_H = (1/Omega) * P * conj(P_coulomb)^T.
+  ComplexMatrix k_hartree;
+  gemm(pair_recip, pair_coulomb, k_hartree,
+       Complex{1.0 / omega, 0.0}, Complex{}, /*conj_transpose_a=*/false,
+       /*transpose_b=*/true, &counts[KernelClass::kGemm]);
+  // pair_recip rows are conjugate-symmetric in G (real P_vc), so the
+  // transpose-without-conjugation above equals the Hermitian contraction.
+
+  // XC kernel matrix K_xc = sum_r P_vc(r) f_xc(r) P_v'c'(r) dOmega.
+  ComplexMatrix k_xc(npair, npair);
+  if (config.include_xc) {
+    ComplexMatrix weighted(npair, nr);
+    const double element = omega / static_cast<double>(nr);
+    {
+      OpCount& oc = counts[KernelClass::kFaceSplit];
+      for (std::size_t p = 0; p < npair; ++p) {
+        const Complex* src = pair_real.row(p);
+        Complex* dst = weighted.row(p);
+        for (std::size_t i = 0; i < nr; ++i) {
+          dst[i] = src[i] * (fxc[i] * element);
+        }
+      }
+      oc.add(2ull * npair * nr,
+             static_cast<Bytes>(npair) * nr * 2 * sizeof(Complex));
+    }
+    gemm(pair_real, weighted, k_xc, Complex{1.0, 0.0}, Complex{},
+         /*conj_transpose_a=*/false, /*transpose_b=*/true,
+         &counts[KernelClass::kGemm]);
+  }
+
+  // Assemble the TDA response matrix A = diag(eps_c - eps_v) + s*(K_H+K_xc)
+  // (real symmetric: P_vc are real in real space at Gamma).
+  const std::vector<double> diagonal = transition_energies(ground, config);
+  RealMatrix a_matrix(npair, npair);
+  for (std::size_t p = 0; p < npair; ++p) {
+    for (std::size_t q = 0; q < npair; ++q) {
+      double value = config.spin_factor *
+                     (k_hartree(p, q).real() +
+                      (config.include_xc ? k_xc(p, q).real() : 0.0));
+      if (p == q) {
+        value += diagonal[p];
+      }
+      a_matrix(p, q) = value;
+    }
+  }
+  // Symmetrise away the numerical asymmetry from finite FFT grids.
+  for (std::size_t p = 0; p < npair; ++p) {
+    for (std::size_t q = p + 1; q < npair; ++q) {
+      const double mean = 0.5 * (a_matrix(p, q) + a_matrix(q, p));
+      a_matrix(p, q) = mean;
+      a_matrix(q, p) = mean;
+    }
+  }
+
+  EigenResult eigen = syev(a_matrix, &counts[KernelClass::kSyevd]);
+  result.excitations_ha = std::move(eigen.eigenvalues);
+  if (config.keep_eigenvectors) {
+    result.eigenvectors = std::move(eigen.eigenvectors);
+  }
+  return result;
+}
+
+}  // namespace ndft::dft

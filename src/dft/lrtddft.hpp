@@ -1,0 +1,66 @@
+#pragma once
+// The LR-TDDFT pipeline of the paper's Fig. 1, functional implementation:
+//
+//   valence/conduction orbitals
+//     -> face-splitting products  P_vc(r) = psi_v(r) * psi_c(r)
+//     -> FFT                      P_vc(G)
+//     -> Coulomb + ALDA kernels   f_H(G) P, f_xc(r) P
+//     -> GEMM                     K = P^T f P   (response Hamiltonian)
+//     -> SYEVD                    excitation energies
+//
+// within the Tamm-Dancoff approximation at the Gamma point. Every stage
+// tallies its flop/byte cost per kernel class so the analytic workload
+// descriptors (workload.hpp) can be validated against real numerics.
+
+#include <map>
+#include <vector>
+
+#include "dft/basis.hpp"
+#include "dft/epm.hpp"
+#include "dft/fft.hpp"
+#include "dft/linalg.hpp"
+
+namespace ndft::dft {
+
+/// Per-kernel-class operation tallies for one LR-TDDFT run.
+using KernelCounts = std::map<KernelClass, OpCount>;
+
+/// Configuration of the excitation-space window.
+struct LrTddftConfig {
+  /// Highest valence bands included (0 = all valence bands).
+  std::size_t valence_window = 0;
+  /// Lowest conduction bands included.
+  std::size_t conduction_window = 4;
+  /// Include the adiabatic-LDA exchange-correlation kernel.
+  bool include_xc = true;
+  /// Spin factor for singlet excitations (2 K in the A matrix).
+  double spin_factor = 2.0;
+  /// Keep the Casida eigenvectors (needed for oscillator strengths).
+  bool keep_eigenvectors = false;
+};
+
+/// Result of an LR-TDDFT calculation.
+struct LrTddftResult {
+  std::vector<double> excitations_ha;  ///< excitation energies, ascending
+  std::size_t pair_count = 0;          ///< dimension of the response matrix
+  KernelCounts counts;                 ///< per-kernel operation tallies
+  /// Casida eigenvectors (pair x excitation), populated only when
+  /// LrTddftConfig::keep_eigenvectors is set.
+  RealMatrix eigenvectors;
+
+  /// Lowest excitation in eV.
+  double lowest_ev() const;
+};
+
+/// Runs the full pipeline on a ground state. The ground state must carry
+/// at least valence + conduction_window bands.
+LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
+                            const GroundState& ground,
+                            const LrTddftConfig& config);
+
+/// Builds the independent-particle transition energies (eps_c - eps_v) for
+/// the window; exposed for tests (the A matrix diagonal without kernels).
+std::vector<double> transition_energies(const GroundState& ground,
+                                        const LrTddftConfig& config);
+
+}  // namespace ndft::dft

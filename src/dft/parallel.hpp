@@ -1,0 +1,91 @@
+#pragma once
+// Virtual MPI: a functional model of the process-parallel data
+// redistribution in LR-TDDFT. MPI_Alltoall is executed for real (data
+// moves between per-rank buffers) while tallying the traffic that the
+// timing simulation charges to the fabric.
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ndft::dft {
+
+/// A communicator over P virtual ranks.
+class VirtualComm {
+ public:
+  explicit VirtualComm(unsigned ranks) : ranks_(ranks) {
+    NDFT_REQUIRE(ranks > 0, "communicator needs at least one rank");
+  }
+
+  unsigned ranks() const noexcept { return ranks_; }
+
+  /// MPI_Alltoall semantics: `send[p]` holds rank p's send buffer, evenly
+  /// divided into P chunks; chunk q of rank p lands in chunk p of rank q's
+  /// receive buffer. Every send buffer must have the same size, divisible
+  /// by P. Returns the receive buffers.
+  template <typename T>
+  std::vector<std::vector<T>> alltoall(
+      const std::vector<std::vector<T>>& send) {
+    NDFT_REQUIRE(send.size() == ranks_, "need one send buffer per rank");
+    const std::size_t total = send.front().size();
+    NDFT_REQUIRE(total % ranks_ == 0,
+                 "send buffer size must divide by the rank count");
+    const std::size_t chunk = total / ranks_;
+    for (const auto& buffer : send) {
+      NDFT_REQUIRE(buffer.size() == total,
+                   "all send buffers must have equal size");
+    }
+    std::vector<std::vector<T>> recv(ranks_, std::vector<T>(total));
+    for (unsigned p = 0; p < ranks_; ++p) {
+      for (unsigned q = 0; q < ranks_; ++q) {
+        std::copy(send[p].begin() + static_cast<std::ptrdiff_t>(q * chunk),
+                  send[p].begin() + static_cast<std::ptrdiff_t>((q + 1) *
+                                                                chunk),
+                  recv[q].begin() + static_cast<std::ptrdiff_t>(p * chunk));
+        if (p != q) {
+          off_node_bytes_ += chunk * sizeof(T);
+        } else {
+          local_bytes_ += chunk * sizeof(T);
+        }
+      }
+    }
+    return recv;
+  }
+
+  /// Bytes that crossed rank boundaries in all exchanges so far.
+  Bytes off_node_bytes() const noexcept { return off_node_bytes_; }
+  /// Bytes kept rank-local (the p == q chunks).
+  Bytes local_bytes() const noexcept { return local_bytes_; }
+
+ private:
+  unsigned ranks_;
+  Bytes off_node_bytes_ = 0;
+  Bytes local_bytes_ = 0;
+};
+
+/// Row-block distribution helper: the rows of an (rows x cols) matrix are
+/// split as evenly as possible over P ranks; rank p owns
+/// [row_begin(p), row_end(p)).
+struct BlockDistribution {
+  std::size_t rows = 0;
+  unsigned ranks = 1;
+
+  std::size_t row_begin(unsigned rank) const {
+    NDFT_ASSERT(rank < ranks);
+    const std::size_t base = rows / ranks;
+    const std::size_t extra = rows % ranks;
+    return rank * base + std::min<std::size_t>(rank, extra);
+  }
+  std::size_t row_end(unsigned rank) const {
+    NDFT_ASSERT(rank < ranks);
+    const std::size_t base = rows / ranks;
+    const std::size_t extra = rows % ranks;
+    return row_begin(rank) + base + (rank < extra ? 1 : 0);
+  }
+  std::size_t rows_of(unsigned rank) const {
+    return row_end(rank) - row_begin(rank);
+  }
+};
+
+}  // namespace ndft::dft

@@ -1,0 +1,309 @@
+#include "dft/scf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "dft/linalg.hpp"
+
+namespace ndft::dft {
+namespace {
+
+constexpr double kFourPi = 4.0 * std::numbers::pi;
+constexpr double kEvPerHa = 27.211386;
+constexpr double kDensityFloor = 1e-12;
+
+/// Puts a real-coefficient orbital onto the FFT grid in real space with
+/// the sqrt(Nr/Omega) normalisation used throughout (sum_G |c|^2 = 1
+/// implies integral |psi(r)|^2 dr = 1).
+Grid3 orbital_realspace(const PlaneWaveBasis& basis,
+                        const RealMatrix& orbitals, std::size_t band) {
+  const auto dims = basis.fft_dims();
+  Grid3 grid(dims[0], dims[1], dims[2]);
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    grid[basis.grid_index(i)] = Complex{orbitals(i, band), 0.0};
+  }
+  fft3d(grid, FftDirection::kInverse);
+  const double scale = static_cast<double>(grid.size()) /
+                       std::sqrt(basis.crystal().volume());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] *= scale;
+  }
+  return grid;
+}
+
+}  // namespace
+
+double lda_vxc(double n) {
+  n = std::max(n, kDensityFloor);
+  // Slater exchange: V_x = -(3/pi)^(1/3) n^(1/3).
+  const double vx = -std::cbrt(3.0 / std::numbers::pi) * std::cbrt(n);
+  // Perdew-Zunger '81 correlation, unpolarised.
+  const double rs = std::cbrt(3.0 / (kFourPi * n));
+  double vc;
+  if (rs >= 1.0) {
+    constexpr double gamma = -0.1423;
+    constexpr double beta1 = 1.0529;
+    constexpr double beta2 = 0.3334;
+    const double sqrt_rs = std::sqrt(rs);
+    const double denom = 1.0 + beta1 * sqrt_rs + beta2 * rs;
+    const double ec = gamma / denom;
+    vc = ec * (1.0 + 7.0 / 6.0 * beta1 * sqrt_rs + 4.0 / 3.0 * beta2 * rs) /
+         denom;
+  } else {
+    constexpr double a = 0.0311;
+    constexpr double b = -0.048;
+    constexpr double c = 0.0020;
+    constexpr double d = -0.0116;
+    const double ln_rs = std::log(rs);
+    vc = a * ln_rs + (b - a / 3.0) + 2.0 / 3.0 * c * rs * ln_rs +
+         (2.0 * d - c) / 3.0 * rs;
+  }
+  return vx + vc;
+}
+
+double lda_exc(double n) {
+  n = std::max(n, kDensityFloor);
+  const double ex = -0.75 * std::cbrt(3.0 / std::numbers::pi) * std::cbrt(n);
+  const double rs = std::cbrt(3.0 / (kFourPi * n));
+  double ec;
+  if (rs >= 1.0) {
+    const double sqrt_rs = std::sqrt(rs);
+    ec = -0.1423 / (1.0 + 1.0529 * sqrt_rs + 0.3334 * rs);
+  } else {
+    const double ln_rs = std::log(rs);
+    ec = 0.0311 * ln_rs - 0.048 + 0.0020 * rs * ln_rs - 0.0116 * rs;
+  }
+  return ex + ec;
+}
+
+double ashcroft_potential(const Crystal& crystal, const GVector& g,
+                          const GVector& gp, double valence_charge,
+                          double core_radius_bohr) {
+  const Vec3 dg = g.g - gp.g;
+  const double q2 = dg.norm2();
+  if (q2 < 1e-12) {
+    return 0.0;  // cancelled by the neutralising background
+  }
+  const double q = std::sqrt(q2);
+  const double form = -(kFourPi * valence_charge / q2) *
+                      std::cos(q * core_radius_bohr);
+  double structure = 0.0;
+  for (const Vec3& position : crystal.positions()) {
+    structure += std::cos(dg.dot(position));
+  }
+  return form * structure / crystal.volume();
+}
+
+double ScfResult::electron_count(const PlaneWaveBasis& basis) const {
+  const double element = basis.crystal().volume() /
+                         static_cast<double>(basis.fft_size());
+  double total = 0.0;
+  for (const double n : density) {
+    total += n;
+  }
+  return total * element;
+}
+
+ScfResult solve_scf(const PlaneWaveBasis& basis, const ScfConfig& config) {
+  NDFT_REQUIRE(config.mixing > 0.0 && config.mixing <= 1.0,
+               "mixing must be in (0, 1]");
+  NDFT_REQUIRE(config.tolerance > 0.0, "tolerance must be positive");
+
+  const std::size_t n_g = basis.size();
+  const std::size_t nr = basis.fft_size();
+  const auto dims = basis.fft_dims();
+  const double omega = basis.crystal().volume();
+  const double element = omega / static_cast<double>(nr);
+  const std::size_t valence = basis.crystal().atom_count() * 2;
+  const std::size_t bands =
+      config.bands == 0 ? std::min(n_g, valence + 8)
+                        : std::min(n_g, config.bands);
+  NDFT_REQUIRE(bands > valence, "band count must exceed the valence count");
+
+  // Bare ionic potential matrix, fixed across the loop.
+  const auto& g = basis.gvectors();
+  RealMatrix v_ion(n_g, n_g);
+  for (std::size_t i = 0; i < n_g; ++i) {
+    for (std::size_t j = i; j < n_g; ++j) {
+      const double v =
+          ashcroft_potential(basis.crystal(), g[i], g[j],
+                             config.valence_charge, config.core_radius_bohr);
+      v_ion(i, j) = v;
+      v_ion(j, i) = v;
+    }
+  }
+
+  // Integer grid offsets for assembling V_eff(G_i - G_j) from the FFT grid.
+  const auto wrap = [](int idx, std::size_t n) {
+    const int ni = static_cast<int>(n);
+    return static_cast<std::size_t>(((idx % ni) + ni) % ni);
+  };
+
+  ScfResult result;
+  // Initial guess: uniform density with the right electron count
+  // (2 electrons per valence band).
+  result.density.assign(nr, static_cast<double>(2 * valence) / omega);
+
+  // Previous iterate and residual for Anderson acceleration.
+  std::vector<double> prev_density;
+  std::vector<double> prev_residual;
+
+  GroundState state;
+  for (unsigned iteration = 0; iteration < config.max_iterations;
+       ++iteration) {
+    // --- effective potential on the grid.
+    // Hartree: V_H(G) = 4 pi n(G) / G^2, via FFT of the density.
+    Grid3 density_grid(dims[0], dims[1], dims[2]);
+    for (std::size_t i = 0; i < nr; ++i) {
+      density_grid[i] = Complex{result.density[i], 0.0};
+    }
+    fft3d(density_grid, FftDirection::kForward);
+    // Forward FFT yields sum_r n(r) e^{-iGr}; n(G) = that * element/Omega
+    // in the convention where V_H(r) = sum_G V_H(G) e^{iGr}.
+    Grid3 hartree_grid(dims[0], dims[1], dims[2]);
+    for (std::size_t i = 0; i < n_g; ++i) {
+      const std::size_t idx = basis.grid_index(i);
+      if (g[i].g2 < 1e-12) {
+        hartree_grid[idx] = Complex{};  // neutralising background
+        continue;
+      }
+      const Complex n_of_g = density_grid[idx] * (element / omega);
+      hartree_grid[idx] = kFourPi / g[i].g2 * n_of_g;
+    }
+    fft3d(hartree_grid, FftDirection::kInverse);
+    // The inverse FFT divides by Nr; compensate to get V_H(r) = sum_G ...
+    for (std::size_t i = 0; i < nr; ++i) {
+      hartree_grid[i] *= static_cast<double>(nr);
+    }
+
+    std::vector<double> v_eff(nr);
+    for (std::size_t i = 0; i < nr; ++i) {
+      v_eff[i] = hartree_grid[i].real() + lda_vxc(result.density[i]);
+    }
+
+    // --- dense Hamiltonian: kinetic + ionic + FFT of V_eff.
+    Grid3 veff_grid(dims[0], dims[1], dims[2]);
+    for (std::size_t i = 0; i < nr; ++i) {
+      veff_grid[i] = Complex{v_eff[i], 0.0};
+    }
+    fft3d(veff_grid, FftDirection::kForward);
+    const double veff_norm = 1.0 / static_cast<double>(nr);
+
+    RealMatrix hamiltonian(n_g, n_g);
+    for (std::size_t i = 0; i < n_g; ++i) {
+      hamiltonian(i, i) = 0.5 * g[i].g2 + v_ion(i, i) +
+                          veff_grid[0].real() * veff_norm;
+      for (std::size_t j = i + 1; j < n_g; ++j) {
+        const std::size_t ix =
+            wrap(g[i].h - g[j].h, dims[0]);
+        const std::size_t iy = wrap(g[i].k - g[j].k, dims[1]);
+        const std::size_t iz = wrap(g[i].l - g[j].l, dims[2]);
+        // Inversion-symmetric cell: V_eff(G) is real; symmetrise away the
+        // residual imaginary part from the finite grid.
+        const double v =
+            veff_grid.at(ix, iy, iz).real() * veff_norm + v_ion(i, j);
+        hamiltonian(i, j) = v;
+        hamiltonian(j, i) = v;
+      }
+    }
+
+    EigenResult eigen = syev(hamiltonian);
+
+    state.valence_bands = valence;
+    state.energies_ha.assign(
+        eigen.eigenvalues.begin(),
+        eigen.eigenvalues.begin() + static_cast<std::ptrdiff_t>(bands));
+    state.orbitals = RealMatrix(n_g, bands);
+    for (std::size_t b = 0; b < bands; ++b) {
+      for (std::size_t i = 0; i < n_g; ++i) {
+        state.orbitals(i, b) = eigen.eigenvectors(i, b);
+      }
+    }
+
+    // --- new density from the occupied orbitals.
+    std::vector<double> fresh(nr, 0.0);
+    for (std::size_t v = 0; v < valence; ++v) {
+      const Grid3 orbital = orbital_realspace(basis, state.orbitals, v);
+      for (std::size_t i = 0; i < nr; ++i) {
+        fresh[i] += 2.0 * std::norm(orbital[i]);
+      }
+    }
+
+    // --- residual, energy bookkeeping, mixing.
+    double residual2 = 0.0;
+    for (std::size_t i = 0; i < nr; ++i) {
+      const double d = fresh[i] - result.density[i];
+      residual2 += d * d;
+    }
+    const double residual = std::sqrt(residual2 / static_cast<double>(nr));
+
+    double band_energy = 0.0;
+    for (std::size_t v = 0; v < valence; ++v) {
+      band_energy += 2.0 * state.energies_ha[v];
+    }
+    // Double-counting corrections: E = sum eps - E_H - int(Vxc n) + E_xc.
+    double e_h = 0.0;
+    double e_xc_correction = 0.0;
+    for (std::size_t i = 0; i < nr; ++i) {
+      e_h += 0.5 * hartree_grid[i].real() * fresh[i];
+      e_xc_correction +=
+          (lda_exc(fresh[i]) - lda_vxc(fresh[i])) * fresh[i];
+    }
+    ScfStep step;
+    step.iteration = iteration;
+    step.density_residual = residual;
+    step.total_energy_ha =
+        band_energy - e_h * element + e_xc_correction * element;
+    step.gap_ev =
+        (state.energies_ha[valence] - state.energies_ha[valence - 1]) *
+        kEvPerHa;
+    result.history.push_back(step);
+
+    // --- mixing update.
+    std::vector<double> residual_vec(nr);
+    for (std::size_t i = 0; i < nr; ++i) {
+      residual_vec[i] = fresh[i] - result.density[i];
+    }
+    if (config.scheme == MixingScheme::kAnderson && !prev_density.empty()) {
+      // Two-point Anderson: choose theta minimising
+      // ||(1-theta) r_k + theta r_{k-1}||^2, then mix the blended iterate.
+      double num = 0.0;
+      double den = 0.0;
+      for (std::size_t i = 0; i < nr; ++i) {
+        const double dr = residual_vec[i] - prev_residual[i];
+        num += residual_vec[i] * dr;
+        den += dr * dr;
+      }
+      double theta = den > 1e-30 ? num / den : 0.0;
+      theta = std::clamp(theta, -1.0, 1.0);  // keep the update tame
+      for (std::size_t i = 0; i < nr; ++i) {
+        const double blended_n = (1.0 - theta) * result.density[i] +
+                                 theta * prev_density[i];
+        const double blended_r = (1.0 - theta) * residual_vec[i] +
+                                 theta * prev_residual[i];
+        prev_density[i] = result.density[i];
+        prev_residual[i] = residual_vec[i];
+        result.density[i] =
+            std::max(blended_n + config.mixing * blended_r, 0.0);
+      }
+    } else {
+      prev_density = result.density;
+      prev_residual = residual_vec;
+      for (std::size_t i = 0; i < nr; ++i) {
+        result.density[i] = std::max(
+            result.density[i] + config.mixing * residual_vec[i], 0.0);
+      }
+    }
+
+    if (residual < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.state = std::move(state);
+  return result;
+}
+
+}  // namespace ndft::dft

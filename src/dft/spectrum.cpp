@@ -1,0 +1,104 @@
+#include "dft/spectrum.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ndft::dft {
+namespace {
+
+constexpr double kEvPerHa = 27.211386;
+
+}  // namespace
+
+std::vector<double> momentum_matrix_elements(const PlaneWaveBasis& basis,
+                                             const GroundState& ground,
+                                             const LrTddftConfig& config) {
+  const std::size_t nv_total = ground.valence_bands;
+  const std::size_t nv = (config.valence_window == 0)
+                             ? nv_total
+                             : std::min(config.valence_window, nv_total);
+  const std::size_t nc = config.conduction_window;
+  NDFT_REQUIRE(ground.energies_ha.size() >= nv_total + nc,
+               "ground state carries too few conduction bands");
+  const auto& g = basis.gvectors();
+
+  std::vector<double> result;
+  result.reserve(nv * nc);
+  for (std::size_t v = nv_total - nv; v < nv_total; ++v) {
+    for (std::size_t c = nv_total; c < nv_total + nc; ++c) {
+      // <v| p |c> = sum_G conj(c_v(G)) (G) c_c(G): for real coefficients
+      // the matrix element is purely imaginary; accumulate |.|^2 per
+      // Cartesian direction.
+      Vec3 moment{};
+      for (std::size_t i = 0; i < basis.size(); ++i) {
+        const double w = ground.orbitals(i, v) * ground.orbitals(i, c);
+        moment = moment + g[i].g * w;
+      }
+      result.push_back(moment.norm2());
+    }
+  }
+  return result;
+}
+
+std::vector<OscillatorLine> oscillator_strengths(
+    const PlaneWaveBasis& basis, const GroundState& ground,
+    const LrTddftConfig& config) {
+  LrTddftConfig solve_config = config;
+  solve_config.keep_eigenvectors = true;
+  const LrTddftResult result =
+      solve_lrtddft(basis, ground, solve_config);
+
+  // Per-pair momentum vectors (directional, not squared): recompute the
+  // three components so excitation amplitudes can interfere correctly.
+  const std::size_t nv_total = ground.valence_bands;
+  const std::size_t nv = (config.valence_window == 0)
+                             ? nv_total
+                             : std::min(config.valence_window, nv_total);
+  const std::size_t nc = config.conduction_window;
+  const auto& g = basis.gvectors();
+  std::vector<Vec3> moments;
+  moments.reserve(nv * nc);
+  for (std::size_t v = nv_total - nv; v < nv_total; ++v) {
+    for (std::size_t c = nv_total; c < nv_total + nc; ++c) {
+      Vec3 moment{};
+      for (std::size_t i = 0; i < basis.size(); ++i) {
+        const double w = ground.orbitals(i, v) * ground.orbitals(i, c);
+        moment = moment + g[i].g * w;
+      }
+      moments.push_back(moment);
+    }
+  }
+
+  std::vector<OscillatorLine> lines;
+  lines.reserve(result.excitations_ha.size());
+  for (std::size_t x = 0; x < result.excitations_ha.size(); ++x) {
+    const double omega = result.excitations_ha[x];
+    Vec3 amplitude{};
+    for (std::size_t p = 0; p < result.pair_count; ++p) {
+      amplitude = amplitude + moments[p] * result.eigenvectors(p, x);
+    }
+    OscillatorLine line;
+    line.energy_ev = omega * kEvPerHa;
+    line.strength =
+        omega > 1e-12 ? 2.0 / (3.0 * omega) * amplitude.norm2() : 0.0;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::vector<double> absorption_spectrum(
+    const std::vector<OscillatorLine>& lines,
+    const std::vector<double>& energies_ev, double gamma_ev) {
+  NDFT_REQUIRE(gamma_ev > 0.0, "broadening must be positive");
+  std::vector<double> sigma(energies_ev.size(), 0.0);
+  for (std::size_t e = 0; e < energies_ev.size(); ++e) {
+    for (const OscillatorLine& line : lines) {
+      const double delta = energies_ev[e] - line.energy_ev;
+      sigma[e] += line.strength * (gamma_ev / std::numbers::pi) /
+                  (delta * delta + gamma_ev * gamma_ev);
+    }
+  }
+  return sigma;
+}
+
+}  // namespace ndft::dft

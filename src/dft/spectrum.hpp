@@ -1,0 +1,43 @@
+#pragma once
+// Optical observables on top of the LR-TDDFT solution: momentum (velocity
+// gauge) transition matrix elements, oscillator strengths, and the
+// Lorentzian-broadened absorption spectrum — what a user of the paper's
+// system would actually plot.
+
+#include <vector>
+
+#include "dft/basis.hpp"
+#include "dft/epm.hpp"
+#include "dft/lrtddft.hpp"
+
+namespace ndft::dft {
+
+/// One excitation with its oscillator strength.
+struct OscillatorLine {
+  double energy_ev = 0.0;
+  double strength = 0.0;  ///< dimensionless f_I >= 0
+};
+
+/// Velocity-gauge transition moments |<psi_v| p |psi_c>|^2 summed over
+/// Cartesian directions, for every (v, c) pair in the window, in the same
+/// pair ordering as solve_lrtddft.
+std::vector<double> momentum_matrix_elements(const PlaneWaveBasis& basis,
+                                             const GroundState& ground,
+                                             const LrTddftConfig& config);
+
+/// Oscillator strengths for every excitation of an LR-TDDFT result:
+/// f_I = (2 / (3 omega_I)) * sum_dir |sum_vc X^I_vc <v|p_dir|c>|^2.
+/// Requires the eigenvectors, so this variant re-runs the solve internally
+/// when given only a result without vectors; use the returned lines for
+/// plotting.
+std::vector<OscillatorLine> oscillator_strengths(
+    const PlaneWaveBasis& basis, const GroundState& ground,
+    const LrTddftConfig& config);
+
+/// Lorentzian-broadened absorption cross-section on an energy grid:
+/// sigma(E) = sum_I f_I * (gamma/pi) / ((E - E_I)^2 + gamma^2).
+std::vector<double> absorption_spectrum(
+    const std::vector<OscillatorLine>& lines,
+    const std::vector<double>& energies_ev, double gamma_ev = 0.1);
+
+}  // namespace ndft::dft

@@ -1,0 +1,65 @@
+#include "gpu/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ndft::gpu {
+
+GpuConfig GpuConfig::dgx1_v100x2() {
+  return GpuConfig{};  // defaults encode the DGX-1 pair of V100s
+}
+
+const KernelEfficiency& GpuConfig::efficiency(
+    KernelClass kernel_class) const {
+  switch (kernel_class) {
+    case KernelClass::kFft: return fft;
+    case KernelClass::kGemm: return gemm;
+    case KernelClass::kSyevd: return syevd;
+    case KernelClass::kFaceSplit: return face_split;
+    case KernelClass::kPseudopotential: return pseudopotential;
+    case KernelClass::kAlltoall: return alltoall;
+    case KernelClass::kOther: return other;
+  }
+  return other;
+}
+
+TimePs GpuModel::transfer(Bytes bytes) const {
+  if (bytes == 0) {
+    return 0;
+  }
+  return transfer_time_ps(bytes, config_.pcie_gbps);
+}
+
+TimePs GpuModel::peer_transfer(Bytes bytes) const {
+  if (bytes == 0) {
+    return 0;
+  }
+  return transfer_time_ps(bytes, config_.nvlink_gbps);
+}
+
+GpuStepTime GpuModel::execute(KernelClass kernel_class, Flops flops,
+                              Bytes device_bytes, Bytes h2d_bytes,
+                              Bytes d2h_bytes) const {
+  const KernelEfficiency& eff = config_.efficiency(kernel_class);
+  NDFT_ASSERT(eff.compute > 0.0 && eff.memory > 0.0);
+
+  GpuStepTime t;
+  t.h2d = transfer(h2d_bytes);
+  t.d2h = transfer(d2h_bytes);
+
+  // flops / (GFLOP/s) = nanoseconds; bytes / (bytes/ps) = picoseconds.
+  const double compute_ns = static_cast<double>(flops) /
+                            (config_.peak_gflops * eff.compute);
+  const double memory_ps =
+      static_cast<double>(device_bytes) /
+      gbps_to_bytes_per_ps(config_.mem_gbps * eff.memory);
+  // Roofline: bound by the slower of the two.
+  const double exec_ps = std::max(compute_ns * 1000.0, memory_ps);
+  t.kernel = config_.kernel_launch_ps +
+             static_cast<TimePs>(std::llround(exec_ps));
+  return t;
+}
+
+}  // namespace ndft::gpu

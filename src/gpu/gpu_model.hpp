@@ -1,0 +1,94 @@
+#pragma once
+// Analytical GPU baseline (Section V: DGX-1 with 2x NVIDIA V100).
+//
+// The paper uses the GPU only as an end-to-end comparison point, and the
+// effects that decide the comparison are (1) host<->device transfers over
+// PCIe for every offloaded kernel and (2) memory-bound kernels capped by
+// device HBM bandwidth. Both are first-order analytical, so the GPU is
+// modelled as a per-kernel-class roofline with transfer and launch costs
+// instead of a cycle-level simulator.
+//
+// The per-class efficiency factors are calibration constants: they fold in
+// everything a roofline misses (occupancy, tensor shapes, library quality
+// on tall-skinny complex matrices, eigensolver serialization). Defaults
+// were chosen so the kernel-level CPU/GPU ratios land inside the ranges
+// the paper reports; EXPERIMENTS.md records the calibration.
+
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace ndft::gpu {
+
+/// Efficiency of one kernel family on the GPU.
+struct KernelEfficiency {
+  double compute = 0.5;  ///< fraction of peak FLOP/s actually achieved
+  double memory = 0.6;   ///< fraction of peak HBM bandwidth achieved
+};
+
+/// GPU device + interconnect parameters.
+struct GpuConfig {
+  double peak_gflops = 2 * 7800.0;  ///< 2x V100, FP64
+  double mem_gbps = 2 * 900.0;      ///< 2x HBM2
+  /// Effective host<->device PCIe rate (pinned staging buffers).
+  double pcie_gbps = 16.0;
+  /// Effective GPU<->GPU rate for collective exchanges (NVLink on DGX-1,
+  /// aggregate across links, including pack/unpack overheads).
+  double nvlink_gbps = 140.0;
+  TimePs kernel_launch_ps = 10 * kPsPerUs;
+  Bytes device_memory = 2ull * 16 * 1024 * 1024 * 1024;  ///< 2x 16 GiB
+
+  KernelEfficiency fft{0.30, 0.55};
+  /// The response GEMMs are tall-skinny (inner dimension = the Davidson
+  /// block of 16), which cuBLAS executes at single-digit percent of FP64
+  /// peak; this reproduces the paper's modest (22-36 %) GPU GEMM
+  /// advantage over the host CPU.
+  KernelEfficiency gemm{0.048, 0.60};
+  /// cuSOLVER-style dense eigensolvers are heavily serialized.
+  KernelEfficiency syevd{0.05, 0.40};
+  KernelEfficiency face_split{0.50, 0.70};
+  KernelEfficiency pseudopotential{0.25, 0.55};
+  /// Alltoall crosses the host: staged through PCIe both ways.
+  KernelEfficiency alltoall{0.10, 0.30};
+  KernelEfficiency other{0.30, 0.50};
+
+  /// Section V baseline: DGX-1 with two V100s.
+  static GpuConfig dgx1_v100x2();
+
+  /// Efficiency entry for a kernel class.
+  const KernelEfficiency& efficiency(KernelClass kernel_class) const;
+};
+
+/// Timing breakdown of one kernel offloaded to the GPU.
+struct GpuStepTime {
+  TimePs h2d = 0;     ///< host-to-device transfer
+  TimePs kernel = 0;  ///< on-device execution (incl. launch)
+  TimePs d2h = 0;     ///< device-to-host transfer
+
+  TimePs total() const noexcept { return h2d + kernel + d2h; }
+};
+
+/// Stateless analytical timing model. Thread-safe: all methods const.
+class GpuModel {
+ public:
+  explicit GpuModel(const GpuConfig& config) : config_(config) {}
+
+  /// Time for one kernel: PCIe transfers + roofline execution.
+  /// `device_bytes` is DRAM traffic on the device during the kernel;
+  /// `h2d_bytes`/`d2h_bytes` are staged over PCIe before/after it.
+  GpuStepTime execute(KernelClass kernel_class, Flops flops,
+                      Bytes device_bytes, Bytes h2d_bytes,
+                      Bytes d2h_bytes) const;
+
+  /// Pure transfer (no kernel), e.g. input staging.
+  TimePs transfer(Bytes bytes) const;
+
+  /// GPU-to-GPU collective transfer (NVLink path).
+  TimePs peer_transfer(Bytes bytes) const;
+
+  const GpuConfig& config() const noexcept { return config_; }
+
+ private:
+  GpuConfig config_;
+};
+
+}  // namespace ndft::gpu

@@ -1,0 +1,61 @@
+#include "mem/address_map.hpp"
+
+namespace ndft::mem {
+
+AddressMap::AddressMap(unsigned channels, const DramGeometry& geometry,
+                       Bytes line_bytes)
+    : channels_(channels), geometry_(geometry), line_bytes_(line_bytes) {
+  NDFT_REQUIRE(is_pow2(channels), "channel count must be a power of two");
+  NDFT_REQUIRE(is_pow2(line_bytes), "line size must be a power of two");
+  NDFT_REQUIRE(is_pow2(geometry.banks), "bank count must be a power of two");
+  NDFT_REQUIRE(is_pow2(geometry.row_bytes), "row size must be a power of two");
+  NDFT_REQUIRE(geometry.row_bytes >= line_bytes,
+               "row must hold at least one line");
+  lines_per_row_ = static_cast<unsigned>(geometry.row_bytes / line_bytes);
+  line_shift_ = log2_exact(line_bytes);
+  channel_bits_ = log2_exact(channels);
+  column_bits_ = log2_exact(lines_per_row_);
+  bank_bits_ = log2_exact(geometry.banks);
+  capacity_ = static_cast<Bytes>(channels) * geometry.channel_capacity();
+}
+
+DramCoord AddressMap::decode(Addr addr) const noexcept {
+  const Addr full_line = (addr % capacity_) >> line_shift_;
+  Addr line = full_line;
+  DramCoord coord;
+  coord.channel = static_cast<unsigned>(bits(line, 0, channel_bits_));
+  line >>= channel_bits_;
+  coord.column = static_cast<unsigned>(bits(line, 0, column_bits_));
+  line >>= column_bits_;
+  coord.bank = static_cast<unsigned>(bits(line, 0, bank_bits_));
+  line >>= bank_bits_;
+  coord.row = static_cast<unsigned>(line % geometry_.rows);
+
+  // Permutation-based interleaving (real controllers and Ramulator do the
+  // same): XOR-fold the higher address bits into the channel index so
+  // power-of-two strides cannot alias onto one channel, and fold row bits
+  // into the bank index so concurrent streams with equal bank fields but
+  // different rows land in different banks instead of ping-ponging a row.
+  if (channel_bits_ > 0) {
+    Addr fold = full_line >> channel_bits_;
+    unsigned hash = coord.channel;
+    while (fold != 0) {
+      hash ^= static_cast<unsigned>(bits(fold, 0, channel_bits_));
+      fold >>= channel_bits_;
+    }
+    coord.channel = hash & ((1u << channel_bits_) - 1);
+  }
+  if (bank_bits_ > 0) {
+    const unsigned mask = (1u << bank_bits_) - 1;
+    unsigned hash = coord.bank;
+    unsigned fold = coord.row;
+    while (fold != 0) {
+      hash ^= fold & mask;
+      fold >>= bank_bits_;
+    }
+    coord.bank = hash & mask;
+  }
+  return coord;
+}
+
+}  // namespace ndft::mem

@@ -1,0 +1,52 @@
+#pragma once
+// Physical address decomposition for multi-channel DRAM systems.
+//
+// Layout (low to high): [line offset | channel | column | bank | row].
+// Interleaving consecutive lines across channels maximises channel-level
+// parallelism for the streaming access patterns that dominate LR-TDDFT.
+
+#include "common/math_util.hpp"
+#include "common/types.hpp"
+#include "mem/dram_timing.hpp"
+
+namespace ndft::mem {
+
+/// A fully decoded DRAM coordinate.
+struct DramCoord {
+  unsigned channel = 0;
+  unsigned bank = 0;
+  unsigned row = 0;
+  unsigned column = 0;  ///< line-granularity column index within the row
+};
+
+/// Decodes physical addresses into channel/bank/row/column coordinates.
+class AddressMap {
+ public:
+  /// `line_bytes` is the transaction granularity (cache line).
+  AddressMap(unsigned channels, const DramGeometry& geometry,
+             Bytes line_bytes);
+
+  /// Total capacity across channels.
+  Bytes capacity() const noexcept { return capacity_; }
+  /// Number of channels.
+  unsigned channels() const noexcept { return channels_; }
+  /// Lines per DRAM row.
+  unsigned lines_per_row() const noexcept { return lines_per_row_; }
+
+  /// Decodes `addr`; the address is wrapped modulo capacity so synthetic
+  /// traces can use unbounded virtual addresses.
+  DramCoord decode(Addr addr) const noexcept;
+
+ private:
+  unsigned channels_;
+  DramGeometry geometry_;
+  Bytes line_bytes_;
+  unsigned lines_per_row_;
+  unsigned line_shift_;
+  unsigned channel_bits_;
+  unsigned column_bits_;
+  unsigned bank_bits_;
+  Bytes capacity_;
+};
+
+}  // namespace ndft::mem

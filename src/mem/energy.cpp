@@ -1,0 +1,32 @@
+#include "mem/energy.hpp"
+
+namespace ndft::mem {
+
+DramEnergy DramEnergy::ddr4() {
+  return DramEnergy{};  // defaults are the DDR4 channel numbers
+}
+
+DramEnergy DramEnergy::hbm2() {
+  DramEnergy e;
+  e.act_pre_nj = 1.2;
+  e.read_nj = 1.1;
+  e.write_nj = 1.2;
+  e.refresh_nj = 60.0;
+  e.background_mw = 40.0;
+  return e;
+}
+
+double channel_energy_nj(const DramEnergy& energy, double acts,
+                         double reads, double writes, double refreshes,
+                         TimePs elapsed_ps) {
+  const double dynamic = acts * energy.act_pre_nj +
+                         reads * energy.read_nj +
+                         writes * energy.write_nj +
+                         refreshes * energy.refresh_nj;
+  // mW * ps = 1e-3 J/s * 1e-12 s = 1e-15 J = 1e-6 nJ.
+  const double background =
+      energy.background_mw * static_cast<double>(elapsed_ps) * 1e-6;
+  return dynamic + background;
+}
+
+}  // namespace ndft::mem

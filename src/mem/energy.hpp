@@ -1,0 +1,41 @@
+#pragma once
+// DRAM energy accounting (Micron-power-calculator style): per-operation
+// energies applied to the channel's command counters, plus background
+// power. Near-data papers live or die on pJ/bit, so the model lets the
+// benches compare the CPU's off-chip DDR4 against stack-local HBM2.
+
+#include "common/types.hpp"
+
+namespace ndft::mem {
+
+/// Channel-level energy parameters.
+struct DramEnergy {
+  double act_pre_nj = 3.0;    ///< one ACT+PRE pair
+  double read_nj = 4.0;       ///< one 64 B read burst incl. I/O
+  double write_nj = 4.2;      ///< one 64 B write burst incl. I/O
+  double refresh_nj = 150.0;  ///< one all-bank refresh
+  double background_mw = 150.0;  ///< static power per channel
+
+  /// DDR4 x64 channel (8 devices), board-level I/O: ~20 pJ/bit effective.
+  static DramEnergy ddr4();
+
+  /// HBM2 channel: TSV I/O instead of board traces, ~4 pJ/bit effective.
+  static DramEnergy hbm2();
+
+  /// Background power including the (time-based) refresh duty cycle, per
+  /// channel, given the refresh interval in picoseconds.
+  double background_with_refresh_mw(TimePs trefi_ps) const {
+    // nJ / ps = kW; convert to mW: * 1e6... nJ/ps = 1e-9 J / 1e-12 s = 1e3 W.
+    return background_mw +
+           refresh_nj / static_cast<double>(trefi_ps) * 1e6;
+  }
+};
+
+/// Energy of one channel's activity so far, in nanojoules.
+/// `acts`, `reads`, `writes`, `refreshes` are command counts and
+/// `elapsed_ps` the wall time for the background term.
+double channel_energy_nj(const DramEnergy& energy, double acts,
+                         double reads, double writes, double refreshes,
+                         TimePs elapsed_ps);
+
+}  // namespace ndft::mem

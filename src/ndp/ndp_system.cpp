@@ -1,0 +1,202 @@
+#include "ndp/ndp_system.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "mem/energy.hpp"
+
+namespace ndft::ndp {
+
+NdpSystemConfig NdpSystemConfig::table3() {
+  return NdpSystemConfig{};  // defaults encode Table III
+}
+
+NdpSystem::NdpSystem(const std::string& name, sim::EventQueue& queue,
+                     const NdpSystemConfig& config)
+    : config_(config), queue_(&queue) {
+  mesh_ = std::make_unique<noc::Mesh>(name + ".mesh", queue, config.mesh);
+  const unsigned stacks = config.stacks();
+  stacks_.reserve(stacks);
+  for (unsigned i = 0; i < stacks; ++i) {
+    stacks_.push_back(std::make_unique<NdpStack>(
+        name + ".stack" + std::to_string(i), queue, config.stack));
+  }
+  cpu_port_ = std::make_unique<CpuPort>(*this);
+  cpu_link_free_.assign(std::max(config.cpu_links, 1u), 0);
+}
+
+unsigned NdpSystem::stack_of_addr(Addr addr) const noexcept {
+  // Line-interleaved across stacks: consecutive 64 B lines round-robin, so
+  // CPU streaming spreads over all stacks and channels.
+  return static_cast<unsigned>((addr / 64) % stacks_.size());
+}
+
+Addr NdpSystem::local_addr(Addr addr) const noexcept {
+  const Addr line = addr / 64;
+  const Addr offset = addr % 64;
+  return (line / stacks_.size()) * 64 + offset;
+}
+
+unsigned NdpSystem::entry_node_for(unsigned stack) const noexcept {
+  // The CPU package connects at the four corners of the 4x4 mesh; traffic
+  // enters at the corner nearest the destination stack.
+  const unsigned w = config_.mesh.width;
+  const unsigned h = config_.mesh.height;
+  const unsigned corners[4] = {0, w - 1, (h - 1) * w, h * w - 1};
+  unsigned best = corners[0];
+  unsigned best_hops = mesh_->hops(corners[0], stack);
+  for (unsigned i = 1; i < 4; ++i) {
+    const unsigned hop = mesh_->hops(corners[i], stack);
+    if (hop < best_hops) {
+      best = corners[i];
+      best_hops = hop;
+    }
+  }
+  return best;
+}
+
+void NdpSystem::CpuPort::access(mem::MemRequest req) {
+  NdpSystem& sys = *owner_;
+  const unsigned stack = sys.stack_of_addr(req.addr);
+  const unsigned entry = sys.entry_node_for(stack);
+  const Addr local = sys.local_addr(req.addr);
+  const Bytes data_bytes = req.size;
+  const bool is_write = req.is_write;
+
+  // Pick the least-loaded SerDes link and pay serialization + latency.
+  auto& link_free = sys.cpu_link_free_;
+  const std::size_t link =
+      static_cast<std::size_t>(std::min_element(link_free.begin(),
+                                                link_free.end()) -
+                               link_free.begin());
+  const Bytes outbound = sys.config_.request_bytes +
+                         (is_write ? data_bytes : 0);
+  const TimePs serialization =
+      transfer_time_ps(outbound, sys.config_.cpu_link_gbps);
+  const TimePs start = std::max(sys.queue_->now(), link_free[link]);
+  link_free[link] = start + serialization;
+  const TimePs at_mesh =
+      start + serialization + sys.config_.serdes_latency_ps;
+
+  auto callback = std::move(req.on_complete);
+  sys.queue_->schedule_at(at_mesh, [&sys, stack, entry, local, data_bytes,
+                                    is_write,
+                                    callback = std::move(callback)]() mutable {
+    // Hop across the mesh to the owning stack.
+    sys.mesh_->send(entry, stack, sys.config_.request_bytes,
+                    [&sys, stack, entry, local, data_bytes, is_write,
+                     callback = std::move(callback)](TimePs) mutable {
+      mem::MemRequest dram_req;
+      dram_req.addr = local;
+      dram_req.size = data_bytes;
+      dram_req.is_write = is_write;
+      if (is_write) {
+        // Posted write: complete once the stack DRAM accepts it.
+        dram_req.on_complete = nullptr;
+        sys.stacks_[stack]->dram().access(std::move(dram_req));
+        if (callback) {
+          callback(sys.queue_->now());
+        }
+        return;
+      }
+      dram_req.on_complete = [&sys, stack, entry, data_bytes,
+                              callback =
+                                  std::move(callback)](TimePs) mutable {
+        // Data response crosses the mesh back and exits over SerDes.
+        sys.mesh_->send(
+            stack, entry, data_bytes + sys.config_.response_overhead,
+            [&sys, callback = std::move(callback)](TimePs) mutable {
+              const TimePs done =
+                  sys.queue_->now() + sys.config_.serdes_latency_ps;
+              if (callback) {
+                sys.queue_->schedule_at(
+                    done, [callback = std::move(callback), done]() {
+                      callback(done);
+                    });
+              }
+            });
+      };
+      sys.stacks_[stack]->dram().access(std::move(dram_req));
+    });
+  });
+}
+
+void NdpSystem::run(const std::vector<const cpu::Trace*>& traces,
+                    std::function<void()> on_done) {
+  NDFT_REQUIRE(!traces.empty(), "no traces to run");
+  NDFT_REQUIRE(traces.size() <= config_.total_cores(),
+               "more traces than NDP cores");
+  NDFT_REQUIRE(running_ == 0, "NDP system is already running a kernel");
+  on_done_ = std::move(on_done);
+  running_ = static_cast<unsigned>(traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    NDFT_ASSERT(traces[i] != nullptr);
+    // Round-robin across stacks: trace i runs in stack i % stacks, which
+    // matches how the scheduler partitions data (stack-local slices).
+    const unsigned stack = static_cast<unsigned>(i) % stack_count();
+    const unsigned core_in_stack =
+        static_cast<unsigned>(i) / stack_count() %
+        stacks_[stack]->core_count();
+    stacks_[stack]->core(core_in_stack).run_trace(traces[i], [this] {
+      NDFT_ASSERT(running_ > 0);
+      if (--running_ == 0 && on_done_) {
+        auto done = std::move(on_done_);
+        on_done_ = nullptr;
+        done();
+      }
+    });
+  }
+}
+
+void NdpSystem::flush_caches() {
+  for (auto& stack : stacks_) {
+    stack->flush_caches();
+  }
+}
+
+void NdpSystem::invalidate_caches() {
+  for (auto& stack : stacks_) {
+    stack->invalidate_caches();
+  }
+}
+
+double NdpSystem::dram_energy_nj() const {
+  double total = 0.0;
+  const mem::DramEnergy hbm = mem::DramEnergy::hbm2();
+  for (const auto& stack : stacks_) {
+    total += stack->dram().energy_nj(hbm);
+  }
+  return total;
+}
+
+double NdpSystem::dram_dynamic_energy_nj() const {
+  double total = 0.0;
+  const mem::DramEnergy hbm = mem::DramEnergy::hbm2();
+  for (const auto& stack : stacks_) {
+    total += stack->dram().dynamic_energy_nj(hbm);
+  }
+  return total;
+}
+
+double NdpSystem::dram_background_mw() const {
+  const mem::DramEnergy hbm = mem::DramEnergy::hbm2();
+  const TimePs trefi =
+      config_.stack.dram.timing.tCK_ps * config_.stack.dram.timing.tREFI;
+  return hbm.background_with_refresh_mw(trefi) *
+         static_cast<double>(stacks_.size()) * config_.stack.dram.channels;
+}
+
+double NdpSystem::energy_nj() const {
+  return dram_energy_nj() + mesh_->energy_nj();
+}
+
+void NdpSystem::collect_stats(const std::string& prefix,
+                              sim::StatSet& out) const {
+  out.merge_prefixed(prefix + ".mesh", mesh_->stats());
+  for (std::size_t i = 0; i < stacks_.size(); ++i) {
+    stacks_[i]->collect_stats(prefix + ".stack" + std::to_string(i), out);
+  }
+}
+
+}  // namespace ndft::ndp

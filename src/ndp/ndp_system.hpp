@@ -1,0 +1,116 @@
+#pragma once
+// The full near-data memory system: a 4x4 mesh of HBM stacks (Table III)
+// plus the host CPU's path into it. The same 64 GiB of HBM serves as the
+// machine's main memory: the CPU reaches it over SerDes links into the
+// mesh, while NDP cores access their stack-local channels directly.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cpu/trace.hpp"
+#include "mem/mem_request.hpp"
+#include "ndp/ndp_stack.hpp"
+#include "noc/mesh.hpp"
+
+namespace ndft::ndp {
+
+/// Configuration of the whole NDP memory system.
+struct NdpSystemConfig {
+  noc::MeshConfig mesh = noc::MeshConfig::table3();
+  NdpStackConfig stack = NdpStackConfig::table3();
+  unsigned cpu_links = 4;            ///< SerDes links from the CPU package
+  double cpu_link_gbps = 120.0;      ///< per-link bandwidth
+  TimePs serdes_latency_ps = 10000;  ///< one-way SerDes + PHY latency
+  Bytes request_bytes = 32;          ///< read/write request packet size
+  Bytes response_overhead = 16;      ///< header on a data response
+
+  unsigned stacks() const noexcept { return mesh.stacks(); }
+  unsigned total_cores() const noexcept {
+    return stacks() * stack.total_cores();
+  }
+  Bytes total_capacity() const noexcept {
+    return static_cast<Bytes>(stacks()) * stack.dram.channels *
+           stack.dram.geometry.channel_capacity();
+  }
+
+  /// Table III NDP system (16 stacks, 64 GiB, 128 NDP units).
+  static NdpSystemConfig table3();
+};
+
+/// The CPU-visible memory port plus all NDP compute resources.
+class NdpSystem {
+ public:
+  NdpSystem(const std::string& name, sim::EventQueue& queue,
+            const NdpSystemConfig& config);
+
+  /// Port the host CPU's L3 misses go into (SerDes + mesh + stack DRAM).
+  mem::MemoryPort& cpu_port() noexcept { return *cpu_port_; }
+
+  /// Runs one trace per NDP core (round-robin across stacks so work and
+  /// data spread evenly); `on_done` fires when all traces retired.
+  void run(const std::vector<const cpu::Trace*>& traces,
+           std::function<void()> on_done);
+
+  unsigned stack_count() const noexcept {
+    return static_cast<unsigned>(stacks_.size());
+  }
+  NdpStack& stack(unsigned i) { return *stacks_.at(i); }
+  noc::Mesh& mesh() noexcept { return *mesh_; }
+  const NdpSystemConfig& config() const noexcept { return config_; }
+
+  /// Which stack an NDP core index (global, round-robin) lives in.
+  unsigned stack_of_core(unsigned global_core) const noexcept {
+    return global_core % stack_count();
+  }
+
+  /// Flushes every NDP L1, writing dirty lines back.
+  void flush_caches();
+
+  /// Drops all cached lines without writebacks (between sampled windows).
+  void invalidate_caches();
+
+  /// Aggregates statistics from stacks and mesh under `prefix`.
+  void collect_stats(const std::string& prefix, sim::StatSet& out) const;
+
+  /// Total memory-system energy so far (nJ): stack HBM + mesh traffic.
+  double energy_nj() const;
+
+  /// Stack-DRAM energy only (nJ); subject to trace-sampling scaling.
+  double dram_energy_nj() const;
+
+  /// Stack-DRAM dynamic (command-only) energy (nJ).
+  double dram_dynamic_energy_nj() const;
+
+  /// Total background power of all stack channels, in milliwatts.
+  double dram_background_mw() const;
+
+ private:
+  /// Adapts CPU line requests onto the mesh + stack DRAM round trip.
+  class CpuPort : public mem::MemoryPort {
+   public:
+    explicit CpuPort(NdpSystem& owner) : owner_(&owner) {}
+    void access(mem::MemRequest req) override;
+
+   private:
+    NdpSystem* owner_;
+  };
+
+  /// Stack that owns a physical address (line-interleaved).
+  unsigned stack_of_addr(Addr addr) const noexcept;
+  /// Mesh entry node used by the CPU for a given stack (nearest corner).
+  unsigned entry_node_for(unsigned stack) const noexcept;
+  /// Stack-local address for a global address.
+  Addr local_addr(Addr addr) const noexcept;
+
+  NdpSystemConfig config_;
+  sim::EventQueue* queue_;
+  std::unique_ptr<noc::Mesh> mesh_;
+  std::vector<std::unique_ptr<NdpStack>> stacks_;
+  std::unique_ptr<CpuPort> cpu_port_;
+  std::vector<TimePs> cpu_link_free_;  ///< per-SerDes-link availability
+  unsigned running_ = 0;
+  std::function<void()> on_done_;
+};
+
+}  // namespace ndft::ndp

@@ -1,0 +1,96 @@
+#include "noc/mesh.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ndft::noc {
+
+MeshConfig MeshConfig::table3() {
+  return MeshConfig{};  // 4x4, 120 GB/s links, 4 ns hops
+}
+
+Mesh::Mesh(std::string name, sim::EventQueue& queue, const MeshConfig& config)
+    : SimObject(std::move(name), queue), config_(config) {
+  NDFT_REQUIRE(config.width > 0 && config.height > 0,
+               "mesh must have at least one node");
+  NDFT_REQUIRE(config.link_gbps > 0.0, "link bandwidth must be positive");
+  links_.resize(static_cast<std::size_t>(config.stacks()) * 4);
+}
+
+unsigned Mesh::hops(unsigned src, unsigned dst) const {
+  NDFT_REQUIRE(src < config_.stacks() && dst < config_.stacks(),
+               "node id out of range");
+  const int dx = static_cast<int>(node_x(dst)) - static_cast<int>(node_x(src));
+  const int dy = static_cast<int>(node_y(dst)) - static_cast<int>(node_y(src));
+  return static_cast<unsigned>(std::abs(dx) + std::abs(dy));
+}
+
+double Mesh::energy_nj() const noexcept {
+  double link_bytes = 0.0;
+  for (const Link& link : links_) {
+    link_bytes += static_cast<double>(link.bytes);
+  }
+  return link_bytes * 8.0 * config_.link_pj_per_bit * 1e-3;  // pJ -> nJ
+}
+
+void Mesh::send(unsigned src, unsigned dst, Bytes bytes,
+                DeliveryFn on_delivered) {
+  NDFT_REQUIRE(src < config_.stacks() && dst < config_.stacks(),
+               "node id out of range");
+  const Bytes wire_bytes = bytes + config_.packet_overhead;
+  const TimePs serialization =
+      transfer_time_ps(wire_bytes, config_.link_gbps);
+  bytes_sent_ += bytes;
+  stats().add("messages");
+  stats().add("bytes", static_cast<double>(bytes));
+
+  TimePs head = now();
+  if (src == dst) {
+    head += config_.hop_latency_ps;
+  } else {
+    // XY routing: resolve x first, then y. The head flit reserves each
+    // link; the body pipelines behind it (wormhole), so serialization is
+    // paid once but every link stays busy for the full message duration.
+    unsigned x = node_x(src);
+    unsigned y = node_y(src);
+    const unsigned dst_x = node_x(dst);
+    const unsigned dst_y = node_y(dst);
+    while (x != dst_x || y != dst_y) {
+      unsigned node = y * config_.width + x;
+      unsigned direction;
+      if (x < dst_x) {
+        direction = 0;
+        ++x;
+      } else if (x > dst_x) {
+        direction = 1;
+        --x;
+      } else if (y < dst_y) {
+        direction = 2;
+        ++y;
+      } else {
+        direction = 3;
+        --y;
+      }
+      Link& link = link_from(node, direction);
+      const TimePs start = std::max(head, link.free_at);
+      if (start > head) {
+        stats().add("contention_ps", static_cast<double>(start - head));
+      }
+      link.free_at = start + serialization;
+      link.bytes += wire_bytes;
+      head = start + config_.hop_latency_ps;
+    }
+  }
+
+  const TimePs arrival = head + serialization;
+  if (on_delivered) {
+    queue().schedule_at(arrival,
+                        [cb = std::move(on_delivered), arrival] {
+                          cb(arrival);
+                        });
+  }
+}
+
+}  // namespace ndft::noc

@@ -1,0 +1,75 @@
+#pragma once
+// 2D-mesh memory network connecting the HBM stacks (Table III: 4x4 stacks
+// in mesh). Transaction-level wormhole model: a message reserves each link
+// along its XY route; contention is captured with per-link next-free
+// times, serialization by the link bandwidth, and a per-hop router+wire
+// latency.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/sim_object.hpp"
+
+namespace ndft::noc {
+
+/// Callback invoked when a message is fully delivered.
+using DeliveryFn = std::function<void(TimePs)>;
+
+/// Mesh geometry and link parameters.
+struct MeshConfig {
+  unsigned width = 4;
+  unsigned height = 4;
+  double link_gbps = 120.0;      ///< per-direction link bandwidth (SerDes)
+  TimePs hop_latency_ps = 4000;  ///< router traversal + wire, per hop
+  Bytes packet_overhead = 16;    ///< header/CRC bytes per message
+  double link_pj_per_bit = 4.0;  ///< SerDes + router energy per bit-hop
+
+  unsigned stacks() const noexcept { return width * height; }
+
+  /// Table III network: 4x4 stacks.
+  static MeshConfig table3();
+};
+
+/// The stack-to-stack mesh. Node ids are row-major: id = y*width + x.
+class Mesh : public sim::SimObject {
+ public:
+  Mesh(std::string name, sim::EventQueue& queue, const MeshConfig& config);
+
+  /// Sends `bytes` from `src` to `dst`; `on_delivered` fires at arrival.
+  /// A zero-hop send (src == dst) costs one hop latency (local loopback).
+  void send(unsigned src, unsigned dst, Bytes bytes,
+            DeliveryFn on_delivered);
+
+  /// Manhattan distance between two nodes.
+  unsigned hops(unsigned src, unsigned dst) const;
+
+  /// Total bytes injected so far.
+  Bytes bytes_sent() const noexcept { return bytes_sent_; }
+
+  /// Energy of all traffic so far (nJ): bytes carried per link times the
+  /// per-bit-hop cost.
+  double energy_nj() const noexcept;
+
+  const MeshConfig& config() const noexcept { return config_; }
+
+ private:
+  // Links are indexed [node][direction]; directions: 0=+x, 1=-x, 2=+y, 3=-y.
+  struct Link {
+    TimePs free_at = 0;
+    Bytes bytes = 0;
+  };
+
+  unsigned node_x(unsigned id) const noexcept { return id % config_.width; }
+  unsigned node_y(unsigned id) const noexcept { return id / config_.width; }
+  Link& link_from(unsigned node, unsigned direction) {
+    return links_[node * 4 + direction];
+  }
+
+  MeshConfig config_;
+  std::vector<Link> links_;
+  Bytes bytes_sent_ = 0;
+};
+
+}  // namespace ndft::noc

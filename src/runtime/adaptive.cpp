@@ -1,0 +1,103 @@
+#include "runtime/adaptive.hpp"
+
+#include <array>
+#include <limits>
+
+namespace ndft::runtime {
+
+namespace {
+/// Weight of the newest sample in the moving average.
+constexpr double kBlend = 0.5;
+}  // namespace
+
+void AdaptiveScheduler::record(const std::string& kernel_name,
+                               DeviceKind device, TimePs measured_ps) {
+  const auto key = std::make_pair(kernel_name, device);
+  const auto it = measurements_.find(key);
+  if (it == measurements_.end()) {
+    measurements_[key] = static_cast<double>(measured_ps);
+  } else {
+    it->second = (1.0 - kBlend) * it->second +
+                 kBlend * static_cast<double>(measured_ps);
+  }
+}
+
+bool AdaptiveScheduler::has_measurement(const std::string& kernel_name,
+                                        DeviceKind device) const {
+  return measurements_.count({kernel_name, device}) != 0;
+}
+
+TimePs AdaptiveScheduler::believed_time(const dft::KernelWork& kernel,
+                                        DeviceKind device) const {
+  const auto it = measurements_.find({kernel.name, device});
+  if (it != measurements_.end()) {
+    return static_cast<TimePs>(it->second);
+  }
+  return sca_->estimate(kernel, device == DeviceKind::kNdp ? sca_->ndp()
+                                                           : sca_->cpu());
+}
+
+ExecutionPlan AdaptiveScheduler::plan(const dft::Workload& workload) const {
+  // Same linear-pipeline dynamic program as Scheduler::plan_function_level
+  // with believed_time() as the per-kernel cost.
+  const std::size_t n = workload.kernels.size();
+  ExecutionPlan plan;
+  if (n == 0) {
+    return plan;
+  }
+  constexpr TimePs kInf = std::numeric_limits<TimePs>::max() / 4;
+  std::array<TimePs, 2> cost{0, 0};
+  std::vector<std::array<std::uint8_t, 2>> parent(
+      n, std::array<std::uint8_t, 2>{0, 0});
+
+  const auto device_of = [](std::size_t index) {
+    return index == 0 ? DeviceKind::kCpu : DeviceKind::kNdp;
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const dft::KernelWork& work = workload.kernels[i];
+    std::array<TimePs, 2> next{kInf, kInf};
+    for (std::size_t to = 0; to < 2; ++to) {
+      const TimePs kernel_cost = believed_time(work, device_of(to));
+      for (std::size_t from = 0; from < 2; ++from) {
+        TimePs c = cost[from] + kernel_cost;
+        if (from != to) {
+          c += cost_->crossing_cost(work.input_bytes);
+        }
+        if (c < next[to]) {
+          next[to] = c;
+          parent[i][to] = static_cast<std::uint8_t>(from);
+        }
+      }
+    }
+    cost = next;
+  }
+
+  std::size_t state = cost[1] < cost[0] ? 1 : 0;
+  std::vector<std::size_t> chosen(n);
+  for (std::size_t i = n; i-- > 0;) {
+    chosen[i] = state;
+    state = parent[i][state];
+  }
+
+  plan.placements.resize(n);
+  std::size_t previous = chosen[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    Placement& p = plan.placements[i];
+    p.device = device_of(chosen[i]);
+    p.est_time_ps = believed_time(workload.kernels[i], p.device);
+    p.crossing = (i != 0) && (chosen[i] != previous);
+    if (p.crossing) {
+      p.transfer_in_ps =
+          cost_->transfer_time(workload.kernels[i].input_bytes);
+      p.switch_in_ps = cost_->context_switch_time();
+      plan.crossings += 1;
+    }
+    plan.est_overhead_ps += p.transfer_in_ps + p.switch_in_ps;
+    plan.est_total_ps += p.est_time_ps + p.transfer_in_ps + p.switch_in_ps;
+    previous = chosen[i];
+  }
+  return plan;
+}
+
+}  // namespace ndft::runtime

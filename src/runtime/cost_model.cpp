@@ -1,0 +1,22 @@
+#include "runtime/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace ndft::runtime {
+
+TimePs CostModel::transfer_time(Bytes bytes) const {
+  if (bytes == 0) {
+    return 0;
+  }
+  // The crossing is limited by the slower of the two devices' link rates.
+  const double gbps = std::min(cpu_.link_gbps, ndp_.link_gbps);
+  return transfer_time_ps(bytes, gbps);
+}
+
+TimePs CostModel::context_switch_time() const {
+  return std::max(cpu_.switch_latency_ps, ndp_.switch_latency_ps);
+}
+
+}  // namespace ndft::runtime

@@ -1,0 +1,39 @@
+#pragma once
+// The scheduling-overhead model of Eq. 1 (Section IV-A2):
+//
+//   Scheduling Overhead = sum_{i in NDP} sum_{j in CPU} ( DT(i,j) + CXT )
+//
+// DT is the data-transfer cost of migrating a kernel's working data
+// between the CPU's and the NDP side's preferred placements (cache flush,
+// relocation into stack-local layout); CXT is the constant context-switch
+// cost of handing execution across the boundary.
+
+#include "common/types.hpp"
+#include "dft/workload.hpp"
+#include "runtime/device_profile.hpp"
+
+namespace ndft::runtime {
+
+/// Cost model for device-crossing overheads.
+class CostModel {
+ public:
+  CostModel(const DeviceProfile& cpu, const DeviceProfile& ndp)
+      : cpu_(cpu), ndp_(ndp) {}
+
+  /// DT: time to migrate `bytes` of kernel data between the devices.
+  TimePs transfer_time(Bytes bytes) const;
+
+  /// CXT: constant context-switch latency for one crossing.
+  TimePs context_switch_time() const;
+
+  /// Full crossing cost for handing `bytes` across the boundary (DT + CXT).
+  TimePs crossing_cost(Bytes bytes) const {
+    return transfer_time(bytes) + context_switch_time();
+  }
+
+ private:
+  DeviceProfile cpu_;
+  DeviceProfile ndp_;
+};
+
+}  // namespace ndft::runtime

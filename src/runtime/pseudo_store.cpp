@@ -1,0 +1,74 @@
+#include "runtime/pseudo_store.hpp"
+
+#include "common/error.hpp"
+
+namespace ndft::runtime {
+namespace {
+
+/// SPM staging area per stack (Table III: 256 KiB).
+constexpr Bytes kSpmStagingBytes = 256 * 1024;
+
+}  // namespace
+
+PseudoFootprint PseudoStore::on_ndp(PseudoLayout layout,
+                                    Bytes capacity) const {
+  PseudoFootprint f;
+  f.capacity = capacity;
+  const Bytes copy = copy_bytes();
+  const unsigned procs = processes_.ndp_processes;
+  if (layout == PseudoLayout::kReplicated) {
+    f.per_process = copy;
+    f.total = static_cast<Bytes>(procs) * copy;
+    return f;
+  }
+  // Shared blocks: one distributed copy + per-process index tables +
+  // per-stack SPM staging.
+  const Bytes indices = static_cast<Bytes>(workload_->dims.atoms) *
+                        dft::PseudoSizing::index_bytes_per_atom();
+  f.per_process = copy / procs + indices;
+  f.total = copy + static_cast<Bytes>(procs) * indices +
+            static_cast<Bytes>(processes_.stacks) * kSpmStagingBytes;
+  return f;
+}
+
+PseudoFootprint PseudoStore::on_cpu(Bytes capacity) const {
+  PseudoFootprint f;
+  f.capacity = capacity;
+  f.per_process = copy_bytes();
+  f.total = static_cast<Bytes>(processes_.cpu_processes) * f.per_process;
+  return f;
+}
+
+PseudoFootprint PseudoStore::on_ndft(Bytes capacity) const {
+  PseudoFootprint f;
+  f.capacity = capacity;
+  const Bytes copy = copy_bytes();
+  const Bytes indices = static_cast<Bytes>(workload_->dims.atoms) *
+                        dft::PseudoSizing::index_bytes_per_atom();
+  // CPU ranks of the hybrid machine keep classic replicas; the NDP side
+  // holds one copy distributed across stacks, per-process index tables,
+  // and the SPM staging areas.
+  f.total = static_cast<Bytes>(processes_.cpu_processes) * copy + copy +
+            static_cast<Bytes>(processes_.ndp_processes) * indices +
+            static_cast<Bytes>(processes_.stacks) * kSpmStagingBytes;
+  f.per_process = copy;  // the CPU ranks are the largest holders
+  return f;
+}
+
+Bytes PseudoStore::sharing_traffic_bytes(bool hierarchical) const {
+  const Bytes copy = copy_bytes();
+  const unsigned stacks = processes_.stacks;
+  NDFT_ASSERT(stacks > 0);
+  // Each stack owns 1/stacks of the dataset and must see the rest once
+  // per iteration.
+  const Bytes remote_share = copy - copy / stacks;
+  if (hierarchical) {
+    return static_cast<Bytes>(stacks) * remote_share;
+  }
+  // Flat: every process fetches its own remote share.
+  const unsigned procs_per_stack =
+      (processes_.ndp_processes + stacks - 1) / stacks;
+  return static_cast<Bytes>(stacks) * procs_per_stack * remote_share;
+}
+
+}  // namespace ndft::runtime

@@ -1,0 +1,65 @@
+#include "runtime/sca.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace ndft::runtime {
+
+TimePs Sca::estimate(const dft::KernelWork& work,
+                     const DeviceProfile& device) const {
+  // Roofline: execution is bound by the slower of FP retire and DRAM
+  // streaming. flops / GFLOP/s yields nanoseconds. Blocked kernels pay
+  // the device's panel-efficiency factor.
+  double gflops = device.peak_gflops;
+  if (work.pattern == AccessPattern::kBlocked) {
+    gflops *= device.blocked_compute_efficiency;
+  }
+  const double compute_ns =
+      gflops <= 0.0 ? 0.0 : static_cast<double>(work.flops) / gflops;
+  const double memory_ps =
+      device.dram_gbps <= 0.0
+          ? 0.0
+          : static_cast<double>(work.dram_bytes) /
+                gbps_to_bytes_per_ps(device.dram_gbps);
+  return static_cast<TimePs>(
+      std::llround(std::max(compute_ns * 1000.0, memory_ps)));
+}
+
+KernelAnalysis Sca::analyze(const dft::KernelWork& work) const {
+  KernelAnalysis analysis;
+  analysis.arithmetic_intensity = work.arithmetic_intensity();
+  // Blocked kernels are judged against the sustainable panel rate, not
+  // the absolute peak: that is the balance point a profiler sees.
+  const double eff_cpu = work.pattern == AccessPattern::kBlocked
+                             ? cpu_.blocked_compute_efficiency
+                             : 1.0;
+  const double eff_ndp = work.pattern == AccessPattern::kBlocked
+                             ? ndp_.blocked_compute_efficiency
+                             : 1.0;
+  analysis.on_cpu = analysis.arithmetic_intensity >= cpu_.balance() * eff_cpu
+                        ? Boundedness::kComputeBound
+                        : Boundedness::kMemoryBound;
+  analysis.on_ndp = analysis.arithmetic_intensity >= ndp_.balance() * eff_ndp
+                        ? Boundedness::kComputeBound
+                        : Boundedness::kMemoryBound;
+  analysis.est_cpu_ps = estimate(work, cpu_);
+  analysis.est_ndp_ps = estimate(work, ndp_);
+  analysis.preferred = analysis.est_ndp_ps < analysis.est_cpu_ps
+                           ? DeviceKind::kNdp
+                           : DeviceKind::kCpu;
+  return analysis;
+}
+
+std::vector<KernelAnalysis> Sca::analyze(
+    const dft::Workload& workload) const {
+  std::vector<KernelAnalysis> result;
+  result.reserve(workload.kernels.size());
+  for (const dft::KernelWork& work : workload.kernels) {
+    result.push_back(analyze(work));
+  }
+  return result;
+}
+
+}  // namespace ndft::runtime

@@ -1,0 +1,55 @@
+#pragma once
+// Static code analyzer (SCA), Section IV-A2.
+//
+// The paper's SCA inspects each function's code to estimate execution
+// time, memory access pattern and instruction dependences, then classifies
+// it as compute- or memory-bound per device. Our kernels carry their
+// analytic op/byte descriptors (dft::KernelWork), so the SCA's job is the
+// classification and the per-device time estimate that feed the cost-aware
+// offloading decision.
+
+#include <vector>
+
+#include "dft/workload.hpp"
+#include "runtime/device_profile.hpp"
+
+namespace ndft::runtime {
+
+/// Boundedness verdict for one kernel on one device.
+enum class Boundedness { kComputeBound, kMemoryBound };
+
+/// SCA verdict for one kernel.
+struct KernelAnalysis {
+  double arithmetic_intensity = 0.0;  ///< flop per DRAM byte
+  Boundedness on_cpu = Boundedness::kMemoryBound;
+  Boundedness on_ndp = Boundedness::kMemoryBound;
+  TimePs est_cpu_ps = 0;  ///< roofline time estimate on the CPU
+  TimePs est_ndp_ps = 0;  ///< roofline time estimate on the NDP side
+  DeviceKind preferred = DeviceKind::kCpu;  ///< faster device, ignoring DT
+};
+
+/// The static code analyzer.
+class Sca {
+ public:
+  Sca(const DeviceProfile& cpu, const DeviceProfile& ndp)
+      : cpu_(cpu), ndp_(ndp) {}
+
+  /// Roofline time estimate of `work` on `device`.
+  TimePs estimate(const dft::KernelWork& work,
+                  const DeviceProfile& device) const;
+
+  /// Full verdict for one kernel.
+  KernelAnalysis analyze(const dft::KernelWork& work) const;
+
+  /// Verdicts for a whole workload, in pipeline order.
+  std::vector<KernelAnalysis> analyze(const dft::Workload& workload) const;
+
+  const DeviceProfile& cpu() const noexcept { return cpu_; }
+  const DeviceProfile& ndp() const noexcept { return ndp_; }
+
+ private:
+  DeviceProfile cpu_;
+  DeviceProfile ndp_;
+};
+
+}  // namespace ndft::runtime

@@ -1,0 +1,311 @@
+#include "runtime/shared_memory.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace ndft::runtime {
+
+SharedMemoryManager::SharedMemoryManager(std::string name,
+                                         sim::EventQueue& queue,
+                                         ndp::NdpSystem& ndp,
+                                         const SharedMemoryConfig& config)
+    : SimObject(std::move(name), queue), ndp_(&ndp), config_(config) {
+  arbiter_free_.assign(ndp.stack_count(), 0);
+  staged_.resize(ndp.stack_count());
+  staged_bytes_.assign(ndp.stack_count(), 0);
+}
+
+SharedBlock SharedMemoryManager::alloc_shared(Bytes size,
+                                              unsigned owner_unit) {
+  NDFT_REQUIRE(size > 0, "cannot allocate an empty shared block");
+  const unsigned units_per_stack = ndp_->config().stack.units;
+  const unsigned stack = owner_unit / units_per_stack;
+  NDFT_REQUIRE(stack < ndp_->stack_count(), "owner unit out of range");
+
+  BlockState state;
+  state.block.id = next_id_++;
+  state.block.owner_stack = stack;
+  state.block.size = size;
+  state.spm_offset = ndp_->stack(stack).spm().alloc(size);
+  state.block.in_spm = state.spm_offset.has_value();
+  stats().add(state.block.in_spm ? "alloc_spm" : "alloc_dram");
+  const SharedBlock handle = state.block;
+  blocks_.emplace(handle.id, std::move(state));
+  return handle;
+}
+
+void SharedMemoryManager::free_shared(const SharedBlock& block) {
+  const auto it = blocks_.find(block.id);
+  NDFT_REQUIRE(it != blocks_.end(), "unknown shared block");
+  if (it->second.spm_offset.has_value()) {
+    ndp_->stack(it->second.block.owner_stack)
+        .spm()
+        .free(*it->second.spm_offset);
+  }
+  for (auto& set : staged_) {
+    set.erase(block.id);
+  }
+  blocks_.erase(it);
+}
+
+TimePs SharedMemoryManager::stack_dram_time(Bytes length) const {
+  return config_.stack_dram_latency_ps +
+         transfer_time_ps(std::max<Bytes>(length, 1),
+                          config_.stack_dram_gbps);
+}
+
+TimePs SharedMemoryManager::arbiter_admit(unsigned stack, TimePs earliest) {
+  TimePs& free_at = arbiter_free_.at(stack);
+  const TimePs start = std::max(earliest, free_at);
+  free_at = start + config_.arbiter_service_ps;
+  return free_at;
+}
+
+void SharedMemoryManager::serve_at_owner(const BlockState& state,
+                                         Bytes length, bool is_write,
+                                         TimePs start, ShmCallback done) {
+  const unsigned stack = state.block.owner_stack;
+  if (state.spm_offset.has_value()) {
+    // SPM access; the Spm model tracks its own port contention, so only
+    // the extra start delay is layered on top.
+    const TimePs delay = start > now() ? start - now() : 0;
+    queue().schedule_after(delay, [this, stack, length, is_write,
+                                   done = std::move(done)]() mutable {
+      auto& spm = ndp_->stack(stack).spm();
+      if (is_write) {
+        spm.write(length, std::move(done));
+      } else {
+        spm.read(length, std::move(done));
+      }
+    });
+    return;
+  }
+  const TimePs end = std::max(start, now()) + stack_dram_time(length);
+  if (done) {
+    queue().schedule_at(end, [done = std::move(done), end] { done(end); });
+  }
+}
+
+void SharedMemoryManager::read(const SharedBlock& block, Bytes length,
+                               ShmCallback done) {
+  const auto it = blocks_.find(block.id);
+  NDFT_REQUIRE(it != blocks_.end(), "unknown shared block");
+  intra_bytes_ += length;
+  stats().add("reads");
+  serve_at_owner(it->second, length, /*is_write=*/false, now(),
+                 std::move(done));
+}
+
+void SharedMemoryManager::write(const SharedBlock& block, Bytes length,
+                                ShmCallback done) {
+  const auto it = blocks_.find(block.id);
+  NDFT_REQUIRE(it != blocks_.end(), "unknown shared block");
+  intra_bytes_ += length;
+  stats().add("writes");
+  serve_at_owner(it->second, length, /*is_write=*/true, now(),
+                 std::move(done));
+}
+
+void SharedMemoryManager::read_remote(const SharedBlock& block, Bytes length,
+                                      unsigned requester_stack,
+                                      ShmCallback done) {
+  const auto it = blocks_.find(block.id);
+  NDFT_REQUIRE(it != blocks_.end(), "unknown shared block");
+  NDFT_REQUIRE(requester_stack < ndp_->stack_count(),
+               "requester stack out of range");
+  const BlockState& state = it->second;
+  stats().add("remote_reads");
+
+  if (state.block.owner_stack == requester_stack) {
+    read(block, length, std::move(done));
+    return;
+  }
+
+  if (config_.hierarchical) {
+    // Local arbiter admission; the staging area acts as the filter.
+    const TimePs admitted = arbiter_admit(requester_stack, now());
+    auto& staged = staged_[requester_stack];
+    if (staged.count(block.id) != 0) {
+      ++staging_hits_;
+      intra_bytes_ += length;
+      const TimePs delay = admitted > now() ? admitted - now() : 0;
+      queue().schedule_after(
+          delay, [this, requester_stack, length,
+                  done = std::move(done)]() mutable {
+            ndp_->stack(requester_stack).spm().read(length, std::move(done));
+          });
+      return;
+    }
+    // Coalesce with an in-flight fetch of the same block by this stack.
+    const std::uint64_t pending_key =
+        (static_cast<std::uint64_t>(requester_stack) << 32) | block.id;
+    if (auto pending_it = pending_.find(pending_key);
+        pending_it != pending_.end()) {
+      ++staging_hits_;
+      intra_bytes_ += length;
+      pending_it->second.push_back(std::move(done));
+      return;
+    }
+    pending_[pending_key] = {};
+    ++staging_misses_;
+    inter_bytes_ += length + 2 * config_.request_bytes;
+
+    // Request to the owner's arbiter, bulk read there, data back, stage
+    // into the local SPM, then serve the requester.
+    const unsigned owner = state.block.owner_stack;
+    const unsigned block_id = block.id;
+    const TimePs delay = admitted > now() ? admitted - now() : 0;
+    queue().schedule_after(delay, [this, owner, requester_stack, length,
+                                   block_id,
+                                   done = std::move(done)]() mutable {
+      ndp_->mesh().send(requester_stack, owner, config_.request_bytes,
+                        [this, owner, requester_stack, length, block_id,
+                         done = std::move(done)](TimePs) mutable {
+        const auto state_it = blocks_.find(block_id);
+        if (state_it == blocks_.end()) {
+          if (done) done(now());
+          return;
+        }
+        const TimePs served = arbiter_admit(owner, now());
+        serve_at_owner(state_it->second, length, /*is_write=*/false, served,
+                       [this, owner, requester_stack, length, block_id,
+                        done = std::move(done)](TimePs) mutable {
+          ndp_->mesh().send(owner, requester_stack,
+                            length + config_.request_bytes,
+                            [this, requester_stack, length, block_id,
+                             done = std::move(done)](TimePs) mutable {
+            // Stage locally (evict arbitrarily when over capacity).
+            auto& spm = ndp_->stack(requester_stack).spm();
+            auto& staged_set = staged_[requester_stack];
+            auto& occupancy = staged_bytes_[requester_stack];
+            if (occupancy + length > spm.capacity() &&
+                !staged_set.empty()) {
+              staged_set.clear();
+              occupancy = 0;
+              stats().add("staging_evictions");
+            }
+            staged_set.insert(block_id);
+            occupancy += length;
+            // Release the requester and any coalesced waiters.
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(requester_stack) << 32) |
+                block_id;
+            auto waiters = std::move(pending_[key]);
+            pending_.erase(key);
+            spm.write(length, std::move(done));
+            for (auto& waiter : waiters) {
+              spm.read(length, std::move(waiter));
+            }
+          });
+        });
+      });
+    });
+    return;
+  }
+
+  // Flat mode: direct mesh round trip for every request, no filtering.
+  inter_bytes_ += length + 2 * config_.request_bytes;
+  const unsigned owner = state.block.owner_stack;
+  const unsigned block_id = block.id;
+  ndp_->mesh().send(requester_stack, owner, config_.request_bytes,
+                    [this, owner, requester_stack, length, block_id,
+                     done = std::move(done)](TimePs) mutable {
+    const auto state_it = blocks_.find(block_id);
+    if (state_it == blocks_.end()) {
+      if (done) done(now());
+      return;
+    }
+    serve_at_owner(state_it->second, length, /*is_write=*/false, now(),
+                   [this, owner, requester_stack, length,
+                    done = std::move(done)](TimePs) mutable {
+      ndp_->mesh().send(owner, requester_stack,
+                        length + config_.request_bytes,
+                        [done = std::move(done)](TimePs at) mutable {
+                          if (done) done(at);
+                        });
+    });
+  });
+}
+
+void SharedMemoryManager::write_remote(const SharedBlock& block,
+                                       Bytes length,
+                                       unsigned requester_stack,
+                                       ShmCallback done) {
+  const auto it = blocks_.find(block.id);
+  NDFT_REQUIRE(it != blocks_.end(), "unknown shared block");
+  const BlockState& state = it->second;
+  stats().add("remote_writes");
+  if (state.block.owner_stack == requester_stack) {
+    write(block, length, std::move(done));
+    return;
+  }
+  inter_bytes_ += length + config_.request_bytes;
+  const TimePs admitted = config_.hierarchical
+                              ? arbiter_admit(requester_stack, now())
+                              : now();
+  const unsigned owner = state.block.owner_stack;
+  const unsigned block_id = block.id;
+  const TimePs delay = admitted > now() ? admitted - now() : 0;
+  queue().schedule_after(delay, [this, owner, requester_stack, length,
+                                 block_id,
+                                 done = std::move(done)]() mutable {
+    ndp_->mesh().send(requester_stack, owner,
+                      length + config_.request_bytes,
+                      [this, owner, length, block_id,
+                       done = std::move(done)](TimePs) mutable {
+      const auto state_it = blocks_.find(block_id);
+      if (state_it == blocks_.end()) {
+        if (done) done(now());
+        return;
+      }
+      const TimePs served = config_.hierarchical
+                                ? arbiter_admit(owner, now())
+                                : now();
+      serve_at_owner(state_it->second, length, /*is_write=*/true, served,
+                     std::move(done));
+    });
+  });
+  // Invalidate stale staged copies everywhere.
+  for (auto& set : staged_) {
+    set.erase(block.id);
+  }
+}
+
+void SharedMemoryManager::broadcast(const SharedBlock& block,
+                                    ShmCallback done) {
+  const auto it = blocks_.find(block.id);
+  NDFT_REQUIRE(it != blocks_.end(), "unknown shared block");
+  const BlockState& state = it->second;
+  stats().add("broadcasts");
+  const unsigned stacks = ndp_->stack_count();
+  auto remaining = std::make_shared<unsigned>(stacks - 1);
+  auto latest = std::make_shared<TimePs>(now());
+  if (stacks == 1) {
+    if (done) done(now());
+    return;
+  }
+  for (unsigned s = 0; s < stacks; ++s) {
+    if (s == state.block.owner_stack) {
+      continue;
+    }
+    inter_bytes_ += state.block.size + config_.request_bytes;
+    ndp_->mesh().send(
+        state.block.owner_stack, s,
+        state.block.size + config_.request_bytes,
+        [this, s, id = block.id, size = state.block.size, remaining, latest,
+         done](TimePs) mutable {
+          staged_[s].insert(id);
+          staged_bytes_[s] += size;
+          ndp_->stack(s).spm().write(size, [remaining, latest,
+                                            done](TimePs at) {
+            *latest = std::max(*latest, at);
+            if (--*remaining == 0 && done) {
+              done(*latest);
+            }
+          });
+        });
+  }
+}
+
+}  // namespace ndft::runtime

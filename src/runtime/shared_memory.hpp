@@ -1,0 +1,123 @@
+#pragma once
+// The NDFT shared-memory programming interface (paper Table II) over the
+// SPM-based shared memory and hierarchical communication scheme of
+// Section IV-C.
+//
+// Blocks ("sharedBL") live in their owner stack's SPM when hot, spilling
+// to the owner's stack DRAM otherwise. Intra-stack reads hit the SPM.
+// Inter-stack reads go through one designated communication arbiter per
+// stack: the requester's arbiter first checks the stack's SPM staging
+// area (this is the "filter" that maximises intra-stack communication);
+// on a miss it exchanges messages with the owner stack's arbiter over the
+// mesh and stages the block locally. The flat mode (hierarchical=false)
+// bypasses arbiters and staging, which is the A3 ablation.
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ndp/ndp_system.hpp"
+#include "sim/sim_object.hpp"
+
+namespace ndft::runtime {
+
+/// Completion callback for the asynchronous API calls.
+using ShmCallback = std::function<void(TimePs)>;
+
+/// The paper's sharedBL handle.
+struct SharedBlock {
+  unsigned id = 0;
+  unsigned owner_stack = 0;
+  Bytes size = 0;
+  bool in_spm = false;  ///< resident in the owner's SPM (else stack DRAM)
+};
+
+/// Tuning knobs of the shared-memory runtime.
+struct SharedMemoryConfig {
+  bool hierarchical = true;  ///< arbiter + staging (Section IV-C) vs flat
+  TimePs arbiter_service_ps = 200 * kPsPerNs;  ///< software cost/request
+  double stack_dram_gbps = 180.0;  ///< sustained bulk rate of stack DRAM
+  TimePs stack_dram_latency_ps = 60 * kPsPerNs;
+  Bytes request_bytes = 32;  ///< control message size on the mesh
+};
+
+/// Implements Table II: Alloc_Shared / Read / Write / Read_Remote /
+/// Write_Remote / Broadcast, with simulated timing.
+class SharedMemoryManager : public sim::SimObject {
+ public:
+  SharedMemoryManager(std::string name, sim::EventQueue& queue,
+                      ndp::NdpSystem& ndp, const SharedMemoryConfig& config);
+
+  /// NDFT_Alloc_Shared: allocates a block owned by `owner_unit`'s stack.
+  /// Falls back to stack DRAM when the SPM is full.
+  SharedBlock alloc_shared(Bytes size, unsigned owner_unit);
+
+  /// Releases a block (frees its SPM region if it had one).
+  void free_shared(const SharedBlock& block);
+
+  /// NDFT_Read: intra-stack read of `length` bytes by a unit in the
+  /// owner's stack.
+  void read(const SharedBlock& block, Bytes length, ShmCallback done);
+
+  /// NDFT_Write: intra-stack write.
+  void write(const SharedBlock& block, Bytes length, ShmCallback done);
+
+  /// NDFT_Read_Remote: a unit in `requester_stack` reads a block owned by
+  /// another stack. Hierarchical mode stages the block in the local SPM so
+  /// subsequent readers in the same stack stay local.
+  void read_remote(const SharedBlock& block, Bytes length,
+                   unsigned requester_stack, ShmCallback done);
+
+  /// NDFT_Write_Remote: pushes `length` bytes into a remote block.
+  void write_remote(const SharedBlock& block, Bytes length,
+                    unsigned requester_stack, ShmCallback done);
+
+  /// NDFT_Broadcast: stages the block in every stack's SPM.
+  void broadcast(const SharedBlock& block, ShmCallback done);
+
+  /// Bytes served within a stack (SPM hits + local DRAM).
+  Bytes intra_stack_bytes() const noexcept { return intra_bytes_; }
+  /// Bytes that crossed the mesh.
+  Bytes inter_stack_bytes() const noexcept { return inter_bytes_; }
+  /// Remote reads answered from the local staging area (the filter).
+  std::uint64_t staging_hits() const noexcept { return staging_hits_; }
+  std::uint64_t staging_misses() const noexcept { return staging_misses_; }
+
+  const SharedMemoryConfig& config() const noexcept { return config_; }
+
+ private:
+  struct BlockState {
+    SharedBlock block;
+    std::optional<Addr> spm_offset;  ///< valid when resident in owner SPM
+  };
+
+  /// Earliest time the stack's arbiter can take another request.
+  TimePs arbiter_admit(unsigned stack, TimePs earliest);
+  /// Bulk read/write time against a stack's DRAM.
+  TimePs stack_dram_time(Bytes length) const;
+  /// Serves `length` bytes at the owner (SPM or DRAM), calling `done`.
+  void serve_at_owner(const BlockState& state, Bytes length, bool is_write,
+                      TimePs start, ShmCallback done);
+
+  ndp::NdpSystem* ndp_;
+  SharedMemoryConfig config_;
+  std::unordered_map<unsigned, BlockState> blocks_;
+  std::vector<TimePs> arbiter_free_;  ///< per-stack arbiter availability
+  /// Staging filter: per stack, the set of block ids currently staged.
+  std::vector<std::unordered_set<unsigned>> staged_;
+  std::vector<Bytes> staged_bytes_;  ///< staging occupancy per stack
+  /// In-flight remote fetches: (stack, block) -> callbacks waiting for the
+  /// same data. The arbiter merges concurrent readers of one block into a
+  /// single mesh transfer — the "filter" of Section IV-C.
+  std::unordered_map<std::uint64_t, std::vector<ShmCallback>> pending_;
+  unsigned next_id_ = 1;
+  Bytes intra_bytes_ = 0;
+  Bytes inter_bytes_ = 0;
+  std::uint64_t staging_hits_ = 0;
+  std::uint64_t staging_misses_ = 0;
+};
+
+}  // namespace ndft::runtime

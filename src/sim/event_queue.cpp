@@ -1,0 +1,40 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace ndft::sim {
+
+void EventQueue::schedule_at(TimePs when, EventFn fn) {
+  NDFT_ASSERT_MSG(when >= now_, "cannot schedule an event in the past");
+  NDFT_ASSERT(fn != nullptr);
+  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::pop_and_run() {
+  // The callback may schedule new events; move it out before popping so the
+  // queue is consistent while it runs.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.when;
+  ++executed_;
+  entry.fn();
+}
+
+TimePs EventQueue::run() {
+  while (!heap_.empty()) {
+    pop_and_run();
+  }
+  return now_;
+}
+
+TimePs EventQueue::run_until(TimePs deadline) {
+  while (!heap_.empty() && heap_.top().when <= deadline) {
+    pop_and_run();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace ndft::sim

@@ -1,0 +1,73 @@
+#pragma once
+// The discrete-event core of the NDFT timing simulator.
+//
+// Every hardware model (DRAM controller, NoC link, core, arbiter) schedules
+// callbacks on a single global EventQueue. Events at the same timestamp run
+// in schedule order (FIFO), which makes the simulation deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace ndft::sim {
+
+/// Callback type executed when an event fires.
+using EventFn = std::function<void()>;
+
+/// A deterministic discrete-event scheduler with integer-picosecond time.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Current simulated time. Advances only inside run()/run_until().
+  TimePs now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (>= now()).
+  void schedule_at(TimePs when, EventFn fn);
+
+  /// Schedules `fn` to run `delay` picoseconds from now.
+  void schedule_after(TimePs delay, EventFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs events until the queue drains. Returns the time of the last event.
+  TimePs run();
+
+  /// Runs events with timestamp <= `deadline`; time stops at the deadline
+  /// or at the last event, whichever is later reached.
+  TimePs run_until(TimePs deadline);
+
+  /// Number of events waiting to fire.
+  std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Total events executed since construction (for budget checks in tests).
+  std::uint64_t executed() const noexcept { return executed_; }
+
+ private:
+  struct Entry {
+    TimePs when;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  TimePs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ndft::sim

@@ -1,0 +1,43 @@
+#pragma once
+// Base class for named hardware models that live on the event queue.
+
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace ndft::sim {
+
+/// A named simulation component with access to the shared event queue and
+/// its own statistics. Models derive from this (DRAM channel, cache, core,
+/// NoC link, ...). Not copyable: components are identity objects.
+class SimObject {
+ public:
+  SimObject(std::string name, EventQueue& queue)
+      : name_(std::move(name)), queue_(&queue) {}
+  virtual ~SimObject() = default;
+
+  SimObject(const SimObject&) = delete;
+  SimObject& operator=(const SimObject&) = delete;
+
+  /// Hierarchical instance name, e.g. "ndp.stack3.unit5.core1".
+  const std::string& name() const noexcept { return name_; }
+
+  /// The shared event queue.
+  EventQueue& queue() noexcept { return *queue_; }
+  const EventQueue& queue() const noexcept { return *queue_; }
+
+  /// Current simulated time.
+  TimePs now() const noexcept { return queue_->now(); }
+
+  /// This component's statistics.
+  StatSet& stats() noexcept { return stats_; }
+  const StatSet& stats() const noexcept { return stats_; }
+
+ private:
+  std::string name_;
+  EventQueue* queue_;
+  StatSet stats_;
+};
+
+}  // namespace ndft::sim

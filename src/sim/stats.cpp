@@ -1,0 +1,77 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/str_util.hpp"
+
+namespace ndft::sim {
+
+void StatSet::add(const std::string& name, double delta) {
+  values_[name] += delta;
+}
+
+void StatSet::set(const std::string& name, double value) {
+  values_[name] = value;
+}
+
+double StatSet::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+bool StatSet::contains(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+void StatSet::merge_prefixed(const std::string& prefix, const StatSet& other) {
+  for (const auto& [name, value] : other.snapshot()) {
+    values_[prefix + "." + name] += value;
+  }
+}
+
+std::string StatSet::render() const {
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    out += strformat("%s = %.6g\n", name.c_str(), value);
+  }
+  return out;
+}
+
+Histogram::Histogram(double bucket_width, std::size_t bucket_count)
+    : bucket_width_(bucket_width), buckets_(bucket_count + 1, 0) {
+  NDFT_REQUIRE(bucket_width > 0.0, "bucket width must be positive");
+  NDFT_REQUIRE(bucket_count > 0, "need at least one bucket");
+}
+
+void Histogram::record(double value) {
+  NDFT_ASSERT(value >= 0.0);
+  const auto index = static_cast<std::size_t>(value / bucket_width_);
+  buckets_[std::min(index, buckets_.size() - 1)]++;
+  ++count_;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+double Histogram::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double p) const {
+  NDFT_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target) {
+      // Report the upper edge of the bucket; overflow reports the max seen.
+      if (i + 1 == buckets_.size()) return max_;
+      return static_cast<double>(i + 1) * bucket_width_;
+    }
+  }
+  return max_;
+}
+
+}  // namespace ndft::sim

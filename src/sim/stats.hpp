@@ -1,0 +1,73 @@
+#pragma once
+// Lightweight named statistics used by every hardware model.
+//
+// A StatSet is a flat map from dotted names ("dram.row_hits") to counters.
+// Models own a StatSet each; reports aggregate them via snapshot().
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ndft::sim {
+
+/// A flat collection of named double-precision statistics.
+class StatSet {
+ public:
+  /// Adds `delta` to the named counter (creating it at zero first).
+  void add(const std::string& name, double delta = 1.0);
+
+  /// Sets the named statistic to an absolute value.
+  void set(const std::string& name, double value);
+
+  /// Reads a statistic; returns 0 for names never touched.
+  double get(const std::string& name) const;
+
+  /// True if the statistic exists.
+  bool contains(const std::string& name) const;
+
+  /// All statistics in name order.
+  const std::map<std::string, double>& snapshot() const noexcept {
+    return values_;
+  }
+
+  /// Merges another StatSet into this one, prefixing each name.
+  void merge_prefixed(const std::string& prefix, const StatSet& other);
+
+  /// Removes all statistics.
+  void clear() { values_.clear(); }
+
+  /// Renders "name = value" lines, one per statistic.
+  std::string render() const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Fixed-width histogram for latency distributions.
+class Histogram {
+ public:
+  /// Buckets of `bucket_width` starting at zero, plus an overflow bucket.
+  Histogram(double bucket_width, std::size_t bucket_count);
+
+  /// Records one sample.
+  void record(double value);
+
+  /// Number of samples recorded.
+  std::uint64_t count() const noexcept { return count_; }
+  /// Mean of recorded samples (0 when empty).
+  double mean() const noexcept;
+  /// Maximum recorded sample (0 when empty).
+  double max() const noexcept { return max_; }
+  /// Approximate p-th percentile (0 <= p <= 100) from bucket boundaries.
+  double percentile(double p) const;
+
+ private:
+  double bucket_width_;
+  std::vector<std::uint64_t> buckets_;  // last bucket = overflow
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ndft::sim

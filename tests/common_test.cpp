@@ -1,0 +1,224 @@
+// Unit tests for the common substrate: PRNG, math helpers, units/clocks,
+// string formatting and the table printer.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "common/prng.hpp"
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+
+namespace ndft {
+namespace {
+
+TEST(PrngTest, DeterministicForSameSeed) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiverge) {
+  Prng a(1);
+  Prng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 95);
+}
+
+TEST(PrngTest, NextBelowStaysInRange) {
+  Prng prng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 17ull, 1000ull, 1ull << 30}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(prng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(PrngTest, NextBelowHandlesLargeBounds) {
+  Prng prng(9);
+  const std::uint64_t bound = (1ull << 40) + 12345;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(prng.next_below(bound), bound);
+  }
+}
+
+TEST(PrngTest, DoubleInUnitInterval) {
+  Prng prng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = prng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // uniform mean
+}
+
+TEST(PrngTest, NormalHasUnitVarianceRoughly) {
+  Prng prng(11);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = prng.next_normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.1);
+}
+
+TEST(PrngTest, BernoulliMatchesProbability) {
+  Prng prng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (prng.next_bool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(ceil_div<std::uint64_t>(0, 4), 0u);
+  EXPECT_EQ(ceil_div<std::uint64_t>(1, 4), 1u);
+  EXPECT_EQ(ceil_div<std::uint64_t>(4, 4), 1u);
+  EXPECT_EQ(ceil_div<std::uint64_t>(5, 4), 2u);
+}
+
+TEST(MathUtilTest, RoundUp) {
+  EXPECT_EQ(round_up<std::uint64_t>(0, 64), 0u);
+  EXPECT_EQ(round_up<std::uint64_t>(1, 64), 64u);
+  EXPECT_EQ(round_up<std::uint64_t>(64, 64), 64u);
+  EXPECT_EQ(round_up<std::uint64_t>(65, 64), 128u);
+}
+
+TEST(MathUtilTest, PowersOfTwo) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(48));
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(4096), 12u);
+  EXPECT_EQ(log2_floor(5), 2u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4096), 4096u);
+}
+
+TEST(MathUtilTest, BitsExtraction) {
+  EXPECT_EQ(bits(0b1101100, 2, 3), 0b011u);
+  EXPECT_EQ(bits(0xFF00, 8, 8), 0xFFu);
+  EXPECT_EQ(bits(0, 5, 7), 0u);
+}
+
+TEST(MathUtilTest, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(relative_difference(1.0, 1.0), 0.0);
+  EXPECT_NEAR(relative_difference(1.0, 1.1), 0.0909, 1e-3);
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.1));
+}
+
+TEST(ClockTest, PeriodAndConversion) {
+  const Clock clock(2000);  // 2 GHz
+  EXPECT_EQ(clock.period_ps(), 500u);
+  EXPECT_EQ(clock.to_ps(4), 2000u);
+  EXPECT_EQ(clock.to_cycles(2400), 4u);
+}
+
+TEST(ClockTest, NextEdgeRoundsUp) {
+  const Clock clock(1000);  // 1 GHz, 1000 ps period
+  EXPECT_EQ(clock.next_edge(0), 0u);
+  EXPECT_EQ(clock.next_edge(1), 1000u);
+  EXPECT_EQ(clock.next_edge(1000), 1000u);
+  EXPECT_EQ(clock.next_edge(1001), 2000u);
+}
+
+TEST(ClockTest, RejectsZeroFrequency) {
+  EXPECT_THROW(Clock(0), NdftError);
+}
+
+TEST(UnitsTest, ByteLiterals) {
+  EXPECT_EQ(4_KiB, 4096u);
+  EXPECT_EQ(1_MiB, 1048576u);
+  EXPECT_EQ(2_GiB, 2147483648ull);
+}
+
+TEST(UnitsTest, TransferTime) {
+  // 1 GB at 1 GB/s = 1 second = 1e12 ps.
+  EXPECT_NEAR(static_cast<double>(transfer_time_ps(1000000000ull, 1.0)),
+              1e12, 1e9);
+  // 64 B at 64 GB/s = 1 ns.
+  EXPECT_EQ(transfer_time_ps(64, 64.0), 1000u);
+}
+
+TEST(StrUtilTest, Formatting) {
+  EXPECT_EQ(strformat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(4096), "4.00 KiB");
+  EXPECT_EQ(format_speedup(2.5), "2.50x");
+  EXPECT_EQ(format_percent(0.5515), "55.15 %");
+}
+
+TEST(StrUtilTest, FormatTimeUnits) {
+  EXPECT_EQ(format_time(500), "500 ps");
+  EXPECT_EQ(format_time(1500), "1.50 ns");
+  EXPECT_EQ(format_time(2500000), "2.50 us");
+  EXPECT_EQ(format_time(3 * kPsPerMs), "3.00 ms");
+  EXPECT_EQ(format_time(2 * kPsPerSec), "2.000 s");
+}
+
+TEST(StrUtilTest, JoinAndPad) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_right("abcdef", 3), "abc");
+}
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("longer  22"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTableTest, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), NdftError);
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable table({"k", "v"});
+  table.add_row({"a,b", "say \"hi\""});
+  const std::string csv = table.render_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(ErrorTest, AssertMacroThrows) {
+  EXPECT_THROW([] { NDFT_ASSERT(1 == 2); }(), NdftError);
+  EXPECT_NO_THROW([] { NDFT_ASSERT(1 == 1); }());
+  EXPECT_THROW([] { NDFT_REQUIRE(false, "nope"); }(), NdftError);
+}
+
+TEST(TypesTest, EnumNames) {
+  EXPECT_STREQ(to_string(DeviceKind::kCpu), "CPU");
+  EXPECT_STREQ(to_string(DeviceKind::kNdp), "NDP");
+  EXPECT_STREQ(to_string(DeviceKind::kGpu), "GPU");
+  EXPECT_STREQ(to_string(AccessPattern::kBlocked), "blocked");
+  EXPECT_STREQ(to_string(KernelClass::kFft), "FFT");
+  EXPECT_STREQ(to_string(KernelClass::kAlltoall), "Alltoall");
+}
+
+}  // namespace
+}  // namespace ndft

@@ -1,0 +1,515 @@
+// Tests for the extension modules: SCF ground state, the block Davidson
+// solver, optical spectra, the adaptive scheduler and the DRAM page
+// policies.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cli.hpp"
+#include "core/ndft_system.hpp"
+#include "dft/davidson.hpp"
+#include "dft/scf.hpp"
+#include "dft/spectrum.hpp"
+#include "mem/dram_system.hpp"
+#include "runtime/adaptive.hpp"
+
+namespace ndft {
+namespace {
+
+// ------------------------------------------------------------------- SCF
+
+class ScfFixture : public ::testing::Test {
+ protected:
+  ScfFixture()
+      : crystal(dft::Crystal::silicon_supercell(8)),
+        basis(crystal, 2.0) {}
+
+  dft::Crystal crystal;
+  dft::PlaneWaveBasis basis;
+};
+
+TEST_F(ScfFixture, ConvergesForSilicon) {
+  dft::ScfConfig config;
+  config.max_iterations = 40;
+  config.tolerance = 1e-5;
+  const dft::ScfResult result = dft::solve_scf(basis, config);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.history.back().density_residual, 1e-5);
+  EXPECT_GT(result.history.size(), 2u);  // not trivially converged
+}
+
+TEST_F(ScfFixture, DensityIntegratesToElectronCount) {
+  dft::ScfConfig config;
+  config.tolerance = 1e-4;
+  const dft::ScfResult result = dft::solve_scf(basis, config);
+  // 8 Si atoms x 4 valence electrons = 32 electrons.
+  EXPECT_NEAR(result.electron_count(basis), 32.0, 0.5);
+  for (const double n : result.density) {
+    EXPECT_GE(n, 0.0);
+  }
+}
+
+TEST_F(ScfFixture, ResidualDecreasesOverall) {
+  dft::ScfConfig config;
+  config.max_iterations = 25;
+  config.tolerance = 1e-7;  // force a long history
+  const dft::ScfResult result = dft::solve_scf(basis, config);
+  ASSERT_GE(result.history.size(), 5u);
+  const double early = result.history[1].density_residual;
+  const double late = result.history.back().density_residual;
+  EXPECT_LT(late, early);
+}
+
+TEST_F(ScfFixture, KeepsAGap) {
+  dft::ScfConfig config;
+  config.tolerance = 1e-4;
+  const dft::ScfResult result = dft::solve_scf(basis, config);
+  // Self-consistency shifts the EPM bands but silicon stays gapped.
+  EXPECT_GT(result.history.back().gap_ev, 0.1);
+  EXPECT_LT(result.history.back().gap_ev, 5.0);
+}
+
+TEST_F(ScfFixture, AndersonConvergesAtLeastAsFastAsLinear) {
+  dft::ScfConfig linear;
+  linear.tolerance = 1e-6;
+  linear.max_iterations = 60;
+  const dft::ScfResult base = dft::solve_scf(basis, linear);
+  dft::ScfConfig anderson = linear;
+  anderson.scheme = dft::MixingScheme::kAnderson;
+  const dft::ScfResult accelerated = dft::solve_scf(basis, anderson);
+  EXPECT_TRUE(base.converged);
+  EXPECT_TRUE(accelerated.converged);
+  EXPECT_LE(accelerated.history.size(), base.history.size());
+  // Both fixed points agree.
+  EXPECT_NEAR(accelerated.history.back().gap_ev,
+              base.history.back().gap_ev, 0.05);
+}
+
+TEST_F(ScfFixture, RejectsBadConfig) {
+  dft::ScfConfig config;
+  config.mixing = 0.0;
+  EXPECT_THROW(dft::solve_scf(basis, config), NdftError);
+  config.mixing = 0.4;
+  config.tolerance = -1.0;
+  EXPECT_THROW(dft::solve_scf(basis, config), NdftError);
+}
+
+TEST(LdaTest, ExchangeCorrelationLimits) {
+  // V_xc < 0 and monotone in density; known value at rs = 1 ballpark.
+  EXPECT_LT(dft::lda_vxc(0.1), 0.0);
+  EXPECT_LT(dft::lda_vxc(1.0), dft::lda_vxc(0.01));
+  EXPECT_LT(dft::lda_exc(0.1), 0.0);
+  // Exchange-only part at n = 1: -(3/pi)^(1/3) ~ -0.9847; with
+  // correlation the potential is a bit deeper.
+  EXPECT_LT(dft::lda_vxc(1.0), -0.98);
+  EXPECT_GT(dft::lda_vxc(1.0), -1.25);
+}
+
+// -------------------------------------------------------------- Davidson
+
+dft::RealMatrix test_matrix(std::size_t n) {
+  // Diagonally dominant symmetric matrix with a known-ish low spectrum.
+  dft::RealMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = static_cast<double>(i) + 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      const double v = 0.1 / static_cast<double>(i + j + 1);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+TEST(DavidsonTest, MatchesDenseSolverOnLowestPairs) {
+  const std::size_t n = 120;
+  const dft::RealMatrix m = test_matrix(n);
+  const dft::EigenResult dense = dft::syev(m);
+  dft::DavidsonConfig config;
+  config.wanted = 5;
+  config.tolerance = 1e-9;
+  const dft::DavidsonResult iterative = dft::davidson(m, config);
+  EXPECT_TRUE(iterative.converged);
+  ASSERT_EQ(iterative.eigenvalues.size(), 5u);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(iterative.eigenvalues[k], dense.eigenvalues[k], 1e-7);
+  }
+}
+
+TEST(DavidsonTest, EigenvectorsHaveSmallResidual) {
+  const std::size_t n = 80;
+  const dft::RealMatrix m = test_matrix(n);
+  dft::DavidsonConfig config;
+  config.wanted = 3;
+  const dft::DavidsonResult result = dft::davidson(m, config);
+  ASSERT_TRUE(result.converged);
+  for (std::size_t k = 0; k < 3; ++k) {
+    double residual2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += m(i, j) * result.eigenvectors(j, k);
+      }
+      acc -= result.eigenvalues[k] * result.eigenvectors(i, k);
+      residual2 += acc * acc;
+    }
+    EXPECT_LT(std::sqrt(residual2), 1e-6);
+  }
+}
+
+TEST(DavidsonTest, MatrixFreeOperator) {
+  // 1D Laplacian stencil, matrix-free: lowest eigenvalue of the n-point
+  // Dirichlet Laplacian is 2 - 2 cos(pi/(n+1)).
+  const std::size_t n = 64;
+  const dft::ApplyFn apply = [n](const std::vector<double>& x,
+                                 std::vector<double>& y) {
+    y.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = 2.0 * x[i];
+      if (i > 0) y[i] -= x[i - 1];
+      if (i + 1 < n) y[i] -= x[i + 1];
+    }
+  };
+  std::vector<double> diagonal(n, 2.0);
+  dft::DavidsonConfig config;
+  config.wanted = 2;
+  // The uniform diagonal makes the Jacobi preconditioner toothless here,
+  // so keep a realistic tolerance.
+  config.tolerance = 1e-8;
+  config.max_iterations = 400;
+  const dft::DavidsonResult result = dft::davidson(n, apply, diagonal,
+                                                   config);
+  const double pi = std::numbers::pi;
+  ASSERT_GE(result.eigenvalues.size(), 2u);
+  EXPECT_NEAR(result.eigenvalues[0],
+              2.0 - 2.0 * std::cos(pi / static_cast<double>(n + 1)), 1e-7);
+  EXPECT_NEAR(result.eigenvalues[1],
+              2.0 - 2.0 * std::cos(2.0 * pi / static_cast<double>(n + 1)),
+              1e-7);
+}
+
+TEST(DavidsonTest, UsesFarFewerApplicationsThanDense) {
+  const std::size_t n = 200;
+  const dft::RealMatrix m = test_matrix(n);
+  dft::DavidsonConfig config;
+  config.wanted = 4;
+  const dft::DavidsonResult result = dft::davidson(m, config);
+  EXPECT_TRUE(result.converged);
+  // The point of the iterative solver: o(n) operator applications.
+  EXPECT_LT(result.operator_applications, n);
+}
+
+TEST(DavidsonTest, RejectsBadRequests) {
+  const dft::RealMatrix m = test_matrix(8);
+  dft::DavidsonConfig config;
+  config.wanted = 0;
+  EXPECT_THROW(dft::davidson(m, config), NdftError);
+  config.wanted = 20;  // more than n
+  EXPECT_THROW(dft::davidson(m, config), NdftError);
+}
+
+// ---------------------------------------------------------------- spectra
+
+class SpectrumFixture : public ::testing::Test {
+ protected:
+  SpectrumFixture()
+      : crystal(dft::Crystal::silicon_supercell(8)),
+        basis(crystal, 2.25),
+        ground(dft::solve_epm(basis, 24)) {
+    config.valence_window = 4;
+    config.conduction_window = 4;
+  }
+
+  dft::Crystal crystal;
+  dft::PlaneWaveBasis basis;
+  dft::GroundState ground;
+  dft::LrTddftConfig config;
+};
+
+TEST_F(SpectrumFixture, MomentumElementsNonNegative) {
+  const std::vector<double> p2 =
+      dft::momentum_matrix_elements(basis, ground, config);
+  EXPECT_EQ(p2.size(), 16u);
+  double total = 0.0;
+  for (const double value : p2) {
+    EXPECT_GE(value, 0.0);
+    total += value;
+  }
+  EXPECT_GT(total, 0.0);  // silicon absorbs light
+}
+
+TEST_F(SpectrumFixture, OscillatorStrengthsNonNegativeAndFinite) {
+  const auto lines = dft::oscillator_strengths(basis, ground, config);
+  EXPECT_EQ(lines.size(), 16u);
+  for (const auto& line : lines) {
+    EXPECT_GT(line.energy_ev, 0.0);
+    EXPECT_GE(line.strength, 0.0);
+    EXPECT_TRUE(std::isfinite(line.strength));
+  }
+}
+
+TEST_F(SpectrumFixture, SpectrumPeaksNearStrongLines) {
+  const auto lines = dft::oscillator_strengths(basis, ground, config);
+  // Find the strongest line and evaluate the broadened spectrum on/off it.
+  const auto strongest =
+      std::max_element(lines.begin(), lines.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.strength < b.strength;
+                       });
+  ASSERT_NE(strongest, lines.end());
+  const std::vector<double> on{strongest->energy_ev};
+  const std::vector<double> off{strongest->energy_ev + 30.0};
+  EXPECT_GT(dft::absorption_spectrum(lines, on, 0.1)[0],
+            dft::absorption_spectrum(lines, off, 0.1)[0]);
+}
+
+TEST_F(SpectrumFixture, BroadeningConservesArea) {
+  // The integral of each Lorentzian is its oscillator strength; on a wide
+  // dense grid the summed spectrum area approximates sum(f_I).
+  const auto lines = dft::oscillator_strengths(basis, ground, config);
+  double total_strength = 0.0;
+  for (const auto& line : lines) total_strength += line.strength;
+  std::vector<double> grid;
+  const double lo = 0.0, hi = 80.0, step = 0.02;
+  for (double e = lo; e < hi; e += step) grid.push_back(e);
+  const std::vector<double> sigma =
+      dft::absorption_spectrum(lines, grid, 0.2);
+  double area = 0.0;
+  for (const double s : sigma) area += s * step;
+  EXPECT_NEAR(area, total_strength, 0.15 * total_strength + 1e-12);
+}
+
+// ------------------------------------------------------------- adaptive
+
+TEST(AdaptiveSchedulerTest, MeasurementsOverrideEstimates) {
+  const runtime::Sca sca(runtime::DeviceProfile::table3_cpu(),
+                         runtime::DeviceProfile::table3_ndp());
+  const runtime::CostModel cost(runtime::DeviceProfile::table3_cpu(),
+                                runtime::DeviceProfile::table3_ndp());
+  runtime::AdaptiveScheduler adaptive(sca, cost);
+  const dft::Workload w =
+      dft::Workload::lrtddft_iteration(dft::SystemDims::silicon(64));
+  const dft::KernelWork& fft = w.kernels[2];
+  ASSERT_EQ(fft.cls, KernelClass::kFft);
+
+  const TimePs estimate = adaptive.believed_time(fft, DeviceKind::kNdp);
+  adaptive.record(fft.name, DeviceKind::kNdp, estimate * 10);
+  EXPECT_TRUE(adaptive.has_measurement(fft.name, DeviceKind::kNdp));
+  EXPECT_EQ(adaptive.believed_time(fft, DeviceKind::kNdp), estimate * 10);
+}
+
+TEST(AdaptiveSchedulerTest, RepeatedMeasurementsBlend) {
+  const runtime::Sca sca(runtime::DeviceProfile::table3_cpu(),
+                         runtime::DeviceProfile::table3_ndp());
+  const runtime::CostModel cost(runtime::DeviceProfile::table3_cpu(),
+                                runtime::DeviceProfile::table3_ndp());
+  runtime::AdaptiveScheduler adaptive(sca, cost);
+  dft::KernelWork k;
+  k.name = "probe";
+  adaptive.record("probe", DeviceKind::kCpu, 1000);
+  adaptive.record("probe", DeviceKind::kCpu, 3000);
+  const TimePs blended = adaptive.believed_time(k, DeviceKind::kCpu);
+  EXPECT_GT(blended, 1000u);
+  EXPECT_LT(blended, 3000u);
+}
+
+TEST(AdaptiveSchedulerTest, CorrectsMisprofiledPlan) {
+  // SCA believes the CPU has HBM bandwidth -> static plan keeps FFT on
+  // CPU; a measurement showing NDP 10x faster flips the placement.
+  runtime::DeviceProfile wrong_cpu = runtime::DeviceProfile::table3_cpu();
+  wrong_cpu.dram_gbps = 5000.0;
+  const runtime::Sca sca(wrong_cpu, runtime::DeviceProfile::table3_ndp());
+  const runtime::CostModel cost(wrong_cpu,
+                                runtime::DeviceProfile::table3_ndp());
+  const dft::Workload w =
+      dft::Workload::lrtddft_iteration(dft::SystemDims::silicon(256));
+
+  const runtime::Scheduler static_scheduler(sca, cost);
+  const runtime::ExecutionPlan static_plan = static_scheduler.plan(w);
+  // Sanity: the wrong profile keeps at least one memory kernel on CPU.
+  bool any_mem_on_cpu = false;
+  for (std::size_t i = 0; i < w.kernels.size(); ++i) {
+    if (w.kernels[i].cls == KernelClass::kFft &&
+        static_plan.placements[i].device == DeviceKind::kCpu) {
+      any_mem_on_cpu = true;
+    }
+  }
+  ASSERT_TRUE(any_mem_on_cpu);
+
+  runtime::AdaptiveScheduler adaptive(sca, cost);
+  for (const dft::KernelWork& k : w.kernels) {
+    if (k.cls == KernelClass::kFft) {
+      adaptive.record(k.name, DeviceKind::kCpu, 1000 * kPsPerMs);
+      adaptive.record(k.name, DeviceKind::kNdp, 100 * kPsPerMs);
+    }
+  }
+  const runtime::ExecutionPlan adapted = adaptive.plan(w);
+  for (std::size_t i = 0; i < w.kernels.size(); ++i) {
+    if (w.kernels[i].cls == KernelClass::kFft) {
+      EXPECT_EQ(adapted.placements[i].device, DeviceKind::kNdp);
+    }
+  }
+}
+
+// ------------------------------------------------------------ page policy
+
+TEST(PagePolicyTest, OpenPageWinsOnStreams) {
+  const auto stream_time = [](mem::PagePolicy policy) {
+    sim::EventQueue queue;
+    mem::DramConfig config = mem::DramConfig::xeon_ddr4();
+    config.access_latency_ps = 0;
+    config.page_policy = policy;
+    mem::DramSystem dram("d", queue, config);
+    TimePs last = 0;
+    for (unsigned i = 0; i < 2000; ++i) {
+      mem::MemRequest req;
+      req.addr = Addr(i) * 64;
+      req.size = 64;
+      req.on_complete = [&last](TimePs at) { last = std::max(last, at); };
+      dram.access(std::move(req));
+    }
+    queue.run();
+    return last;
+  };
+  EXPECT_GT(stream_time(mem::PagePolicy::kClosed),
+            stream_time(mem::PagePolicy::kOpen) * 3);
+}
+
+TEST(PagePolicyTest, ClosedPageHasNoRowHits) {
+  sim::EventQueue queue;
+  mem::DramConfig config = mem::DramConfig::xeon_ddr4();
+  config.access_latency_ps = 0;
+  config.page_policy = mem::PagePolicy::kClosed;
+  mem::DramSystem dram("d", queue, config);
+  for (unsigned i = 0; i < 500; ++i) {
+    mem::MemRequest req;
+    req.addr = Addr(i) * 64;
+    req.size = 64;
+    dram.access(std::move(req));
+  }
+  queue.run();
+  sim::StatSet stats;
+  dram.collect_stats("dram", stats);
+  double hits = 0;
+  for (const auto& [name, value] : stats.snapshot()) {
+    if (name.find("row_hits") != std::string::npos) hits += value;
+  }
+  EXPECT_DOUBLE_EQ(hits, 0.0);
+}
+
+// ---------------------------------------------------------------- energy
+
+TEST(DramEnergyTest, ChannelEnergyArithmetic) {
+  const mem::DramEnergy e = mem::DramEnergy::ddr4();
+  // 10 ACTs, 100 reads, 50 writes, no refresh, no time.
+  const double nj = mem::channel_energy_nj(e, 10, 100, 50, 0, 0);
+  EXPECT_NEAR(nj, 10 * e.act_pre_nj + 100 * e.read_nj + 50 * e.write_nj,
+              1e-9);
+  // Background: 150 mW for 1 us = 150 nJ.
+  EXPECT_NEAR(mem::channel_energy_nj(e, 0, 0, 0, 0, kPsPerUs),
+              e.background_mw, 1e-9);
+}
+
+TEST(DramEnergyTest, Hbm2CheaperPerAccessThanDdr4) {
+  const mem::DramEnergy ddr = mem::DramEnergy::ddr4();
+  const mem::DramEnergy hbm = mem::DramEnergy::hbm2();
+  EXPECT_LT(hbm.read_nj, ddr.read_nj / 2);
+  EXPECT_LT(hbm.act_pre_nj, ddr.act_pre_nj);
+}
+
+TEST(DramEnergyTest, RefreshFoldsIntoBackground) {
+  const mem::DramEnergy hbm = mem::DramEnergy::hbm2();
+  const TimePs trefi = 3900 * 1000;  // 3.9 us
+  const double with_refresh = hbm.background_with_refresh_mw(trefi);
+  EXPECT_GT(with_refresh, hbm.background_mw);
+  // 60 nJ / 3.9 us ~ 15.4 mW.
+  EXPECT_NEAR(with_refresh - hbm.background_mw, 15.38, 0.1);
+}
+
+TEST(DramEnergyTest, DramSystemAccumulatesEnergy) {
+  sim::EventQueue queue;
+  mem::DramConfig config = mem::DramConfig::xeon_ddr4();
+  config.access_latency_ps = 0;
+  mem::DramSystem dram("d", queue, config);
+  EXPECT_DOUBLE_EQ(dram.dynamic_energy_nj(mem::DramEnergy::ddr4()), 0.0);
+  for (unsigned i = 0; i < 100; ++i) {
+    mem::MemRequest req;
+    req.addr = Addr(i) * 64;
+    req.size = 64;
+    dram.access(std::move(req));
+  }
+  queue.run();
+  const double nj = dram.dynamic_energy_nj(mem::DramEnergy::ddr4());
+  EXPECT_GT(nj, 100 * 4.0);        // at least the read bursts
+  EXPECT_LT(nj, 100 * 20.0);       // bounded by a few nJ per access
+}
+
+TEST(EnergyReportTest, AllModesReportPositiveEnergy) {
+  core::SystemConfig config = core::SystemConfig::paper_default();
+  config.sampled_ops_per_kernel = 20000;
+  config.min_ops_per_core = 200;
+  const core::NdftSystem system(config);
+  const dft::Workload w = system.workload_for(16);
+  for (const core::ExecMode mode :
+       {core::ExecMode::kCpuBaseline, core::ExecMode::kGpuBaseline,
+        core::ExecMode::kNdft}) {
+    const core::RunReport report = system.run(w, mode);
+    EXPECT_GT(report.memory_energy_mj, 0.0) << to_string(mode);
+    EXPECT_LT(report.memory_energy_mj, 1e6) << to_string(mode);
+  }
+}
+
+// -------------------------------------------------------------------- CLI
+
+TEST(CliArgsTest, ParsesFlagsAndPositionals) {
+  // Note the convention: a flag consumes the next non-flag token as its
+  // value, so positionals must precede value-less flags.
+  const char* argv[] = {"prog", "input.dat", "--atoms", "256",
+                        "--mode", "ndft", "--csv"};
+  const core::CliArgs args(7, argv);
+  EXPECT_EQ(args.get_int("atoms", 0), 256);
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_EQ(args.get("mode", "x"), "ndft");
+  EXPECT_EQ(args.get("absent", "fallback"), "fallback");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.dat");
+}
+
+TEST(CliArgsTest, RejectsMalformedIntegers) {
+  const char* argv[] = {"prog", "--atoms", "many"};
+  const core::CliArgs args(3, argv);
+  EXPECT_THROW(args.get_int("atoms", 0), NdftError);
+  EXPECT_EQ(args.get_int("absent", 7), 7);
+}
+
+// ---------------------------------------------------------- planned runs
+
+TEST(RunPlannedTest, HonoursCallerPlacements) {
+  core::SystemConfig config = core::SystemConfig::paper_default();
+  config.sampled_ops_per_kernel = 20000;
+  config.min_ops_per_core = 200;
+  const core::NdftSystem system(config);
+  const dft::Workload w = system.workload_for(16);
+  runtime::ExecutionPlan plan;
+  plan.placements.assign(w.kernels.size(), runtime::Placement{});
+  for (std::size_t i = 0; i < plan.placements.size(); ++i) {
+    plan.placements[i].device =
+        (i % 2 == 0) ? DeviceKind::kCpu : DeviceKind::kNdp;
+  }
+  const core::RunReport report = system.run_planned(w, plan);
+  for (std::size_t i = 0; i < report.kernels.size(); ++i) {
+    EXPECT_EQ(report.kernels[i].device, plan.placements[i].device);
+  }
+}
+
+TEST(RunPlannedTest, RejectsMismatchedPlan) {
+  const core::NdftSystem system;
+  const dft::Workload w = system.workload_for(16);
+  runtime::ExecutionPlan plan;  // empty
+  EXPECT_THROW(system.run_planned(w, plan), NdftError);
+}
+
+}  // namespace
+}  // namespace ndft

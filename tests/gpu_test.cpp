@@ -1,0 +1,114 @@
+// Unit tests for the analytical GPU baseline model.
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "gpu/gpu_model.hpp"
+
+namespace ndft::gpu {
+namespace {
+
+TEST(GpuConfigTest, Dgx1Preset) {
+  const GpuConfig config = GpuConfig::dgx1_v100x2();
+  EXPECT_NEAR(config.peak_gflops, 15600.0, 1.0);
+  EXPECT_NEAR(config.mem_gbps, 1800.0, 1.0);
+  EXPECT_EQ(config.device_memory, 32ull << 30);
+}
+
+TEST(GpuModelTest, TransferScalesLinearly) {
+  const GpuModel model(GpuConfig::dgx1_v100x2());
+  EXPECT_EQ(model.transfer(0), 0u);
+  const TimePs one_gb = model.transfer(1'000'000'000);
+  const TimePs two_gb = model.transfer(2'000'000'000);
+  EXPECT_NEAR(static_cast<double>(two_gb),
+              2.0 * static_cast<double>(one_gb), 10.0);
+  // 1 GB at 16 GB/s = 62.5 ms.
+  EXPECT_NEAR(static_cast<double>(one_gb) / kPsPerMs, 62.5, 1.0);
+}
+
+TEST(GpuModelTest, PeerTransferUsesNvlink) {
+  const GpuModel model(GpuConfig::dgx1_v100x2());
+  // NVLink (140 GB/s) much faster than PCIe (16 GB/s).
+  EXPECT_LT(model.peer_transfer(1 << 30) * 5, model.transfer(1 << 30));
+}
+
+TEST(GpuModelTest, ComputeBoundKernelTime) {
+  GpuConfig config = GpuConfig::dgx1_v100x2();
+  config.kernel_launch_ps = 0;
+  const GpuModel model(config);
+  // 15.6 TFLOP of perfectly-efficient work would take 1 s; at the GEMM
+  // efficiency it takes 1/eff seconds.
+  const Flops flops = 15'600'000'000'000ull;
+  const GpuStepTime t =
+      model.execute(KernelClass::kGemm, flops, /*device_bytes=*/0, 0, 0);
+  EXPECT_NEAR(static_cast<double>(t.kernel) / kPsPerSec,
+              1.0 / config.gemm.compute, 0.01);
+}
+
+TEST(GpuModelTest, MemoryBoundKernelTime) {
+  GpuConfig config = GpuConfig::dgx1_v100x2();
+  config.kernel_launch_ps = 0;
+  const GpuModel model(config);
+  // Pure streaming: 1.8 TB at full efficiency would be 1 s.
+  const Bytes bytes = 1'800'000'000'000ull;
+  const GpuStepTime t =
+      model.execute(KernelClass::kFaceSplit, /*flops=*/0, bytes, 0, 0);
+  EXPECT_NEAR(static_cast<double>(t.kernel) / kPsPerSec,
+              1.0 / config.face_split.memory, 0.01);
+}
+
+TEST(GpuModelTest, RooflineTakesTheMax) {
+  GpuConfig config = GpuConfig::dgx1_v100x2();
+  config.kernel_launch_ps = 0;
+  const GpuModel model(config);
+  const GpuStepTime compute_only =
+      model.execute(KernelClass::kFft, 1'000'000'000'000ull, 0, 0, 0);
+  const GpuStepTime memory_only =
+      model.execute(KernelClass::kFft, 0, 1'000'000'000'000ull, 0, 0);
+  const GpuStepTime both = model.execute(
+      KernelClass::kFft, 1'000'000'000'000ull, 1'000'000'000'000ull, 0, 0);
+  EXPECT_EQ(both.kernel, std::max(compute_only.kernel, memory_only.kernel));
+}
+
+TEST(GpuModelTest, TransfersAddToTotal) {
+  const GpuModel model(GpuConfig::dgx1_v100x2());
+  const GpuStepTime t = model.execute(KernelClass::kFft, 1000, 1000,
+                                      1 << 20, 1 << 21);
+  EXPECT_GT(t.h2d, 0u);
+  EXPECT_NEAR(static_cast<double>(t.d2h),
+              2.0 * static_cast<double>(t.h2d), 2000.0);
+  EXPECT_EQ(t.total(), t.h2d + t.kernel + t.d2h);
+}
+
+TEST(GpuModelTest, EfficiencyTableCoversAllClasses) {
+  const GpuConfig config = GpuConfig::dgx1_v100x2();
+  for (const KernelClass cls :
+       {KernelClass::kFft, KernelClass::kFaceSplit, KernelClass::kGemm,
+        KernelClass::kSyevd, KernelClass::kPseudopotential,
+        KernelClass::kAlltoall, KernelClass::kOther}) {
+    const KernelEfficiency& eff = config.efficiency(cls);
+    EXPECT_GT(eff.compute, 0.0);
+    EXPECT_LE(eff.compute, 1.0);
+    EXPECT_GT(eff.memory, 0.0);
+    EXPECT_LE(eff.memory, 1.0);
+  }
+}
+
+TEST(GpuModelTest, LaunchOverheadIncluded) {
+  GpuConfig config = GpuConfig::dgx1_v100x2();
+  config.kernel_launch_ps = 123456;
+  const GpuModel model(config);
+  const GpuStepTime t = model.execute(KernelClass::kOther, 0, 0, 0, 0);
+  EXPECT_EQ(t.kernel, 123456u);
+}
+
+TEST(GpuModelTest, GemmEfficiencyIsSmallForTallSkinny) {
+  // Calibration guard: the tall-skinny response GEMM must run at
+  // single-digit percent of FP64 peak (see DESIGN.md).
+  const GpuConfig config = GpuConfig::dgx1_v100x2();
+  EXPECT_LT(config.gemm.compute, 0.10);
+  EXPECT_GT(config.gemm.compute, 0.01);
+}
+
+}  // namespace
+}  // namespace ndft::gpu

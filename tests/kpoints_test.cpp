@@ -1,0 +1,151 @@
+// Tests for the k-point machinery: primitive cell, high-symmetry paths,
+// Monkhorst-Pack grids and the silicon band structure's known features.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dft/kpoints.hpp"
+
+namespace ndft::dft {
+namespace {
+
+constexpr double kEvPerHa = 27.211386;
+
+TEST(PrimitiveCellTest, TwoAtomsAndFccVolume) {
+  const Crystal primitive = silicon_primitive();
+  EXPECT_EQ(primitive.atom_count(), 2u);
+  const double a0 = kSiliconLatticeBohr;
+  EXPECT_NEAR(primitive.volume(), a0 * a0 * a0 / 4.0, 1e-6);
+}
+
+TEST(PrimitiveCellTest, SameBondLengthAsSupercell) {
+  const Crystal primitive = silicon_primitive();
+  const auto& pos = primitive.positions();
+  const double bond = std::sqrt((pos[0] - pos[1]).norm2());
+  EXPECT_NEAR(bond, std::sqrt(3.0) / 4.0 * kSiliconLatticeBohr, 1e-9);
+}
+
+TEST(KPathTest, LabelsAndLegStructure) {
+  const std::vector<KPoint> path = fcc_kpath(kSiliconLatticeBohr, 5);
+  EXPECT_EQ(path.size(), 4u * 5 + 1);
+  EXPECT_EQ(path.front().label, "L");
+  EXPECT_EQ(path.back().label, "Gamma");
+  unsigned labelled = 0;
+  for (const KPoint& kp : path) {
+    if (!kp.label.empty()) ++labelled;
+  }
+  EXPECT_EQ(labelled, 5u);  // L, Gamma, X, K, Gamma
+}
+
+TEST(KPathTest, GammaIsAtOrigin) {
+  const std::vector<KPoint> path = fcc_kpath(kSiliconLatticeBohr, 4);
+  for (const KPoint& kp : path) {
+    if (kp.label == "Gamma") {
+      EXPECT_NEAR(kp.k.norm2(), 0.0, 1e-18);
+    }
+    if (kp.label == "X") {
+      const double unit = 2.0 * std::numbers::pi / kSiliconLatticeBohr;
+      EXPECT_NEAR(std::sqrt(kp.k.norm2()), unit, 1e-9);
+    }
+  }
+}
+
+TEST(MonkhorstPackTest, WeightsSumToOne) {
+  const Crystal primitive = silicon_primitive();
+  const auto grid = monkhorst_pack(primitive, 3, 3, 3);
+  EXPECT_EQ(grid.size(), 27u);
+  double total = 0.0;
+  for (const KPoint& kp : grid) total += kp.weight;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MonkhorstPackTest, EvenGridAvoidsGamma) {
+  const Crystal primitive = silicon_primitive();
+  for (const KPoint& kp : monkhorst_pack(primitive, 2, 2, 2)) {
+    EXPECT_GT(kp.k.norm2(), 1e-12);  // MP even grids exclude Gamma
+  }
+}
+
+class BandStructureFixture : public ::testing::Test {
+ protected:
+  BandStructureFixture()
+      : primitive(silicon_primitive()), basis(primitive, 4.5) {}
+
+  Crystal primitive;
+  PlaneWaveBasis basis;  // 9 Ry: the classic EPM cutoff
+};
+
+TEST_F(BandStructureFixture, GammaMatchesGammaOnlySolver) {
+  KPoint gamma;
+  const BandsAtK at_gamma = solve_epm_at_k(basis, gamma, 8);
+  const GroundState reference = solve_epm(basis, 8);
+  for (std::size_t b = 0; b < 8; ++b) {
+    EXPECT_NEAR(at_gamma.energies_ha[b], reference.energies_ha[b], 1e-10);
+  }
+}
+
+TEST_F(BandStructureFixture, BandsAreContinuousAlongPath) {
+  const auto path = fcc_kpath(kSiliconLatticeBohr, 8);
+  const auto structure = band_structure(basis, path, 6);
+  for (std::size_t i = 1; i < structure.size(); ++i) {
+    for (std::size_t b = 0; b < 6; ++b) {
+      const double jump = std::fabs(structure[i].energies_ha[b] -
+                                    structure[i - 1].energies_ha[b]);
+      EXPECT_LT(jump * kEvPerHa, 2.5)
+          << "band " << b << " jumps at point " << i;
+    }
+  }
+}
+
+TEST_F(BandStructureFixture, SiliconGapsMatchCohenBergstresser) {
+  const auto path = fcc_kpath(kSiliconLatticeBohr, 10);
+  const auto structure = band_structure(basis, path, 6);
+  const GapSummary gap = find_gap(structure, 4);
+  // Indirect gap ~0.8-1.2 eV with the CBM away from Gamma.
+  EXPECT_GT(gap.indirect_gap_ev(), 0.5);
+  EXPECT_LT(gap.indirect_gap_ev(), 1.6);
+  EXPECT_EQ(gap.vbm_label, "Gamma");
+  EXPECT_NE(gap.cbm_label, "Gamma");
+  // Direct gap at Gamma ~3.4 eV.
+  for (const BandsAtK& at_k : structure) {
+    if (at_k.kpoint.label == "Gamma") {
+      const double direct =
+          (at_k.energies_ha[4] - at_k.energies_ha[3]) * kEvPerHa;
+      EXPECT_GT(direct, 2.8);
+      EXPECT_LT(direct, 4.0);
+    }
+  }
+}
+
+TEST_F(BandStructureFixture, ValenceTopIsTripleDegenerateAtGamma) {
+  // Diamond structure: the Gamma_25' valence top is threefold degenerate.
+  KPoint gamma;
+  const BandsAtK at_gamma = solve_epm_at_k(basis, gamma, 6);
+  const double top = at_gamma.energies_ha[3];
+  EXPECT_NEAR(at_gamma.energies_ha[2], top, 1e-6);
+  EXPECT_NEAR(at_gamma.energies_ha[1], top, 1e-6);
+  EXPECT_LT(at_gamma.energies_ha[0], top - 0.2);  // Gamma_1 far below
+}
+
+TEST_F(BandStructureFixture, MpGridGapMatchesPathGap) {
+  // A coarse MP grid sees roughly the same indirect gap as the path scan.
+  const auto grid = monkhorst_pack(primitive, 4, 4, 4);
+  std::vector<BandsAtK> solved;
+  for (const KPoint& kp : grid) {
+    solved.push_back(solve_epm_at_k(basis, kp, 6));
+  }
+  const GapSummary gap = find_gap(solved, 4);
+  EXPECT_GT(gap.indirect_gap_ev(), 0.3);
+  EXPECT_LT(gap.indirect_gap_ev(), 2.0);
+}
+
+TEST(FindGapTest, RejectsDegenerateInput) {
+  EXPECT_THROW(find_gap({}, 4), NdftError);
+  BandsAtK only_valence;
+  only_valence.energies_ha = {1.0, 2.0};
+  EXPECT_THROW(find_gap({only_valence}, 2), NdftError);
+}
+
+}  // namespace
+}  // namespace ndft::dft

@@ -1,0 +1,344 @@
+// Unit and property tests for the dense linear algebra kernels: GEMM
+// against naive reference, the symmetric eigensolver (SYEVD) and the
+// Hermitian eigensolver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/prng.hpp"
+#include "dft/linalg.hpp"
+
+namespace ndft::dft {
+namespace {
+
+RealMatrix random_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed) {
+  Prng prng(seed);
+  RealMatrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) = prng.next_double(-1.0, 1.0);
+    }
+  }
+  return m;
+}
+
+RealMatrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  Prng prng(seed);
+  RealMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = prng.next_double(-1.0, 1.0);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+ComplexMatrix random_hermitian(std::size_t n, std::uint64_t seed) {
+  Prng prng(seed);
+  ComplexMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = Complex{prng.next_double(-1.0, 1.0), 0.0};
+    for (std::size_t j = 0; j < i; ++j) {
+      const Complex v{prng.next_double(-1.0, 1.0),
+                      prng.next_double(-1.0, 1.0)};
+      m(i, j) = v;
+      m(j, i) = std::conj(v);
+    }
+  }
+  return m;
+}
+
+/// Naive reference product for validation.
+RealMatrix naive_product(const RealMatrix& a, const RealMatrix& b) {
+  RealMatrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        acc += a(i, k) * b(k, j);
+      }
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+double max_abs_diff(const RealMatrix& a, const RealMatrix& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::fabs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+TEST(MatrixTest, BasicAccessAndTranspose) {
+  RealMatrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  const RealMatrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 5.0);
+  EXPECT_EQ(m.bytes(), 6 * sizeof(double));
+}
+
+TEST(GemmTest, MatchesNaiveReference) {
+  const RealMatrix a = random_matrix(17, 23, 1);
+  const RealMatrix b = random_matrix(23, 11, 2);
+  RealMatrix c;
+  gemm(a, b, c);
+  EXPECT_LT(max_abs_diff(c, naive_product(a, b)), 1e-12);
+}
+
+TEST(GemmTest, AlphaBetaComposition) {
+  const RealMatrix a = random_matrix(8, 8, 3);
+  const RealMatrix b = random_matrix(8, 8, 4);
+  RealMatrix c = random_matrix(8, 8, 5);
+  const RealMatrix c0 = c;
+  gemm(a, b, c, 2.0, 3.0);
+  const RealMatrix ab = naive_product(a, b);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(c(i, j), 2.0 * ab(i, j) + 3.0 * c0(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(GemmTest, TransposeVariants) {
+  const RealMatrix a = random_matrix(9, 13, 6);
+  const RealMatrix b = random_matrix(9, 7, 7);
+  RealMatrix c;
+  gemm(a, b, c, 1.0, 0.0, /*transpose_a=*/true);
+  EXPECT_LT(max_abs_diff(c, naive_product(a.transposed(), b)), 1e-12);
+
+  const RealMatrix d = random_matrix(5, 13, 8);
+  RealMatrix e;
+  gemm(a, d, e, 1.0, 0.0, false, /*transpose_b=*/true);
+  EXPECT_LT(max_abs_diff(e, naive_product(a, d.transposed())), 1e-12);
+}
+
+TEST(GemmTest, RejectsMismatchedShapes) {
+  const RealMatrix a = random_matrix(4, 5, 9);
+  const RealMatrix b = random_matrix(6, 4, 10);
+  RealMatrix c;
+  EXPECT_THROW(gemm(a, b, c), NdftError);
+}
+
+TEST(GemmTest, CountsFlopsAndBytes) {
+  const RealMatrix a = random_matrix(10, 20, 11);
+  const RealMatrix b = random_matrix(20, 30, 12);
+  RealMatrix c;
+  OpCount count;
+  gemm(a, b, c, 1.0, 0.0, false, false, &count);
+  EXPECT_EQ(count.flops, 2u * 10 * 30 * 20);
+  EXPECT_GT(count.bytes, 0u);
+}
+
+TEST(GemmComplexTest, MatchesRealEmbedding) {
+  // (A + iB)(C + iD) = (AC - BD) + i(AD + BC).
+  Prng prng(13);
+  const std::size_t n = 12;
+  ComplexMatrix a(n, n);
+  ComplexMatrix b(n, n);
+  RealMatrix ar(n, n), ai(n, n), br(n, n), bi(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ar(i, j) = prng.next_double(-1, 1);
+      ai(i, j) = prng.next_double(-1, 1);
+      br(i, j) = prng.next_double(-1, 1);
+      bi(i, j) = prng.next_double(-1, 1);
+      a(i, j) = Complex{ar(i, j), ai(i, j)};
+      b(i, j) = Complex{br(i, j), bi(i, j)};
+    }
+  }
+  ComplexMatrix c;
+  gemm(a, b, c);
+  const RealMatrix ac = naive_product(ar, br);
+  const RealMatrix bd = naive_product(ai, bi);
+  const RealMatrix ad = naive_product(ar, bi);
+  const RealMatrix bc = naive_product(ai, br);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(c(i, j).real(), ac(i, j) - bd(i, j), 1e-12);
+      EXPECT_NEAR(c(i, j).imag(), ad(i, j) + bc(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(GemmComplexTest, ConjugateTransposeContractions) {
+  // A^H * A must be Hermitian positive semidefinite.
+  Prng prng(17);
+  ComplexMatrix a(9, 5);
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      a(i, j) = Complex{prng.next_double(-1, 1), prng.next_double(-1, 1)};
+    }
+  }
+  ComplexMatrix gram;
+  gemm(a, a, gram, Complex{1.0, 0.0}, Complex{}, /*conj_transpose_a=*/true);
+  ASSERT_EQ(gram.rows(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_GE(gram(i, i).real(), 0.0);
+    EXPECT_NEAR(gram(i, i).imag(), 0.0, 1e-12);
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_NEAR(gram(i, j).real(), gram(j, i).real(), 1e-12);
+      EXPECT_NEAR(gram(i, j).imag(), -gram(j, i).imag(), 1e-12);
+    }
+  }
+}
+
+TEST(SyevTest, DiagonalMatrixIsItsOwnSolution) {
+  RealMatrix m(4, 4);
+  m(0, 0) = 3.0;
+  m(1, 1) = -1.0;
+  m(2, 2) = 7.0;
+  m(3, 3) = 0.5;
+  const EigenResult result = syev(m);
+  EXPECT_DOUBLE_EQ(result.eigenvalues[0], -1.0);
+  EXPECT_DOUBLE_EQ(result.eigenvalues[1], 0.5);
+  EXPECT_DOUBLE_EQ(result.eigenvalues[2], 3.0);
+  EXPECT_DOUBLE_EQ(result.eigenvalues[3], 7.0);
+}
+
+TEST(SyevTest, TwoByTwoAnalytic) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  RealMatrix m(2, 2);
+  m(0, 0) = 2.0;
+  m(0, 1) = 1.0;
+  m(1, 0) = 1.0;
+  m(1, 1) = 2.0;
+  const EigenResult result = syev(m);
+  EXPECT_NEAR(result.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(result.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(SyevTest, EigenvaluesAscending) {
+  const RealMatrix m = random_symmetric(40, 21);
+  const EigenResult result = syev(m);
+  for (std::size_t i = 1; i < result.eigenvalues.size(); ++i) {
+    EXPECT_LE(result.eigenvalues[i - 1], result.eigenvalues[i]);
+  }
+}
+
+TEST(SyevTest, TraceIsPreserved) {
+  const RealMatrix m = random_symmetric(30, 22);
+  const EigenResult result = syev(m);
+  double trace = 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    trace += m(i, i);
+    sum += result.eigenvalues[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(SyevTest, CountsCubicWork) {
+  const RealMatrix m = random_symmetric(32, 23);
+  OpCount count;
+  syev(m, &count);
+  EXPECT_GT(count.flops, 32ull * 32 * 32);  // at least n^3
+}
+
+TEST(SyevTest, RejectsNonSquare) {
+  const RealMatrix m = random_matrix(3, 4, 24);
+  EXPECT_THROW(syev(m), NdftError);
+}
+
+// Property sweep: residual and orthogonality across sizes.
+class SyevPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SyevPropertyTest, ResidualAndOrthogonality) {
+  const std::size_t n = GetParam();
+  const RealMatrix m = random_symmetric(n, 100 + n);
+  const EigenResult result = syev(m);
+  // ||A v - lambda v|| small relative to n.
+  EXPECT_LT(eigen_residual(m, result), 1e-8 * static_cast<double>(n));
+  // Eigenvector columns orthonormal.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += result.eigenvectors(i, a) * result.eigenvectors(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SyevPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+
+TEST(HeevTest, RealSymmetricReducesToSyev) {
+  const RealMatrix m = random_symmetric(12, 31);
+  ComplexMatrix h(12, 12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      h(i, j) = Complex{m(i, j), 0.0};
+    }
+  }
+  const EigenResult real_result = syev(m);
+  const HermitianEigenResult hermitian_result = heev(h);
+  ASSERT_EQ(hermitian_result.eigenvalues.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_NEAR(hermitian_result.eigenvalues[i], real_result.eigenvalues[i],
+                1e-9);
+  }
+}
+
+class HeevPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HeevPropertyTest, ResidualAndOrthonormality) {
+  const std::size_t n = GetParam();
+  const ComplexMatrix h = random_hermitian(n, 200 + n);
+  const HermitianEigenResult result = heev(h);
+  ASSERT_EQ(result.eigenvalues.size(), n);
+  // Residual ||H v - lambda v||.
+  for (std::size_t j = 0; j < n; ++j) {
+    double residual = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Complex acc{};
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += h(i, k) * result.eigenvectors(k, j);
+      }
+      acc -= result.eigenvalues[j] * result.eigenvectors(i, j);
+      residual += std::norm(acc);
+    }
+    EXPECT_LT(std::sqrt(residual), 1e-8);
+  }
+  // Orthonormality.
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      Complex dot{};
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += std::conj(result.eigenvectors(i, a)) *
+               result.eigenvectors(i, b);
+      }
+      EXPECT_NEAR(std::abs(dot), a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HeevPropertyTest,
+                         ::testing::Values(1, 2, 4, 7, 12, 24));
+
+TEST(HeevTest, DegenerateEigenvaluesHandled) {
+  // 2x identity block plus a distinct eigenvalue.
+  ComplexMatrix h(3, 3);
+  h(0, 0) = Complex{1.0, 0.0};
+  h(1, 1) = Complex{1.0, 0.0};
+  h(2, 2) = Complex{5.0, 0.0};
+  const HermitianEigenResult result = heev(h);
+  EXPECT_NEAR(result.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(result.eigenvalues[1], 1.0, 1e-12);
+  EXPECT_NEAR(result.eigenvalues[2], 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ndft::dft

@@ -1,0 +1,294 @@
+// Unit and property tests for the DRAM model: timing presets, address
+// mapping (including the permutation interleaving), bank state machines,
+// FR-FCFS behaviour, and physical bandwidth bounds.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/units.hpp"
+#include "mem/address_map.hpp"
+#include "mem/dram_system.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ndft::mem {
+namespace {
+
+TEST(DramTimingTest, Ddr4PresetIsConsistent) {
+  const DramTiming t = DramTiming::ddr4_2400();
+  EXPECT_EQ(t.burst_bytes(), 64u);           // 64-bit bus x BL8
+  EXPECT_EQ(t.burst_time_ps(), 4 * t.tCK_ps);  // BL/2 clocks
+  EXPECT_NEAR(t.peak_gbps(), 19.2, 0.3);     // 2400 MT/s x 8 B
+  EXPECT_LT(t.tRCD, t.tRAS);
+  EXPECT_LE(t.tRAS + t.tRP, t.tRC + 1);
+}
+
+TEST(DramTimingTest, Hbm2PresetIsConsistent) {
+  const DramTiming t = DramTiming::hbm2_1000();
+  EXPECT_EQ(t.burst_bytes(), 64u);  // 128-bit bus x BL4
+  EXPECT_NEAR(t.peak_gbps(), 32.0, 0.5);
+}
+
+TEST(DramGeometryTest, CapacityMatchesTableIII) {
+  EXPECT_EQ(DramGeometry::ddr4_16gb_channel().channel_capacity(), 16_GiB);
+  EXPECT_EQ(DramGeometry::hbm2_512mb_channel().channel_capacity(), 512_MiB);
+}
+
+TEST(DramConfigTest, PaperCapacities) {
+  // Xeon: 4 channels x 16 GiB = 64 GiB; HBM stack: 8 x 512 MiB = 4 GiB.
+  const DramConfig xeon = DramConfig::xeon_ddr4();
+  EXPECT_EQ(static_cast<Bytes>(xeon.channels) *
+                xeon.geometry.channel_capacity(),
+            64_GiB);
+  const DramConfig stack = DramConfig::hbm2_stack();
+  EXPECT_EQ(static_cast<Bytes>(stack.channels) *
+                stack.geometry.channel_capacity(),
+            4_GiB);
+  EXPECT_NEAR(stack.peak_gbps(), 256.0, 4.0);  // 8 x 32 GB/s
+}
+
+TEST(AddressMapTest, DecodeStaysInBounds) {
+  const AddressMap map(4, DramGeometry::ddr4_16gb_channel(), 64);
+  for (Addr addr = 0; addr < 1_MiB; addr += 4096 + 64) {
+    const DramCoord c = map.decode(addr);
+    EXPECT_LT(c.channel, 4u);
+    EXPECT_LT(c.bank, map.capacity());  // trivially true; bank bound below
+    EXPECT_LT(c.bank, 32u);
+    EXPECT_LT(c.column, map.lines_per_row());
+  }
+}
+
+TEST(AddressMapTest, SequentialLinesSpreadOverChannels) {
+  const AddressMap map(4, DramGeometry::ddr4_16gb_channel(), 64);
+  unsigned counts[4] = {0, 0, 0, 0};
+  for (Addr line = 0; line < 4096; ++line) {
+    counts[map.decode(line * 64).channel]++;
+  }
+  for (unsigned c = 0; c < 4; ++c) {
+    EXPECT_GT(counts[c], 700u);  // roughly uniform
+    EXPECT_LT(counts[c], 1400u);
+  }
+}
+
+TEST(AddressMapTest, PowerOfTwoStrideStillUsesAllChannels) {
+  // Without permutation interleaving a 2048-byte stride would alias onto
+  // a single channel; the XOR fold must spread it.
+  const AddressMap map(4, DramGeometry::ddr4_16gb_channel(), 64);
+  std::set<unsigned> channels;
+  for (Addr i = 0; i < 256; ++i) {
+    channels.insert(map.decode(i * 2048).channel);
+  }
+  EXPECT_EQ(channels.size(), 4u);
+}
+
+TEST(AddressMapTest, ConcurrentStreamsLandInDifferentBanks) {
+  // Streams at large power-of-two offsets must not all collide in one
+  // bank (the row-fold declusters them).
+  const AddressMap map(4, DramGeometry::ddr4_16gb_channel(), 64);
+  std::set<unsigned> banks;
+  for (unsigned stream = 0; stream < 16; ++stream) {
+    const Addr base = static_cast<Addr>(stream) * 256_MiB;
+    banks.insert(map.decode(base).bank);
+  }
+  EXPECT_GE(banks.size(), 8u);
+}
+
+TEST(AddressMapTest, AddressesWrapAtCapacity) {
+  const AddressMap map(4, DramGeometry::ddr4_16gb_channel(), 64);
+  const DramCoord a = map.decode(123 * 64);
+  const DramCoord b = map.decode(123 * 64 + map.capacity());
+  EXPECT_EQ(a.channel, b.channel);
+  EXPECT_EQ(a.bank, b.bank);
+  EXPECT_EQ(a.row, b.row);
+  EXPECT_EQ(a.column, b.column);
+}
+
+/// Helper: issues `count` reads with the given address generator and
+/// returns the completion time of the last one.
+template <typename AddrFn>
+TimePs run_reads(DramSystem& dram, sim::EventQueue& queue, unsigned count,
+                 AddrFn&& next_addr) {
+  TimePs last = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    MemRequest req;
+    req.addr = next_addr(i);
+    req.size = 64;
+    req.is_write = false;
+    req.on_complete = [&last](TimePs at) { last = std::max(last, at); };
+    dram.access(std::move(req));
+  }
+  queue.run();
+  return last;
+}
+
+TEST(DramSystemTest, SingleReadLatencyIsPlausible) {
+  sim::EventQueue queue;
+  DramConfig config = DramConfig::xeon_ddr4();
+  config.access_latency_ps = 0;
+  DramSystem dram("d", queue, config);
+  const TimePs done = run_reads(dram, queue, 1, [](unsigned) { return 0; });
+  // Cold access: ACT + CAS + burst = (tRCD + CL + BL/2) * tCK ~ 31.6 ns.
+  EXPECT_GT(done, 25 * kPsPerNs);
+  EXPECT_LT(done, 60 * kPsPerNs);
+}
+
+TEST(DramSystemTest, RowHitsAreFasterThanConflicts) {
+  sim::EventQueue queue;
+  DramConfig config = DramConfig::xeon_ddr4();
+  config.access_latency_ps = 0;
+  DramSystem dram("d", queue, config);
+  // Same-row stream: lines within one row of one bank.
+  const TimePs hits =
+      run_reads(dram, queue, 64, [](unsigned i) { return Addr(i) * 64; });
+
+  sim::EventQueue queue2;
+  DramSystem dram2("d2", queue2, config);
+  // Row-conflict stream: jump rows in the same bank each time (stride of
+  // one full row set * banks keeps bank bits constant pre-hash; use the
+  // map to find genuinely conflicting addresses).
+  const AddressMap& map = dram2.address_map();
+  std::vector<Addr> conflicting;
+  const DramCoord first = map.decode(0);
+  for (Addr candidate = 0; conflicting.size() < 64 && candidate < 2_GiB;
+       candidate += 256 * 1024) {
+    const DramCoord c = map.decode(candidate);
+    if (c.channel == first.channel && c.bank == first.bank) {
+      conflicting.push_back(candidate);
+    }
+  }
+  ASSERT_EQ(conflicting.size(), 64u);
+  const TimePs conflicts = run_reads(
+      dram2, queue2, 64,
+      [&](unsigned i) { return conflicting[i]; });
+  EXPECT_GT(conflicts, hits * 3);
+}
+
+TEST(DramSystemTest, BandwidthNeverExceedsPeak) {
+  sim::EventQueue queue;
+  DramConfig config = DramConfig::xeon_ddr4();
+  config.access_latency_ps = 0;
+  DramSystem dram("d", queue, config);
+  const unsigned count = 20000;
+  const TimePs done =
+      run_reads(dram, queue, count, [](unsigned i) { return Addr(i) * 64; });
+  const double gbps = static_cast<double>(count) * 64 /
+                      static_cast<double>(done) * 1000.0;
+  EXPECT_LT(gbps, config.peak_gbps() * 1.001);
+  EXPECT_GT(gbps, config.peak_gbps() * 0.4);  // streaming should do well
+}
+
+TEST(DramSystemTest, HbmStackOutpacesDdr4) {
+  const auto stream = [](const DramConfig& config) {
+    sim::EventQueue queue;
+    DramConfig c = config;
+    c.access_latency_ps = 0;
+    DramSystem dram("d", queue, c);
+    return run_reads(dram, queue, 8000,
+                     [](unsigned i) { return Addr(i) * 64; });
+  };
+  const TimePs ddr = stream(DramConfig::xeon_ddr4());
+  const TimePs hbm = stream(DramConfig::hbm2_stack());
+  // 256 GB/s stack vs 76.8 GB/s DDR4: at least 2.5x faster.
+  EXPECT_GT(ddr, hbm * 5 / 2);
+}
+
+TEST(DramSystemTest, WritesAreCountedAndComplete) {
+  sim::EventQueue queue;
+  DramConfig config = DramConfig::xeon_ddr4();
+  config.access_latency_ps = 0;
+  DramSystem dram("d", queue, config);
+  int completions = 0;
+  for (unsigned i = 0; i < 100; ++i) {
+    MemRequest req;
+    req.addr = Addr(i) * 64;
+    req.size = 64;
+    req.is_write = true;
+    req.on_complete = [&completions](TimePs) { ++completions; };
+    dram.access(std::move(req));
+  }
+  queue.run();
+  EXPECT_EQ(completions, 100);
+  EXPECT_EQ(dram.bytes_transferred(), 6400u);
+  sim::StatSet stats;
+  dram.collect_stats("dram", stats);
+  double writes = 0;
+  for (const auto& [name, value] : stats.snapshot()) {
+    if (name.find(".writes") != std::string::npos) writes += value;
+  }
+  EXPECT_DOUBLE_EQ(writes, 100.0);
+}
+
+TEST(DramSystemTest, AccessLatencyDelaysService) {
+  const auto single = [](TimePs extra) {
+    sim::EventQueue queue;
+    DramConfig config = DramConfig::xeon_ddr4();
+    config.access_latency_ps = extra;
+    DramSystem dram("d", queue, config);
+    return run_reads(dram, queue, 1, [](unsigned) { return 0; });
+  };
+  EXPECT_EQ(single(50 * kPsPerNs), single(0) + 50 * kPsPerNs);
+}
+
+TEST(DramSystemTest, RefreshStallsAppearOverTime) {
+  sim::EventQueue queue;
+  DramConfig config = DramConfig::xeon_ddr4();
+  config.access_latency_ps = 0;
+  DramSystem dram("d", queue, config);
+  // Spread accesses over > tREFI of simulated time via spaced arrivals.
+  TimePs when = 0;
+  int done = 0;
+  for (unsigned i = 0; i < 100; ++i) {
+    when += 200 * kPsPerNs;  // 20 us total, several refresh windows
+    queue.schedule_at(when, [&dram, &done, i] {
+      MemRequest req;
+      req.addr = Addr(i) * 64;
+      req.size = 64;
+      req.on_complete = [&done](TimePs) { ++done; };
+      dram.access(std::move(req));
+    });
+  }
+  queue.run();
+  EXPECT_EQ(done, 100);
+  sim::StatSet stats;
+  dram.collect_stats("dram", stats);
+  double stall = 0;
+  for (const auto& [name, value] : stats.snapshot()) {
+    if (name.find("refresh_stall_ps") != std::string::npos) stall += value;
+  }
+  EXPECT_GT(stall, 0.0);
+}
+
+// Parameterized sweep: streaming efficiency must hold across channel
+// counts and both technologies.
+struct StreamCase {
+  const char* name;
+  DramConfig config;
+};
+
+class DramStreamTest : public ::testing::TestWithParam<StreamCase> {};
+
+TEST_P(DramStreamTest, StreamingReachesHalfPeak) {
+  sim::EventQueue queue;
+  DramConfig config = GetParam().config;
+  config.access_latency_ps = 0;
+  DramSystem dram("d", queue, config);
+  const unsigned count = 10000;
+  const TimePs done =
+      run_reads(dram, queue, count, [](unsigned i) { return Addr(i) * 64; });
+  const double gbps = static_cast<double>(count) * 64 /
+                      static_cast<double>(done) * 1000.0;
+  EXPECT_GT(gbps, config.peak_gbps() * 0.5) << GetParam().name;
+  EXPECT_LE(gbps, config.peak_gbps() * 1.001) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Technologies, DramStreamTest,
+    ::testing::Values(StreamCase{"ddr4", DramConfig::xeon_ddr4()},
+                      StreamCase{"hbm2", DramConfig::hbm2_stack()}),
+    [](const ::testing::TestParamInfo<StreamCase>& param_info) {
+      return param_info.param.name;
+    });
+
+}  // namespace
+}  // namespace ndft::mem

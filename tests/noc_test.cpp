@@ -1,0 +1,137 @@
+// Unit tests for the stack mesh: routing, serialization, contention.
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "noc/mesh.hpp"
+#include "sim/event_queue.hpp"
+
+namespace ndft::noc {
+namespace {
+
+TEST(MeshTest, HopCountsAreManhattan) {
+  sim::EventQueue queue;
+  Mesh mesh("m", queue, MeshConfig::table3());
+  EXPECT_EQ(mesh.hops(0, 0), 0u);
+  EXPECT_EQ(mesh.hops(0, 3), 3u);    // along the top row
+  EXPECT_EQ(mesh.hops(0, 15), 6u);   // opposite corner of 4x4
+  EXPECT_EQ(mesh.hops(5, 6), 1u);
+  EXPECT_EQ(mesh.hops(12, 3), 6u);
+}
+
+TEST(MeshTest, DeliveryTimeScalesWithDistance) {
+  const auto send_time = [](unsigned dst) {
+    sim::EventQueue queue;
+    Mesh mesh("m", queue, MeshConfig::table3());
+    TimePs arrival = 0;
+    mesh.send(0, dst, 64, [&arrival](TimePs at) { arrival = at; });
+    queue.run();
+    return arrival;
+  };
+  const TimePs near = send_time(1);
+  const TimePs far = send_time(15);
+  EXPECT_GT(far, near);
+  // 6 hops vs 1 hop: 5 extra hop latencies.
+  EXPECT_EQ(far - near, 5 * MeshConfig::table3().hop_latency_ps);
+}
+
+TEST(MeshTest, SerializationByLinkBandwidth) {
+  sim::EventQueue queue;
+  MeshConfig config = MeshConfig::table3();
+  Mesh mesh("m", queue, config);
+  TimePs small_arrival = 0;
+  TimePs big_arrival = 0;
+  mesh.send(0, 1, 64, [&](TimePs at) { small_arrival = at; });
+  queue.run();
+  sim::EventQueue queue2;
+  Mesh mesh2("m2", queue2, config);
+  mesh2.send(0, 1, 1 << 20, [&](TimePs at) { big_arrival = at; });
+  queue2.run();
+  const TimePs extra = transfer_time_ps((1 << 20) - 64, config.link_gbps);
+  EXPECT_NEAR(static_cast<double>(big_arrival - small_arrival),
+              static_cast<double>(extra), 1000.0);
+}
+
+TEST(MeshTest, ContentionDelaysSecondMessage) {
+  sim::EventQueue queue;
+  MeshConfig config = MeshConfig::table3();
+  Mesh mesh("m", queue, config);
+  TimePs first = 0;
+  TimePs second = 0;
+  // Two large messages over the same link at the same time.
+  mesh.send(0, 1, 1 << 20, [&](TimePs at) { first = at; });
+  mesh.send(0, 1, 1 << 20, [&](TimePs at) { second = at; });
+  queue.run();
+  const TimePs serialization = transfer_time_ps((1 << 20) + 16,
+                                                config.link_gbps);
+  EXPECT_GE(second - first, serialization - 1000);
+  EXPECT_GT(mesh.stats().get("contention_ps"), 0.0);
+}
+
+TEST(MeshTest, DisjointPathsDoNotContend) {
+  sim::EventQueue queue;
+  Mesh mesh("m", queue, MeshConfig::table3());
+  TimePs a = 0;
+  TimePs b = 0;
+  mesh.send(0, 1, 1 << 20, [&](TimePs at) { a = at; });
+  mesh.send(4, 5, 1 << 20, [&](TimePs at) { b = at; });
+  queue.run();
+  EXPECT_EQ(a, b);  // identical distance, no shared links
+}
+
+TEST(MeshTest, LocalLoopbackCostsOneHop) {
+  sim::EventQueue queue;
+  MeshConfig config = MeshConfig::table3();
+  Mesh mesh("m", queue, config);
+  TimePs arrival = 0;
+  mesh.send(7, 7, 64, [&](TimePs at) { arrival = at; });
+  queue.run();
+  EXPECT_EQ(arrival, config.hop_latency_ps +
+                         transfer_time_ps(64 + config.packet_overhead,
+                                          config.link_gbps));
+}
+
+TEST(MeshTest, BytesAccounted) {
+  sim::EventQueue queue;
+  Mesh mesh("m", queue, MeshConfig::table3());
+  mesh.send(0, 5, 1000, nullptr);
+  mesh.send(3, 9, 2000, nullptr);
+  queue.run();
+  EXPECT_EQ(mesh.bytes_sent(), 3000u);
+  EXPECT_DOUBLE_EQ(mesh.stats().get("messages"), 2.0);
+}
+
+TEST(MeshTest, RejectsOutOfRangeNodes) {
+  sim::EventQueue queue;
+  Mesh mesh("m", queue, MeshConfig::table3());
+  EXPECT_THROW(mesh.send(0, 16, 64, nullptr), NdftError);
+  EXPECT_THROW(mesh.hops(99, 0), NdftError);
+}
+
+TEST(MeshTest, AlltoallFinishesWithinBisectionBound) {
+  // A full 16-way exchange: delivery time must exceed the ideal
+  // bisection-limited bound but stay within a small factor of it.
+  sim::EventQueue queue;
+  MeshConfig config = MeshConfig::table3();
+  Mesh mesh("m", queue, config);
+  const Bytes per_pair = 1 << 20;
+  TimePs last = 0;
+  for (unsigned s = 0; s < 16; ++s) {
+    for (unsigned d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      mesh.send(s, d, per_pair, [&last](TimePs at) {
+        last = std::max(last, at);
+      });
+    }
+  }
+  queue.run();
+  // 120 of 240 messages cross the 4-link bisection in each direction.
+  const double cross_bytes = 120.0 * (per_pair + config.packet_overhead);
+  const double bound_ps = cross_bytes / gbps_to_bytes_per_ps(
+                                            config.link_gbps * 8);
+  EXPECT_GT(static_cast<double>(last), bound_ps * 0.8);
+  EXPECT_LT(static_cast<double>(last), bound_ps * 8.0);
+}
+
+}  // namespace
+}  // namespace ndft::noc

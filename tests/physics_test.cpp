@@ -1,0 +1,370 @@
+// Tests for the physics stack: silicon lattices, plane-wave bases, the
+// empirical-pseudopotential ground state, Kleinman-Bylander projectors and
+// the functional LR-TDDFT pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dft/basis.hpp"
+#include "dft/epm.hpp"
+#include "dft/lattice.hpp"
+#include "dft/lrtddft.hpp"
+#include "dft/pseudopotential.hpp"
+
+namespace ndft::dft {
+namespace {
+
+constexpr double kEvPerHa = 27.211386;
+
+TEST(LatticeTest, SupercellFactorsBalanceDims) {
+  EXPECT_EQ(Crystal::supercell_factors(1), (std::array<std::size_t, 3>{1, 1, 1}));
+  EXPECT_EQ(Crystal::supercell_factors(2), (std::array<std::size_t, 3>{1, 1, 2}));
+  EXPECT_EQ(Crystal::supercell_factors(4), (std::array<std::size_t, 3>{1, 2, 2}));
+  EXPECT_EQ(Crystal::supercell_factors(8), (std::array<std::size_t, 3>{2, 2, 2}));
+  EXPECT_EQ(Crystal::supercell_factors(128),
+            (std::array<std::size_t, 3>{4, 4, 8}));
+  EXPECT_EQ(Crystal::supercell_factors(256),
+            (std::array<std::size_t, 3>{4, 8, 8}));
+}
+
+TEST(LatticeTest, PaperSystemSizesBuild) {
+  for (const std::size_t atoms : {16, 32, 64, 128, 256}) {
+    const Crystal crystal = Crystal::silicon_supercell(atoms);
+    EXPECT_EQ(crystal.atom_count(), atoms);
+  }
+}
+
+TEST(LatticeTest, VolumeMatchesCellCount) {
+  const Crystal crystal = Crystal::silicon_supercell(64);
+  const double a0 = kSiliconLatticeBohr;
+  EXPECT_NEAR(crystal.volume(), 8.0 * a0 * a0 * a0, 1e-6);
+}
+
+TEST(LatticeTest, NearestNeighbourIsBondLength) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  // Diamond bond length = sqrt(3)/4 * a0 ~ 2.35 Angstrom = 4.44 Bohr.
+  const double expected = std::sqrt(3.0) / 4.0 * kSiliconLatticeBohr;
+  double nearest = 1e9;
+  const auto& pos = crystal.positions();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    for (std::size_t j = i + 1; j < pos.size(); ++j) {
+      nearest = std::min(nearest, std::sqrt((pos[i] - pos[j]).norm2()));
+    }
+  }
+  EXPECT_NEAR(nearest, expected, 1e-6);
+}
+
+TEST(LatticeTest, ReciprocalVectorsAreDual) {
+  const Crystal crystal = Crystal::silicon_supercell(16);
+  constexpr double kTwoPi = 2.0 * std::numbers::pi;
+  EXPECT_NEAR(crystal.a1().dot(crystal.b1()), kTwoPi, 1e-9);
+  EXPECT_NEAR(crystal.a1().dot(crystal.b2()), 0.0, 1e-9);
+  EXPECT_NEAR(crystal.a2().dot(crystal.b3()), 0.0, 1e-9);
+  EXPECT_NEAR(crystal.a3().dot(crystal.b3()), kTwoPi, 1e-9);
+}
+
+TEST(LatticeTest, RejectsBadAtomCounts) {
+  EXPECT_THROW(Crystal::silicon_supercell(7), NdftError);
+  EXPECT_THROW(Crystal::silicon_supercell(12), NdftError);
+}
+
+TEST(BasisTest, GammaPointBasisContainsOriginAndNegations) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 2.0);
+  ASSERT_GT(basis.size(), 1u);
+  EXPECT_EQ(basis.gvectors().front().g2, 0.0);  // sorted: G = 0 first
+  // Closed under negation (real potentials need +/-G pairs).
+  std::set<std::tuple<int, int, int>> keys;
+  for (const GVector& g : basis.gvectors()) {
+    keys.insert({g.h, g.k, g.l});
+  }
+  for (const GVector& g : basis.gvectors()) {
+    EXPECT_TRUE(keys.count({-g.h, -g.k, -g.l}) == 1);
+  }
+}
+
+TEST(BasisTest, SizeGrowsWithCutoffAndVolume) {
+  const Crystal small = Crystal::silicon_supercell(8);
+  const Crystal large = Crystal::silicon_supercell(16);
+  const PlaneWaveBasis low(small, 1.0);
+  const PlaneWaveBasis high(small, 2.0);
+  const PlaneWaveBasis big(large, 1.0);
+  EXPECT_GT(high.size(), low.size());
+  // Doubling the volume roughly doubles the basis.
+  EXPECT_NEAR(static_cast<double>(big.size()) /
+                  static_cast<double>(low.size()),
+              2.0, 0.5);
+}
+
+TEST(BasisTest, AllVectorsWithinCutoff) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 1.5);
+  for (const GVector& g : basis.gvectors()) {
+    EXPECT_LE(0.5 * g.g2, 1.5 + 1e-9);
+  }
+}
+
+TEST(BasisTest, FftDimsAreFriendlyAndAliasFree) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 2.0);
+  int hmax = 0;
+  for (const GVector& g : basis.gvectors()) {
+    hmax = std::max({hmax, std::abs(g.h), std::abs(g.k), std::abs(g.l)});
+  }
+  for (const std::size_t dim : basis.fft_dims()) {
+    EXPECT_TRUE(is_friendly_size(dim));
+    EXPECT_GE(dim, static_cast<std::size_t>(2 * hmax + 1));
+  }
+}
+
+TEST(BasisTest, GridIndicesAreUnique) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 2.0);
+  std::set<std::size_t> indices;
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    EXPECT_LT(basis.grid_index(i), basis.fft_size());
+    indices.insert(basis.grid_index(i));
+  }
+  EXPECT_EQ(indices.size(), basis.size());
+}
+
+TEST(EpmTest, FormFactorsMatchCohenBergstresser) {
+  EXPECT_NEAR(silicon_form_factor(3.0), -0.105, 1e-9);  // -0.21 Ry
+  EXPECT_NEAR(silicon_form_factor(8.0), 0.02, 1e-9);
+  EXPECT_NEAR(silicon_form_factor(11.0), 0.04, 1e-9);
+  EXPECT_DOUBLE_EQ(silicon_form_factor(4.0), 0.0);
+}
+
+TEST(EpmTest, PotentialIsSymmetric) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 2.25);
+  const auto& g = basis.gvectors();
+  for (std::size_t i = 0; i < std::min<std::size_t>(g.size(), 20); ++i) {
+    for (std::size_t j = 0; j < std::min<std::size_t>(g.size(), 20); ++j) {
+      EXPECT_NEAR(epm_potential(crystal, g[i], g[j]),
+                  epm_potential(crystal, g[j], g[i]), 1e-12);
+    }
+  }
+}
+
+TEST(EpmTest, SiliconGroundStateHasGap) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 2.25);  // 4.5 Ry: classic EPM cutoff
+  const GroundState state = solve_epm(basis);
+  EXPECT_EQ(state.valence_bands, 16u);  // 2 bands per atom
+  ASSERT_GT(state.energies_ha.size(), state.valence_bands + 4);
+  // Eigenvalues ascending.
+  for (std::size_t i = 1; i < state.energies_ha.size(); ++i) {
+    EXPECT_LE(state.energies_ha[i - 1], state.energies_ha[i]);
+  }
+  // The supercell folds X into Gamma, so the gap is the indirect gap;
+  // Cohen-Bergstresser puts it near 0.8-1.2 eV. Accept a generous window
+  // (the basis here is intentionally small).
+  const double gap = state.band_gap_ev();
+  EXPECT_GT(gap, 0.2);
+  EXPECT_LT(gap, 2.5);
+}
+
+TEST(EpmTest, ValenceBandWidthIsPlausible) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 2.25);
+  const GroundState state = solve_epm(basis);
+  // Silicon valence band width ~ 12 eV (EPM gives roughly this).
+  const double width =
+      (state.energies_ha[state.valence_bands - 1] - state.energies_ha[0]) *
+      kEvPerHa;
+  EXPECT_GT(width, 6.0);
+  EXPECT_LT(width, 20.0);
+}
+
+TEST(EpmTest, BandLimitKeepsRequestedCount) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 2.25);
+  const GroundState state = solve_epm(basis, 24);
+  EXPECT_EQ(state.energies_ha.size(), 24u);
+  EXPECT_EQ(state.orbitals.cols(), 24u);
+  EXPECT_THROW(solve_epm(basis, 4), NdftError);  // fewer than valence
+}
+
+TEST(EpmTest, OrbitalsAreOrthonormal) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 2.0);
+  const GroundState state = solve_epm(basis, 20);
+  for (std::size_t a = 0; a < 20; ++a) {
+    for (std::size_t b = a; b < 20; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < basis.size(); ++i) {
+        dot += state.orbitals(i, a) * state.orbitals(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(KbProjectorsTest, CountAndCouplings) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 1.5);
+  const KbProjectors projectors(basis);
+  EXPECT_EQ(projectors.count(), 8u * 4);
+  EXPECT_LT(projectors.coupling(0), 0.0);  // attractive s channel
+  EXPECT_GT(projectors.coupling(1), 0.0);  // repulsive p channel
+}
+
+TEST(KbProjectorsTest, ApplyIsHermitian) {
+  // <phi | V_nl | psi> == conj(<psi | V_nl | phi>) for the separable form.
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 1.5);
+  const KbProjectors projectors(basis);
+  const std::size_t n = basis.size();
+  std::vector<Complex> psi(n), phi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    psi[i] = Complex{std::sin(0.1 * static_cast<double>(i)), 0.2};
+    phi[i] = Complex{0.3, std::cos(0.2 * static_cast<double>(i))};
+  }
+  std::vector<Complex> v_psi(n), v_phi(n);
+  projectors.apply(psi, v_psi);
+  projectors.apply(phi, v_phi);
+  Complex left{};
+  Complex right{};
+  for (std::size_t i = 0; i < n; ++i) {
+    left += std::conj(phi[i]) * v_psi[i];
+    right += std::conj(psi[i]) * v_phi[i];
+  }
+  EXPECT_NEAR(left.real(), right.real(), 1e-9);
+  EXPECT_NEAR(left.imag(), -right.imag(), 1e-9);
+}
+
+TEST(KbProjectorsTest, ApplyAccumulatesAndCounts) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 1.5);
+  const KbProjectors projectors(basis);
+  std::vector<Complex> psi(basis.size(), Complex{1.0, 0.0});
+  std::vector<Complex> out;
+  OpCount count;
+  projectors.apply(psi, out, &count);
+  EXPECT_EQ(out.size(), psi.size());
+  EXPECT_GT(count.flops, 0u);
+  double norm = 0.0;
+  for (const Complex& value : out) norm += std::norm(value);
+  EXPECT_GT(norm, 0.0);  // the potential actually did something
+}
+
+TEST(PseudoSizingTest, BytesPerAtomInPaperRange) {
+  const PseudoSizing sizing;
+  // Table I implies roughly 0.5-1.2 MB of pseudopotential data per atom.
+  EXPECT_GT(sizing.bytes_per_atom(), 400u * 1024);
+  EXPECT_LT(sizing.bytes_per_atom(), 1300u * 1024);
+  EXPECT_EQ(sizing.bytes_total(64), 64 * sizing.bytes_per_atom());
+}
+
+TEST(PseudoSizingTest, ScalesWithKnobs) {
+  PseudoSizing base;
+  PseudoSizing bigger = base;
+  bigger.cutoff_radius_bohr = base.cutoff_radius_bohr * 1.3;
+  EXPECT_GT(bigger.bytes_per_atom(), base.bytes_per_atom());
+  PseudoSizing finer = base;
+  finer.ecut_ha = base.ecut_ha * 2.0;
+  EXPECT_GT(finer.bytes_per_atom(), base.bytes_per_atom());
+  EXPECT_GT(base.sphere_points(true),
+            base.sphere_points(false) * 7);  // dense factor 2 => 8x
+}
+
+class LrTddftFixture : public ::testing::Test {
+ protected:
+  LrTddftFixture()
+      : crystal(Crystal::silicon_supercell(8)),
+        basis(crystal, 2.25),
+        ground(solve_epm(basis, 24)) {}
+
+  Crystal crystal;
+  PlaneWaveBasis basis;
+  GroundState ground;
+};
+
+TEST_F(LrTddftFixture, TransitionEnergiesArePositive) {
+  LrTddftConfig config;
+  config.valence_window = 4;
+  config.conduction_window = 4;
+  const std::vector<double> transitions = transition_energies(ground, config);
+  EXPECT_EQ(transitions.size(), 16u);
+  for (const double t : transitions) {
+    EXPECT_GT(t, 0.0);  // gapped system
+  }
+}
+
+TEST_F(LrTddftFixture, ExcitationsSortedAndPositive) {
+  LrTddftConfig config;
+  config.valence_window = 4;
+  config.conduction_window = 2;
+  const LrTddftResult result = solve_lrtddft(basis, ground, config);
+  EXPECT_EQ(result.pair_count, 8u);
+  EXPECT_EQ(result.excitations_ha.size(), 8u);
+  for (std::size_t i = 0; i < result.excitations_ha.size(); ++i) {
+    EXPECT_GT(result.excitations_ha[i], 0.0);
+    if (i > 0) {
+      EXPECT_LE(result.excitations_ha[i - 1], result.excitations_ha[i]);
+    }
+  }
+  // Optical gap in a loose physical window (eV).
+  EXPECT_GT(result.lowest_ev(), 0.1);
+  EXPECT_LT(result.lowest_ev(), 10.0);
+}
+
+TEST_F(LrTddftFixture, PipelinePopulatesAllKernelCounters) {
+  LrTddftConfig config;
+  config.valence_window = 2;
+  config.conduction_window = 2;
+  const LrTddftResult result = solve_lrtddft(basis, ground, config);
+  EXPECT_GT(result.counts.at(KernelClass::kFft).flops, 0u);
+  EXPECT_GT(result.counts.at(KernelClass::kFaceSplit).flops, 0u);
+  EXPECT_GT(result.counts.at(KernelClass::kGemm).flops, 0u);
+  EXPECT_GT(result.counts.at(KernelClass::kSyevd).flops, 0u);
+}
+
+TEST_F(LrTddftFixture, HartreeKernelShiftsExcitationsUp) {
+  // The diagonal of the TDA matrix is eps_c - eps_v; the (positive
+  // semidefinite) Hartree kernel cannot lower the *highest* excitation,
+  // and for silicon it raises the spectrum on average.
+  LrTddftConfig config;
+  config.valence_window = 3;
+  config.conduction_window = 2;
+  config.include_xc = false;
+  const LrTddftResult with_kernel = solve_lrtddft(basis, ground, config);
+  const std::vector<double> bare = transition_energies(ground, config);
+  double bare_sum = 0.0;
+  double dressed_sum = 0.0;
+  for (std::size_t i = 0; i < bare.size(); ++i) {
+    bare_sum += bare[i];
+    dressed_sum += with_kernel.excitations_ha[i];
+  }
+  EXPECT_GE(dressed_sum, bare_sum - 1e-9);
+}
+
+TEST_F(LrTddftFixture, XcKernelLowersSpectrumRelativeToHartreeOnly) {
+  LrTddftConfig config;
+  config.valence_window = 3;
+  config.conduction_window = 2;
+  config.include_xc = false;
+  const LrTddftResult hartree_only = solve_lrtddft(basis, ground, config);
+  config.include_xc = true;
+  const LrTddftResult with_xc = solve_lrtddft(basis, ground, config);
+  // ALDA f_xc is attractive: the summed spectrum comes down.
+  double h_sum = 0.0;
+  double xc_sum = 0.0;
+  for (std::size_t i = 0; i < hartree_only.excitations_ha.size(); ++i) {
+    h_sum += hartree_only.excitations_ha[i];
+    xc_sum += with_xc.excitations_ha[i];
+  }
+  EXPECT_LT(xc_sum, h_sum);
+}
+
+TEST_F(LrTddftFixture, RejectsWindowBeyondComputedBands) {
+  LrTddftConfig config;
+  config.conduction_window = 100;  // only 24 bands were kept
+  EXPECT_THROW(solve_lrtddft(basis, ground, config), NdftError);
+}
+
+}  // namespace
+}  // namespace ndft::dft

@@ -1,0 +1,203 @@
+// Cross-cutting property sweeps: invariants that must hold across whole
+// configuration ranges rather than at single points — cache hit rates
+// monotone in capacity, DRAM bandwidth monotone in channel count, mesh
+// delivery monotone in load, scheduler estimates monotone in system size.
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hpp"
+#include "core/ndft_system.hpp"
+#include "cpu/trace_gen.hpp"
+#include "mem/dram_system.hpp"
+#include "noc/mesh.hpp"
+#include "runtime/sca.hpp"
+
+namespace ndft {
+namespace {
+
+/// Backing memory answering after a fixed latency.
+class StubMemory : public mem::MemoryPort {
+ public:
+  StubMemory(sim::EventQueue& queue, TimePs latency)
+      : queue_(&queue), latency_(latency) {}
+  void access(mem::MemRequest req) override {
+    ++requests;
+    if (req.on_complete) {
+      auto cb = std::move(req.on_complete);
+      queue_->schedule_after(latency_, [cb = std::move(cb), this] {
+        cb(queue_->now());
+      });
+    }
+  }
+  unsigned requests = 0;
+
+ private:
+  sim::EventQueue* queue_;
+  TimePs latency_;
+};
+
+/// Runs a blocked trace against one cache and returns its hit ratio.
+double blocked_hit_ratio(Bytes cache_bytes, Bytes working_set) {
+  sim::EventQueue queue;
+  StubMemory memory(queue, 80000);
+  cache::CacheConfig config;
+  config.size_bytes = cache_bytes;
+  config.ways = 8;
+  config.mshrs = 16;
+  cache::Cache cache("c", queue, config, memory);
+
+  cpu::TraceParams params;
+  params.bytes_read = working_set * 8;  // 8 sweeps
+  params.working_set = working_set;
+  params.pattern = AccessPattern::kBlocked;
+  params.block_bytes = 16 * 1024;
+  params.max_mem_ops = 20000;
+  const cpu::Trace trace = cpu::generate_trace(params);
+  for (const cpu::TraceOp& op : trace.ops) {
+    if (op.kind == cpu::OpKind::kCompute) continue;
+    mem::MemRequest req;
+    req.addr = op.addr;
+    req.size = 64;
+    req.is_write = (op.kind == cpu::OpKind::kStore);
+    cache.access(std::move(req));
+    queue.run();
+  }
+  return cache.hit_ratio();
+}
+
+TEST(CachePropertyTest, HitRatioMonotoneInCapacity) {
+  const Bytes working_set = 128 * 1024;
+  double previous = -1.0;
+  for (const Bytes size :
+       {Bytes{8} << 10, Bytes{32} << 10, Bytes{128} << 10,
+        Bytes{512} << 10}) {
+    const double ratio = blocked_hit_ratio(size, working_set);
+    EXPECT_GE(ratio, previous - 0.02)
+        << "hit ratio dropped when growing the cache to " << size;
+    previous = ratio;
+  }
+  // The largest cache holds the whole working set.
+  EXPECT_GT(previous, 0.8);
+}
+
+/// Streaming bandwidth of a DRAM system in GB/s.
+double stream_gbps(unsigned channels) {
+  sim::EventQueue queue;
+  mem::DramConfig config = mem::DramConfig::xeon_ddr4();
+  config.channels = channels;
+  config.access_latency_ps = 0;
+  mem::DramSystem dram("d", queue, config);
+  TimePs last = 0;
+  const unsigned count = 8000;
+  for (unsigned i = 0; i < count; ++i) {
+    mem::MemRequest req;
+    req.addr = Addr(i) * 64;
+    req.size = 64;
+    req.on_complete = [&last](TimePs at) { last = std::max(last, at); };
+    dram.access(std::move(req));
+  }
+  queue.run();
+  return static_cast<double>(count) * 64 / static_cast<double>(last) *
+         1000.0;
+}
+
+TEST(DramPropertyTest, BandwidthScalesWithChannels) {
+  const double one = stream_gbps(1);
+  const double two = stream_gbps(2);
+  const double four = stream_gbps(4);
+  EXPECT_GT(two, one * 1.6);
+  EXPECT_GT(four, two * 1.6);
+}
+
+TEST(MeshPropertyTest, MakespanMonotoneInLoad) {
+  TimePs previous = 0;
+  for (const Bytes per_pair : {Bytes{1} << 16, Bytes{1} << 18,
+                               Bytes{1} << 20}) {
+    sim::EventQueue queue;
+    noc::Mesh mesh("m", queue, noc::MeshConfig::table3());
+    TimePs last = 0;
+    for (unsigned s = 0; s < 16; ++s) {
+      for (unsigned d = 0; d < 16; ++d) {
+        if (s == d) continue;
+        mesh.send(s, d, per_pair,
+                  [&last](TimePs at) { last = std::max(last, at); });
+      }
+    }
+    queue.run();
+    EXPECT_GT(last, previous);
+    previous = last;
+  }
+}
+
+TEST(MeshPropertyTest, EnergyProportionalToTraffic) {
+  sim::EventQueue queue;
+  noc::Mesh mesh("m", queue, noc::MeshConfig::table3());
+  mesh.send(0, 15, 1 << 20, nullptr);
+  queue.run();
+  const double single = mesh.energy_nj();
+  mesh.send(0, 15, 1 << 20, nullptr);
+  queue.run();
+  EXPECT_NEAR(mesh.energy_nj(), 2.0 * single, single * 0.01);
+}
+
+// Scheduler estimates across the full size ladder: totals must grow with
+// the system, and the NDP side must win every memory-bound kernel once
+// windows saturate.
+class ScaSweepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScaSweepTest, EstimatesScaleAndClassify) {
+  const std::size_t atoms = GetParam();
+  const runtime::Sca sca(runtime::DeviceProfile::table3_cpu(),
+                         runtime::DeviceProfile::table3_ndp());
+  const dft::Workload w =
+      dft::Workload::lrtddft_iteration(dft::SystemDims::silicon(atoms));
+  for (const dft::KernelWork& k : w.kernels) {
+    const runtime::KernelAnalysis a = sca.analyze(k);
+    EXPECT_GE(a.est_cpu_ps, 0u);
+    EXPECT_GE(a.est_ndp_ps, 0u);
+    if (k.cls == KernelClass::kFft || k.cls == KernelClass::kFaceSplit ||
+        k.cls == KernelClass::kAlltoall) {
+      EXPECT_EQ(a.preferred, DeviceKind::kNdp) << k.name << " @" << atoms;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScaSweepTest,
+                         ::testing::Values(16, 32, 64, 128, 256, 1024,
+                                           2048));
+
+TEST(WorkloadPropertyTest, CpuEstimateMonotoneInAtoms) {
+  const runtime::Sca sca(runtime::DeviceProfile::xeon_baseline(),
+                         runtime::DeviceProfile::table3_ndp());
+  TimePs previous = 0;
+  for (const std::size_t atoms : {16, 32, 64, 128, 256, 1024, 2048}) {
+    const dft::Workload w =
+        dft::Workload::lrtddft_iteration(dft::SystemDims::silicon(atoms));
+    TimePs total = 0;
+    for (const dft::KernelWork& k : w.kernels) {
+      total += sca.estimate(k, sca.cpu());
+    }
+    EXPECT_GT(total, previous) << "Si_" << atoms;
+    previous = total;
+  }
+}
+
+TEST(TracePropertyTest, ScaleInvariantUnderSamplingBound) {
+  // Total represented work is independent of the sampling bound.
+  for (const std::size_t bound : {2000, 8000, 32000}) {
+    cpu::TraceParams params;
+    params.flops = 1ull << 28;
+    params.bytes_read = 1ull << 30;
+    params.working_set = 1ull << 24;
+    params.max_mem_ops = bound;
+    const cpu::Trace trace = cpu::generate_trace(params);
+    const double represented =
+        trace.scale * static_cast<double>(trace.total_bytes());
+    EXPECT_NEAR(represented, static_cast<double>(params.bytes_read),
+                static_cast<double>(params.bytes_read) * 0.05)
+        << "bound " << bound;
+  }
+}
+
+}  // namespace
+}  // namespace ndft

@@ -1,0 +1,161 @@
+// Unit tests for the discrete-event engine and statistics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/sim_object.hpp"
+#include "sim/stats.hpp"
+
+namespace ndft::sim {
+namespace {
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule_at(300, [&] { order.push_back(3); });
+  queue.schedule_at(100, [&] { order.push_back(1); });
+  queue.schedule_at(200, [&] { order.push_back(2); });
+  queue.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(queue.now(), 300u);
+}
+
+TEST(EventQueueTest, SameTimestampIsFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.schedule_at(50, [&order, i] { order.push_back(i); });
+  }
+  queue.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(10, [&] {
+    ++fired;
+    queue.schedule_after(5, [&] { ++fired; });
+  });
+  queue.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(queue.now(), 15u);
+}
+
+TEST(EventQueueTest, RejectsPastEvents) {
+  EventQueue queue;
+  queue.schedule_at(100, [] {});
+  queue.run();
+  EXPECT_THROW(queue.schedule_at(50, [] {}), NdftError);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtDeadline) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(10, [&] { ++fired; });
+  queue.schedule_at(100, [&] { ++fired; });
+  queue.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.now(), 50u);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, CountsExecutedEvents) {
+  EventQueue queue;
+  for (int i = 0; i < 25; ++i) {
+    queue.schedule_after(static_cast<TimePs>(i), [] {});
+  }
+  queue.run();
+  EXPECT_EQ(queue.executed(), 25u);
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue queue;
+  TimePs inner_fired_at = 0;
+  queue.schedule_at(100, [&] {
+    queue.schedule_after(30, [&] { inner_fired_at = queue.now(); });
+  });
+  queue.run();
+  EXPECT_EQ(inner_fired_at, 130u);
+}
+
+TEST(StatSetTest, AddAndGet) {
+  StatSet stats;
+  EXPECT_EQ(stats.get("missing"), 0.0);
+  EXPECT_FALSE(stats.contains("missing"));
+  stats.add("hits");
+  stats.add("hits", 2.0);
+  EXPECT_DOUBLE_EQ(stats.get("hits"), 3.0);
+  stats.set("hits", 10.0);
+  EXPECT_DOUBLE_EQ(stats.get("hits"), 10.0);
+}
+
+TEST(StatSetTest, MergePrefixed) {
+  StatSet a;
+  StatSet b;
+  b.add("x", 5.0);
+  a.merge_prefixed("child", b);
+  EXPECT_DOUBLE_EQ(a.get("child.x"), 5.0);
+  a.merge_prefixed("child", b);
+  EXPECT_DOUBLE_EQ(a.get("child.x"), 10.0);  // merging accumulates
+}
+
+TEST(StatSetTest, RenderContainsEntries) {
+  StatSet stats;
+  stats.set("alpha", 1.5);
+  const std::string out = stats.render();
+  EXPECT_NE(out.find("alpha = 1.5"), std::string::npos);
+}
+
+TEST(HistogramTest, MeanMaxCount) {
+  Histogram h(10.0, 10);
+  h.record(5.0);
+  h.record(15.0);
+  h.record(25.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+  EXPECT_DOUBLE_EQ(h.max(), 25.0);
+}
+
+TEST(HistogramTest, PercentileFromBuckets) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.record(static_cast<double>(i) + 0.5);
+  }
+  EXPECT_NEAR(h.percentile(50), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(90), 90.0, 1.5);
+  EXPECT_NEAR(h.percentile(100), 99.5, 1.0);
+}
+
+TEST(HistogramTest, OverflowGoesToLastBucket) {
+  Histogram h(1.0, 4);
+  h.record(1000.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h(1.0, 4);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(SimObjectTest, NameAndQueueAccess) {
+  EventQueue queue;
+  SimObject object("top.child", queue);
+  EXPECT_EQ(object.name(), "top.child");
+  EXPECT_EQ(object.now(), 0u);
+  object.stats().add("events");
+  EXPECT_DOUBLE_EQ(object.stats().get("events"), 1.0);
+}
+
+}  // namespace
+}  // namespace ndft::sim
