@@ -1,0 +1,181 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ndft {
+namespace {
+
+/// True while the current thread is executing chunks of some parallel_for;
+/// nested calls run inline to avoid deadlock and oversubscription.
+thread_local bool t_in_parallel_region = false;
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("NDFT_NUM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 1) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // One broadcast job at a time: concurrent top-level parallel_for calls
+  // serialize here (workers never touch this mutex, so there is no
+  // deadlock; nested calls already run inline before reaching it).
+  std::mutex submit_mutex;
+  // Broadcast job state: every worker (plus the caller) pulls chunk
+  // indices from `next_chunk` until the job is drained.
+  std::mutex mutex;
+  std::condition_variable job_ready;
+  std::condition_variable job_done;
+  std::vector<std::thread> workers;
+  std::uint64_t generation = 0;
+  bool stopping = false;
+
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::size_t job_begin = 0;
+  std::size_t job_end = 0;
+  std::size_t chunk_size = 1;
+  std::size_t chunk_count = 0;
+  std::atomic<std::size_t> next_chunk{0};
+  std::size_t active_workers = 0;
+  std::exception_ptr first_error;
+
+  void run_chunks() {
+    t_in_parallel_region = true;
+    for (;;) {
+      const std::size_t chunk = next_chunk.fetch_add(1);
+      if (chunk >= chunk_count) break;
+      const std::size_t lo = job_begin + chunk * chunk_size;
+      const std::size_t hi = std::min(job_end, lo + chunk_size);
+      try {
+        (*body)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+    t_in_parallel_region = false;
+  }
+
+  void worker_loop(std::uint64_t spawn_generation) {
+    // Start at the generation current when the worker was spawned:
+    // workers added by resize() must not mistake an already-finished
+    // job's generation for new work.
+    std::uint64_t seen = spawn_generation;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      job_ready.wait(lock, [&] { return stopping || generation != seen; });
+      if (stopping) return;
+      seen = generation;
+      lock.unlock();
+      run_chunks();
+      lock.lock();
+      if (--active_workers == 0) {
+        job_done.notify_all();
+      }
+    }
+  }
+
+  void start(std::size_t total_threads) {
+    stopping = false;
+    const std::uint64_t spawn_generation = generation;
+    for (std::size_t i = 1; i < total_threads; ++i) {
+      workers.emplace_back(
+          [this, spawn_generation] { worker_loop(spawn_generation); });
+    }
+  }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stopping = true;
+    }
+    job_ready.notify_all();
+    for (std::thread& worker : workers) {
+      worker.join();
+    }
+    workers.clear();
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) : impl_(new Impl) {
+  impl_->start(threads == 0 ? 1 : threads);
+}
+
+ThreadPool::~ThreadPool() { impl_->stop(); }
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+std::size_t ThreadPool::threads() const noexcept {
+  return impl_->workers.size() + 1;
+}
+
+void ThreadPool::resize(std::size_t threads) {
+  NDFT_REQUIRE(threads >= 1, "thread pool needs at least one thread");
+  impl_->stop();
+  impl_->start(threads);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t range = end - begin;
+  const std::size_t total_threads = threads();
+  if (range <= std::max<std::size_t>(grain, 1) || total_threads == 1 ||
+      t_in_parallel_region) {
+    body(begin, end);
+    return;
+  }
+
+  // Chunk boundaries depend only on (range, grain, thread count): ~4
+  // chunks per thread for load balance, never below the grain.
+  const std::size_t target_chunks = total_threads * 4;
+  const std::size_t chunk_size = std::max(
+      std::max<std::size_t>(grain, 1),
+      (range + target_chunks - 1) / target_chunks);
+
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> submission(impl.submit_mutex);
+  {
+    std::lock_guard<std::mutex> lock(impl.mutex);
+    impl.body = &body;
+    impl.job_begin = begin;
+    impl.job_end = end;
+    impl.chunk_size = chunk_size;
+    impl.chunk_count = (range + chunk_size - 1) / chunk_size;
+    impl.next_chunk.store(0);
+    impl.active_workers = impl.workers.size();
+    impl.first_error = nullptr;
+    ++impl.generation;
+  }
+  impl.job_ready.notify_all();
+  impl.run_chunks();
+  std::unique_lock<std::mutex> lock(impl.mutex);
+  impl.job_done.wait(lock, [&] { return impl.active_workers == 0; });
+  impl.body = nullptr;
+  if (impl.first_error) {
+    std::rethrow_exception(impl.first_error);
+  }
+}
+
+}  // namespace ndft

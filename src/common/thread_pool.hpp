@@ -1,0 +1,79 @@
+#pragma once
+// Process-wide worker pool and the `parallel_for` primitive used by the
+// high-performance numerical kernels (FFT line batches, GEMM row blocks,
+// Hamiltonian assembly).
+//
+// Design constraints, in order:
+//  1. Determinism: parallel_for only ever partitions an index range into
+//     disjoint chunks; callers guarantee chunk bodies write disjoint
+//     outputs, so results are bitwise identical for any thread count.
+//  2. Small problems stay serial: ranges at or below the caller-supplied
+//     grain run inline on the calling thread with zero synchronisation.
+//  3. Nesting is safe: a parallel_for issued from inside a worker (or from
+//     inside another parallel_for body on the caller thread) runs inline
+//     rather than deadlocking or oversubscribing.
+//
+// The pool size defaults to the hardware concurrency and can be overridden
+// with the NDFT_NUM_THREADS environment variable (checked once, at first
+// use) or programmatically with resize() (tests and benchmarks).
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace ndft {
+
+class ThreadPool {
+ public:
+  /// The process-wide pool, created on first use.
+  static ThreadPool& instance();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that participate in a parallel_for (workers + caller).
+  std::size_t threads() const noexcept;
+
+  /// Rebuilds the pool with `threads` total threads (>= 1). Must not be
+  /// called while a parallel_for is in flight; intended for tests and
+  /// benchmarks that pin the thread count.
+  void resize(std::size_t threads);
+
+  /// Runs `body(chunk_begin, chunk_end)` over disjoint chunks covering
+  /// [begin, end). Serial (inline, no synchronisation) when the range has
+  /// at most `grain` iterations, the pool has one thread, or the call is
+  /// nested inside another parallel region. Chunk boundaries depend only
+  /// on (range, grain, thread count), never on scheduling, so any body
+  /// with disjoint writes is deterministic. The first exception thrown by
+  /// a chunk is rethrown on the calling thread after all chunks finish.
+  /// Thread-safe: concurrent top-level calls from different threads
+  /// serialize, each running its job to completion with the full pool.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  explicit ThreadPool(std::size_t threads);
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience wrapper over ThreadPool::instance().parallel_for.
+inline void parallel_for(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool::instance().parallel_for(begin, end, grain, body);
+}
+
+/// The one place the serial/parallel cutoff policy lives: a grain that
+/// keeps roughly 64k work units per chunk given the work per index
+/// (elements of an FFT line, entries of a matrix row, ...). Ranges whose
+/// total work falls below that stay serial in parallel_for.
+inline std::size_t parallel_grain(std::size_t work_per_index) {
+  return std::max<std::size_t>(
+      1, (std::size_t{1} << 16) / std::max<std::size_t>(1, work_per_index));
+}
+
+}  // namespace ndft

@@ -78,44 +78,57 @@ DavidsonResult davidson(std::size_t n, const ApplyFn& apply,
       applied.push_back(std::move(w));
     }
 
-    // Rayleigh-Ritz in the subspace.
+    // Rayleigh-Ritz in the subspace, through the blocked GEMM kernels:
+    // V W^T for the projected operator, then coefficient contractions for
+    // the Ritz vectors and residuals.
     const std::size_t m = basis.size();
-    RealMatrix projected(m, m);
+    RealMatrix vmat(m, n);
+    RealMatrix wmat(m, n);
     for (std::size_t a = 0; a < m; ++a) {
-      for (std::size_t b = a; b < m; ++b) {
-        double dot = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-          dot += basis[a][i] * applied[b][i];
-        }
-        projected(a, b) = dot;
-        projected(b, a) = dot;
+      std::copy(basis[a].begin(), basis[a].end(), vmat.row(a));
+      std::copy(applied[a].begin(), applied[a].end(), wmat.row(a));
+    }
+    RealMatrix projected;
+    gemm(vmat, wmat, projected, 1.0, 0.0, /*transpose_a=*/false,
+         /*transpose_b=*/true);
+    // The operator is symmetric; average away the finite-precision skew.
+    for (std::size_t a = 0; a < m; ++a) {
+      for (std::size_t b = a + 1; b < m; ++b) {
+        const double mean = 0.5 * (projected(a, b) + projected(b, a));
+        projected(a, b) = mean;
+        projected(b, a) = mean;
       }
     }
     const EigenResult small = syev(projected);
 
-    // Ritz vectors and residuals for the lowest `wanted` pairs.
+    // Ritz vectors and residuals for the lowest `wanted` pairs:
+    // X = Y^T V and R = Y^T W with Y the leading Ritz coefficients.
     const std::size_t keep = std::min(config.wanted, m);
     ritz_values.assign(small.eigenvalues.begin(),
                        small.eigenvalues.begin() +
                            static_cast<std::ptrdiff_t>(keep));
+    RealMatrix coeffs(m, keep);
+    for (std::size_t a = 0; a < m; ++a) {
+      for (std::size_t k = 0; k < keep; ++k) {
+        coeffs(a, k) = small.eigenvectors(a, k);
+      }
+    }
+    RealMatrix xmat;
+    RealMatrix rmat;
+    gemm(coeffs, vmat, xmat, 1.0, 0.0, /*transpose_a=*/true);
+    gemm(coeffs, wmat, rmat, 1.0, 0.0, /*transpose_a=*/true);
+
     ritz_vectors = RealMatrix(n, keep);
     bool all_converged = true;
     std::vector<std::vector<double>> residuals;
     for (std::size_t k = 0; k < keep; ++k) {
-      std::vector<double> x(n, 0.0);
       std::vector<double> r(n, 0.0);
-      for (std::size_t a = 0; a < m; ++a) {
-        const double coeff = small.eigenvectors(a, k);
-        for (std::size_t i = 0; i < n; ++i) {
-          x[i] += coeff * basis[a][i];
-          r[i] += coeff * applied[a][i];
-        }
-      }
       double rnorm2 = 0.0;
       for (std::size_t i = 0; i < n; ++i) {
-        r[i] -= ritz_values[k] * x[i];
+        const double x = xmat(k, i);
+        r[i] = rmat(k, i) - ritz_values[k] * x;
         rnorm2 += r[i] * r[i];
-        ritz_vectors(i, k) = x[i];
+        ritz_vectors(i, k) = x;
       }
       if (std::sqrt(rnorm2) > config.tolerance) {
         all_converged = false;

@@ -1,7 +1,10 @@
 #include "dft/epm.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+
+#include "common/thread_pool.hpp"
 
 namespace ndft::dft {
 namespace {
@@ -56,15 +59,19 @@ GroundState solve_epm(const PlaneWaveBasis& basis, std::size_t bands,
   NDFT_REQUIRE(n > 0, "empty plane-wave basis");
   const auto& g = basis.gvectors();
 
+  // Rows of the upper triangle are independent: assemble on the thread
+  // pool, then mirror (each pass writes disjoint rows, so the result is
+  // identical for any thread count).
   RealMatrix hamiltonian(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    hamiltonian(i, i) = 0.5 * g[i].g2;
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double v = epm_potential(basis.crystal(), g[i], g[j]);
-      hamiltonian(i, j) = v;
-      hamiltonian(j, i) = v;
+  parallel_for(0, n, parallel_grain(n), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      hamiltonian(i, i) = 0.5 * g[i].g2;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        hamiltonian(i, j) = epm_potential(basis.crystal(), g[i], g[j]);
+      }
     }
-  }
+  });
+  mirror_upper(hamiltonian);
   if (count != nullptr) {
     count->add(static_cast<Flops>(n) * n * 8,
                static_cast<Bytes>(n) * n * sizeof(double));

@@ -1,9 +1,12 @@
 #include "dft/fft.hpp"
 
 #include <cmath>
+#include <mutex>
 #include <numbers>
+#include <unordered_map>
 
 #include "common/math_util.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ndft::dft {
 namespace {
@@ -15,37 +18,6 @@ Complex unit_root(double turns) {
   return Complex{std::cos(kTwoPi * turns), std::sin(kTwoPi * turns)};
 }
 
-/// Iterative radix-2 FFT, in place; n must be a power of two.
-void fft_pow2(std::vector<Complex>& data, bool inverse) {
-  const std::size_t n = data.size();
-  if (n <= 1) return;
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) {
-      j ^= bit;
-    }
-    j |= bit;
-    if (i < j) {
-      std::swap(data[i], data[j]);
-    }
-  }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double angle = (inverse ? 1.0 : -1.0) / static_cast<double>(len);
-    const Complex step = unit_root(angle);
-    for (std::size_t block = 0; block < n; block += len) {
-      Complex w{1.0, 0.0};
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Complex even = data[block + k];
-        const Complex odd = data[block + k + len / 2] * w;
-        data[block + k] = even + odd;
-        data[block + k + len / 2] = even - odd;
-        w *= step;
-      }
-    }
-  }
-}
-
 /// Smallest factor of n among {2,3,5}; 0 if none divides n.
 std::size_t small_factor(std::size_t n) {
   if (n % 2 == 0) return 2;
@@ -54,84 +26,263 @@ std::size_t small_factor(std::size_t n) {
   return 0;
 }
 
-/// Recursive mixed-radix DIT for n = 2^a * 3^b * 5^c.
-/// Reads in[0], in[stride], ... and writes out[0..n-1] contiguously.
-void fft_mixed(const Complex* in, Complex* out, std::size_t n,
-               std::size_t stride, bool inverse) {
+/// Conjugates on demand so one forward twiddle table serves both
+/// directions.
+template <bool Inverse>
+Complex directed(const Complex& root) {
+  if constexpr (Inverse) {
+    return std::conj(root);
+  } else {
+    return root;
+  }
+}
+
+/// Lines gathered per batch in the strided (Y/Z) fft3d passes: enough that
+/// every cache line fetched from the grid is used fully while hot.
+constexpr std::size_t kLineBatch = 8;
+
+}  // namespace
+
+// ---------------------------------------------------------------- FftPlan
+
+FftPlan::FftPlan(std::size_t n) : n_(n) {
+  if (n_ <= 1) {
+    kind_ = Kind::kTrivial;
+    return;
+  }
+  if (is_pow2(n_)) {
+    kind_ = Kind::kPow2;
+    // Half-table of forward roots: stage `len` uses index k * (n/len),
+    // which stays below n/2 for every butterfly.
+    roots_.resize(n_ / 2);
+    for (std::size_t k = 0; k < n_ / 2; ++k) {
+      roots_[k] = unit_root(-static_cast<double>(k) / static_cast<double>(n_));
+    }
+    bitrev_.resize(n_);
+    for (std::size_t i = 0, j = 0; i < n_; ++i) {
+      bitrev_[i] = static_cast<std::uint32_t>(j);
+      std::size_t bit = n_ >> 1;
+      for (; j & bit; bit >>= 1) {
+        j ^= bit;
+      }
+      j |= bit;
+    }
+    workspace_size_ = 0;
+    return;
+  }
+  if (is_friendly_size(n_)) {
+    kind_ = Kind::kMixed;
+    // Full forward root table: every recursion level works on a length
+    // n' dividing n, so w_{n'}^t = roots_[t * (n/n')].
+    roots_.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      roots_[k] = unit_root(-static_cast<double>(k) / static_cast<double>(n_));
+    }
+    // Workspace: an output line plus the recursion arena (one live `sub`
+    // buffer per level: n + n/p1 + n/(p1*p2) + ... < 2n).
+    std::size_t arena = 0;
+    for (std::size_t level = n_; level > 1; level /= small_factor(level)) {
+      arena += level;
+    }
+    workspace_size_ = n_ + arena;
+    return;
+  }
+
+  kind_ = Kind::kBluestein;
+  // Forward chirp is w^{k^2/2} with w = exp(-2*pi*i/n); k^2 mod 2n avoids
+  // catastrophic angle loss for large k (lengths stay far below 2^32).
+  chirp_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t k2 = (k * k) % (2 * n_);
+    chirp_[k] = unit_root(-0.5 * static_cast<double>(k2) /
+                          static_cast<double>(n_));
+  }
+  const std::size_t conv_n = next_pow2(2 * n_ - 1);
+  conv_plan_ = std::make_unique<FftPlan>(conv_n);
+  // Convolution kernels b_k = w^{-k^2/2} for each direction, transformed
+  // once here so execute() only does the two data FFTs.
+  b_spec_fwd_.assign(conv_n, Complex{});
+  b_spec_inv_.assign(conv_n, Complex{});
+  for (std::size_t k = 0; k < n_; ++k) {
+    b_spec_fwd_[k] = std::conj(chirp_[k]);
+    b_spec_inv_[k] = chirp_[k];
+    if (k > 0) {
+      b_spec_fwd_[conv_n - k] = std::conj(chirp_[k]);
+      b_spec_inv_[conv_n - k] = chirp_[k];
+    }
+  }
+  conv_plan_->pow2_core<false>(b_spec_fwd_.data());
+  conv_plan_->pow2_core<false>(b_spec_inv_.data());
+  workspace_size_ = conv_n;
+}
+
+FftPlan::~FftPlan() = default;
+
+template <bool Inverse>
+void FftPlan::pow2_core(Complex* data) const {
+  const std::size_t n = n_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = bitrev_[i];
+    if (i < j) {
+      std::swap(data[i], data[j]);
+    }
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
+    const std::size_t root_stride = n / len;
+    for (std::size_t block = 0; block < n; block += len) {
+      Complex* lo = data + block;
+      Complex* hi = lo + half;
+      for (std::size_t k = 0; k < half; ++k) {
+        const Complex w = directed<Inverse>(roots_[k * root_stride]);
+        const Complex even = lo[k];
+        const Complex odd = hi[k] * w;
+        lo[k] = even + odd;
+        hi[k] = even - odd;
+      }
+    }
+  }
+}
+
+template <bool Inverse>
+void FftPlan::mixed_recurse(const Complex* in, Complex* out, std::size_t n,
+                            std::size_t stride, Complex* work) const {
   if (n == 1) {
     out[0] = in[0];
+    return;
+  }
+  if (n == 2) {
+    const Complex a = in[0];
+    const Complex b = in[stride];
+    out[0] = a + b;
+    out[1] = a - b;
     return;
   }
   const std::size_t p = small_factor(n);
   NDFT_ASSERT(p != 0);
   const std::size_t m = n / p;
+  const std::size_t root_stride = n_ / n;  // table is built for length n_
 
-  // Sub-transforms of the p decimated sequences, laid out back to back.
-  std::vector<Complex> sub(n);
+  // Sub-transforms of the p decimated sequences, laid out back to back in
+  // this level's slice of the arena.
+  Complex* sub = work;
   for (std::size_t r = 0; r < p; ++r) {
-    fft_mixed(in + r * stride, sub.data() + r * m, m, stride * p, inverse);
+    mixed_recurse<Inverse>(in + r * stride, sub + r * m, m, stride * p,
+                           work + n);
   }
 
   // Combine: X[q + s*m] = sum_r w_n^{r q} * w_p^{r s} * Sub_r[q].
-  const double direction = inverse ? 1.0 : -1.0;
+  if (p == 2) {
+    for (std::size_t q = 0; q < m; ++q) {
+      const Complex w = directed<Inverse>(roots_[q * root_stride]);
+      const Complex t = sub[m + q] * w;
+      out[q] = sub[q] + t;
+      out[q + m] = sub[q] - t;
+    }
+    return;
+  }
+  const std::size_t p_root_stride = n_ / p;
   for (std::size_t q = 0; q < m; ++q) {
-    // Twiddled sub values for this q.
     Complex twiddled[5];
-    for (std::size_t r = 0; r < p; ++r) {
-      const double turns =
-          direction * static_cast<double>(r * q) / static_cast<double>(n);
-      twiddled[r] = sub[r * m + q] * unit_root(turns);
+    twiddled[0] = sub[q];
+    for (std::size_t r = 1; r < p; ++r) {
+      const Complex w = directed<Inverse>(roots_[r * q * root_stride]);
+      twiddled[r] = sub[r * m + q] * w;
     }
     for (std::size_t s = 0; s < p; ++s) {
-      Complex acc{};
-      for (std::size_t r = 0; r < p; ++r) {
-        const double turns =
-            direction * static_cast<double>(r * s) / static_cast<double>(p);
-        acc += twiddled[r] * unit_root(turns);
+      Complex acc = twiddled[0];
+      for (std::size_t r = 1; r < p; ++r) {
+        const Complex w =
+            directed<Inverse>(roots_[((r * s) % p) * p_root_stride]);
+        acc += twiddled[r] * w;
       }
       out[q + s * m] = acc;
     }
   }
 }
 
-/// Bluestein's chirp-z transform for arbitrary n, via a pow2 convolution.
-void fft_bluestein(std::vector<Complex>& data, bool inverse) {
-  const std::size_t n = data.size();
-  // Forward chirp is w^{k^2/2} with w = exp(-2*pi*i/n), i.e. a *negative*
-  // angle; the -0.5 below carries the sign, so forward uses +1 here.
-  const double direction = inverse ? -1.0 : 1.0;
-  // a_k = x_k * w^{k^2/2};  b_k = w^{-k^2/2} (chirp).
-  std::vector<Complex> chirp(n);
+template <bool Inverse>
+void FftPlan::bluestein_core(Complex* data, Complex* work) const {
+  const std::size_t n = n_;
+  const std::size_t conv_n = conv_plan_->length();
+  Complex* a = work;
   for (std::size_t k = 0; k < n; ++k) {
-    // k^2 mod 2n avoids catastrophic angle loss for large k. Transform
-    // lengths stay far below 2^32, so the product fits in 64 bits.
-    const std::size_t k2 = (k * k) % (2 * n);
-    chirp[k] = unit_root(direction * -0.5 * static_cast<double>(k2) /
-                         static_cast<double>(n));
+    a[k] = data[k] * directed<Inverse>(chirp_[k]);
   }
-  const std::size_t conv_n = next_pow2(2 * n - 1);
-  std::vector<Complex> a(conv_n);
-  std::vector<Complex> b(conv_n);
-  for (std::size_t k = 0; k < n; ++k) {
-    a[k] = data[k] * chirp[k];
-    b[k] = std::conj(chirp[k]);
+  for (std::size_t k = n; k < conv_n; ++k) {
+    a[k] = Complex{};
   }
-  for (std::size_t k = 1; k < n; ++k) {
-    b[conv_n - k] = std::conj(chirp[k]);
-  }
-  fft_pow2(a, false);
-  fft_pow2(b, false);
+  conv_plan_->pow2_core<false>(a);
+  const std::vector<Complex>& b_spec = Inverse ? b_spec_inv_ : b_spec_fwd_;
   for (std::size_t k = 0; k < conv_n; ++k) {
-    a[k] *= b[k];
+    a[k] *= b_spec[k];
   }
-  fft_pow2(a, true);
+  conv_plan_->pow2_core<true>(a);
   const double scale = 1.0 / static_cast<double>(conv_n);
   for (std::size_t k = 0; k < n; ++k) {
-    data[k] = a[k] * scale * chirp[k];
+    data[k] = a[k] * scale * directed<Inverse>(chirp_[k]);
   }
 }
 
-}  // namespace
+void FftPlan::execute(Complex* data, Complex* work,
+                      FftDirection direction) const {
+  const bool inverse = (direction == FftDirection::kInverse);
+  switch (kind_) {
+    case Kind::kTrivial:
+      return;
+    case Kind::kPow2:
+      if (inverse) {
+        pow2_core<true>(data);
+      } else {
+        pow2_core<false>(data);
+      }
+      break;
+    case Kind::kMixed: {
+      // work = [output line | recursion arena].
+      Complex* out = work;
+      if (inverse) {
+        mixed_recurse<true>(data, out, n_, 1, work + n_);
+      } else {
+        mixed_recurse<false>(data, out, n_, 1, work + n_);
+      }
+      std::copy(out, out + n_, data);
+      break;
+    }
+    case Kind::kBluestein:
+      if (inverse) {
+        bluestein_core<true>(data, work);
+      } else {
+        bluestein_core<false>(data, work);
+      }
+      break;
+  }
+  if (inverse) {
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (std::size_t k = 0; k < n_; ++k) {
+      data[k] *= scale;
+    }
+  }
+}
+
+void FftPlan::execute(std::vector<Complex>& data,
+                      FftDirection direction) const {
+  NDFT_REQUIRE(data.size() == n_, "fft plan length mismatch");
+  std::vector<Complex> work(workspace_size());
+  execute(data.data(), work.data(), direction);
+}
+
+const FftPlan& fft_plan(std::size_t n) {
+  static std::mutex mutex;
+  static std::unordered_map<std::size_t, std::unique_ptr<FftPlan>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  std::unique_ptr<FftPlan>& slot = cache[n];
+  if (!slot) {
+    slot = std::make_unique<FftPlan>(n);
+  }
+  return *slot;
+}
+
+// ------------------------------------------------------------- free funcs
 
 bool is_friendly_size(std::size_t n) {
   if (n == 0) return false;
@@ -150,24 +301,8 @@ std::size_t friendly_size(std::size_t n) {
 }
 
 void fft(std::vector<Complex>& data, FftDirection direction) {
-  const std::size_t n = data.size();
-  if (n <= 1) return;
-  const bool inverse = (direction == FftDirection::kInverse);
-  if (is_pow2(n)) {
-    fft_pow2(data, inverse);
-  } else if (is_friendly_size(n)) {
-    std::vector<Complex> out(n);
-    fft_mixed(data.data(), out.data(), n, 1, inverse);
-    data = std::move(out);
-  } else {
-    fft_bluestein(data, inverse);
-  }
-  if (inverse) {
-    const double scale = 1.0 / static_cast<double>(n);
-    for (Complex& value : data) {
-      value *= scale;
-    }
-  }
+  if (data.size() <= 1) return;
+  fft_plan(data.size()).execute(data, direction);
 }
 
 Flops fft_flops(std::size_t n) {
@@ -176,39 +311,86 @@ Flops fft_flops(std::size_t n) {
   return static_cast<Flops>(5.0 * static_cast<double>(n) * logn);
 }
 
+namespace {
+
+/// Transforms `batch` lines that are adjacent in x: line b has elements
+/// base[b + i * stride]. The gather walks the grid with unit stride in b,
+/// so every fetched cache line is consumed whole while hot.
+void transform_line_batch(Complex* base, std::size_t batch, std::size_t len,
+                          std::size_t stride, const FftPlan& plan,
+                          FftDirection direction, Complex* gather,
+                          Complex* work) {
+  for (std::size_t i = 0; i < len; ++i) {
+    const Complex* src = base + i * stride;
+    for (std::size_t b = 0; b < batch; ++b) {
+      gather[b * len + i] = src[b];
+    }
+  }
+  for (std::size_t b = 0; b < batch; ++b) {
+    plan.execute(gather + b * len, work, direction);
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    Complex* dst = base + i * stride;
+    for (std::size_t b = 0; b < batch; ++b) {
+      dst[b] = gather[b * len + i];
+    }
+  }
+}
+
+}  // namespace
+
 void fft3d(Grid3& grid, FftDirection direction, OpCount* count) {
   const std::size_t nx = grid.nx();
   const std::size_t ny = grid.ny();
   const std::size_t nz = grid.nz();
   NDFT_REQUIRE(nx > 0 && ny > 0 && nz > 0, "fft3d on an empty grid");
+  Complex* data = grid.raw().data();
 
-  std::vector<Complex> line;
-  // X lines (contiguous).
-  line.resize(nx);
-  for (std::size_t iz = 0; iz < nz; ++iz) {
-    for (std::size_t iy = 0; iy < ny; ++iy) {
-      for (std::size_t ix = 0; ix < nx; ++ix) line[ix] = grid.at(ix, iy, iz);
-      fft(line, direction);
-      for (std::size_t ix = 0; ix < nx; ++ix) grid.at(ix, iy, iz) = line[ix];
-    }
+  // X lines are contiguous rows of the storage: transform them in place,
+  // no gather/scatter round trip at all.
+  {
+    const FftPlan& plan = fft_plan(nx);
+    parallel_for(0, ny * nz, parallel_grain(nx),
+                 [&](std::size_t lo, std::size_t hi) {
+                   std::vector<Complex> work(plan.workspace_size());
+                   for (std::size_t line = lo; line < hi; ++line) {
+                     plan.execute(data + line * nx, work.data(), direction);
+                   }
+                 });
   }
-  // Y lines.
-  line.resize(ny);
-  for (std::size_t iz = 0; iz < nz; ++iz) {
-    for (std::size_t ix = 0; ix < nx; ++ix) {
-      for (std::size_t iy = 0; iy < ny; ++iy) line[iy] = grid.at(ix, iy, iz);
-      fft(line, direction);
-      for (std::size_t iy = 0; iy < ny; ++iy) grid.at(ix, iy, iz) = line[iy];
-    }
+  // Y lines: stride nx, batched over adjacent x; one task per z slab.
+  {
+    const FftPlan& plan = fft_plan(ny);
+    parallel_for(
+        0, nz, parallel_grain(nx * ny), [&](std::size_t lo, std::size_t hi) {
+          std::vector<Complex> gather(kLineBatch * ny);
+          std::vector<Complex> work(plan.workspace_size());
+          for (std::size_t iz = lo; iz < hi; ++iz) {
+            for (std::size_t ix = 0; ix < nx; ix += kLineBatch) {
+              const std::size_t batch = std::min(kLineBatch, nx - ix);
+              transform_line_batch(data + iz * nx * ny + ix, batch, ny, nx,
+                                   plan, direction, gather.data(),
+                                   work.data());
+            }
+          }
+        });
   }
-  // Z lines.
-  line.resize(nz);
-  for (std::size_t iy = 0; iy < ny; ++iy) {
-    for (std::size_t ix = 0; ix < nx; ++ix) {
-      for (std::size_t iz = 0; iz < nz; ++iz) line[iz] = grid.at(ix, iy, iz);
-      fft(line, direction);
-      for (std::size_t iz = 0; iz < nz; ++iz) grid.at(ix, iy, iz) = line[iz];
-    }
+  // Z lines: stride nx*ny, batched over adjacent x; one task per y row.
+  {
+    const FftPlan& plan = fft_plan(nz);
+    parallel_for(
+        0, ny, parallel_grain(nx * nz), [&](std::size_t lo, std::size_t hi) {
+          std::vector<Complex> gather(kLineBatch * nz);
+          std::vector<Complex> work(plan.workspace_size());
+          for (std::size_t iy = lo; iy < hi; ++iy) {
+            for (std::size_t ix = 0; ix < nx; ix += kLineBatch) {
+              const std::size_t batch = std::min(kLineBatch, nx - ix);
+              transform_line_batch(data + iy * nx + ix, batch, nz, nx * ny,
+                                   plan, direction, gather.data(),
+                                   work.data());
+            }
+          }
+        });
   }
   if (count != nullptr) {
     const std::size_t n = grid.size();

@@ -3,8 +3,17 @@
 // 2^a*3^b*5^c sizes, and Bluestein's algorithm for arbitrary lengths, plus
 // the 3D transforms used on plane-wave grids. Forward transforms are
 // unnormalised; the inverse divides by N so ifft(fft(x)) == x.
+//
+// All transforms run through FftPlan: a per-length object that owns the
+// precomputed twiddle tables, bit-reversal permutation and (for Bluestein
+// lengths) the chirp and its convolution spectra. Plans are immutable after
+// construction, so one plan can execute many lines concurrently; a
+// process-wide cache (fft_plan) hands out one plan per length. fft3d
+// batches independent grid lines and spreads them across the thread pool.
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "dft/linalg.hpp"
@@ -14,6 +23,57 @@ namespace ndft::dft {
 
 /// Transform direction.
 enum class FftDirection { kForward, kInverse };
+
+/// A reusable transform plan for one length. Construction factors the
+/// length, builds the twiddle/bit-reversal tables and, for non-friendly
+/// lengths, the Bluestein chirp and convolution spectra; execution is
+/// allocation-free given a caller-supplied workspace and is safe to run
+/// from many threads at once on distinct lines.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t n);
+  ~FftPlan();
+  FftPlan(const FftPlan&) = delete;
+  FftPlan& operator=(const FftPlan&) = delete;
+
+  std::size_t length() const noexcept { return n_; }
+
+  /// Number of Complex elements of scratch `execute` needs (may be zero).
+  std::size_t workspace_size() const noexcept { return workspace_size_; }
+
+  /// In-place transform of one length-n line; `work` must point to at
+  /// least workspace_size() elements (ignored when that is zero). Forward
+  /// is unnormalised; inverse includes the 1/n scale.
+  void execute(Complex* data, Complex* work, FftDirection direction) const;
+
+  /// Convenience wrapper that allocates its own workspace.
+  void execute(std::vector<Complex>& data, FftDirection direction) const;
+
+ private:
+  enum class Kind { kTrivial, kPow2, kMixed, kBluestein };
+
+  template <bool Inverse>
+  void pow2_core(Complex* data) const;
+  template <bool Inverse>
+  void mixed_recurse(const Complex* in, Complex* out, std::size_t n,
+                     std::size_t stride, Complex* work) const;
+  template <bool Inverse>
+  void bluestein_core(Complex* data, Complex* work) const;
+
+  std::size_t n_ = 0;
+  Kind kind_ = Kind::kTrivial;
+  std::size_t workspace_size_ = 0;
+  std::vector<Complex> roots_;        ///< forward roots exp(-2*pi*i*k/n)
+  std::vector<std::uint32_t> bitrev_; ///< pow2 only
+  std::vector<Complex> chirp_;        ///< Bluestein forward chirp w^{k^2/2}
+  std::vector<Complex> b_spec_fwd_;   ///< FFT of the forward chirp kernel
+  std::vector<Complex> b_spec_inv_;   ///< FFT of the inverse chirp kernel
+  std::unique_ptr<FftPlan> conv_plan_;///< pow2 plan for the convolution
+};
+
+/// The process-wide plan for length `n`, built on first request and cached
+/// for the life of the process. Thread-safe.
+const FftPlan& fft_plan(std::size_t n);
 
 /// In-place 1D FFT of arbitrary length (Bluestein handles prime sizes).
 void fft(std::vector<Complex>& data, FftDirection direction);
@@ -60,8 +120,11 @@ class Grid3 {
   std::vector<Complex> data_;
 };
 
-/// In-place 3D FFT (one 1D pass per dimension). `count`, when non-null,
-/// accumulates the analytic flop/byte cost of the transform.
+/// In-place 3D FFT (one 1D pass per dimension). X lines are transformed
+/// directly in the contiguous storage; Y/Z lines are gathered in cache
+/// friendly batches. Independent lines run on the thread pool for large
+/// grids (results are identical for any thread count). `count`, when
+/// non-null, accumulates the analytic flop/byte cost of the transform.
 void fft3d(Grid3& grid, FftDirection direction, OpCount* count = nullptr);
 
 /// Analytic flop cost of a complex FFT of length n (~5 n log2 n).

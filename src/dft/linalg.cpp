@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <vector>
 
 #include "common/math_util.hpp"
+#include "common/thread_pool.hpp"
 
 namespace ndft::dft {
 namespace {
@@ -158,42 +160,291 @@ void tql2(std::vector<double>& d, std::vector<double>& e, RealMatrix& z) {
   }
 }
 
+/// Conjugates complex values when `Conj`; the identity for doubles.
+template <bool Conj, typename T>
+T maybe_conj(const T& value) {
+  if constexpr (Conj && !std::is_same_v<T, double>) {
+    return std::conj(value);
+  } else {
+    return value;
+  }
+}
+
+// ------------------------------------------------------------ GEMM layer
+//
+// BLIS-style blocking: C is computed in (kMc x kNr)-tall bands. op(A) and
+// op(B) blocks are packed into contiguous micro-panels (the transpose /
+// conjugation is absorbed by the packing, so whole-operand copies never
+// happen), and an (kMr x kNr) register-tile microkernel runs over the
+// packed panels. Row blocks are independent, so they are spread across
+// the thread pool; every C element sees k-terms in the same order
+// regardless of the thread count, keeping results bitwise deterministic.
+
+constexpr std::size_t kMr = 6;    ///< microkernel rows (register tile)
+constexpr std::size_t kNr = 16;   ///< microkernel cols (two AVX-512 lanes)
+constexpr std::size_t kMc = 96;   ///< row block, multiple of kMr
+constexpr std::size_t kKc = 240;  ///< depth block (packed panels stay hot)
+constexpr std::size_t kNc = 2016; ///< column block, multiple of kNr
+
+/// Below this op(A)*op(B) volume (m*n*k) the packing overhead dominates
+/// and the reference loop wins; also keeps tiny products allocation-free.
+constexpr std::size_t kSmallGemmVolume = 32768;
+
+/// Packs an (mc x kc) block of op(A) into kMr-row micro-panels,
+/// zero-padding the row remainder. Panel p holds rows [p*kMr, p*kMr+kMr)
+/// in k-major order: element (i, l) of the block at p*kMr*kc + l*kMr + i.
+template <bool Transpose, bool Conj, typename T>
+void pack_a_block(const Matrix<T>& a, std::size_t row0, std::size_t col0,
+                  std::size_t mc, std::size_t kc, T* buffer) {
+  for (std::size_t ip = 0; ip < mc; ip += kMr) {
+    const std::size_t rows = std::min(kMr, mc - ip);
+    for (std::size_t l = 0; l < kc; ++l) {
+      for (std::size_t i = 0; i < kMr; ++i) {
+        T value{};
+        if (i < rows) {
+          value = Transpose
+                      ? maybe_conj<Conj>(a(col0 + l, row0 + ip + i))
+                      : a(row0 + ip + i, col0 + l);
+        }
+        *buffer++ = value;
+      }
+    }
+  }
+}
+
+/// Packs a (kc x nc) block of op(B) into kNr-column micro-panels,
+/// zero-padding the column remainder: element (l, j) of panel p sits at
+/// p*kNr*kc + l*kNr + j.
+template <bool Transpose, typename T>
+void pack_b_block(const Matrix<T>& b, std::size_t row0, std::size_t col0,
+                  std::size_t kc, std::size_t nc, T* buffer) {
+  for (std::size_t jp = 0; jp < nc; jp += kNr) {
+    const std::size_t cols = std::min(kNr, nc - jp);
+    for (std::size_t l = 0; l < kc; ++l) {
+      for (std::size_t j = 0; j < kNr; ++j) {
+        T value{};
+        if (j < cols) {
+          value = Transpose ? b(col0 + jp + j, row0 + l)
+                            : b(row0 + l, col0 + jp + j);
+        }
+        *buffer++ = value;
+      }
+    }
+  }
+}
+
+#if defined(__GNUC__) && defined(__AVX512F__)
+#define NDFT_GEMM_SIMD 1
+/// 8 doubles per lane; kNr is exactly two lanes.
+typedef double V8d __attribute__((vector_size(64)));
+
+V8d v8_load(const double* p) {
+  V8d v;
+  __builtin_memcpy(&v, p, sizeof(v));  // unaligned load, folds to vmovupd
+  return v;
+}
+#endif
+
+/// Register-tile kernel: acc(kMr x kNr) += Apanel * Bpanel over kc terms.
+/// The double path names every accumulator lane explicitly — compilers
+/// reliably spill a 2D accumulator array to the stack, which costs an
+/// order of magnitude here — and the generic path (complex, non-AVX512
+/// builds) uses plain loops with compile-time extents.
+template <typename T>
+void micro_kernel(std::size_t kc, const T* __restrict a_panel,
+                  const T* __restrict b_panel, T* __restrict acc) {
+#if NDFT_GEMM_SIMD
+  if constexpr (std::is_same_v<T, double>) {
+    static_assert(kMr == 6 && kNr == 16, "tile shape is hard-wired below");
+    V8d c00{}, c01{}, c10{}, c11{}, c20{}, c21{};
+    V8d c30{}, c31{}, c40{}, c41{}, c50{}, c51{};
+    for (std::size_t l = 0; l < kc; ++l) {
+      const double* a = a_panel + l * kMr;
+      const V8d b0 = v8_load(b_panel + l * kNr);
+      const V8d b1 = v8_load(b_panel + l * kNr + 8);
+      V8d av;
+      av = V8d{} + a[0]; c00 += av * b0; c01 += av * b1;
+      av = V8d{} + a[1]; c10 += av * b0; c11 += av * b1;
+      av = V8d{} + a[2]; c20 += av * b0; c21 += av * b1;
+      av = V8d{} + a[3]; c30 += av * b0; c31 += av * b1;
+      av = V8d{} + a[4]; c40 += av * b0; c41 += av * b1;
+      av = V8d{} + a[5]; c50 += av * b0; c51 += av * b1;
+    }
+    const V8d rows[12] = {c00, c01, c10, c11, c20, c21,
+                          c30, c31, c40, c41, c50, c51};
+    __builtin_memcpy(acc, rows, sizeof(rows));
+    return;
+  }
+#endif
+  for (std::size_t l = 0; l < kc; ++l) {
+    const T* a = a_panel + l * kMr;
+    const T* b = b_panel + l * kNr;
+    for (std::size_t i = 0; i < kMr; ++i) {
+      const T aval = a[i];
+      T* row = acc + i * kNr;
+      for (std::size_t j = 0; j < kNr; ++j) {
+        row[j] += aval * b[j];
+      }
+    }
+  }
+}
+
+/// Reference triple loop (also the small-product fast path): transposition
+/// read through indexing, no operand copies, no branches in the k loop.
+template <bool TransposeA, bool TransposeB, bool ConjA, typename T>
+void gemm_reference(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
+                    T alpha, T beta, std::size_t m, std::size_t n,
+                    std::size_t k) {
+  for (std::size_t i = 0; i < m; ++i) {
+    T* crow = c.row(i);
+    if (beta == T{}) {
+      std::fill(crow, crow + n, T{});
+    } else if (beta != T{1.0}) {
+      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
+    }
+    for (std::size_t l = 0; l < k; ++l) {
+      const T aval =
+          alpha * (TransposeA ? maybe_conj<ConjA>(a(l, i)) : a(i, l));
+      if constexpr (TransposeB) {
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += aval * b(j, l);
+        }
+      } else {
+        const T* brow = b.row(l);
+        for (std::size_t j = 0; j < n; ++j) {
+          crow[j] += aval * brow[j];
+        }
+      }
+    }
+  }
+}
+
+template <typename T>
+void gemm_reference_dispatch(const Matrix<T>& a, const Matrix<T>& b,
+                             Matrix<T>& c, T alpha, T beta, bool transpose_a,
+                             bool transpose_b, std::size_t m, std::size_t n,
+                             std::size_t k) {
+  if (transpose_a) {
+    if (transpose_b) {
+      gemm_reference<true, true, true>(a, b, c, alpha, beta, m, n, k);
+    } else {
+      gemm_reference<true, false, true>(a, b, c, alpha, beta, m, n, k);
+    }
+  } else {
+    if (transpose_b) {
+      gemm_reference<false, true, true>(a, b, c, alpha, beta, m, n, k);
+    } else {
+      gemm_reference<false, false, true>(a, b, c, alpha, beta, m, n, k);
+    }
+  }
+}
+
+/// Shape checks shared by every entry point; sizes C when allowed.
+template <typename T>
+void gemm_prepare(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
+                  T beta, bool transpose_a, bool transpose_b, std::size_t& m,
+                  std::size_t& n, std::size_t& k) {
+  m = transpose_a ? a.cols() : a.rows();
+  k = transpose_a ? a.rows() : a.cols();
+  const std::size_t b_rows = transpose_b ? b.cols() : b.rows();
+  n = transpose_b ? b.rows() : b.cols();
+  NDFT_REQUIRE(b_rows == k, "gemm: inner dimensions must agree");
+  if (c.rows() != m || c.cols() != n) {
+    NDFT_REQUIRE(beta == T{}, "gemm: beta != 0 requires a sized C");
+    c = Matrix<T>(m, n);
+  }
+}
+
+template <bool TransposeA, bool TransposeB, bool ConjA, typename T>
+void gemm_blocked(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
+                  T alpha, T beta, std::size_t m, std::size_t n,
+                  std::size_t k) {
+  std::vector<T> b_pack(kKc * std::min(kNc, round_up(n, kNr)));
+  for (std::size_t jc = 0; jc < n; jc += kNc) {
+    const std::size_t nc = std::min(kNc, n - jc);
+    for (std::size_t pc = 0; pc < k; pc += kKc) {
+      const std::size_t kc = std::min(kKc, k - pc);
+      const bool first_k_block = (pc == 0);
+      pack_b_block<TransposeB>(b, pc, jc, kc, nc, b_pack.data());
+
+      const std::size_t row_blocks = ceil_div(m, kMc);
+      parallel_for(0, row_blocks, 1, [&](std::size_t lo, std::size_t hi) {
+        std::vector<T> a_pack(kMc * kc);
+        T acc[kMr * kNr];
+        for (std::size_t block = lo; block < hi; ++block) {
+          const std::size_t ic = block * kMc;
+          const std::size_t mc = std::min(kMc, m - ic);
+          pack_a_block<TransposeA, ConjA>(a, ic, pc, mc, kc, a_pack.data());
+          for (std::size_t jp = 0; jp < nc; jp += kNr) {
+            const std::size_t cols = std::min(kNr, nc - jp);
+            const T* b_panel = b_pack.data() + (jp / kNr) * kNr * kc;
+            for (std::size_t ip = 0; ip < mc; ip += kMr) {
+              const std::size_t rows = std::min(kMr, mc - ip);
+              const T* a_panel = a_pack.data() + (ip / kMr) * kMr * kc;
+              std::fill(acc, acc + kMr * kNr, T{});
+              micro_kernel(kc, a_panel, b_panel, acc);
+              for (std::size_t i = 0; i < rows; ++i) {
+                T* crow = c.row(ic + ip + i) + jc + jp;
+                const T* arow = acc + i * kNr;
+                if (first_k_block) {
+                  if (beta == T{}) {
+                    for (std::size_t j = 0; j < cols; ++j) {
+                      crow[j] = alpha * arow[j];
+                    }
+                  } else {
+                    for (std::size_t j = 0; j < cols; ++j) {
+                      crow[j] = beta * crow[j] + alpha * arow[j];
+                    }
+                  }
+                } else {
+                  for (std::size_t j = 0; j < cols; ++j) {
+                    crow[j] += alpha * arow[j];
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+    }
+  }
+}
+
+template <typename T>
+void gemm_impl(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c, T alpha,
+               T beta, bool transpose_a, bool transpose_b) {
+  std::size_t m, n, k;
+  gemm_prepare(a, b, c, beta, transpose_a, transpose_b, m, n, k);
+  if (m * n * k <= kSmallGemmVolume) {
+    gemm_reference_dispatch(a, b, c, alpha, beta, transpose_a, transpose_b,
+                            m, n, k);
+    return;
+  }
+  if (transpose_a) {
+    if (transpose_b) {
+      gemm_blocked<true, true, true>(a, b, c, alpha, beta, m, n, k);
+    } else {
+      gemm_blocked<true, false, true>(a, b, c, alpha, beta, m, n, k);
+    }
+  } else {
+    if (transpose_b) {
+      gemm_blocked<false, true, true>(a, b, c, alpha, beta, m, n, k);
+    } else {
+      gemm_blocked<false, false, true>(a, b, c, alpha, beta, m, n, k);
+    }
+  }
+}
+
 }  // namespace
 
 void gemm(const RealMatrix& a, const RealMatrix& b, RealMatrix& c,
           double alpha, double beta, bool transpose_a, bool transpose_b,
           OpCount* count) {
-  const RealMatrix lhs_copy = transpose_a ? a.transposed() : RealMatrix{};
-  const RealMatrix rhs_copy = transpose_b ? b.transposed() : RealMatrix{};
-  const RealMatrix& A = transpose_a ? lhs_copy : a;
-  const RealMatrix& B = transpose_b ? rhs_copy : b;
-
-  const std::size_t m = A.rows();
-  const std::size_t k = A.cols();
-  const std::size_t n = B.cols();
-  NDFT_REQUIRE(B.rows() == k, "gemm: inner dimensions must agree");
-  if (c.rows() != m || c.cols() != n) {
-    NDFT_REQUIRE(beta == 0.0, "gemm: beta != 0 requires a sized C");
-    c = RealMatrix(m, n);
-  }
-
-  for (std::size_t i = 0; i < m; ++i) {
-    double* crow = c.row(i);
-    if (beta == 0.0) {
-      std::fill(crow, crow + n, 0.0);
-    } else if (beta != 1.0) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-    for (std::size_t l = 0; l < k; ++l) {
-      const double aval = alpha * A(i, l);
-      if (aval == 0.0) continue;
-      const double* brow = B.row(l);
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += aval * brow[j];
-      }
-    }
-  }
+  gemm_impl(a, b, c, alpha, beta, transpose_a, transpose_b);
   if (count != nullptr) {
+    const std::size_t m = transpose_a ? a.cols() : a.rows();
+    const std::size_t k = transpose_a ? a.rows() : a.cols();
+    const std::size_t n = transpose_b ? b.rows() : b.cols();
     count->add(2ull * m * n * k,
                (m * k + k * n + 2 * m * n) * sizeof(double));
   }
@@ -202,48 +453,36 @@ void gemm(const RealMatrix& a, const RealMatrix& b, RealMatrix& c,
 void gemm(const ComplexMatrix& a, const ComplexMatrix& b, ComplexMatrix& c,
           Complex alpha, Complex beta, bool conj_transpose_a,
           bool transpose_b, OpCount* count) {
-  ComplexMatrix lhs_copy;
-  if (conj_transpose_a) {
-    lhs_copy = ComplexMatrix(a.cols(), a.rows());
-    for (std::size_t r = 0; r < a.rows(); ++r) {
-      for (std::size_t cidx = 0; cidx < a.cols(); ++cidx) {
-        lhs_copy(cidx, r) = std::conj(a(r, cidx));
-      }
-    }
+  gemm_impl(a, b, c, alpha, beta, conj_transpose_a, transpose_b);
+  if (count != nullptr) {
+    const std::size_t m = conj_transpose_a ? a.cols() : a.rows();
+    const std::size_t k = conj_transpose_a ? a.rows() : a.cols();
+    const std::size_t n = transpose_b ? b.rows() : b.cols();
+    count->add(8ull * m * n * k,
+               (m * k + k * n + 2 * m * n) * sizeof(Complex));
   }
-  ComplexMatrix rhs_copy;
-  if (transpose_b) {
-    rhs_copy = b.transposed();
-  }
-  const ComplexMatrix& A = conj_transpose_a ? lhs_copy : a;
-  const ComplexMatrix& B = transpose_b ? rhs_copy : b;
+}
 
-  const std::size_t m = A.rows();
-  const std::size_t k = A.cols();
-  const std::size_t n = B.cols();
-  NDFT_REQUIRE(B.rows() == k, "gemm: inner dimensions must agree");
-  if (c.rows() != m || c.cols() != n) {
-    NDFT_REQUIRE(beta == Complex{},
-                 "gemm: beta != 0 requires a sized C");
-    c = ComplexMatrix(m, n);
+void gemm_naive(const RealMatrix& a, const RealMatrix& b, RealMatrix& c,
+                double alpha, double beta, bool transpose_a,
+                bool transpose_b, OpCount* count) {
+  std::size_t m, n, k;
+  gemm_prepare(a, b, c, beta, transpose_a, transpose_b, m, n, k);
+  gemm_reference_dispatch(a, b, c, alpha, beta, transpose_a, transpose_b, m,
+                          n, k);
+  if (count != nullptr) {
+    count->add(2ull * m * n * k,
+               (m * k + k * n + 2 * m * n) * sizeof(double));
   }
+}
 
-  for (std::size_t i = 0; i < m; ++i) {
-    Complex* crow = c.row(i);
-    if (beta == Complex{}) {
-      std::fill(crow, crow + n, Complex{});
-    } else if (beta != Complex{1.0, 0.0}) {
-      for (std::size_t j = 0; j < n; ++j) crow[j] *= beta;
-    }
-    for (std::size_t l = 0; l < k; ++l) {
-      const Complex aval = alpha * A(i, l);
-      if (aval == Complex{}) continue;
-      const Complex* brow = B.row(l);
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += aval * brow[j];
-      }
-    }
-  }
+void gemm_naive(const ComplexMatrix& a, const ComplexMatrix& b,
+                ComplexMatrix& c, Complex alpha, Complex beta,
+                bool conj_transpose_a, bool transpose_b, OpCount* count) {
+  std::size_t m, n, k;
+  gemm_prepare(a, b, c, beta, conj_transpose_a, transpose_b, m, n, k);
+  gemm_reference_dispatch(a, b, c, alpha, beta, conj_transpose_a,
+                          transpose_b, m, n, k);
   if (count != nullptr) {
     count->add(8ull * m * n * k,
                (m * k + k * n + 2 * m * n) * sizeof(Complex));
@@ -338,6 +577,18 @@ HermitianEigenResult heev(const ComplexMatrix& hermitian, OpCount* count) {
     }
   }
   return result;
+}
+
+void mirror_upper(RealMatrix& symmetric) {
+  const std::size_t n = symmetric.rows();
+  NDFT_REQUIRE(symmetric.cols() == n, "mirror_upper: matrix must be square");
+  parallel_for(0, n, parallel_grain(n), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        symmetric(i, j) = symmetric(j, i);
+      }
+    }
+  });
 }
 
 double eigen_residual(const RealMatrix& symmetric,

@@ -26,8 +26,11 @@ struct OpCount {
 };
 
 /// C = alpha * op(A) * op(B) + beta * C for real matrices.
-/// op is controlled by `transpose_a` / `transpose_b`. Blocked for cache
-/// reuse. `count`, when non-null, accumulates flop/byte tallies.
+/// op is controlled by `transpose_a` / `transpose_b`. Cache-blocked with
+/// panel packing (transposition happens inside the packing, so no operand
+/// copies) and parallelised over row blocks on the thread pool; results
+/// are bitwise identical for any thread count. `count`, when non-null,
+/// accumulates flop/byte tallies.
 void gemm(const RealMatrix& a, const RealMatrix& b, RealMatrix& c,
           double alpha = 1.0, double beta = 0.0, bool transpose_a = false,
           bool transpose_b = false, OpCount* count = nullptr);
@@ -37,6 +40,21 @@ void gemm(const ComplexMatrix& a, const ComplexMatrix& b, ComplexMatrix& c,
           Complex alpha = Complex{1.0, 0.0}, Complex beta = Complex{0.0, 0.0},
           bool conj_transpose_a = false, bool transpose_b = false,
           OpCount* count = nullptr);
+
+/// Textbook triple-loop GEMM, kept as the reference implementation the
+/// blocked kernels are tested and benchmarked against. Same semantics and
+/// OpCount accounting as gemm().
+void gemm_naive(const RealMatrix& a, const RealMatrix& b, RealMatrix& c,
+                double alpha = 1.0, double beta = 0.0,
+                bool transpose_a = false, bool transpose_b = false,
+                OpCount* count = nullptr);
+
+/// Complex reference; `conj_transpose_a` applies the conjugate transpose.
+void gemm_naive(const ComplexMatrix& a, const ComplexMatrix& b,
+                ComplexMatrix& c, Complex alpha = Complex{1.0, 0.0},
+                Complex beta = Complex{0.0, 0.0},
+                bool conj_transpose_a = false, bool transpose_b = false,
+                OpCount* count = nullptr);
 
 /// Result of a symmetric eigensolve.
 struct EigenResult {
@@ -62,5 +80,11 @@ HermitianEigenResult heev(const ComplexMatrix& hermitian,
 
 /// Frobenius norm of (A*x - lambda*x) for result verification in tests.
 double eigen_residual(const RealMatrix& symmetric, const EigenResult& result);
+
+/// Copies the upper triangle into the lower one. Used by the symmetric
+/// Hamiltonian assemblies, whose upper triangles are filled row-wise on
+/// the thread pool; the mirror runs on the pool too (each task writes
+/// only its own rows, so the result is deterministic).
+void mirror_upper(RealMatrix& symmetric);
 
 }  // namespace ndft::dft

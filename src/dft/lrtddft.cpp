@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/thread_pool.hpp"
+
 namespace ndft::dft {
 namespace {
 
@@ -126,33 +128,42 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
   ComplexMatrix pair_real(npair, nr);
   {
     OpCount& oc = counts[KernelClass::kFaceSplit];
-    for (std::size_t v = 0; v < nv; ++v) {
-      for (std::size_t c = 0; c < nc; ++c) {
-        Complex* row = pair_real.row(v * nc + c);
-        const Grid3& pv = valence[v];
-        const Grid3& pc = conduction[c];
-        for (std::size_t i = 0; i < nr; ++i) {
-          row[i] = std::conj(pv[i]) * pc[i];
-        }
-      }
-    }
+    parallel_for(0, npair, parallel_grain(nr),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t p = lo; p < hi; ++p) {
+                     Complex* row = pair_real.row(p);
+                     const Grid3& pv = valence[p / nc];
+                     const Grid3& pc = conduction[p % nc];
+                     for (std::size_t i = 0; i < nr; ++i) {
+                       row[i] = std::conj(pv[i]) * pc[i];
+                     }
+                   }
+                 });
     oc.add(6ull * npair * nr,
            static_cast<Bytes>(npair) * nr * 3 * sizeof(Complex));
   }
 
-  // FFT each pair product to reciprocal space.
+  // FFT each pair product to reciprocal space. Pairs are independent, so
+  // they run across the pool (fft3d detects the nesting and keeps its own
+  // line loops serial inside each task); the per-transform OpCount tally
+  // is added afterwards, identical to per-call accumulation.
   ComplexMatrix pair_recip(npair, nr);
-  for (std::size_t p = 0; p < npair; ++p) {
+  parallel_for(0, npair, 1, [&](std::size_t lo, std::size_t hi) {
     Grid3 grid(dims[0], dims[1], dims[2]);
-    std::copy(pair_real.row(p), pair_real.row(p) + nr, grid.raw().begin());
-    fft3d(grid, FftDirection::kForward, &counts[KernelClass::kFft]);
-    // Forward FFT sum -> density Fourier coefficients need the grid volume
-    // element Omega/Nr.
     const double element = omega / static_cast<double>(nr);
-    for (std::size_t i = 0; i < nr; ++i) {
-      pair_recip(p, i) = grid[i] * element;
+    for (std::size_t p = lo; p < hi; ++p) {
+      std::copy(pair_real.row(p), pair_real.row(p) + nr, grid.raw().begin());
+      fft3d(grid, FftDirection::kForward);
+      // Forward FFT sum -> density Fourier coefficients need the grid
+      // volume element Omega/Nr.
+      for (std::size_t i = 0; i < nr; ++i) {
+        pair_recip(p, i) = grid[i] * element;
+      }
     }
-  }
+  });
+  counts[KernelClass::kFft].add(
+      static_cast<Flops>(npair) * fft_flops(nr),
+      static_cast<Bytes>(npair) * 6 * nr * sizeof(Complex));
 
   // Coulomb-weighted copy: rows scaled by sqrt(4 pi / |G|^2), G = 0 dropped
   // (compensated by the neutralising background).
@@ -167,12 +178,15 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
       const double g2 = basis.gvectors()[i].g2;
       weight[basis.grid_index(i)] = (g2 > 1e-12) ? kFourPi / g2 : 0.0;
     }
-    for (std::size_t p = 0; p < npair; ++p) {
-      Complex* row = pair_coulomb.row(p);
-      for (std::size_t i = 0; i < nr; ++i) {
-        row[i] *= weight[i];
-      }
-    }
+    parallel_for(0, npair, parallel_grain(nr),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t p = lo; p < hi; ++p) {
+                     Complex* row = pair_coulomb.row(p);
+                     for (std::size_t i = 0; i < nr; ++i) {
+                       row[i] *= weight[i];
+                     }
+                   }
+                 });
     oc.add(2ull * npair * nr,
            static_cast<Bytes>(npair) * nr * 2 * sizeof(Complex));
   }
@@ -192,13 +206,16 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
     const double element = omega / static_cast<double>(nr);
     {
       OpCount& oc = counts[KernelClass::kFaceSplit];
-      for (std::size_t p = 0; p < npair; ++p) {
-        const Complex* src = pair_real.row(p);
-        Complex* dst = weighted.row(p);
-        for (std::size_t i = 0; i < nr; ++i) {
-          dst[i] = src[i] * (fxc[i] * element);
-        }
-      }
+      parallel_for(0, npair, parallel_grain(nr),
+                   [&](std::size_t lo, std::size_t hi) {
+                     for (std::size_t p = lo; p < hi; ++p) {
+                       const Complex* src = pair_real.row(p);
+                       Complex* dst = weighted.row(p);
+                       for (std::size_t i = 0; i < nr; ++i) {
+                         dst[i] = src[i] * (fxc[i] * element);
+                       }
+                     }
+                   });
       oc.add(2ull * npair * nr,
              static_cast<Bytes>(npair) * nr * 2 * sizeof(Complex));
     }

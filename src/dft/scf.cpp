@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/thread_pool.hpp"
 #include "dft/linalg.hpp"
 
 namespace ndft::dft {
@@ -121,18 +122,21 @@ ScfResult solve_scf(const PlaneWaveBasis& basis, const ScfConfig& config) {
                         : std::min(n_g, config.bands);
   NDFT_REQUIRE(bands > valence, "band count must exceed the valence count");
 
-  // Bare ionic potential matrix, fixed across the loop.
+  // Bare ionic potential matrix, fixed across the loop. Rows of the upper
+  // triangle are independent, so they go to the thread pool.
   const auto& g = basis.gvectors();
   RealMatrix v_ion(n_g, n_g);
-  for (std::size_t i = 0; i < n_g; ++i) {
-    for (std::size_t j = i; j < n_g; ++j) {
-      const double v =
-          ashcroft_potential(basis.crystal(), g[i], g[j],
-                             config.valence_charge, config.core_radius_bohr);
-      v_ion(i, j) = v;
-      v_ion(j, i) = v;
-    }
-  }
+  parallel_for(0, n_g, parallel_grain(n_g),
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) {
+                   for (std::size_t j = i; j < n_g; ++j) {
+                     v_ion(i, j) = ashcroft_potential(
+                         basis.crystal(), g[i], g[j], config.valence_charge,
+                         config.core_radius_bohr);
+                   }
+                 }
+               });
+  mirror_upper(v_ion);
 
   // Integer grid offsets for assembling V_eff(G_i - G_j) from the FFT grid.
   const auto wrap = [](int idx, std::size_t n) {
@@ -191,22 +195,23 @@ ScfResult solve_scf(const PlaneWaveBasis& basis, const ScfConfig& config) {
     const double veff_norm = 1.0 / static_cast<double>(nr);
 
     RealMatrix hamiltonian(n_g, n_g);
-    for (std::size_t i = 0; i < n_g; ++i) {
-      hamiltonian(i, i) = 0.5 * g[i].g2 + v_ion(i, i) +
-                          veff_grid[0].real() * veff_norm;
-      for (std::size_t j = i + 1; j < n_g; ++j) {
-        const std::size_t ix =
-            wrap(g[i].h - g[j].h, dims[0]);
-        const std::size_t iy = wrap(g[i].k - g[j].k, dims[1]);
-        const std::size_t iz = wrap(g[i].l - g[j].l, dims[2]);
-        // Inversion-symmetric cell: V_eff(G) is real; symmetrise away the
-        // residual imaginary part from the finite grid.
-        const double v =
-            veff_grid.at(ix, iy, iz).real() * veff_norm + v_ion(i, j);
-        hamiltonian(i, j) = v;
-        hamiltonian(j, i) = v;
-      }
-    }
+    parallel_for(
+        0, n_g, parallel_grain(n_g), [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            hamiltonian(i, i) = 0.5 * g[i].g2 + v_ion(i, i) +
+                                veff_grid[0].real() * veff_norm;
+            for (std::size_t j = i + 1; j < n_g; ++j) {
+              const std::size_t ix = wrap(g[i].h - g[j].h, dims[0]);
+              const std::size_t iy = wrap(g[i].k - g[j].k, dims[1]);
+              const std::size_t iz = wrap(g[i].l - g[j].l, dims[2]);
+              // Inversion-symmetric cell: V_eff(G) is real; symmetrise
+              // away the residual imaginary part from the finite grid.
+              hamiltonian(i, j) =
+                  veff_grid.at(ix, iy, iz).real() * veff_norm + v_ion(i, j);
+            }
+          }
+        });
+    mirror_upper(hamiltonian);
 
     EigenResult eigen = syev(hamiltonian);
 

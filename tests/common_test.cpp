@@ -3,13 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "common/prng.hpp"
 #include "common/str_util.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "common/types.hpp"
 #include "common/units.hpp"
 
@@ -209,6 +213,64 @@ TEST(ErrorTest, AssertMacroThrows) {
   EXPECT_THROW([] { NDFT_ASSERT(1 == 2); }(), NdftError);
   EXPECT_NO_THROW([] { NDFT_ASSERT(1 == 1); }());
   EXPECT_THROW([] { NDFT_REQUIRE(false, "nope"); }(), NdftError);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t original_threads = pool.threads();
+  pool.resize(4);
+  const std::size_t n = 100000;
+  std::vector<int> hits(n, 0);
+  parallel_for(0, n, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  pool.resize(original_threads);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(n));
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPoolTest, SmallRangesRunInline) {
+  // A range at or below the grain must execute as one chunk on the
+  // calling thread.
+  std::atomic<int> calls{0};
+  parallel_for(10, 20, 16, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(lo, 10u);
+    EXPECT_EQ(hi, 20u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t original_threads = pool.threads();
+  pool.resize(4);
+  std::vector<int> hits(4096, 0);
+  parallel_for(0, 8, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t outer = lo; outer < hi; ++outer) {
+      parallel_for(0, 512, 1, [&](std::size_t ilo, std::size_t ihi) {
+        for (std::size_t i = ilo; i < ihi; ++i) ++hits[outer * 512 + i];
+      });
+    }
+  });
+  pool.resize(original_threads);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t original_threads = pool.threads();
+  pool.resize(2);
+  EXPECT_THROW(
+      parallel_for(0, 10000, 1,
+                   [&](std::size_t lo, std::size_t) {
+                     if (lo == 0) throw NdftError("boom");
+                   }),
+      NdftError);
+  pool.resize(original_threads);
 }
 
 TEST(TypesTest, EnumNames) {

@@ -9,6 +9,7 @@
 #include <numbers>
 
 #include "common/prng.hpp"
+#include "common/thread_pool.hpp"
 #include "dft/fft.hpp"
 
 namespace ndft::dft {
@@ -184,6 +185,63 @@ TEST(Grid3Test, IndexingIsXFastest) {
   grid.at(1, 2, 1) = Complex{7.0, 0.0};
   EXPECT_DOUBLE_EQ(grid[(1 * 3 + 2) * 4 + 1].real(), 7.0);
   EXPECT_EQ(grid.size(), 24u);
+}
+
+// One length per plan kind: power of two, mixed-radix 2/3/5, Bluestein
+// prime. The parameterised sweep above covers many more lengths through
+// fft(); these exercise the plan object and its workspace API directly.
+class FftPlanTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPlanTest, ExecuteMatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const FftPlan& plan = fft_plan(n);
+  EXPECT_EQ(plan.length(), n);
+  std::vector<Complex> x = random_signal(n, 1000 + n);
+  const std::vector<Complex> expected = reference_dft(x);
+  std::vector<Complex> work(plan.workspace_size());
+  plan.execute(x.data(), work.data(), FftDirection::kForward);
+  EXPECT_LT(max_error(x, expected), 1e-8 * static_cast<double>(n));
+}
+
+TEST_P(FftPlanTest, ExecuteRoundTripIsIdentity) {
+  const std::size_t n = GetParam();
+  const FftPlan& plan = fft_plan(n);
+  const std::vector<Complex> original = random_signal(n, 2000 + n);
+  std::vector<Complex> x = original;
+  plan.execute(x, FftDirection::kForward);
+  plan.execute(x, FftDirection::kInverse);
+  EXPECT_LT(max_error(x, original), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeClasses, FftPlanTest,
+                         ::testing::Values(128, 60, 97));
+
+TEST(FftPlanTest, CacheReturnsOnePlanPerLength) {
+  EXPECT_EQ(&fft_plan(96), &fft_plan(96));
+  EXPECT_NE(&fft_plan(96), &fft_plan(97));
+}
+
+TEST(Fft3dTest, DeterministicAcrossThreadCounts) {
+  // 48^3 is large enough that the line loops split across the pool; the
+  // transform must be bitwise identical to the single-threaded result.
+  Grid3 grid(48, 48, 48);
+  Prng prng(11);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] = Complex{prng.next_double(-1, 1), prng.next_double(-1, 1)};
+  }
+  Grid3 parallel_grid = grid;
+
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t original_threads = pool.threads();
+  pool.resize(1);
+  fft3d(grid, FftDirection::kForward);
+  pool.resize(4);
+  fft3d(parallel_grid, FftDirection::kForward);
+  pool.resize(original_threads);
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_EQ(grid[i], parallel_grid[i]) << "index " << i;
+  }
 }
 
 TEST(Fft3dTest, RoundTripIsIdentity) {

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "common/prng.hpp"
+#include "common/thread_pool.hpp"
 #include "dft/linalg.hpp"
 
 namespace ndft::dft {
@@ -139,6 +140,119 @@ TEST(GemmTest, CountsFlopsAndBytes) {
   gemm(a, b, c, 1.0, 0.0, false, false, &count);
   EXPECT_EQ(count.flops, 2u * 10 * 30 * 20);
   EXPECT_GT(count.bytes, 0u);
+}
+
+TEST(GemmTest, BlockedMatchesNaiveAcrossFlagCombinations) {
+  // Odd shapes exercise every micro-tile remainder; the larger problem
+  // goes through the packed/blocked path, the smaller through the inline
+  // fast path. Sweep transpose, alpha and beta combinations against the
+  // reference loop.
+  struct Shape {
+    std::size_t m, n, k;
+  };
+  const Shape shapes[] = {{67, 45, 33}, {129, 100, 70}};
+  std::uint64_t seed = 100;
+  for (const Shape& s : shapes) {
+    for (const bool ta : {false, true}) {
+      for (const bool tb : {false, true}) {
+        for (const double alpha : {1.0, -0.75}) {
+          for (const double beta : {0.0, 1.0, 0.3}) {
+            const RealMatrix a = ta ? random_matrix(s.k, s.m, seed)
+                                    : random_matrix(s.m, s.k, seed);
+            const RealMatrix b = tb ? random_matrix(s.n, s.k, seed + 1)
+                                    : random_matrix(s.k, s.n, seed + 1);
+            RealMatrix c_blocked = random_matrix(s.m, s.n, seed + 2);
+            RealMatrix c_naive = c_blocked;
+            seed += 3;
+            gemm(a, b, c_blocked, alpha, beta, ta, tb);
+            gemm_naive(a, b, c_naive, alpha, beta, ta, tb);
+            EXPECT_LT(max_abs_diff(c_blocked, c_naive), 1e-12)
+                << "m=" << s.m << " ta=" << ta << " tb=" << tb
+                << " alpha=" << alpha << " beta=" << beta;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmComplexTest, BlockedMatchesNaiveAcrossFlagCombinations) {
+  const auto random_complex = [](std::size_t rows, std::size_t cols,
+                                 std::uint64_t seed) {
+    Prng prng(seed);
+    ComplexMatrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        m(i, j) = Complex{prng.next_double(-1, 1), prng.next_double(-1, 1)};
+      }
+    }
+    return m;
+  };
+  const std::size_t m = 41;
+  const std::size_t n = 29;
+  const std::size_t k = 53;
+  std::uint64_t seed = 500;
+  for (const bool ca : {false, true}) {
+    for (const bool tb : {false, true}) {
+      for (const Complex beta : {Complex{}, Complex{0.4, -0.2}}) {
+        const ComplexMatrix a =
+            ca ? random_complex(k, m, seed) : random_complex(m, k, seed);
+        const ComplexMatrix b =
+            tb ? random_complex(n, k, seed + 1) : random_complex(k, n, seed + 1);
+        ComplexMatrix c_blocked = random_complex(m, n, seed + 2);
+        ComplexMatrix c_naive = c_blocked;
+        seed += 3;
+        const Complex alpha{0.8, 0.3};
+        gemm(a, b, c_blocked, alpha, beta, ca, tb);
+        gemm_naive(a, b, c_naive, alpha, beta, ca, tb);
+        double worst = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            worst = std::max(worst, std::abs(c_blocked(i, j) - c_naive(i, j)));
+          }
+        }
+        EXPECT_LT(worst, 1e-12) << "ca=" << ca << " tb=" << tb;
+      }
+    }
+  }
+}
+
+TEST(GemmTest, DeterministicAcrossThreadCounts) {
+  // Big enough for the blocked path to split row blocks across the pool;
+  // the result must be bitwise identical to the single-threaded product.
+  const std::size_t n = 300;
+  const RealMatrix a = random_matrix(n, n, 31);
+  const RealMatrix b = random_matrix(n, n, 32);
+  RealMatrix c_serial;
+  RealMatrix c_parallel;
+
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t original_threads = pool.threads();
+  pool.resize(1);
+  gemm(a, b, c_serial);
+  pool.resize(4);
+  gemm(a, b, c_parallel);
+  pool.resize(original_threads);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(c_serial(i, j), c_parallel(i, j))
+          << "element (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST(GemmTest, NaiveCountsMatchBlocked) {
+  const RealMatrix a = random_matrix(12, 18, 41);
+  const RealMatrix b = random_matrix(18, 9, 42);
+  RealMatrix c1;
+  RealMatrix c2;
+  OpCount blocked;
+  OpCount naive;
+  gemm(a, b, c1, 1.0, 0.0, false, false, &blocked);
+  gemm_naive(a, b, c2, 1.0, 0.0, false, false, &naive);
+  EXPECT_EQ(blocked.flops, naive.flops);
+  EXPECT_EQ(blocked.bytes, naive.bytes);
 }
 
 TEST(GemmComplexTest, MatchesRealEmbedding) {
