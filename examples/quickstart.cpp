@@ -1,13 +1,14 @@
-// Quickstart: simulate one LR-TDDFT iteration on all four machines and
-// print the Fig. 7-style comparison for a small silicon system.
+// Quickstart: one Engine, one batch of jobs — the schedule NDFT picks,
+// the Fig. 7-style machine comparison, and the headline speedups for a
+// small silicon system, all through the job API.
 //
 //   ./quickstart [atoms]        (default Si_64; must be a multiple of 8)
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/engine.hpp"
 #include "common/str_util.hpp"
-#include "core/ndft_system.hpp"
 
 using namespace ndft;
 
@@ -17,46 +18,78 @@ int main(int argc, char** argv) {
     atoms = static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10));
   }
 
-  // 1. Build the framework with the paper's Table III configuration.
-  const core::NdftSystem system;
+  // 1. Build the engine with the paper's Table III configuration. It owns
+  //    the machine template and the shared kernel thread pool.
+  api::Engine engine;
 
-  // 2. Construct the LR-TDDFT workload for an Si_n supercell.
-  const dft::Workload workload = system.workload_for(atoms);
-  std::printf("Workload Si_%zu: %zu pairs, %zu grid points, %zu plane "
-              "waves, %.1f GFLOP, %.1f GB of DRAM traffic\n\n",
-              atoms, workload.dims.pairs, workload.dims.grid_points,
-              workload.dims.basis_size,
-              static_cast<double>(workload.total_flops()) / 1e9,
-              static_cast<double>(workload.total_dram_bytes()) / 1e9);
-
-  // 3. Inspect the schedule NDFT's cost-aware offloader chooses.
-  const runtime::ExecutionPlan plan = system.plan(workload);
-  std::printf("NDFT schedule (function granularity, %u crossings, est. "
-              "overhead %s):\n",
-              plan.crossings, format_time(plan.est_overhead_ps).c_str());
-  for (std::size_t i = 0; i < workload.kernels.size(); ++i) {
-    std::printf("  %-22s -> %s\n", workload.kernels[i].name.c_str(),
-                to_string(plan.placements[i].device));
+  // 2. Inspect the schedule NDFT's cost-aware offloader chooses.
+  api::PlanJob plan_job;
+  plan_job.atoms = atoms;
+  const api::JobResult planned = engine.run(plan_job);
+  if (!planned.ok()) {
+    std::fprintf(stderr, "plan failed: %s\n", planned.error_message.c_str());
+    for (const std::string& detail : planned.error_details) {
+      std::fprintf(stderr, "  - %s\n", detail.c_str());
+    }
+    return 1;
+  }
+  const api::PlanPayload& plan = *planned.plan;
+  std::printf("NDFT schedule for Si_%zu (function granularity, "
+              "%u crossings, est. overhead %s):\n",
+              atoms, plan.crossings,
+              format_time(plan.est_overhead_ps).c_str());
+  for (const api::PlacementPayload& p : plan.placements) {
+    std::printf("  %-22s -> %s\n", p.kernel.c_str(), to_string(p.device));
   }
   std::printf("\n");
 
-  // 4. Simulate the iteration on each machine.
+  // 3. Simulate the iteration on each machine: one async batch through
+  //    the engine queue.
+  std::vector<api::JobRequest> batch;
   for (const core::ExecMode mode :
        {core::ExecMode::kCpuBaseline, core::ExecMode::kGpuBaseline,
         core::ExecMode::kNdft}) {
-    const core::RunReport report = system.run(workload, mode);
-    std::printf("%s", report.render().c_str());
+    api::SimulateJob job;
+    job.atoms = atoms;
+    job.mode = mode;
+    batch.emplace_back(job);
+  }
+  std::vector<api::JobHandle> handles =
+      engine.submit_batch(std::move(batch));
+
+  std::vector<api::SimulatePayload> reports;
+  for (api::JobHandle& handle : handles) {
+    const api::JobResult& result = handle.wait();
+    if (!result.ok()) {
+      std::fprintf(stderr, "simulation failed: %s\n",
+                   result.error_message.c_str());
+      return 1;
+    }
+    reports.push_back(*result.simulate);
+  }
+
+  for (const api::SimulatePayload& report : reports) {
+    std::printf("%s on Si_%zu: total %s", core::to_string(report.mode),
+                report.atoms, format_time(report.total_ps).c_str());
+    if (report.memory_energy_mj > 0.0) {
+      std::printf(", memory energy %.2f mJ", report.memory_energy_mj);
+    }
+    std::printf("\n");
+    for (const core::KernelTime& k : report.kernels) {
+      std::printf("  %-22s %-4s %s\n", k.name.c_str(), to_string(k.device),
+                  format_time(k.time_ps).c_str());
+    }
     std::printf("\n");
   }
 
-  // 5. Headline speedups.
-  const core::RunReport cpu =
-      system.run(workload, core::ExecMode::kCpuBaseline);
-  const core::RunReport gpu =
-      system.run(workload, core::ExecMode::kGpuBaseline);
-  const core::RunReport ndft = system.run(workload, core::ExecMode::kNdft);
+  // 4. Headline speedups straight off the payloads.
+  const double cpu = static_cast<double>(reports[0].total_ps);
+  const double gpu = static_cast<double>(reports[1].total_ps);
+  const double ndft = static_cast<double>(reports[2].total_ps);
   std::printf("NDFT speedup: %s vs CPU, %s vs GPU\n",
-              format_speedup(core::speedup(cpu, ndft)).c_str(),
-              format_speedup(core::speedup(gpu, ndft)).c_str());
+              format_speedup(cpu / ndft).c_str(),
+              format_speedup(gpu / ndft).c_str());
+  std::printf("(%llu jobs executed by the engine)\n",
+              static_cast<unsigned long long>(engine.jobs_completed()));
   return 0;
 }

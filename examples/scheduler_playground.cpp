@@ -1,29 +1,38 @@
-// Explores the cost-aware offloading mechanism: how the SCA classifies
-// each kernel, what the Eq. 1 overheads look like, and how the schedule
-// reacts when the machine balance changes (e.g. a beefier CPU or slower
-// NDP links).
+// Explores the cost-aware offloading mechanism through PlanJobs: how the
+// SCA classifies each kernel, what the Eq. 1 overheads look like, and how
+// the schedule reacts when the machine balance changes (e.g. a beefier
+// CPU or slower NDP links) via the job's device-profile override.
 //
 //   ./scheduler_playground [atoms]           (default Si_1024)
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "api/engine.hpp"
 #include "common/str_util.hpp"
 #include "common/table.hpp"
-#include "core/ndft_system.hpp"
-#include "runtime/sca.hpp"
 
 using namespace ndft;
 
 namespace {
 
-void show_plan(const char* title, const dft::Workload& workload,
+/// Unwraps a plan or throws; the throw unwinds past the Engine (joining
+/// its dispatchers) before main reports it.
+const api::PlanPayload& plan_or_die(const api::JobResult& result) {
+  if (!result.ok()) {
+    throw NdftError("plan job failed: " + result.error_message);
+  }
+  return *result.plan;
+}
+
+void show_plan(const char* title, api::Engine& engine, std::size_t atoms,
                const runtime::DeviceProfile& cpu,
                const runtime::DeviceProfile& ndp) {
-  const runtime::Sca sca(cpu, ndp);
-  const runtime::CostModel cost(cpu, ndp);
-  const runtime::Scheduler scheduler(sca, cost);
-  const runtime::ExecutionPlan plan = scheduler.plan(workload);
+  api::PlanJob job;
+  job.atoms = atoms;
+  job.profile_override = {cpu, ndp};
+  const api::JobResult result = engine.run(job);
+  const api::PlanPayload& plan = plan_or_die(result);
 
   std::printf("--- %s (CPU %.0f GF / %.0f GB/s, NDP %.0f GF / %.0f GB/s) "
               "---\n",
@@ -31,12 +40,9 @@ void show_plan(const char* title, const dft::Workload& workload,
               ndp.dram_gbps);
   TextTable table({"kernel", "AI", "CPU est", "NDP est", "placed on",
                    "crossing cost"});
-  for (std::size_t i = 0; i < workload.kernels.size(); ++i) {
-    const dft::KernelWork& k = workload.kernels[i];
-    const runtime::KernelAnalysis a = sca.analyze(k);
-    const runtime::Placement& p = plan.placements[i];
-    table.add_row({k.name, strformat("%.2f", a.arithmetic_intensity),
-                   format_time(a.est_cpu_ps), format_time(a.est_ndp_ps),
+  for (const api::PlacementPayload& p : plan.placements) {
+    table.add_row({p.kernel, strformat("%.2f", p.arithmetic_intensity),
+                   format_time(p.est_cpu_ps), format_time(p.est_ndp_ps),
                    to_string(p.device),
                    p.crossing
                        ? format_time(p.transfer_in_ps + p.switch_in_ps)
@@ -51,46 +57,62 @@ void show_plan(const char* title, const dft::Workload& workload,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   std::size_t atoms = 1024;
   if (argc > 1) atoms = std::strtoul(argv[1], nullptr, 10);
 
-  const core::NdftSystem system;
-  const dft::Workload workload = system.workload_for(atoms);
+  api::Engine engine;
+  const core::SystemConfig& config = engine.system_config();
 
   // The paper's configuration.
-  show_plan("Table III machine", workload, system.config().cpu_profile,
-            system.config().ndp_profile);
+  show_plan("Table III machine", engine, atoms, config.cpu_profile,
+            config.ndp_profile);
 
   // What if the host CPU had HBM-class bandwidth? Memory-bound kernels
   // stop being worth offloading.
-  runtime::DeviceProfile fat_cpu = system.config().cpu_profile;
+  runtime::DeviceProfile fat_cpu = config.cpu_profile;
   fat_cpu.dram_gbps = 2000.0;
-  show_plan("hypothetical HBM-fed CPU", workload, fat_cpu,
-            system.config().ndp_profile);
+  show_plan("hypothetical HBM-fed CPU", engine, atoms, fat_cpu,
+            config.ndp_profile);
 
   // What if CPU<->NDP crossings were nearly free? The schedule stays the
   // same but the overhead disappears.
-  runtime::DeviceProfile cheap_cpu = system.config().cpu_profile;
-  runtime::DeviceProfile cheap_ndp = system.config().ndp_profile;
+  runtime::DeviceProfile cheap_cpu = config.cpu_profile;
+  runtime::DeviceProfile cheap_ndp = config.ndp_profile;
   cheap_cpu.link_gbps = 10000.0;
   cheap_ndp.link_gbps = 10000.0;
   cheap_cpu.switch_latency_ps = 0;
   cheap_ndp.switch_latency_ps = 0;
-  show_plan("free crossings", workload, cheap_cpu, cheap_ndp);
+  show_plan("free crossings", engine, atoms, cheap_cpu, cheap_ndp);
 
-  // Granularity comparison (the Section IV-A1 argument).
+  // Granularity comparison (the Section IV-A1 argument), one async
+  // PlanJob per granularity drained through the engine queue.
   std::printf("--- offload granularity on Si_%zu ---\n", atoms);
-  TextTable table({"granularity", "est total", "overhead %"});
-  const auto row = [&](const char* name, runtime::Granularity g) {
-    const runtime::ExecutionPlan plan = system.plan(workload, g);
-    table.add_row({name, format_time(plan.est_total_ps),
-                   format_percent(plan.overhead_fraction())});
+  const std::pair<const char*, runtime::Granularity> rows[] = {
+      {"instruction", runtime::Granularity::kInstruction},
+      {"basic block", runtime::Granularity::kBasicBlock},
+      {"function (NDFT)", runtime::Granularity::kFunction},
+      {"whole kernel", runtime::Granularity::kKernel},
   };
-  row("instruction", runtime::Granularity::kInstruction);
-  row("basic block", runtime::Granularity::kBasicBlock);
-  row("function (NDFT)", runtime::Granularity::kFunction);
-  row("whole kernel", runtime::Granularity::kKernel);
+  std::vector<api::JobRequest> batch;
+  for (const auto& [name, granularity] : rows) {
+    api::PlanJob job;
+    job.atoms = atoms;
+    job.granularity = granularity;
+    batch.emplace_back(job);
+  }
+  std::vector<api::JobHandle> handles =
+      engine.submit_batch(std::move(batch));
+
+  TextTable table({"granularity", "est total", "overhead %"});
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const api::PlanPayload& plan = plan_or_die(handles[i].wait());
+    table.add_row({rows[i].first, format_time(plan.est_total_ps),
+                   format_percent(plan.overhead_fraction())});
+  }
   std::printf("%s", table.render().c_str());
   return 0;
+} catch (const NdftError& error) {
+  std::fprintf(stderr, "scheduler_playground: %s\n", error.what());
+  return 1;
 }

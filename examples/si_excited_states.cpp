@@ -1,18 +1,19 @@
 // Runs the *functional* LR-TDDFT pipeline end to end on a real silicon
-// supercell: empirical-pseudopotential ground state, face-splitting
-// products, FFTs, Coulomb/ALDA kernels, GEMM contraction and SYEVD
-// diagonalization — printing the band structure summary and the lowest
-// excitation energies.
+// supercell through the Engine API: empirical-pseudopotential ground
+// state, face-splitting products, FFTs, Coulomb/ALDA kernels, GEMM
+// contraction and SYEVD diagonalization — printing the excitation
+// energies, the optical spectrum, and the fully self-consistent LDA
+// ground state for comparison. The LR-TDDFT and SCF jobs are submitted
+// together and run concurrently through the engine queue.
 //
 //   ./si_excited_states [atoms] [ecut_ry]    (defaults: Si_8, 4.5 Ry)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
-#include "dft/epm.hpp"
-#include "dft/lrtddft.hpp"
-#include "dft/pseudopotential.hpp"
-#include "dft/scf.hpp"
+#include "api/engine.hpp"
 #include "dft/spectrum.hpp"
 
 using namespace ndft;
@@ -27,71 +28,65 @@ int main(int argc, char** argv) {
   if (argc > 1) atoms = std::strtoul(argv[1], nullptr, 10);
   if (argc > 2) ecut_ry = std::strtod(argv[2], nullptr);
 
-  // Ground state via the Cohen-Bergstresser empirical pseudopotential.
-  const dft::Crystal crystal = dft::Crystal::silicon_supercell(atoms);
-  const dft::PlaneWaveBasis basis(crystal, ecut_ry * 0.5);
+  api::Engine engine;
+
+  // LR-TDDFT excitation spectrum (TDA) over a window around the gap,
+  // with oscillator strengths for the optical spectrum.
+  api::LrtddftJob excitation_job;
+  excitation_job.atoms = atoms;
+  excitation_job.ecut_ry = ecut_ry;
+  excitation_job.config.valence_window =
+      std::min<std::size_t>(2 * atoms, 8);
+  excitation_job.config.conduction_window = 4;
+  excitation_job.oscillator_strengths = true;
+
+  // Fully self-consistent ground state (Ashcroft empty-core + LDA) for
+  // comparison with the empirical one.
+  api::ScfJob scf_job;
+  scf_job.atoms = atoms;
+  scf_job.ecut_ry = ecut_ry;
+  scf_job.scf.tolerance = 1e-5;
+
+  std::vector<api::JobHandle> handles =
+      engine.submit_batch({excitation_job, scf_job});
+
+  const api::JobResult& excitation_result = handles[0].wait();
+  if (!excitation_result.ok()) {
+    std::fprintf(stderr, "si_excited_states: lrtddft job failed: %s\n",
+                 excitation_result.error_message.c_str());
+    return 1;
+  }
+  const api::LrtddftPayload& lr = *excitation_result.lrtddft;
+
   std::printf("Si_%zu: %zu plane waves at %.1f Ry, FFT grid %zux%zux%zu\n",
-              atoms, basis.size(), ecut_ry, basis.fft_dims()[0],
-              basis.fft_dims()[1], basis.fft_dims()[2]);
-
-  const std::size_t bands = 2 * atoms + 8;  // valence + 8 conduction
-  dft::OpCount ground_cost;
-  const dft::GroundState ground =
-      dft::solve_epm(basis, bands, &ground_cost);
-  std::printf("ground state: %zu bands, gap %.3f eV (%.2f GFLOP in "
-              "H-build + SYEVD)\n",
-              ground.energies_ha.size(), ground.band_gap_ev(),
-              static_cast<double>(ground_cost.flops) / 1e9);
-
-  std::printf("  band edges (eV, vs valence-band max):");
-  const double vbm = ground.energies_ha[ground.valence_bands - 1];
-  for (std::size_t b = ground.valence_bands - 2;
-       b < ground.valence_bands + 4 && b < ground.energies_ha.size(); ++b) {
-    std::printf(" %.2f", (ground.energies_ha[b] - vbm) * kEvPerHa);
-  }
-  std::printf("\n");
-
-  // Nonlocal pseudopotential application (Algorithm 1's update loop).
-  const dft::KbProjectors projectors(basis);
-  std::vector<dft::Complex> psi(basis.size());
-  for (std::size_t i = 0; i < basis.size(); ++i) {
-    psi[i] = dft::Complex{ground.orbitals(i, 0), 0.0};
-  }
-  std::vector<dft::Complex> v_psi;
-  dft::OpCount pseudo_cost;
-  projectors.apply(psi, v_psi, &pseudo_cost);
-  dft::Complex expectation{};
-  for (std::size_t i = 0; i < basis.size(); ++i) {
-    expectation += std::conj(psi[i]) * v_psi[i];
-  }
+              lr.atoms, lr.basis_size, ecut_ry, lr.grid_dims[0],
+              lr.grid_dims[1], lr.grid_dims[2]);
+  std::printf("ground state: %zu valence bands, gap %.3f eV\n",
+              lr.valence_bands, lr.ground_gap_ev);
   std::printf("nonlocal pseudopotential: %zu projectors, <psi0|V_nl|psi0> "
               "= %.4f Ha\n",
-              projectors.count(), expectation.real());
+              lr.projector_count, lr.nonlocal_expectation_ha);
 
-  // LR-TDDFT excitation spectrum (TDA) over a window around the gap.
-  dft::LrTddftConfig config;
-  config.valence_window = std::min<std::size_t>(ground.valence_bands, 8);
-  config.conduction_window = 4;
-  const dft::LrTddftResult result =
-      dft::solve_lrtddft(basis, ground, config);
-  std::printf("\nLR-TDDFT (TDA): %zu pair states\n", result.pair_count);
+  std::printf("\nLR-TDDFT (TDA): %zu pair states\n", lr.pair_count);
   std::printf("  lowest excitations (eV):");
-  for (std::size_t i = 0; i < std::min<std::size_t>(6, result.pair_count);
-       ++i) {
-    std::printf(" %.3f", result.excitations_ha[i] * kEvPerHa);
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(6, lr.excitations_ha.size()); ++i) {
+    std::printf(" %.3f", lr.excitations_ha[i] * kEvPerHa);
   }
   std::printf("\n  per-kernel cost of this run:\n");
-  for (const auto& [cls, count] : result.counts) {
-    std::printf("    %-16s %8.2f MFLOP  %8.2f MB\n", to_string(cls),
+  for (const api::KernelCountPayload& count : lr.counts) {
+    std::printf("    %-16s %8.2f MFLOP  %8.2f MB\n", to_string(count.cls),
                 static_cast<double>(count.flops) / 1e6,
                 static_cast<double>(count.bytes) / 1e6);
   }
 
-  // Oscillator strengths and a broadened absorption spectrum.
-  const auto lines = dft::oscillator_strengths(basis, ground, config);
+  // Oscillator strengths and a broadened absorption spectrum, plotted
+  // from the payload's optical lines.
   double strongest = 0.0;
   double strongest_ev = 0.0;
-  for (const auto& line : lines) {
+  std::vector<dft::OscillatorLine> lines;
+  for (const api::OscillatorLinePayload& line : lr.lines) {
+    lines.push_back({line.energy_ev, line.strength});
     if (line.strength > strongest) {
       strongest = line.strength;
       strongest_ev = line.energy_ev;
@@ -112,15 +107,16 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
 
-  // Fully self-consistent ground state (Ashcroft empty-core + LDA) for
-  // comparison with the empirical one.
-  dft::ScfConfig scf_config;
-  scf_config.tolerance = 1e-5;
-  const dft::ScfResult scf = dft::solve_scf(basis, scf_config);
+  const api::JobResult& scf_result = handles[1].wait();
+  if (!scf_result.ok()) {
+    std::fprintf(stderr, "si_excited_states: scf job failed: %s\n",
+                 scf_result.error_message.c_str());
+    return 1;
+  }
+  const api::ScfPayload& scf = *scf_result.scf;
   std::printf("SCF-LDA ground state: %s after %zu iterations, gap %.3f eV, "
               "%.1f electrons\n",
               scf.converged ? "converged" : "NOT converged",
-              scf.history.size(), scf.history.back().gap_ev,
-              scf.electron_count(basis));
+              scf.iterations, scf.gap_ev, scf.electron_count);
   return 0;
 }

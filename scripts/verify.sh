@@ -10,3 +10,14 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# API smoke: one simulation job end to end through the Engine, emitting a
+# machine-readable JobResult that must be valid JSON.
+SMOKE_JSON="$BUILD_DIR/smoke_ndft_run.json"
+"$BUILD_DIR/example_ndft_run" --atoms 16 --mode ndft --json > "$SMOKE_JSON"
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$SMOKE_JSON" >/dev/null
+else
+  grep -q '"schema": "ndft.job_result.v1"' "$SMOKE_JSON"
+fi
+echo "ndft_run --json smoke: OK ($SMOKE_JSON)"

@@ -1,0 +1,466 @@
+#include "api/engine.hpp"
+
+#include <algorithm>
+#include <complex>
+
+#include "common/thread_pool.hpp"
+#include "dft/kpoints.hpp"
+#include "dft/pseudopotential.hpp"
+#include "dft/spectrum.hpp"
+#include "runtime/sca.hpp"
+
+namespace ndft::api {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+constexpr double kHaPerRy = 0.5;
+constexpr double kEvPerHa = 27.211386;
+
+// ------------------------------------------------------------- executors
+// Each executor wraps the existing free-function internals and distills
+// the outcome into the serializable payload.
+
+ScfPayload execute_scf(const ScfJob& job) {
+  const dft::Crystal crystal = dft::Crystal::silicon_supercell(job.atoms);
+  const dft::PlaneWaveBasis basis(crystal, job.ecut_ry * kHaPerRy);
+  const dft::ScfResult scf = dft::solve_scf(basis, job.scf);
+
+  ScfPayload payload;
+  payload.atoms = job.atoms;
+  payload.basis_size = basis.size();
+  payload.grid_points = basis.fft_size();
+  payload.converged = scf.converged;
+  payload.iterations = scf.history.size();
+  if (!scf.history.empty()) {
+    payload.total_energy_ha = scf.history.back().total_energy_ha;
+    payload.gap_ev = scf.history.back().gap_ev;
+    payload.final_residual = scf.history.back().density_residual;
+  }
+  payload.electron_count = scf.electron_count(basis);
+  payload.residual_history.reserve(scf.history.size());
+  payload.energy_history.reserve(scf.history.size());
+  for (const dft::ScfStep& step : scf.history) {
+    payload.residual_history.push_back(step.density_residual);
+    payload.energy_history.push_back(step.total_energy_ha);
+  }
+  return payload;
+}
+
+BandStructurePayload execute_band_structure(const BandStructureJob& job) {
+  const dft::Crystal primitive = dft::silicon_primitive();
+  const dft::PlaneWaveBasis basis(primitive, job.ecut_ry * kHaPerRy);
+  const std::vector<dft::KPoint> path =
+      dft::fcc_kpath(dft::kSiliconLatticeBohr, job.segments);
+  const std::vector<dft::BandsAtK> structure =
+      dft::band_structure(basis, path, job.bands);
+  const dft::GapSummary gap = dft::find_gap(structure, job.valence_bands);
+
+  BandStructurePayload payload;
+  payload.basis_size = basis.size();
+  payload.path.reserve(structure.size());
+  for (const dft::BandsAtK& at_k : structure) {
+    BandsAtKPayload point;
+    point.label = at_k.kpoint.label;
+    point.energies_ha = at_k.energies_ha;
+    payload.path.push_back(std::move(point));
+  }
+  payload.vbm_ha = gap.vbm_ha;
+  payload.cbm_ha = gap.cbm_ha;
+  payload.vbm_label = gap.vbm_label;
+  payload.cbm_label = gap.cbm_label;
+  payload.indirect_gap_ev = gap.indirect_gap_ev();
+  for (const dft::BandsAtK& at_k : structure) {
+    if (at_k.kpoint.label == "Gamma" &&
+        at_k.energies_ha.size() > job.valence_bands) {
+      payload.direct_gap_gamma_ev =
+          (at_k.energies_ha[job.valence_bands] -
+           at_k.energies_ha[job.valence_bands - 1]) * kEvPerHa;
+      break;
+    }
+  }
+  return payload;
+}
+
+LrtddftPayload execute_lrtddft(const LrtddftJob& job) {
+  const dft::Crystal crystal = dft::Crystal::silicon_supercell(job.atoms);
+  const dft::PlaneWaveBasis basis(crystal, job.ecut_ry * kHaPerRy);
+  const std::size_t bands =
+      2 * job.atoms + std::max<std::size_t>(8, job.config.conduction_window);
+  const dft::GroundState ground = dft::solve_epm(basis, bands);
+
+  LrtddftPayload payload;
+  payload.atoms = job.atoms;
+  payload.basis_size = basis.size();
+  const auto dims = basis.fft_dims();
+  for (std::size_t i = 0; i < 3; ++i) payload.grid_dims[i] = dims[i];
+  payload.ground_gap_ev = ground.band_gap_ev();
+  payload.valence_bands = ground.valence_bands;
+
+  // Nonlocal pseudopotential expectation on the lowest orbital
+  // (Algorithm 1's update loop, one application).
+  const dft::KbProjectors projectors(basis);
+  payload.projector_count = projectors.count();
+  std::vector<dft::Complex> psi(basis.size());
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    psi[i] = dft::Complex{ground.orbitals(i, 0), 0.0};
+  }
+  std::vector<dft::Complex> v_psi;
+  projectors.apply(psi, v_psi);
+  dft::Complex expectation{};
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    expectation += std::conj(psi[i]) * v_psi[i];
+  }
+  payload.nonlocal_expectation_ha = expectation.real();
+
+  const dft::LrTddftResult result =
+      dft::solve_lrtddft(basis, ground, job.config);
+  payload.pair_count = result.pair_count;
+  payload.excitations_ha = result.excitations_ha;
+  payload.counts.reserve(result.counts.size());
+  for (const auto& [cls, count] : result.counts) {
+    KernelCountPayload entry;
+    entry.cls = cls;
+    entry.flops = count.flops;
+    entry.bytes = count.bytes;
+    payload.counts.push_back(entry);
+  }
+  if (job.oscillator_strengths) {
+    for (const dft::OscillatorLine& line :
+         dft::oscillator_strengths(basis, ground, job.config)) {
+      payload.lines.push_back({line.energy_ev, line.strength});
+    }
+  }
+  return payload;
+}
+
+SimulatePayload execute_simulate(const SimulateJob& job,
+                                 const core::NdftSystem& shared_system,
+                                 const core::SystemConfig& base_config) {
+  // The engine's machine template covers the common case; a per-job
+  // sampling override builds a one-shot system from the same config.
+  const core::NdftSystem* system = &shared_system;
+  std::unique_ptr<core::NdftSystem> scoped;
+  if (job.sampled_ops != 0) {
+    core::SystemConfig config = base_config;
+    config.sampled_ops_per_kernel = job.sampled_ops;
+    scoped = std::make_unique<core::NdftSystem>(config);
+    system = scoped.get();
+  }
+
+  const dft::Workload workload = system->workload_for(job.atoms);
+  const core::RunReport report = system->run(workload, job.mode);
+
+  SimulatePayload payload;
+  payload.mode = report.mode;
+  payload.atoms = report.dims.atoms;
+  payload.pairs = report.dims.pairs;
+  payload.grid_points = report.dims.grid_points;
+  payload.basis_size = report.dims.basis_size;
+  payload.kernels.reserve(report.kernels.size());
+  for (const core::KernelTime& k : report.kernels) {
+    payload.kernels.push_back({k.name, k.cls, k.device, k.time_ps});
+  }
+  payload.total_ps = report.total_ps();
+  payload.sched_overhead_ps = report.sched_overhead_ps;
+  payload.memory_energy_mj = report.memory_energy_mj;
+  payload.mesh_bytes = report.mesh_bytes;
+  payload.sharing_bytes = report.sharing_bytes;
+  payload.pseudo_total = report.pseudo.total;
+  payload.pseudo_per_process = report.pseudo.per_process;
+  payload.pseudo_capacity = report.pseudo.capacity;
+  payload.pseudo_oom = report.pseudo.out_of_memory();
+  return payload;
+}
+
+PlanPayload execute_plan(const PlanJob& job,
+                         const core::NdftSystem& system,
+                         const core::SystemConfig& base_config) {
+  const runtime::DeviceProfile& cpu_profile =
+      job.profile_override.empty() ? base_config.cpu_profile
+                                   : job.profile_override[0];
+  const runtime::DeviceProfile& ndp_profile =
+      job.profile_override.empty() ? base_config.ndp_profile
+                                   : job.profile_override[1];
+  const dft::Workload workload = system.workload_for(job.atoms);
+  const runtime::Sca sca(cpu_profile, ndp_profile);
+  const runtime::CostModel cost(cpu_profile, ndp_profile);
+  const runtime::Scheduler scheduler(sca, cost);
+  const runtime::ExecutionPlan plan =
+      scheduler.plan(workload, job.granularity);
+
+  PlanPayload payload;
+  payload.atoms = job.atoms;
+  payload.granularity = job.granularity;
+  payload.placements.reserve(plan.placements.size());
+  for (std::size_t i = 0; i < workload.kernels.size(); ++i) {
+    const dft::KernelWork& kernel = workload.kernels[i];
+    const runtime::Placement& placement = plan.placements[i];
+    const runtime::KernelAnalysis analysis = sca.analyze(kernel);
+    PlacementPayload entry;
+    entry.kernel = kernel.name;
+    entry.cls = kernel.cls;
+    entry.device = placement.device;
+    entry.crossing = placement.crossing;
+    entry.est_time_ps = placement.est_time_ps;
+    entry.transfer_in_ps = placement.transfer_in_ps;
+    entry.switch_in_ps = placement.switch_in_ps;
+    entry.arithmetic_intensity = analysis.arithmetic_intensity;
+    entry.est_cpu_ps = analysis.est_cpu_ps;
+    entry.est_ndp_ps = analysis.est_ndp_ps;
+    payload.placements.push_back(std::move(entry));
+  }
+  payload.est_total_ps = plan.est_total_ps;
+  payload.est_overhead_ps = plan.est_overhead_ps;
+  payload.crossings = plan.crossings;
+  return payload;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- JobHandle
+
+std::uint64_t JobHandle::id() const {
+  NDFT_REQUIRE(valid(), "empty job handle");
+  return state_->id;
+}
+
+JobStatus JobHandle::status() const {
+  NDFT_REQUIRE(valid(), "empty job handle");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->status;
+}
+
+bool JobHandle::cancel() {
+  NDFT_REQUIRE(valid(), "empty job handle");
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->status != JobStatus::kQueued) return false;
+  state_->status = JobStatus::kCancelled;
+  state_->result.status = JobStatus::kCancelled;
+  state_->result.error = ErrorKind::kCancelled;
+  state_->result.error_message = "job cancelled while queued";
+  state_->result.timings.queue_ms =
+      ms_between(state_->submitted_at, Clock::now());
+  state_->result.timings.total_ms = state_->result.timings.queue_ms;
+  state_->terminal = true;
+  state_->cv.notify_all();
+  return true;
+}
+
+const JobResult& JobHandle::wait() const {
+  NDFT_REQUIRE(valid(), "empty job handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->terminal; });
+  return state_->result;
+}
+
+// ----------------------------------------------------------------- Engine
+
+Engine::Engine(EngineConfig config)
+    : config_(std::move(config)), system_(config_.system) {
+  // Warm the shared kernel pool so the first job does not pay thread
+  // startup; the FFT plan cache warms lazily per grid size.
+  (void)ThreadPool::instance();
+  for (std::size_t i = 0; i < config_.dispatch_threads; ++i) {
+    dispatchers_.emplace_back([this] { dispatcher_loop(); });
+  }
+}
+
+Engine::~Engine() {
+  // Cancel everything still queued, then stop the dispatchers once the
+  // in-flight jobs finish. Handles stay valid: their state is shared.
+  std::deque<std::shared_ptr<detail::JobState>> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+    orphaned.swap(queue_);
+  }
+  for (const auto& state : orphaned) {
+    JobHandle handle(state);
+    handle.cancel();
+    // Count every orphan that ends up cancelled, whether by us just now
+    // or by the user earlier (never popped, so never counted elsewhere).
+    if (handle.status() == JobStatus::kCancelled) {
+      cancelled_.fetch_add(1);
+    }
+  }
+  queue_cv_.notify_all();
+  for (std::thread& dispatcher : dispatchers_) {
+    dispatcher.join();
+  }
+}
+
+const core::SystemConfig& Engine::system_config() const noexcept {
+  return system_.config();
+}
+
+std::size_t Engine::pool_threads() const noexcept {
+  return ThreadPool::instance().threads();
+}
+
+JobResult Engine::run(const JobRequest& request) {
+  const Clock::time_point start = Clock::now();
+  JobResult result = execute(request);
+  result.engine.job_id = next_job_id_.fetch_add(1);
+  result.timings.queue_ms = 0.0;
+  result.timings.total_ms = ms_between(start, Clock::now());
+  submitted_.fetch_add(1);
+  completed_.fetch_add(1);
+  return result;
+}
+
+JobHandle Engine::submit(JobRequest request) {
+  auto state = std::make_shared<detail::JobState>();
+  state->id = next_job_id_.fetch_add(1);
+  state->request = std::move(request);
+  state->submitted_at = Clock::now();
+  // Engine metadata the cancel path also needs, stamped up front.
+  state->result.engine.job_id = state->id;
+  state->result.engine.kind = job_kind(state->request);
+  state->result.engine.pool_threads = pool_threads();
+  state->result.engine.dispatch_threads = config_.dispatch_threads;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    NDFT_REQUIRE(!stopping_, "engine is shutting down");
+    NDFT_REQUIRE(queue_.size() < config_.max_pending,
+                 "engine queue is full");
+    queue_.push_back(state);
+  }
+  submitted_.fetch_add(1);
+  queue_cv_.notify_one();
+  return JobHandle(state);
+}
+
+std::vector<JobHandle> Engine::submit_batch(
+    std::vector<JobRequest> requests) {
+  std::vector<JobHandle> handles;
+  handles.reserve(requests.size());
+  for (JobRequest& request : requests) {
+    handles.push_back(submit(std::move(request)));
+  }
+  return handles;
+}
+
+void Engine::drain() {
+  if (config_.dispatch_threads == 0) {
+    // Manual mode: the caller's thread is the dispatcher.
+    for (;;) {
+      std::shared_ptr<detail::JobState> state;
+      {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        if (queue_.empty()) break;
+        state = std::move(queue_.front());
+        queue_.pop_front();
+        ++in_flight_;
+      }
+      execute_queued(state);
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --in_flight_;
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void Engine::dispatcher_loop() {
+  for (;;) {
+    std::shared_ptr<detail::JobState> state;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      state = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    execute_queued(state);
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void Engine::execute_queued(const std::shared_ptr<detail::JobState>& state) {
+  Clock::time_point started;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    if (state->status != JobStatus::kQueued) {
+      cancelled_.fetch_add(1);  // cancelled between pop and start
+      return;
+    }
+    state->status = JobStatus::kRunning;
+    started = Clock::now();
+  }
+  JobResult result = execute(state->request);
+  result.engine = state->result.engine;  // id/kind stamped at submit
+  result.timings.queue_ms = ms_between(state->submitted_at, started);
+  result.timings.total_ms = result.timings.queue_ms + result.timings.run_ms;
+  // Count before publishing: a waiter woken by the notify must already
+  // observe this job in jobs_completed().
+  completed_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->result = std::move(result);
+    state->status = state->result.status;
+    state->terminal = true;
+    state->cv.notify_all();
+  }
+}
+
+JobResult Engine::execute(const JobRequest& request) {
+  JobResult result;
+  result.engine.kind = job_kind(request);
+  result.engine.pool_threads = pool_threads();
+  result.engine.dispatch_threads = config_.dispatch_threads;
+
+  std::vector<std::string> errors = validate(request);
+  if (!errors.empty()) {
+    result.status = JobStatus::kInvalid;
+    result.error = ErrorKind::kInvalidRequest;
+    result.error_message = "request failed validation";
+    result.error_details = std::move(errors);
+    return result;
+  }
+
+  const Clock::time_point start = Clock::now();
+  try {
+    if (const auto* job = std::get_if<ScfJob>(&request)) {
+      result.scf = execute_scf(*job);
+    } else if (const auto* job = std::get_if<BandStructureJob>(&request)) {
+      result.band_structure = execute_band_structure(*job);
+    } else if (const auto* job = std::get_if<LrtddftJob>(&request)) {
+      result.lrtddft = execute_lrtddft(*job);
+    } else if (const auto* job = std::get_if<SimulateJob>(&request)) {
+      result.simulate = execute_simulate(*job, system_, config_.system);
+    } else if (const auto* job = std::get_if<PlanJob>(&request)) {
+      result.plan = execute_plan(*job, system_, config_.system);
+    } else {
+      throw NdftError("unhandled job kind");
+    }
+    result.status = JobStatus::kOk;
+  } catch (const NdftError& error) {
+    result.status = JobStatus::kFailed;
+    result.error = ErrorKind::kPhysics;
+    result.error_message = error.what();
+  } catch (const std::exception& error) {
+    result.status = JobStatus::kFailed;
+    result.error = ErrorKind::kInternal;
+    result.error_message = error.what();
+  }
+  result.timings.run_ms = ms_between(start, Clock::now());
+  return result;
+}
+
+}  // namespace ndft::api

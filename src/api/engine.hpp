@@ -1,0 +1,148 @@
+#pragma once
+// The Engine: the single public entry point of the framework.
+//
+// One Engine owns the long-lived shared resources — the process-wide
+// kernel thread pool, the (process-wide) FFT plan cache it warms, and the
+// simulated machine template (core::NdftSystem + SystemConfig) — and
+// executes typed JobRequests either synchronously (`run`) or through an
+// async submission queue (`submit` -> JobHandle) drained by a small set
+// of dispatcher threads. Each dispatched job's numerical kernels flow
+// through the shared deterministic thread pool (parallel_for serializes
+// top-level calls), so concurrent jobs produce results bitwise identical
+// to serial execution.
+//
+// Thread safety: every Engine method may be called from any thread.
+// JobHandles are value types over shared state; status(), cancel() and
+// wait() are safe from any thread.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/job.hpp"
+#include "api/result.hpp"
+#include "core/ndft_system.hpp"
+
+namespace ndft::api {
+
+/// Engine construction knobs.
+struct EngineConfig {
+  /// Machine template every SimulateJob / PlanJob runs against.
+  core::SystemConfig system = core::SystemConfig::paper_default();
+  /// Dispatcher threads draining the async queue. 0 = manual mode: queued
+  /// jobs execute only inside drain() on the calling thread (deterministic
+  /// single-threaded embedding and cancellation tests).
+  std::size_t dispatch_threads = 2;
+  /// Upper bound on not-yet-started jobs; submit() throws NdftError when
+  /// the queue is full (backpressure instead of unbounded growth).
+  std::size_t max_pending = 4096;
+};
+
+namespace detail {
+
+/// Shared state behind a JobHandle.
+struct JobState {
+  std::uint64_t id = 0;
+  JobRequest request;
+  std::chrono::steady_clock::time_point submitted_at;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  JobStatus status = JobStatus::kQueued;  // guarded by mutex
+  bool terminal = false;                  // result is final
+  JobResult result;                       // valid once terminal
+};
+
+}  // namespace detail
+
+/// Handle to an asynchronously submitted job.
+class JobHandle {
+ public:
+  JobHandle() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  std::uint64_t id() const;
+  JobStatus status() const;
+
+  /// Cancels a job that is still queued. Returns true when the job was
+  /// cancelled here; false when it already started (running jobs run to
+  /// completion) or already finished.
+  bool cancel();
+
+  /// Blocks until the job reaches a terminal state and returns its result.
+  const JobResult& wait() const;
+
+ private:
+  friend class Engine;
+  explicit JobHandle(std::shared_ptr<detail::JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::JobState> state_;
+};
+
+/// The job-oriented front door of NDFT.
+class Engine {
+ public:
+  explicit Engine(EngineConfig config = {});
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Validates and executes `request` synchronously on the calling thread.
+  /// Never throws for request-level problems: rejection and execution
+  /// failures come back as JobResult.status / error.
+  JobResult run(const JobRequest& request);
+
+  /// Enqueues `request` for asynchronous execution. Throws NdftError when
+  /// the pending queue is full.
+  JobHandle submit(JobRequest request);
+
+  /// Enqueues a batch in order; equivalent to calling submit() per entry.
+  std::vector<JobHandle> submit_batch(std::vector<JobRequest> requests);
+
+  /// Blocks until every submitted job is terminal. With
+  /// dispatch_threads == 0 the calling thread executes the queue itself.
+  void drain();
+
+  // ---- shared-resource views / engine metadata.
+  const core::SystemConfig& system_config() const noexcept;
+  const core::NdftSystem& system() const noexcept { return system_; }
+  std::size_t pool_threads() const noexcept;
+  std::size_t dispatch_threads() const noexcept {
+    return config_.dispatch_threads;
+  }
+  std::uint64_t jobs_submitted() const noexcept { return submitted_; }
+  std::uint64_t jobs_completed() const noexcept { return completed_; }
+  std::uint64_t jobs_cancelled() const noexcept { return cancelled_; }
+
+ private:
+  void dispatcher_loop();
+  /// Runs one queued job to its terminal state (dispatcher or drain path).
+  void execute_queued(const std::shared_ptr<detail::JobState>& state);
+  /// Validation + execution + timing/metadata stamping (no queue logic).
+  JobResult execute(const JobRequest& request);
+
+  EngineConfig config_;
+  core::NdftSystem system_;  ///< machine template (thread-safe, immutable)
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;  ///< signals dispatchers: work/stop
+  std::condition_variable idle_cv_;   ///< signals drain(): queue empty
+  std::deque<std::shared_ptr<detail::JobState>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> dispatchers_;
+
+  std::atomic<std::uint64_t> next_job_id_{1};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+};
+
+}  // namespace ndft::api

@@ -1,0 +1,122 @@
+#include "api/job.hpp"
+
+#include "common/str_util.hpp"
+
+namespace ndft::api {
+namespace {
+
+void check_atoms(std::size_t atoms, std::vector<std::string>& errors) {
+  if (atoms < 8 || atoms % 8 != 0) {
+    errors.push_back(strformat(
+        "atoms must be a positive multiple of 8 (got %zu)", atoms));
+  }
+}
+
+void check_ecut(double ecut_ry, std::vector<std::string>& errors) {
+  if (!(ecut_ry > 0.0)) {
+    errors.push_back(strformat("ecut_ry must be positive (got %g)",
+                               ecut_ry));
+  }
+}
+
+struct Validator {
+  std::vector<std::string> errors;
+
+  void operator()(const ScfJob& job) {
+    check_atoms(job.atoms, errors);
+    check_ecut(job.ecut_ry, errors);
+    if (!(job.scf.mixing > 0.0 && job.scf.mixing <= 1.0)) {
+      errors.push_back(strformat("scf.mixing must be in (0, 1] (got %g)",
+                                 job.scf.mixing));
+    }
+    if (!(job.scf.tolerance > 0.0)) {
+      errors.push_back(strformat("scf.tolerance must be positive (got %g)",
+                                 job.scf.tolerance));
+    }
+    if (job.scf.max_iterations == 0) {
+      errors.push_back("scf.max_iterations must be at least 1");
+    }
+  }
+
+  void operator()(const BandStructureJob& job) {
+    check_ecut(job.ecut_ry, errors);
+    if (job.segments < 1) {
+      errors.push_back("segments must be at least 1");
+    }
+    if (job.bands == 0) {
+      errors.push_back("bands must be at least 1");
+    }
+    if (job.valence_bands == 0 || job.valence_bands >= job.bands) {
+      errors.push_back(strformat(
+          "valence_bands must be in [1, bands) (got %zu of %zu)",
+          job.valence_bands, job.bands));
+    }
+  }
+
+  void operator()(const LrtddftJob& job) {
+    check_atoms(job.atoms, errors);
+    check_ecut(job.ecut_ry, errors);
+    if (job.config.conduction_window == 0) {
+      errors.push_back("config.conduction_window must be at least 1");
+    }
+    if (!(job.config.spin_factor > 0.0)) {
+      errors.push_back(strformat(
+          "config.spin_factor must be positive (got %g)",
+          job.config.spin_factor));
+    }
+  }
+
+  void operator()(const SimulateJob& job) {
+    check_atoms(job.atoms, errors);
+    switch (job.mode) {
+      case core::ExecMode::kCpuBaseline:
+      case core::ExecMode::kGpuBaseline:
+      case core::ExecMode::kNdpOnly:
+      case core::ExecMode::kNdft:
+        break;
+      default:
+        errors.push_back("unknown execution mode");
+    }
+  }
+
+  void operator()(const PlanJob& job) {
+    check_atoms(job.atoms, errors);
+    switch (job.granularity) {
+      case runtime::Granularity::kInstruction:
+      case runtime::Granularity::kBasicBlock:
+      case runtime::Granularity::kFunction:
+      case runtime::Granularity::kKernel:
+        break;
+      default:
+        errors.push_back("unknown granularity");
+    }
+    if (!job.profile_override.empty() && job.profile_override.size() != 2) {
+      errors.push_back(strformat(
+          "profile_override must hold exactly [cpu, ndp] profiles "
+          "(got %zu)", job.profile_override.size()));
+    }
+  }
+};
+
+}  // namespace
+
+const char* job_kind(const JobRequest& request) noexcept {
+  struct Namer {
+    const char* operator()(const ScfJob&) const { return "scf"; }
+    const char* operator()(const BandStructureJob&) const {
+      return "band_structure";
+    }
+    const char* operator()(const LrtddftJob&) const { return "lrtddft"; }
+    const char* operator()(const SimulateJob&) const { return "simulate"; }
+    const char* operator()(const PlanJob&) const { return "plan"; }
+  };
+  return std::visit(Namer{}, request);
+}
+
+std::vector<std::string> validate(const JobRequest& request) {
+  Validator validator;
+  std::visit(validator, request);
+  return std::move(validator.errors);
+}
+
+}  // namespace ndft::api

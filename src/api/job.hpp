@@ -1,0 +1,84 @@
+#pragma once
+// Typed job requests: the one vocabulary through which every workload
+// enters the system. Each job kind owns a validated, defaultable config;
+// `JobRequest` is the closed sum type the Engine accepts, both for the
+// synchronous `run()` path and the async `submit()` queue.
+//
+// A request describes *what* to compute, never *how*: machine
+// configuration, thread counts and sampling knobs live in the Engine
+// (EngineConfig), so the same request produces the same result on any
+// engine with the same configuration.
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/report.hpp"
+#include "dft/lrtddft.hpp"
+#include "dft/scf.hpp"
+#include "runtime/device_profile.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace ndft::api {
+
+/// Self-consistent-field LDA ground state of an Si_n supercell
+/// (dft::solve_scf).
+struct ScfJob {
+  std::size_t atoms = 8;        ///< supercell size (multiple of 8)
+  double ecut_ry = 4.5;         ///< plane-wave cutoff in Rydberg
+  dft::ScfConfig scf;           ///< mixing / tolerance / band controls
+};
+
+/// Cohen-Bergstresser band structure of primitive FCC silicon along
+/// L -> Gamma -> X -> U|K -> Gamma (dft::band_structure).
+struct BandStructureJob {
+  double ecut_ry = 9.0;         ///< plane-wave cutoff in Rydberg
+  unsigned segments = 10;       ///< k-points per path leg
+  std::size_t bands = 8;        ///< bands kept per k-point
+  std::size_t valence_bands = 4;  ///< filled bands for the gap summary
+};
+
+/// Functional LR-TDDFT excitation spectrum on an EPM ground state
+/// (dft::solve_lrtddft), optionally with oscillator strengths.
+struct LrtddftJob {
+  std::size_t atoms = 8;        ///< supercell size (multiple of 8)
+  double ecut_ry = 4.5;         ///< plane-wave cutoff in Rydberg
+  dft::LrTddftConfig config;    ///< excitation-window controls
+  bool oscillator_strengths = false;  ///< also compute optical lines
+};
+
+/// Timing simulation of one LR-TDDFT iteration on one of the paper's
+/// machines (core::NdftSystem::run).
+struct SimulateJob {
+  std::size_t atoms = 64;       ///< Si_n system (multiple of 8)
+  core::ExecMode mode = core::ExecMode::kNdft;
+  /// Sampled memory ops per kernel; 0 keeps the engine's default.
+  std::size_t sampled_ops = 0;
+};
+
+/// Cost-aware schedule for one LR-TDDFT iteration, with optional what-if
+/// device profiles (core::NdftSystem::plan / runtime::Scheduler).
+struct PlanJob {
+  std::size_t atoms = 64;       ///< Si_n system (multiple of 8)
+  runtime::Granularity granularity = runtime::Granularity::kFunction;
+  /// Override the engine's scheduler beliefs (what-if experiments). Both
+  /// must be set together or left unset.
+  std::vector<runtime::DeviceProfile> profile_override;  ///< [cpu, ndp]
+};
+
+/// The closed sum of everything the Engine can execute.
+using JobRequest = std::variant<ScfJob, BandStructureJob, LrtddftJob,
+                                SimulateJob, PlanJob>;
+
+/// Stable kind name of a request ("scf", "band_structure", "lrtddft",
+/// "simulate", "plan") — used in results, logs and JSON.
+const char* job_kind(const JobRequest& request) noexcept;
+
+/// Validates a request against the physics/simulation preconditions.
+/// Returns every violation found (empty = the request is runnable).
+/// The Engine refuses invalid requests with JobStatus::kInvalid instead
+/// of letting NDFT_REQUIRE throw mid-pipeline.
+std::vector<std::string> validate(const JobRequest& request);
+
+}  // namespace ndft::api

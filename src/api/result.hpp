@@ -1,0 +1,202 @@
+#pragma once
+// Structured job results: status, error taxonomy, timings, the physics /
+// simulation payload, and engine metadata — everything a bench harness or
+// a network front end needs, with lossless JSON serialization both ways.
+//
+// The JSON schema is versioned ("ndft.job_result.v1"); `to_json()` and
+// `from_json()` round-trip exactly (`dump()` of the reconstruction equals
+// `dump()` of the original), which tests/api_test.cpp pins down.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+#include "core/report.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace ndft::api {
+
+/// Lifecycle / outcome of a job.
+enum class JobStatus {
+  kQueued,     ///< accepted, waiting in the engine queue
+  kRunning,    ///< executing
+  kOk,         ///< finished successfully
+  kInvalid,    ///< rejected by request validation
+  kFailed,     ///< physics or internal error during execution
+  kCancelled,  ///< cancelled while still queued
+};
+const char* to_string(JobStatus status) noexcept;
+
+/// Error taxonomy for non-Ok results.
+enum class ErrorKind {
+  kNone,            ///< no error (status Ok, Queued or Running)
+  kInvalidRequest,  ///< request failed validation
+  kPhysics,         ///< solver-level failure (NdftError from the pipeline)
+  kInternal,        ///< unexpected exception
+  kCancelled,       ///< job cancelled before execution
+};
+const char* to_string(ErrorKind kind) noexcept;
+
+/// Wall-clock accounting of one job (milliseconds).
+struct JobTimings {
+  double queue_ms = 0.0;  ///< submit -> execution start
+  double run_ms = 0.0;    ///< execution start -> finish
+  double total_ms = 0.0;  ///< submit -> finish
+};
+
+/// Engine metadata stamped onto every result.
+struct EngineInfo {
+  std::uint64_t job_id = 0;      ///< engine-unique, monotonically assigned
+  std::string kind;              ///< job kind name ("scf", "simulate", ...)
+  std::size_t pool_threads = 0;  ///< shared kernel thread-pool width
+  std::size_t dispatch_threads = 0;  ///< async queue drain width
+};
+
+// ---------------------------------------------------------------- payloads
+
+/// SCF-LDA ground-state summary (ScfJob).
+struct ScfPayload {
+  std::size_t atoms = 0;
+  std::size_t basis_size = 0;
+  std::size_t grid_points = 0;
+  bool converged = false;
+  std::size_t iterations = 0;
+  double total_energy_ha = 0.0;
+  double gap_ev = 0.0;
+  double final_residual = 0.0;
+  double electron_count = 0.0;
+  /// Per-iteration (residual, total energy) history for convergence plots.
+  std::vector<double> residual_history;
+  std::vector<double> energy_history;
+};
+
+/// Band energies at one k-point (BandStructureJob).
+struct BandsAtKPayload {
+  std::string label;            ///< nonempty at high-symmetry points
+  std::vector<double> energies_ha;
+};
+
+/// EPM band structure along the FCC path (BandStructureJob).
+struct BandStructurePayload {
+  std::size_t basis_size = 0;
+  std::vector<BandsAtKPayload> path;
+  double vbm_ha = 0.0;
+  double cbm_ha = 0.0;
+  std::string vbm_label;
+  std::string cbm_label;
+  double indirect_gap_ev = 0.0;
+  double direct_gap_gamma_ev = 0.0;
+};
+
+/// One optical line (LrtddftJob with oscillator_strengths).
+struct OscillatorLinePayload {
+  double energy_ev = 0.0;
+  double strength = 0.0;
+};
+
+/// Per-kernel-class operation tally (LrtddftJob).
+struct KernelCountPayload {
+  KernelClass cls = KernelClass::kOther;
+  std::uint64_t flops = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// LR-TDDFT excitation summary (LrtddftJob).
+struct LrtddftPayload {
+  std::size_t atoms = 0;
+  std::size_t basis_size = 0;
+  std::size_t grid_dims[3] = {0, 0, 0};
+  double ground_gap_ev = 0.0;
+  std::size_t valence_bands = 0;
+  std::size_t projector_count = 0;
+  double nonlocal_expectation_ha = 0.0;  ///< <psi0| V_nl |psi0>
+  std::size_t pair_count = 0;
+  std::vector<double> excitations_ha;
+  std::vector<KernelCountPayload> counts;
+  std::vector<OscillatorLinePayload> lines;  ///< empty unless requested
+};
+
+/// Timing-simulation summary: the RunReport in serializable form
+/// (SimulateJob). Kernel entries reuse core::KernelTime so the payload
+/// and the RunReport present the same rows.
+struct SimulatePayload {
+  core::ExecMode mode = core::ExecMode::kNdft;
+  std::size_t atoms = 0;
+  std::size_t pairs = 0;
+  std::size_t grid_points = 0;
+  std::size_t basis_size = 0;
+  std::vector<core::KernelTime> kernels;
+  TimePs total_ps = 0;
+  TimePs sched_overhead_ps = 0;
+  double memory_energy_mj = 0.0;
+  Bytes mesh_bytes = 0;
+  Bytes sharing_bytes = 0;
+  Bytes pseudo_total = 0;
+  Bytes pseudo_per_process = 0;
+  Bytes pseudo_capacity = 0;
+  bool pseudo_oom = false;
+};
+
+/// One kernel's placement decision plus the SCA view behind it (PlanJob).
+struct PlacementPayload {
+  std::string kernel;
+  KernelClass cls = KernelClass::kOther;
+  DeviceKind device = DeviceKind::kCpu;
+  bool crossing = false;
+  TimePs est_time_ps = 0;
+  TimePs transfer_in_ps = 0;
+  TimePs switch_in_ps = 0;
+  double arithmetic_intensity = 0.0;
+  TimePs est_cpu_ps = 0;
+  TimePs est_ndp_ps = 0;
+};
+
+/// Cost-aware schedule summary (PlanJob).
+struct PlanPayload {
+  std::size_t atoms = 0;
+  runtime::Granularity granularity = runtime::Granularity::kFunction;
+  std::vector<PlacementPayload> placements;
+  TimePs est_total_ps = 0;
+  TimePs est_overhead_ps = 0;
+  unsigned crossings = 0;
+
+  /// Fraction of the estimated total spent on scheduling overhead
+  /// (mirrors runtime::ExecutionPlan::overhead_fraction()).
+  double overhead_fraction() const noexcept {
+    return est_total_ps == 0
+               ? 0.0
+               : static_cast<double>(est_overhead_ps) /
+                     static_cast<double>(est_total_ps);
+  }
+};
+
+// ----------------------------------------------------------------- result
+
+/// The structured result of one job. Exactly one payload member is
+/// engaged on success; all are empty on rejection/failure.
+struct JobResult {
+  JobStatus status = JobStatus::kQueued;
+  ErrorKind error = ErrorKind::kNone;
+  std::string error_message;
+  std::vector<std::string> error_details;  ///< per-field validation errors
+  JobTimings timings;
+  EngineInfo engine;
+
+  std::optional<ScfPayload> scf;
+  std::optional<BandStructurePayload> band_structure;
+  std::optional<LrtddftPayload> lrtddft;
+  std::optional<SimulatePayload> simulate;
+  std::optional<PlanPayload> plan;
+
+  bool ok() const noexcept { return status == JobStatus::kOk; }
+
+  /// Serializes under the "ndft.job_result.v1" schema.
+  Json to_json() const;
+  /// Reconstructs a result from its serialized form; throws NdftError on
+  /// schema mismatch or malformed members.
+  static JobResult from_json(const Json& json);
+};
+
+}  // namespace ndft::api

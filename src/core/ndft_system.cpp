@@ -26,13 +26,20 @@ double write_fraction(KernelClass cls) {
   return 0.25;
 }
 
+/// Per-run mutable state. One RunArena lives on the stack of each run_*
+/// call, which is what makes NdftSystem safe to share across concurrent
+/// jobs: nothing a run writes outlives or escapes it.
+struct RunArena {
+  Addr next_base = 0;  ///< simulated-address cursor for trace placement
+};
+
 /// Builds one trace per core for a kernel, splitting work evenly. All
-/// traces share the same sampling scale. `base` advances past the data.
-/// `llc_share` is the per-core slice of the machine's last-level cache and
-/// `reuse_floor` the smallest footprint that still reuses at LLC distance
-/// (i.e. just above the private levels).
+/// traces share the same sampling scale. The arena cursor advances past
+/// the data. `llc_share` is the per-core slice of the machine's last-level
+/// cache and `reuse_floor` the smallest footprint that still reuses at LLC
+/// distance (i.e. just above the private levels).
 std::vector<cpu::Trace> make_traces(const dft::KernelWork& kernel,
-                                    unsigned cores, Addr& base,
+                                    unsigned cores, RunArena& arena,
                                     const SystemConfig& config,
                                     Bytes block_bytes, Bytes llc_share,
                                     Bytes reuse_floor) {
@@ -89,13 +96,13 @@ std::vector<cpu::Trace> make_traces(const dft::KernelWork& kernel,
     params.pattern = kernel.pattern;
     params.working_set = ws;
     params.stride_bytes = kernel.stride_bytes;
-    params.base_addr = base + static_cast<Addr>(c) * ws_aligned;
+    params.base_addr = arena.next_base + static_cast<Addr>(c) * ws_aligned;
     params.seed = 0x5eed0000 + c;
     params.max_mem_ops = ops;
     params.block_bytes = block_bytes;
     traces.push_back(cpu::generate_trace(params));
   }
-  base += static_cast<Addr>(cores) * ws_aligned;
+  arena.next_base += static_cast<Addr>(cores) * ws_aligned;
   return traces;
 }
 
@@ -156,10 +163,10 @@ RunReport NdftSystem::run_cpu_baseline(const dft::Workload& workload) const {
   const Bytes xeon_llc_share =
       config_.xeon.l3.size_bytes / config_.xeon.cores;
   const Bytes xeon_reuse_floor = config_.xeon.l2.size_bytes * 3 / 2;
-  Addr base = 0;
+  RunArena arena;
   for (const dft::KernelWork& kernel : workload.kernels) {
     const auto traces =
-        make_traces(kernel, config_.xeon.cores, base, config_,
+        make_traces(kernel, config_.xeon.cores, arena, config_,
                     Bytes{128} << 10, xeon_llc_share, xeon_reuse_floor);
     const auto ptrs = pointers(traces);
     const TimePs start = queue.now();
@@ -284,7 +291,7 @@ RunReport NdftSystem::run_hybrid(const dft::Workload& workload,
   const unsigned ndp_cores = config_.ndp.total_cores();
   const runtime::PseudoStore store(workload, config_.processes);
 
-  Addr base = 0;
+  RunArena arena;
   for (std::size_t i = 0; i < workload.kernels.size(); ++i) {
     const dft::KernelWork& kernel = workload.kernels[i];
     const runtime::Placement& placement = plan.placements[i];
@@ -301,7 +308,7 @@ RunReport NdftSystem::run_hybrid(const dft::Workload& workload,
 
     if (placement.device == DeviceKind::kCpu) {
       const auto traces = make_traces(
-          kernel, config_.host_cpu.cores, base, config_, Bytes{128} << 10,
+          kernel, config_.host_cpu.cores, arena, config_, Bytes{128} << 10,
           config_.host_cpu.l3.size_bytes / config_.host_cpu.cores,
           config_.host_cpu.l2.size_bytes * 3 / 2);
       const auto ptrs = pointers(traces);
@@ -313,7 +320,7 @@ RunReport NdftSystem::run_hybrid(const dft::Workload& workload,
       kernel_scale = traces.front().scale;
     } else {
       const auto traces =
-          make_traces(kernel, ndp_cores, base, config_, Bytes{16} << 10,
+          make_traces(kernel, ndp_cores, arena, config_, Bytes{16} << 10,
                       config_.ndp.stack.l1.size_bytes, 4096);
       const auto ptrs = pointers(traces);
 

@@ -16,8 +16,14 @@
 
 namespace ndft::core {
 
-/// The NDFT framework entry point. Thread-compatible: each run builds a
-/// fresh simulated machine, so concurrent runs need separate instances.
+/// The simulated-machine template of the framework. Thread-safe: the
+/// instance itself is immutable after construction, and every run()
+/// builds its complete simulation state (event queue, machines, trace
+/// arena) locally — see RunArena in ndft_system.cpp — so any number of
+/// concurrent runs may share one instance. ndft::api::Engine relies on
+/// this to execute concurrent SimulateJobs against a single template;
+/// prefer entering through the Engine rather than using this class
+/// directly.
 class NdftSystem {
  public:
   explicit NdftSystem(SystemConfig config = SystemConfig::paper_default());

@@ -34,9 +34,12 @@ TimePs RunReport::time_of(KernelClass cls) const noexcept {
   return total;
 }
 
-std::string RunReport::render() const {
+std::string render_kernel_table(ExecMode mode, std::size_t atoms,
+                                const std::vector<KernelTime>& kernels,
+                                TimePs total_ps, TimePs sched_overhead_ps,
+                                double memory_energy_mj) {
   TextTable table({"kernel", "class", "device", "time", "share"});
-  const double total = static_cast<double>(total_ps());
+  const double total = static_cast<double>(total_ps);
   for (const KernelTime& k : kernels) {
     table.add_row({k.name, to_string(k.cls), to_string(k.device),
                    format_time(k.time_ps),
@@ -50,12 +53,17 @@ std::string RunReport::render() const {
                                   (total > 0 ? total : 1.0))});
   }
   std::string out = strformat("%s on Si_%zu: total %s\n", to_string(mode),
-                              dims.atoms, format_time(total_ps()).c_str());
+                              atoms, format_time(total_ps).c_str());
   out += table.render();
   if (memory_energy_mj > 0.0) {
     out += strformat("memory-system energy: %.2f mJ\n", memory_energy_mj);
   }
   return out;
+}
+
+std::string RunReport::render() const {
+  return render_kernel_table(mode, dims.atoms, kernels, total_ps(),
+                             sched_overhead_ps, memory_energy_mj);
 }
 
 double speedup(const RunReport& baseline, const RunReport& candidate) {

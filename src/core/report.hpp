@@ -61,4 +61,12 @@ struct RunReport {
 /// Speedup of `baseline` over `candidate` (how much faster candidate is).
 double speedup(const RunReport& baseline, const RunReport& candidate);
 
+/// Renders the Fig. 7-style per-kernel table for any kernel list (shared
+/// by RunReport::render and the serialized-payload consumers, so the two
+/// presentations cannot drift apart).
+std::string render_kernel_table(ExecMode mode, std::size_t atoms,
+                                const std::vector<KernelTime>& kernels,
+                                TimePs total_ps, TimePs sched_overhead_ps,
+                                double memory_energy_mj);
+
 }  // namespace ndft::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <numbers>
 
 #include "common/thread_pool.hpp"
@@ -78,10 +79,8 @@ double lda_exc(double n) {
   return ex + ec;
 }
 
-double ashcroft_potential(const Crystal& crystal, const GVector& g,
-                          const GVector& gp, double valence_charge,
-                          double core_radius_bohr) {
-  const Vec3 dg = g.g - gp.g;
+double ashcroft_potential(const Crystal& crystal, const Vec3& dg,
+                          double valence_charge, double core_radius_bohr) {
   const double q2 = dg.norm2();
   if (q2 < 1e-12) {
     return 0.0;  // cancelled by the neutralising background
@@ -94,6 +93,13 @@ double ashcroft_potential(const Crystal& crystal, const GVector& g,
     structure += std::cos(dg.dot(position));
   }
   return form * structure / crystal.volume();
+}
+
+double ashcroft_potential(const Crystal& crystal, const GVector& g,
+                          const GVector& gp, double valence_charge,
+                          double core_radius_bohr) {
+  return ashcroft_potential(crystal, g.g - gp.g, valence_charge,
+                            core_radius_bohr);
 }
 
 double ScfResult::electron_count(const PlaneWaveBasis& basis) const {
@@ -122,17 +128,59 @@ ScfResult solve_scf(const PlaneWaveBasis& basis, const ScfConfig& config) {
                         : std::min(n_g, config.bands);
   NDFT_REQUIRE(bands > valence, "band count must exceed the valence count");
 
-  // Bare ionic potential matrix, fixed across the loop. Rows of the upper
-  // triangle are independent, so they go to the thread pool.
+  // Bare ionic potential matrix, fixed across the loop. The matrix
+  // element depends only on the integer G-difference (dh, dk, dl), so the
+  // form factor and the per-atom structure-factor cos() sum are tabulated
+  // once per geometry over the (4H+1)(4K+1)(4L+1) distinct differences
+  // (components span [-2H, 2H] etc.); the O(n_g^2) assembly then reduces
+  // to table lookups. Table rows and matrix rows are independent, so both
+  // go to the thread pool.
   const auto& g = basis.gvectors();
+  const Crystal& crystal = basis.crystal();
+  int span_h = 0;
+  int span_k = 0;
+  int span_l = 0;
+  for (const GVector& gv : g) {
+    span_h = std::max(span_h, std::abs(gv.h));
+    span_k = std::max(span_k, std::abs(gv.k));
+    span_l = std::max(span_l, std::abs(gv.l));
+  }
+  // Differences reach twice the single-vector extent in each direction.
+  const std::size_t dim_h = static_cast<std::size_t>(4 * span_h + 1);
+  const std::size_t dim_k = static_cast<std::size_t>(4 * span_k + 1);
+  const std::size_t dim_l = static_cast<std::size_t>(4 * span_l + 1);
+  std::vector<double> v_ion_table(dim_h * dim_k * dim_l);
+  parallel_for(
+      0, dim_h, parallel_grain(dim_k * dim_l * crystal.atom_count()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t th = lo; th < hi; ++th) {
+          const int dh = static_cast<int>(th) - 2 * span_h;
+          for (std::size_t tk = 0; tk < dim_k; ++tk) {
+            const int dk = static_cast<int>(tk) - 2 * span_k;
+            for (std::size_t tl = 0; tl < dim_l; ++tl) {
+              const int dl = static_cast<int>(tl) - 2 * span_l;
+              const Vec3 dg = crystal.b1() * static_cast<double>(dh) +
+                              crystal.b2() * static_cast<double>(dk) +
+                              crystal.b3() * static_cast<double>(dl);
+              v_ion_table[(th * dim_k + tk) * dim_l + tl] =
+                  ashcroft_potential(crystal, dg, config.valence_charge,
+                                     config.core_radius_bohr);
+            }
+          }
+        }
+      });
+  const auto v_ion_at = [&](const GVector& a, const GVector& b) {
+    const std::size_t th = static_cast<std::size_t>(a.h - b.h + 2 * span_h);
+    const std::size_t tk = static_cast<std::size_t>(a.k - b.k + 2 * span_k);
+    const std::size_t tl = static_cast<std::size_t>(a.l - b.l + 2 * span_l);
+    return v_ion_table[(th * dim_k + tk) * dim_l + tl];
+  };
   RealMatrix v_ion(n_g, n_g);
   parallel_for(0, n_g, parallel_grain(n_g),
                [&](std::size_t lo, std::size_t hi) {
                  for (std::size_t i = lo; i < hi; ++i) {
                    for (std::size_t j = i; j < n_g; ++j) {
-                     v_ion(i, j) = ashcroft_potential(
-                         basis.crystal(), g[i], g[j], config.valence_charge,
-                         config.core_radius_bohr);
+                     v_ion(i, j) = v_ion_at(g[i], g[j]);
                    }
                  }
                });

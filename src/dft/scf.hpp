@@ -68,6 +68,14 @@ double ashcroft_potential(const Crystal& crystal, const GVector& g,
                           const GVector& gp, double valence_charge,
                           double core_radius_bohr);
 
+/// Same matrix element from the Cartesian difference vector dG = G - G'.
+/// The element depends only on this difference, which is what lets the
+/// SCF tabulate the whole V_ion matrix over the distinct differences
+/// once per geometry instead of evaluating form factor and structure
+/// factor (cos() per atom) for all O(n_g^2) pairs.
+double ashcroft_potential(const Crystal& crystal, const Vec3& dg,
+                          double valence_charge, double core_radius_bohr);
+
 /// LDA exchange-correlation potential (Slater exchange + PZ81
 /// correlation) at density `n` (clamped away from zero internally).
 double lda_vxc(double n);

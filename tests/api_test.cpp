@@ -1,0 +1,330 @@
+// Tests of the job-oriented Engine API: JSON model, request validation
+// and rejection, JobResult serialization round-trips, async submission
+// with cancellation, and the concurrent-submission determinism guarantee
+// (results bitwise identical to serial execution).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "common/json.hpp"
+
+namespace ndft::api {
+namespace {
+
+// ------------------------------------------------------------------ Json
+
+TEST(JsonTest, ScalarsRoundTrip) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(-42).dump(), "-42");
+  EXPECT_EQ(Json(7u).dump(), "7");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+}
+
+TEST(JsonTest, LargeUint64Exact) {
+  const std::uint64_t big = 18446744073709551615ull;  // 2^64 - 1
+  const Json value(big);
+  EXPECT_EQ(Json::parse(value.dump()).as_uint(), big);
+}
+
+TEST(JsonTest, DoublePrecisionExact) {
+  const double value = 0.1234567890123456789;
+  const Json parsed = Json::parse(Json(value).dump());
+  EXPECT_EQ(parsed.as_double(), value);
+}
+
+TEST(JsonTest, IntegralDoubleStaysNumber) {
+  // 12.0 dumps with a ".0" marker so it reparses as a double, keeping
+  // dump(parse(dump(x))) == dump(x).
+  const std::string text = Json(12.0).dump();
+  EXPECT_EQ(text, "12.0");
+  EXPECT_EQ(Json::parse(text).dump(), text);
+}
+
+TEST(JsonTest, StringEscapes) {
+  const std::string text = "line\nquote\"back\\slash\ttab";
+  const Json parsed = Json::parse(Json(text).dump());
+  EXPECT_EQ(parsed.as_string(), text);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json object = Json::object();
+  object.set("zeta", 1);
+  object.set("alpha", 2);
+  EXPECT_EQ(object.dump(), "{\"zeta\":1,\"alpha\":2}");
+  // set() on an existing key replaces in place.
+  object.set("zeta", 3);
+  EXPECT_EQ(object.dump(), "{\"zeta\":3,\"alpha\":2}");
+}
+
+TEST(JsonTest, NestedContainersParse) {
+  const Json parsed =
+      Json::parse("{\"a\": [1, 2.5, \"x\"], \"b\": {\"c\": null}}");
+  EXPECT_EQ(parsed.at("a").size(), 3u);
+  EXPECT_EQ(parsed.at("a")[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(parsed.at("a")[1].as_double(), 2.5);
+  EXPECT_TRUE(parsed.at("b").at("c").is_null());
+}
+
+TEST(JsonTest, NonFiniteDoublesCollapseToNullAndReadAsNan) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Json(inf).dump(), "null");
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  // A stored document containing such a value stays ingestible.
+  EXPECT_TRUE(std::isnan(Json::parse("null").as_double()));
+}
+
+TEST(JsonTest, OutOfRangeDoubleToIntegerThrows) {
+  EXPECT_THROW(Json(1e300).as_uint(), NdftError);
+  EXPECT_THROW(Json(1e300).as_int(), NdftError);
+  EXPECT_THROW(Json(-1.0).as_uint(), NdftError);
+  EXPECT_THROW(Json(std::nan("")).as_uint(), NdftError);
+  EXPECT_EQ(Json(42.0).as_uint(), 42u);
+}
+
+TEST(JsonTest, MalformedInputThrows) {
+  EXPECT_THROW(Json::parse(""), NdftError);
+  EXPECT_THROW(Json::parse("{"), NdftError);
+  EXPECT_THROW(Json::parse("[1,]"), NdftError);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), NdftError);
+  EXPECT_THROW(Json::parse("\"unterminated"), NdftError);
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(JobValidationTest, GoodRequestsPass) {
+  EXPECT_TRUE(validate(ScfJob{}).empty());
+  EXPECT_TRUE(validate(BandStructureJob{}).empty());
+  EXPECT_TRUE(validate(LrtddftJob{}).empty());
+  EXPECT_TRUE(validate(SimulateJob{}).empty());
+  EXPECT_TRUE(validate(PlanJob{}).empty());
+}
+
+TEST(JobValidationTest, AtomCountMustBeMultipleOfEight) {
+  ScfJob job;
+  job.atoms = 7;
+  EXPECT_EQ(validate(job).size(), 1u);
+  SimulateJob simulate;
+  simulate.atoms = 0;
+  EXPECT_FALSE(validate(simulate).empty());
+}
+
+TEST(JobValidationTest, CollectsEveryViolation) {
+  ScfJob job;
+  job.atoms = 3;
+  job.ecut_ry = -1.0;
+  job.scf.mixing = 2.0;
+  job.scf.tolerance = 0.0;
+  job.scf.max_iterations = 0;
+  EXPECT_EQ(validate(job).size(), 5u);
+}
+
+TEST(JobValidationTest, BandStructureWindow) {
+  BandStructureJob job;
+  job.valence_bands = 8;  // == bands: no conduction band left
+  EXPECT_FALSE(validate(job).empty());
+  job.valence_bands = 4;
+  job.segments = 0;
+  EXPECT_FALSE(validate(job).empty());
+}
+
+TEST(JobValidationTest, PlanProfileOverridePairs) {
+  PlanJob job;
+  job.profile_override.resize(1);
+  EXPECT_FALSE(validate(job).empty());
+  job.profile_override.resize(2);
+  EXPECT_TRUE(validate(job).empty());
+}
+
+TEST(EngineTest, InvalidRequestRejectedNotThrown) {
+  Engine engine;
+  LrtddftJob job;
+  job.atoms = 12;  // not a multiple of 8
+  job.config.conduction_window = 0;
+  const JobResult result = engine.run(job);
+  EXPECT_EQ(result.status, JobStatus::kInvalid);
+  EXPECT_EQ(result.error, ErrorKind::kInvalidRequest);
+  EXPECT_EQ(result.error_details.size(), 2u);
+  EXPECT_FALSE(result.lrtddft.has_value());
+}
+
+TEST(EngineTest, PhysicsFailureIsTaxonomised) {
+  Engine engine;
+  ScfJob job;  // valid request, but the band count is physically absurd:
+  job.scf.bands = 1;  // below the valence count -> solver rejects
+  const JobResult result = engine.run(job);
+  EXPECT_EQ(result.status, JobStatus::kFailed);
+  EXPECT_EQ(result.error, ErrorKind::kPhysics);
+  EXPECT_FALSE(result.error_message.empty());
+}
+
+// ------------------------------------------------------- JSON round trip
+
+/// Fast sampling so simulation-backed tests stay quick.
+EngineConfig fast_config(std::size_t dispatch_threads = 2) {
+  EngineConfig config;
+  config.dispatch_threads = dispatch_threads;
+  config.system.sampled_ops_per_kernel = 20000;
+  config.system.min_ops_per_core = 200;
+  return config;
+}
+
+void expect_round_trip(const JobResult& result) {
+  const std::string dumped = result.to_json().dump(2);
+  const JobResult rebuilt = JobResult::from_json(Json::parse(dumped));
+  EXPECT_EQ(rebuilt.to_json().dump(2), dumped);
+  EXPECT_EQ(rebuilt.status, result.status);
+  EXPECT_EQ(rebuilt.engine.job_id, result.engine.job_id);
+}
+
+TEST(JobResultJsonTest, AllJobKindsRoundTrip) {
+  Engine engine(fast_config());
+
+  ScfJob scf;
+  scf.scf.max_iterations = 3;  // no need to converge for serialization
+  scf.scf.tolerance = 1e-2;
+  expect_round_trip(engine.run(scf));
+
+  BandStructureJob bands;
+  bands.segments = 2;
+  expect_round_trip(engine.run(bands));
+
+  LrtddftJob lrtddft;
+  lrtddft.oscillator_strengths = true;
+  expect_round_trip(engine.run(lrtddft));
+
+  SimulateJob simulate;
+  simulate.atoms = 16;
+  expect_round_trip(engine.run(simulate));
+
+  PlanJob plan;
+  expect_round_trip(engine.run(plan));
+}
+
+TEST(JobResultJsonTest, RejectionRoundTrips) {
+  Engine engine;
+  SimulateJob job;
+  job.atoms = 5;
+  expect_round_trip(engine.run(job));
+}
+
+TEST(JobResultJsonTest, SchemaMismatchThrows) {
+  Json json = Json::object();
+  json.set("schema", "something.else.v9");
+  EXPECT_THROW(JobResult::from_json(json), NdftError);
+}
+
+// ------------------------------------------------- async queue semantics
+
+TEST(EngineTest, ManualDrainExecutesQueuedJobs) {
+  Engine engine(fast_config(/*dispatch_threads=*/0));
+  JobHandle handle = engine.submit(PlanJob{});
+  EXPECT_EQ(handle.status(), JobStatus::kQueued);
+  engine.drain();
+  EXPECT_EQ(handle.status(), JobStatus::kOk);
+  EXPECT_TRUE(handle.wait().ok());
+  EXPECT_EQ(engine.jobs_completed(), 1u);
+}
+
+TEST(EngineTest, CancelWhileQueued) {
+  Engine engine(fast_config(/*dispatch_threads=*/0));
+  JobHandle first = engine.submit(PlanJob{});
+  JobHandle second = engine.submit(PlanJob{});
+  EXPECT_TRUE(second.cancel());
+  EXPECT_FALSE(second.cancel());  // already terminal
+  engine.drain();
+  EXPECT_EQ(first.status(), JobStatus::kOk);
+  EXPECT_EQ(second.status(), JobStatus::kCancelled);
+  const JobResult& cancelled = second.wait();
+  EXPECT_EQ(cancelled.error, ErrorKind::kCancelled);
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(engine.jobs_cancelled(), 1u);
+}
+
+TEST(EngineTest, DestructionCancelsQueuedJobs) {
+  JobHandle orphan;
+  {
+    Engine engine(fast_config(/*dispatch_threads=*/0));
+    orphan = engine.submit(PlanJob{});
+  }
+  EXPECT_EQ(orphan.status(), JobStatus::kCancelled);
+}
+
+TEST(EngineTest, JobIdsAreUniqueAndMonotonic) {
+  Engine engine(fast_config(/*dispatch_threads=*/0));
+  const JobHandle a = engine.submit(PlanJob{});
+  const JobHandle b = engine.submit(PlanJob{});
+  EXPECT_LT(a.id(), b.id());
+  engine.drain();
+}
+
+// --------------------------------------------- concurrency determinism
+
+TEST(EngineStressTest, ConcurrentSimulationsMatchSerialBitwise) {
+  // Serial reference: one job at a time through run().
+  Engine serial(fast_config(/*dispatch_threads=*/0));
+  // Concurrent: 8 dispatchers draining 16 jobs from one queue, all
+  // sharing one NdftSystem template and the process thread pool.
+  Engine concurrent(fast_config(/*dispatch_threads=*/8));
+
+  std::vector<JobRequest> requests;
+  for (int copy = 0; copy < 4; ++copy) {
+    for (const core::ExecMode mode :
+         {core::ExecMode::kCpuBaseline, core::ExecMode::kGpuBaseline,
+          core::ExecMode::kNdpOnly, core::ExecMode::kNdft}) {
+      SimulateJob job;
+      job.atoms = 16;
+      job.mode = mode;
+      requests.emplace_back(job);
+    }
+  }
+
+  std::vector<std::string> expected;
+  for (const JobRequest& request : requests) {
+    const JobResult result = serial.run(request);
+    ASSERT_TRUE(result.ok()) << result.error_message;
+    expected.push_back(result.to_json().at("payload").dump());
+  }
+
+  std::vector<JobHandle> handles = concurrent.submit_batch(requests);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const JobResult& result = handles[i].wait();
+    ASSERT_TRUE(result.ok()) << result.error_message;
+    // The payload (every kernel time, energy, byte counter) must be
+    // bitwise identical to the serial run: payload JSON prints doubles
+    // with %.17g, so string equality is bit equality.
+    EXPECT_EQ(result.to_json().at("payload").dump(), expected[i])
+        << "job " << i << " diverged under concurrency";
+  }
+  EXPECT_EQ(concurrent.jobs_completed(), requests.size());
+}
+
+TEST(EngineStressTest, MixedJobKindsConcurrently) {
+  Engine engine(fast_config(/*dispatch_threads=*/4));
+  ScfJob scf;
+  scf.scf.max_iterations = 2;
+  scf.scf.tolerance = 1e-2;
+  BandStructureJob bands;
+  bands.segments = 2;
+  PlanJob plan;
+  SimulateJob simulate;
+  simulate.atoms = 16;
+
+  std::vector<JobHandle> handles =
+      engine.submit_batch({scf, bands, plan, simulate, scf, plan});
+  for (JobHandle& handle : handles) {
+    EXPECT_TRUE(handle.wait().ok()) << handle.wait().error_message;
+  }
+  engine.drain();
+  EXPECT_EQ(engine.jobs_completed(), 6u);
+}
+
+}  // namespace
+}  // namespace ndft::api
