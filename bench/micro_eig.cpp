@@ -1,0 +1,203 @@
+// Eigensolver microbenchmark: blocked SYEVD (syevd) against the serial
+// reference (syevd_naive) across problem sizes and pool widths. Results
+// go to BENCH_eig.json for cross-commit tracking; docs/PERF.md quotes a
+// snapshot.
+//
+// Modes:
+//   bench_micro_eig            full sweep: n in {64..1024}, threads {1,2,4,8}
+//   bench_micro_eig --smoke    n = 128 only; exits nonzero if the blocked
+//                              solver is slower than the reference (the
+//                              verify.sh --bench-smoke gate)
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/prng.hpp"
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "dft/linalg.hpp"
+
+using namespace ndft;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+dft::RealMatrix random_symmetric(std::size_t n, std::uint64_t seed) {
+  Prng prng(seed);
+  dft::RealMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = prng.next_double(-1.0, 1.0);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+template <typename Fn>
+double time_ms(Fn&& fn) {
+  const Clock::time_point start = Clock::now();
+  fn();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct ThreadSample {
+  std::size_t threads = 0;
+  double ms = 0.0;
+  double speedup = 0.0;  ///< naive_ms / ms
+};
+
+struct SizeSample {
+  std::size_t n = 0;
+  double naive_ms = 0.0;
+  std::vector<ThreadSample> blocked;
+  double max_eigenvalue_diff = 0.0;  ///< blocked vs naive, sanity check
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{128}
+            : std::vector<std::size_t>{64, 128, 256, 512, 1024};
+  const std::vector<std::size_t> thread_sweep =
+      smoke ? std::vector<std::size_t>{1, 2} : std::vector<std::size_t>{1, 2, 4, 8};
+
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t original_threads = pool.threads();
+
+  std::printf("SYEVD microbenchmark: blocked vs serial reference%s\n\n",
+              smoke ? " (smoke)" : "");
+
+  // The smoke gate compares wall times on a potentially loaded machine:
+  // warm up once and take the minimum of three runs per side so a stray
+  // preemption cannot fail the gate. The full sweep is reporting, not
+  // gating, and the big sizes are expensive; one shot is fine there.
+  const int reps = smoke ? 3 : 1;
+
+  std::vector<SizeSample> samples;
+  for (const std::size_t n : sizes) {
+    const dft::RealMatrix m = random_symmetric(n, 1000 + n);
+    SizeSample sample;
+    sample.n = n;
+
+    // The reference path is serial; one thread keeps the pool out of it.
+    pool.resize(1);
+    dft::EigenResult naive;
+    if (smoke) naive = dft::syevd_naive(m);  // warmup
+    sample.naive_ms = time_ms([&] { naive = dft::syevd_naive(m); });
+    for (int r = 1; r < reps; ++r) {
+      sample.naive_ms =
+          std::min(sample.naive_ms, time_ms([&] { dft::syevd_naive(m); }));
+    }
+
+    for (const std::size_t threads : thread_sweep) {
+      pool.resize(threads);
+      dft::EigenResult blocked;
+      ThreadSample ts;
+      ts.threads = threads;
+      if (smoke) blocked = dft::syevd(m);  // warmup
+      ts.ms = time_ms([&] { blocked = dft::syevd(m); });
+      for (int r = 1; r < reps; ++r) {
+        ts.ms = std::min(ts.ms, time_ms([&] { dft::syevd(m); }));
+      }
+      ts.speedup = ts.ms > 0.0 ? sample.naive_ms / ts.ms : 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        sample.max_eigenvalue_diff =
+            std::max(sample.max_eigenvalue_diff,
+                     std::fabs(blocked.eigenvalues[i] - naive.eigenvalues[i]));
+      }
+      sample.blocked.push_back(ts);
+    }
+    samples.push_back(std::move(sample));
+  }
+  pool.resize(original_threads);
+
+  TextTable table({"n", "naive", "threads", "blocked", "speedup",
+                   "max |dlambda|"});
+  for (const SizeSample& s : samples) {
+    for (const ThreadSample& t : s.blocked) {
+      table.add_row({strformat("%zu", s.n),
+                     strformat("%.1f ms", s.naive_ms),
+                     strformat("%zu", t.threads),
+                     strformat("%.1f ms", t.ms),
+                     strformat("%.2fx", t.speedup),
+                     strformat("%.1e", s.max_eigenvalue_diff)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  Json bench = Json::object();
+  bench.set("bench", "eig_syevd");
+  Json entries = Json::array();
+  for (const SizeSample& s : samples) {
+    Json entry = Json::object();
+    entry.set("n", s.n);
+    entry.set("naive_ms", s.naive_ms);
+    entry.set("max_eigenvalue_diff", s.max_eigenvalue_diff);
+    Json runs = Json::array();
+    for (const ThreadSample& t : s.blocked) {
+      Json run = Json::object();
+      run.set("threads", t.threads);
+      run.set("ms", t.ms);
+      run.set("speedup", t.speedup);
+      runs.push_back(std::move(run));
+    }
+    entry.set("blocked", std::move(runs));
+    entries.push_back(std::move(entry));
+  }
+  bench.set("sizes", std::move(entries));
+  const char* path = "BENCH_eig.json";
+  if (std::FILE* file = std::fopen(path, "w")) {
+    const std::string text = bench.dump(2);
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("wrote %zu size records to %s\n", samples.size(), path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path);
+  }
+
+  for (const SizeSample& s : samples) {
+    if (s.max_eigenvalue_diff > 1e-8) {
+      std::fprintf(stderr, "FAIL: blocked/naive spectra disagree at n=%zu\n",
+                   s.n);
+      return 1;
+    }
+  }
+  if (smoke) {
+    // Gate: at n=128 the blocked path must not lose to the reference at
+    // any swept thread count's best.
+    double best = samples[0].blocked[0].ms;
+    for (const ThreadSample& t : samples[0].blocked) {
+      best = std::min(best, t.ms);
+    }
+    if (best > samples[0].naive_ms) {
+      std::fprintf(stderr,
+                   "FAIL: blocked SYEVD slower than reference at n=128 "
+                   "(%.1f ms vs %.1f ms)\n",
+                   best, samples[0].naive_ms);
+      return 1;
+    }
+    std::printf("smoke OK: blocked %.1f ms <= naive %.1f ms at n=128\n",
+                best, samples[0].naive_ms);
+  }
+  return 0;
+} catch (const NdftError& error) {
+  std::fprintf(stderr, "micro_eig: %s\n", error.what());
+  return 1;
+}

@@ -134,7 +134,7 @@ void BM_GemmComplex(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmComplex)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_Syev(benchmark::State& state) {
+void BM_Syevd(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   dft::RealMatrix m(n, n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -145,11 +145,11 @@ void BM_Syev(benchmark::State& state) {
     }
   }
   for (auto _ : state) {
-    const dft::EigenResult r = dft::syev(m);
+    const dft::EigenResult r = dft::syevd(m);
     benchmark::DoNotOptimize(r.eigenvalues.data());
   }
 }
-BENCHMARK(BM_Syev)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Syevd)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_FaceSplit(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

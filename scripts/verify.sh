@@ -1,15 +1,31 @@
 #!/usr/bin/env bash
 # One-shot tier-1 gate: configure, build, and run the full test suite.
-# Usage: scripts/verify.sh [build-dir]   (default: build)
+# The fast kernel tier (ctest label `kernel`) runs first so a broken
+# numerical kernel fails the gate before the physics/simulator tiers pay
+# their startup cost.
+#
+# Usage: scripts/verify.sh [--bench-smoke] [build-dir]   (default: build)
+#   --bench-smoke  additionally run the SYEVD microbenchmark at n=128 and
+#                  fail if the blocked solver is slower than the serial
+#                  reference.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+BENCH_SMOKE=0
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    -*) echo "verify.sh: unknown option '$arg'" >&2; exit 2 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" -L kernel --output-on-failure -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" -LE kernel --output-on-failure -j "$JOBS"
 
 # API smoke: one simulation job end to end through the Engine, emitting a
 # machine-readable JobResult that must be valid JSON.
@@ -21,3 +37,10 @@ else
   grep -q '"schema": "ndft.job_result.v1"' "$SMOKE_JSON"
 fi
 echo "ndft_run --json smoke: OK ($SMOKE_JSON)"
+
+if [ "$BENCH_SMOKE" -eq 1 ]; then
+  # The bench exits nonzero if the blocked eigensolver loses to the
+  # reference at n=128 or the spectra disagree.
+  (cd "$BUILD_DIR" && ./bench_micro_eig --smoke)
+  echo "bench smoke: OK ($BUILD_DIR/BENCH_eig.json)"
+fi

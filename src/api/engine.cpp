@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.hpp"
 #include "dft/kpoints.hpp"
+#include "dft/linalg.hpp"
 #include "dft/pseudopotential.hpp"
 #include "dft/spectrum.hpp"
 #include "runtime/sca.hpp"
@@ -435,6 +436,9 @@ JobResult Engine::execute(const JobRequest& request) {
   }
 
   const Clock::time_point start = Clock::now();
+  // The job runs to completion on this thread, so the thread-local linalg
+  // tally brackets exactly this job's dense-algebra share.
+  dft::linalg_timer_reset();
   try {
     if (const auto* job = std::get_if<ScfJob>(&request)) {
       result.scf = execute_scf(*job);
@@ -460,6 +464,7 @@ JobResult Engine::execute(const JobRequest& request) {
     result.error_message = error.what();
   }
   result.timings.run_ms = ms_between(start, Clock::now());
+  result.timings.linalg_ms = dft::linalg_timer_ms();
   return result;
 }
 

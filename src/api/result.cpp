@@ -378,6 +378,7 @@ Json JobResult::to_json() const {
   timings_json.set("queue_ms", timings.queue_ms);
   timings_json.set("run_ms", timings.run_ms);
   timings_json.set("total_ms", timings.total_ms);
+  timings_json.set("linalg_ms", timings.linalg_ms);
   j.set("timings", std::move(timings_json));
 
   Json engine_json = Json::object();
@@ -417,6 +418,11 @@ JobResult JobResult::from_json(const Json& json) {
   result.timings.queue_ms = timings_json.at("queue_ms").as_double();
   result.timings.run_ms = timings_json.at("run_ms").as_double();
   result.timings.total_ms = timings_json.at("total_ms").as_double();
+  // Additive telemetry introduced after v1 results were first emitted:
+  // absent in older documents, default 0 keeps them deserializable.
+  if (const Json* linalg = timings_json.find("linalg_ms")) {
+    result.timings.linalg_ms = linalg->as_double();
+  }
 
   const Json& engine_json = json.at("engine");
   result.engine.job_id = engine_json.at("job_id").as_uint();

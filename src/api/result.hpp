@@ -41,9 +41,10 @@ const char* to_string(ErrorKind kind) noexcept;
 
 /// Wall-clock accounting of one job (milliseconds).
 struct JobTimings {
-  double queue_ms = 0.0;  ///< submit -> execution start
-  double run_ms = 0.0;    ///< execution start -> finish
-  double total_ms = 0.0;  ///< submit -> finish
+  double queue_ms = 0.0;   ///< submit -> execution start
+  double run_ms = 0.0;     ///< execution start -> finish
+  double total_ms = 0.0;   ///< submit -> finish
+  double linalg_ms = 0.0;  ///< run time spent in dense linalg (GEMM/SYEVD)
 };
 
 /// Engine metadata stamped onto every result.

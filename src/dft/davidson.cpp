@@ -99,7 +99,7 @@ DavidsonResult davidson(std::size_t n, const ApplyFn& apply,
         projected(b, a) = mean;
       }
     }
-    const EigenResult small = syev(projected);
+    const EigenResult small = syevd(projected);
 
     // Ritz vectors and residuals for the lowest `wanted` pairs:
     // X = Y^T V and R = Y^T W with Y the leading Ritz coefficients.

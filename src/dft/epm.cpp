@@ -77,7 +77,7 @@ GroundState solve_epm(const PlaneWaveBasis& basis, std::size_t bands,
                static_cast<Bytes>(n) * n * sizeof(double));
   }
 
-  EigenResult eigen = syev(hamiltonian, count);
+  EigenResult eigen = syevd(hamiltonian, count);
 
   GroundState state;
   state.valence_bands = basis.crystal().atom_count() * 2;  // 4 e- per Si

@@ -91,7 +91,7 @@ BandsAtK solve_epm_at_k(const PlaneWaveBasis& basis, const KPoint& kpoint,
       hamiltonian(j, i) = v;
     }
   }
-  EigenResult eigen = syev(hamiltonian);
+  EigenResult eigen = syevd(hamiltonian);
 
   BandsAtK result;
   result.kpoint = kpoint;

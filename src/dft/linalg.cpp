@@ -1,6 +1,7 @@
 #include "dft/linalg.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 #include <vector>
@@ -10,6 +11,35 @@
 
 namespace ndft::dft {
 namespace {
+
+// --------------------------------------------------------- linalg timer
+//
+// Per-thread wall-clock tally of time spent inside top-level linalg entry
+// points. Jobs execute on one engine thread, so reset-before / read-after
+// brackets exactly the linalg share of that job. The depth counter keeps
+// nested entries (GEMM called from inside syevd) from double counting.
+
+thread_local double tl_linalg_ms = 0.0;
+thread_local unsigned tl_linalg_depth = 0;
+
+class LinalgTimerScope {
+ public:
+  LinalgTimerScope() noexcept : start_(std::chrono::steady_clock::now()) {
+    ++tl_linalg_depth;
+  }
+  ~LinalgTimerScope() {
+    if (--tl_linalg_depth == 0) {
+      tl_linalg_ms += std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    }
+  }
+  LinalgTimerScope(const LinalgTimerScope&) = delete;
+  LinalgTimerScope& operator=(const LinalgTimerScope&) = delete;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// sqrt(a^2 + b^2) without destructive overflow.
 double pythag(double a, double b) noexcept {
@@ -158,6 +188,391 @@ void tql2(std::vector<double>& d, std::vector<double>& e, RealMatrix& z) {
       }
     } while (m != l);
   }
+}
+
+// ------------------------------------------------- blocked eigensolver
+//
+// LAPACK-shaped two-phase path on full symmetric storage. Reduction
+// processes panels of kEigBlock columns: each column's reflector is
+// generated after folding in the panel's previous reflectors (dlatrd
+// recurrence, with the dominant trailing matrix-vector product running on
+// the thread pool), and the trailing matrix is updated once per panel
+// with a single rank-2k GEMM on the blocked kernel. The tridiagonal
+// eigenproblem reuses the tql2 recurrence for d/e, but buffers each QL
+// sweep's Givens rotations and applies them to the *transposed*
+// eigenvector matrix, where a rotation touches two contiguous rows: the
+// sweep vectorises and splits across the pool by column ranges. The
+// back-transformation accumulates each panel into a compact-WY factor
+// (I - V T V^T) and applies it with three GEMMs. Every stage either runs
+// serially or partitions disjoint outputs with a fixed per-element
+// operation order, so results are bitwise identical for any thread count.
+
+constexpr std::size_t kEigBlock = 32;  ///< reduction/back-transform panel
+
+/// The eigensolver issues many short-lived stages (per-column gemv, panel
+/// copies); waking the pool costs more than such a stage is worth, so
+/// these dispatch only above ~1M flops per call. The chunky stages (QL
+/// rotation batches, GEMM) keep the default grain policy.
+constexpr std::size_t kEigDispatchWork = std::size_t{1} << 20;
+
+std::size_t eig_grain(std::size_t work_per_index) {
+  return std::max<std::size_t>(
+      1, kEigDispatchWork / std::max<std::size_t>(1, work_per_index));
+}
+
+/// Blocked Householder reduction to tridiagonal form (dsytrd/dlatrd
+/// lineage, lower-triangle convention). On return `d` is the diagonal,
+/// `e` the subdiagonal (e[0] unused), `tau` the reflector scalars, and
+/// reflector j's vector sits in a(j+1:n, j) with its leading 1 stored
+/// explicitly at a(j+1, j) for the back-transformation.
+void blocked_tridiagonalize(RealMatrix& a, std::vector<double>& d,
+                            std::vector<double>& e,
+                            std::vector<double>& tau) {
+  const std::size_t n = a.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  tau.assign(n, 0.0);
+  std::vector<double> v(n, 0.0);  // contiguous copy of the active reflector
+  for (std::size_t i0 = 0; i0 + 2 < n;) {
+    const std::size_t kb = std::min(kEigBlock, n - 2 - i0);
+    RealMatrix w(n, kb);  // the panel's W accumulator (dlatrd)
+    for (std::size_t jj = 0; jj < kb; ++jj) {
+      const std::size_t j = i0 + jj;
+      // Fold the panel's previous reflectors into column j:
+      // a(j:n, j) -= V(j:n, 0:jj) w(j, 0:jj)^T + W(j:n, 0:jj) v(j, 0:jj)^T.
+      if (jj > 0) {
+        for (std::size_t r = j; r < n; ++r) {
+          double acc = 0.0;
+          for (std::size_t p = 0; p < jj; ++p) {
+            acc += a(r, i0 + p) * w(j, p) + w(r, p) * a(j, i0 + p);
+          }
+          a(r, j) -= acc;
+        }
+      }
+      // Householder reflector annihilating a(j+2:n, j).
+      double tail2 = 0.0;
+      for (std::size_t r = j + 2; r < n; ++r) tail2 += a(r, j) * a(r, j);
+      const double alpha = a(j + 1, j);
+      double beta = alpha;
+      double tau_j = 0.0;
+      if (tail2 != 0.0) {
+        beta = -sign_of(pythag(alpha, std::sqrt(tail2)), alpha);
+        tau_j = (beta - alpha) / beta;
+        const double inv = 1.0 / (alpha - beta);
+        for (std::size_t r = j + 2; r < n; ++r) a(r, j) *= inv;
+      }
+      tau[j] = tau_j;
+      e[j + 1] = beta;
+      a(j + 1, j) = 1.0;  // leading 1 of v_j, kept for the back-transform
+      for (std::size_t r = 0; r < n; ++r) v[r] = (r > j) ? a(r, j) : 0.0;
+      // w_j = tau (A_t v - V (W^T v) - W (V^T v)) - (tau/2)(w^T v) v, with
+      // A_t the trailing square as of panel start. The matrix-vector
+      // product dominates the panel work; rows are independent.
+      parallel_for(j + 1, n, eig_grain(n - j),
+                   [&](std::size_t lo, std::size_t hi) {
+                     for (std::size_t r = lo; r < hi; ++r) {
+                       const double* row = a.row(r);
+                       double acc = 0.0;
+                       for (std::size_t c = j + 1; c < n; ++c) {
+                         acc += row[c] * v[c];
+                       }
+                       w(r, jj) = acc;
+                     }
+                   });
+      if (jj > 0) {
+        std::vector<double> wtv(jj, 0.0);
+        std::vector<double> vtv(jj, 0.0);
+        for (std::size_t p = 0; p < jj; ++p) {
+          double acc_w = 0.0;
+          double acc_v = 0.0;
+          for (std::size_t r = j + 1; r < n; ++r) {
+            acc_w += w(r, p) * v[r];
+            acc_v += a(r, i0 + p) * v[r];
+          }
+          wtv[p] = acc_w;
+          vtv[p] = acc_v;
+        }
+        for (std::size_t r = j + 1; r < n; ++r) {
+          double acc = 0.0;
+          for (std::size_t p = 0; p < jj; ++p) {
+            acc += a(r, i0 + p) * wtv[p] + w(r, p) * vtv[p];
+          }
+          w(r, jj) -= acc;
+        }
+      }
+      double dot = 0.0;
+      for (std::size_t r = j + 1; r < n; ++r) {
+        w(r, jj) *= tau_j;
+        dot += w(r, jj) * v[r];
+      }
+      const double correction = -0.5 * tau_j * dot;
+      for (std::size_t r = j + 1; r < n; ++r) {
+        w(r, jj) += correction * v[r];
+      }
+    }
+    // Trailing rank-2k update A_t -= V W^T + W V^T, expressed as the
+    // single blocked GEMM A_t += (-[V | W]) [W | V]^T over the full
+    // trailing square (the update is symmetric, so full storage stays
+    // consistent for the next panel's matrix-vector products).
+    const std::size_t t0 = i0 + kb;
+    const std::size_t m = n - t0;
+    if (m > 0) {
+      RealMatrix left(m, 2 * kb);
+      RealMatrix right(m, 2 * kb);
+      RealMatrix trailing(m, m);
+      parallel_for(0, m, eig_grain(4 * kb + m),
+                   [&](std::size_t lo, std::size_t hi) {
+                     for (std::size_t r = lo; r < hi; ++r) {
+                       for (std::size_t p = 0; p < kb; ++p) {
+                         const double vv = a(t0 + r, i0 + p);
+                         const double ww = w(t0 + r, p);
+                         left(r, p) = vv;
+                         left(r, kb + p) = ww;
+                         right(r, p) = ww;
+                         right(r, kb + p) = vv;
+                       }
+                       std::copy(a.row(t0 + r) + t0, a.row(t0 + r) + n,
+                                 trailing.row(r));
+                     }
+                   });
+      gemm(left, right, trailing, -1.0, 1.0, /*transpose_a=*/false,
+           /*transpose_b=*/true);
+      parallel_for(0, m, eig_grain(m),
+                   [&](std::size_t lo, std::size_t hi) {
+                     for (std::size_t r = lo; r < hi; ++r) {
+                       std::copy(trailing.row(r), trailing.row(r) + m,
+                                 a.row(t0 + r) + t0);
+                     }
+                   });
+    }
+    i0 += kb;
+  }
+  for (std::size_t i = 0; i < n; ++i) d[i] = a(i, i);
+  if (n >= 2) e[n - 1] = a(n - 1, n - 2);
+}
+
+/// One Givens rotation of a QL sweep, mixing eigenvector-matrix columns
+/// (col, col + 1).
+struct GivensRotation {
+  std::size_t col;
+  double c;
+  double s;
+};
+
+/// Deferred application of QL rotations to the transposed eigenvector
+/// matrix (zt(j, k) = Z(k, j)). The d/e recurrence never reads zt, so
+/// rotations accumulate in a log and hit the matrix in large batches: one
+/// pool dispatch applies tens of sweeps, amortising the dispatch cost
+/// that per-sweep application would pay ~2n times per solve. Within a
+/// batch every column sees the rotations in recorded order — exactly the
+/// serial order — so results stay bitwise identical for any thread count
+/// and any batch boundary.
+class RotationLog {
+ public:
+  explicit RotationLog(RealMatrix& zt) : zt_(&zt) {
+    pending_.reserve(kFlushThreshold + zt.rows());
+  }
+
+  void push(std::size_t col, double c, double s) {
+    pending_.push_back({col, c, s});
+  }
+
+  /// Called between sweeps; applies the log once it is worth a dispatch.
+  void maybe_flush() {
+    if (pending_.size() >= kFlushThreshold) flush();
+  }
+
+  void flush() {
+    if (pending_.empty()) return;
+    RealMatrix& zt = *zt_;
+    // Wide column bands: every band re-reads the whole rotation log, so
+    // narrow bands multiply the per-rotation fixed cost. 128 columns keep
+    // that amortised while still splitting across the pool.
+    const std::size_t band = std::max<std::size_t>(
+        128, parallel_grain(6 * pending_.size()));
+    parallel_for(0, zt.cols(), band,
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (const GivensRotation& rot : pending_) {
+                     double* upper = zt.row(rot.col);
+                     double* lower = zt.row(rot.col + 1);
+                     for (std::size_t k = lo; k < hi; ++k) {
+                       const double f = lower[k];
+                       const double g = upper[k];
+                       lower[k] = rot.s * g + rot.c * f;
+                       upper[k] = rot.c * g - rot.s * f;
+                     }
+                   }
+                 });
+    pending_.clear();
+  }
+
+ private:
+  /// Rotations per batch: big enough that one dispatch carries real work
+  /// (~6 * threshold * n flops), small enough to stay cache-resident.
+  static constexpr std::size_t kFlushThreshold = 16384;
+
+  std::vector<GivensRotation> pending_;
+  RealMatrix* zt_;
+};
+
+/// Implicit-shift QL with the same d/e recurrence as tql2, but with the
+/// rotations routed through a RotationLog instead of being applied to the
+/// eigenvector matrix one sweep at a time. The rotation sequence depends
+/// only on d/e, so it is identical for any thread count.
+void tridiag_ql(std::vector<double>& d, std::vector<double>& e,
+                RealMatrix& zt) {
+  const std::size_t n = d.size();
+  if (n <= 1) return;
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+  RotationLog log(zt);
+
+  for (std::size_t l = 0; l < n; ++l) {
+    unsigned iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= std::numeric_limits<double>::epsilon() * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        NDFT_REQUIRE(iter++ < 50, "QL iteration failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = pythag(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + sign_of(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        bool underflow = false;
+        for (std::size_t ii = m; ii-- > l;) {
+          const std::size_t i = ii;
+          double f = s * e[i];
+          const double b = c * e[i];
+          e[i + 1] = r = pythag(f, g);
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            underflow = true;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          log.push(i, c, s);
+        }
+        log.maybe_flush();
+        if (underflow) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  log.flush();
+}
+
+/// z := Q z with Q = H_0 H_1 ... H_{n-3} read from the reflectors
+/// blocked_tridiagonalize stored in `a`. Panels are applied in reverse
+/// order as compact-WY updates (dlarft forward factor, then three GEMMs
+/// per panel restricted to the rows the panel touches).
+void apply_q_blocked(const RealMatrix& a, const std::vector<double>& tau,
+                     RealMatrix& z) {
+  const std::size_t n = a.rows();
+  if (n < 3) return;
+  std::vector<std::size_t> panel_starts;
+  for (std::size_t i0 = 0; i0 + 2 < n;
+       i0 += std::min(kEigBlock, n - 2 - i0)) {
+    panel_starts.push_back(i0);
+  }
+  const std::size_t cols = z.cols();
+  for (std::size_t pi = panel_starts.size(); pi-- > 0;) {
+    const std::size_t i0 = panel_starts[pi];
+    const std::size_t kb = std::min(kEigBlock, n - 2 - i0);
+    const std::size_t r0 = i0 + 1;  // first row the panel can touch
+    const std::size_t m = n - r0;
+    // V (m x kb): column p is reflector i0+p, unit at global row i0+p+1,
+    // zero above (zero-initialised storage provides the zeros).
+    RealMatrix v(m, kb);
+    for (std::size_t rr = 0; rr < m; ++rr) {
+      const std::size_t r = r0 + rr;
+      for (std::size_t p = 0; p < kb && i0 + p + 1 <= r; ++p) {
+        v(rr, p) = a(r, i0 + p);
+      }
+    }
+    // Compact-WY factor (dlarft, forward columnwise): the panel's product
+    // of reflectors is I - V T V^T with T upper triangular.
+    RealMatrix t(kb, kb);
+    std::vector<double> h(kb, 0.0);
+    for (std::size_t p = 0; p < kb; ++p) {
+      const double tau_p = tau[i0 + p];
+      if (tau_p == 0.0) continue;  // H = I: the zero row/column is exact
+      for (std::size_t q = 0; q < p; ++q) {
+        double acc = 0.0;
+        for (std::size_t rr = 0; rr < m; ++rr) acc += v(rr, q) * v(rr, p);
+        h[q] = acc;
+      }
+      for (std::size_t q = 0; q < p; ++q) {
+        double acc = 0.0;
+        for (std::size_t u = q; u < p; ++u) acc += t(q, u) * h[u];
+        t(q, p) = -tau_p * acc;
+      }
+      t(p, p) = tau_p;
+    }
+    // z(r0:n, :) -= V (T (V^T z(r0:n, :))).
+    RealMatrix zs(m, cols);
+    parallel_for(0, m, eig_grain(cols),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t rr = lo; rr < hi; ++rr) {
+                     std::copy(z.row(r0 + rr), z.row(r0 + rr) + cols,
+                               zs.row(rr));
+                   }
+                 });
+    RealMatrix x1;
+    gemm(v, zs, x1, 1.0, 0.0, /*transpose_a=*/true);
+    RealMatrix x2;
+    gemm(t, x1, x2);
+    gemm(v, x2, zs, -1.0, 1.0);
+    parallel_for(0, m, eig_grain(cols),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t rr = lo; rr < hi; ++rr) {
+                     std::copy(zs.row(rr), zs.row(rr) + cols,
+                               z.row(r0 + rr));
+                   }
+                 });
+  }
+}
+
+/// Sorts eigenvalues ascending, permuting eigenvector columns to match.
+void sort_eigenpairs(const std::vector<double>& d, const RealMatrix& z,
+                     EigenResult& result) {
+  const std::size_t n = d.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return d[x] < d[y]; });
+  result.eigenvalues.resize(n);
+  RealMatrix sorted(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    result.eigenvalues[j] = d[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted(i, j) = z(i, order[j]);
+    }
+  }
+  result.eigenvectors = std::move(sorted);
+}
+
+/// Analytic SYEVD tally shared by both solvers: ~(4/3)n^3 for the
+/// reduction plus ~6n^3 for rotations with eigenvectors.
+void count_syevd(std::size_t n, OpCount* count) {
+  if (count == nullptr) return;
+  const auto cubic = static_cast<Flops>(n) * n * n;
+  count->add(cubic * 22 / 3, 3 * n * n * sizeof(double));
 }
 
 /// Conjugates complex values when `Conj`; the identity for doubles.
@@ -410,6 +825,66 @@ void gemm_blocked(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
   }
 }
 
+/// 3M split-complex product: op(A) op(B) through three real GEMMs on the
+/// blocked real kernel (Re, Im and Re+Im products), recombined with the
+/// complex alpha/beta afterwards. The conjugate transpose is absorbed by
+/// negating Im(A) before the transposed real products. Every stage is
+/// either the deterministic blocked kernel or a disjoint-row pool loop,
+/// so the result is bitwise identical for any thread count.
+void gemm_3m(const ComplexMatrix& a, const ComplexMatrix& b,
+             ComplexMatrix& c, Complex alpha, Complex beta,
+             bool conj_transpose_a, bool transpose_b, std::size_t m,
+             std::size_t n) {
+  RealMatrix a_re(a.rows(), a.cols());
+  RealMatrix a_im(a.rows(), a.cols());
+  RealMatrix a_sum(a.rows(), a.cols());
+  const double im_sign = conj_transpose_a ? -1.0 : 1.0;
+  parallel_for(0, a.rows(), parallel_grain(a.cols()),
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t r = lo; r < hi; ++r) {
+                   const Complex* src = a.row(r);
+                   for (std::size_t j = 0; j < a.cols(); ++j) {
+                     a_re(r, j) = src[j].real();
+                     a_im(r, j) = im_sign * src[j].imag();
+                     a_sum(r, j) = a_re(r, j) + a_im(r, j);
+                   }
+                 }
+               });
+  RealMatrix b_re(b.rows(), b.cols());
+  RealMatrix b_im(b.rows(), b.cols());
+  RealMatrix b_sum(b.rows(), b.cols());
+  parallel_for(0, b.rows(), parallel_grain(b.cols()),
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t r = lo; r < hi; ++r) {
+                   const Complex* src = b.row(r);
+                   for (std::size_t j = 0; j < b.cols(); ++j) {
+                     b_re(r, j) = src[j].real();
+                     b_im(r, j) = src[j].imag();
+                     b_sum(r, j) = b_re(r, j) + b_im(r, j);
+                   }
+                 }
+               });
+  RealMatrix p1;  // Re x Re
+  RealMatrix p2;  // Im x Im
+  RealMatrix p3;  // (Re+Im) x (Re+Im)
+  gemm(a_re, b_re, p1, 1.0, 0.0, conj_transpose_a, transpose_b);
+  gemm(a_im, b_im, p2, 1.0, 0.0, conj_transpose_a, transpose_b);
+  gemm(a_sum, b_sum, p3, 1.0, 0.0, conj_transpose_a, transpose_b);
+  parallel_for(0, m, parallel_grain(n),
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t i = lo; i < hi; ++i) {
+                   Complex* crow = c.row(i);
+                   for (std::size_t j = 0; j < n; ++j) {
+                     const Complex prod{p1(i, j) - p2(i, j),
+                                        p3(i, j) - p1(i, j) - p2(i, j)};
+                     crow[j] = (beta == Complex{})
+                                   ? alpha * prod
+                                   : beta * crow[j] + alpha * prod;
+                   }
+                 }
+               });
+}
+
 template <typename T>
 void gemm_impl(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c, T alpha,
                T beta, bool transpose_a, bool transpose_b) {
@@ -420,17 +895,23 @@ void gemm_impl(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c, T alpha,
                             m, n, k);
     return;
   }
-  if (transpose_a) {
-    if (transpose_b) {
-      gemm_blocked<true, true, true>(a, b, c, alpha, beta, m, n, k);
-    } else {
-      gemm_blocked<true, false, true>(a, b, c, alpha, beta, m, n, k);
-    }
+  if constexpr (std::is_same_v<T, Complex>) {
+    // Large complex products ride the real microkernel via the 3M split
+    // instead of the generic scalar complex micro-tile.
+    gemm_3m(a, b, c, alpha, beta, transpose_a, transpose_b, m, n);
   } else {
-    if (transpose_b) {
-      gemm_blocked<false, true, true>(a, b, c, alpha, beta, m, n, k);
+    if (transpose_a) {
+      if (transpose_b) {
+        gemm_blocked<true, true, true>(a, b, c, alpha, beta, m, n, k);
+      } else {
+        gemm_blocked<true, false, true>(a, b, c, alpha, beta, m, n, k);
+      }
     } else {
-      gemm_blocked<false, false, true>(a, b, c, alpha, beta, m, n, k);
+      if (transpose_b) {
+        gemm_blocked<false, true, true>(a, b, c, alpha, beta, m, n, k);
+      } else {
+        gemm_blocked<false, false, true>(a, b, c, alpha, beta, m, n, k);
+      }
     }
   }
 }
@@ -440,6 +921,7 @@ void gemm_impl(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c, T alpha,
 void gemm(const RealMatrix& a, const RealMatrix& b, RealMatrix& c,
           double alpha, double beta, bool transpose_a, bool transpose_b,
           OpCount* count) {
+  LinalgTimerScope timer;
   gemm_impl(a, b, c, alpha, beta, transpose_a, transpose_b);
   if (count != nullptr) {
     const std::size_t m = transpose_a ? a.cols() : a.rows();
@@ -453,6 +935,7 @@ void gemm(const RealMatrix& a, const RealMatrix& b, RealMatrix& c,
 void gemm(const ComplexMatrix& a, const ComplexMatrix& b, ComplexMatrix& c,
           Complex alpha, Complex beta, bool conj_transpose_a,
           bool transpose_b, OpCount* count) {
+  LinalgTimerScope timer;
   gemm_impl(a, b, c, alpha, beta, conj_transpose_a, transpose_b);
   if (count != nullptr) {
     const std::size_t m = conj_transpose_a ? a.cols() : a.rows();
@@ -466,6 +949,7 @@ void gemm(const ComplexMatrix& a, const ComplexMatrix& b, ComplexMatrix& c,
 void gemm_naive(const RealMatrix& a, const RealMatrix& b, RealMatrix& c,
                 double alpha, double beta, bool transpose_a,
                 bool transpose_b, OpCount* count) {
+  LinalgTimerScope timer;
   std::size_t m, n, k;
   gemm_prepare(a, b, c, beta, transpose_a, transpose_b, m, n, k);
   gemm_reference_dispatch(a, b, c, alpha, beta, transpose_a, transpose_b, m,
@@ -479,6 +963,7 @@ void gemm_naive(const RealMatrix& a, const RealMatrix& b, RealMatrix& c,
 void gemm_naive(const ComplexMatrix& a, const ComplexMatrix& b,
                 ComplexMatrix& c, Complex alpha, Complex beta,
                 bool conj_transpose_a, bool transpose_b, OpCount* count) {
+  LinalgTimerScope timer;
   std::size_t m, n, k;
   gemm_prepare(a, b, c, beta, conj_transpose_a, transpose_b, m, n, k);
   gemm_reference_dispatch(a, b, c, alpha, beta, conj_transpose_a,
@@ -489,9 +974,45 @@ void gemm_naive(const ComplexMatrix& a, const ComplexMatrix& b,
   }
 }
 
-EigenResult syev(const RealMatrix& symmetric, OpCount* count) {
+EigenResult syevd(const RealMatrix& symmetric, OpCount* count) {
+  LinalgTimerScope timer;
   NDFT_REQUIRE(symmetric.rows() == symmetric.cols(),
-               "syev: matrix must be square");
+               "syevd: matrix must be square");
+  const std::size_t n = symmetric.rows();
+  EigenResult result;
+  if (n == 0) return result;
+
+  RealMatrix reduced = symmetric;
+  std::vector<double> d;
+  std::vector<double> e;
+  std::vector<double> tau;
+  blocked_tridiagonalize(reduced, d, e, tau);
+
+  // Eigenvectors of the tridiagonal matrix, accumulated transposed so the
+  // QL rotation sweeps touch contiguous rows.
+  RealMatrix zt(n, n);
+  for (std::size_t i = 0; i < n; ++i) zt(i, i) = 1.0;
+  tridiag_ql(d, e, zt);
+
+  RealMatrix z(n, n);
+  parallel_for(0, n, eig_grain(n),
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t r = lo; r < hi; ++r) {
+                   double* row = z.row(r);
+                   for (std::size_t c = 0; c < n; ++c) row[c] = zt(c, r);
+                 }
+               });
+  apply_q_blocked(reduced, tau, z);
+
+  sort_eigenpairs(d, z, result);
+  count_syevd(n, count);
+  return result;
+}
+
+EigenResult syevd_naive(const RealMatrix& symmetric, OpCount* count) {
+  LinalgTimerScope timer;
+  NDFT_REQUIRE(symmetric.rows() == symmetric.cols(),
+               "syevd_naive: matrix must be square");
   const std::size_t n = symmetric.rows();
   EigenResult result;
   result.eigenvectors = symmetric;  // tred2 works in place
@@ -499,36 +1020,18 @@ EigenResult syev(const RealMatrix& symmetric, OpCount* count) {
   std::vector<double> e;
   tred2(result.eigenvectors, d, e);
   tql2(d, e, result.eigenvectors);
-
-  // Sort ascending, permuting eigenvector columns accordingly.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t x, std::size_t y) { return d[x] < d[y]; });
-  result.eigenvalues.resize(n);
-  RealMatrix sorted(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    result.eigenvalues[j] = d[order[j]];
-    for (std::size_t i = 0; i < n; ++i) {
-      sorted(i, j) = result.eigenvectors(i, order[j]);
-    }
-  }
-  result.eigenvectors = std::move(sorted);
-
-  if (count != nullptr) {
-    // Dense two-phase eigensolve: ~(4/3)n^3 for the reduction plus ~6n^3
-    // for QL rotations with eigenvectors.
-    const auto cubic = static_cast<Flops>(n) * n * n;
-    count->add(cubic * 22 / 3, 3 * n * n * sizeof(double));
-  }
+  sort_eigenpairs(d, result.eigenvectors, result);
+  count_syevd(n, count);
   return result;
 }
 
 HermitianEigenResult heev(const ComplexMatrix& hermitian, OpCount* count) {
+  LinalgTimerScope timer;
   NDFT_REQUIRE(hermitian.rows() == hermitian.cols(),
                "heev: matrix must be square");
   const std::size_t n = hermitian.rows();
-  // Real embedding M = [[A, -B], [B, A]] for H = A + iB.
+  // Real embedding M = [[A, -B], [B, A]] for H = A + iB: the Hermitian
+  // solve rides the blocked real path.
   RealMatrix embedded(2 * n, 2 * n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
@@ -539,7 +1042,7 @@ HermitianEigenResult heev(const ComplexMatrix& hermitian, OpCount* count) {
       embedded(i + n, j) = h.imag();
     }
   }
-  EigenResult real_result = syev(embedded, count);
+  EigenResult real_result = syevd(embedded, count);
 
   // Each eigenvalue of H appears twice; fold pairs and rebuild complex
   // eigenvectors v = x + i y, re-orthonormalising inside degenerate groups.
@@ -578,6 +1081,10 @@ HermitianEigenResult heev(const ComplexMatrix& hermitian, OpCount* count) {
   }
   return result;
 }
+
+void linalg_timer_reset() noexcept { tl_linalg_ms = 0.0; }
+
+double linalg_timer_ms() noexcept { return tl_linalg_ms; }
 
 void mirror_upper(RealMatrix& symmetric) {
   const std::size_t n = symmetric.rows();

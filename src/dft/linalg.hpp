@@ -2,10 +2,17 @@
 // Dense linear algebra kernels: blocked GEMM and symmetric/Hermitian
 // eigensolvers (the paper's SYEVD), implemented from scratch.
 //
-// The eigensolver is the classic two-phase dense path: Householder
-// reduction to tridiagonal form followed by the implicit-shift QL
-// iteration, with eigenvectors accumulated. Complex Hermitian problems are
-// solved through the standard real embedding [[A, -B], [B, A]].
+// The production eigensolver (`syevd`) is a blocked two-phase path:
+// Householder panel reduction to tridiagonal form with the trailing-matrix
+// rank-2k updates expressed as GEMM on the blocked kernel, implicit-shift
+// QL on the tridiagonal matrix with the Givens rotations applied to the
+// eigenvector matrix in pool-parallel contiguous sweeps, and a compact-WY
+// back-transformation built from the same GEMM. The serial EISPACK-lineage
+// tred2/tql2 pair is kept as `syevd_naive`, the reference the blocked
+// solver is tested and benchmarked against. Complex Hermitian problems are
+// solved through the standard real embedding [[A, -B], [B, A]], so they
+// ride the blocked real path too; large complex GEMMs are computed with a
+// 3M split (three real products on the real microkernel).
 
 #include <vector>
 
@@ -62,10 +69,20 @@ struct EigenResult {
   RealMatrix eigenvectors;          ///< column j pairs with eigenvalue j
 };
 
-/// Solves the full eigenproblem of a real symmetric matrix (SYEVD).
-/// Throws NdftError if the matrix is not square or the QL iteration fails
-/// to converge (pathological input).
-EigenResult syev(const RealMatrix& symmetric, OpCount* count = nullptr);
+/// Solves the full eigenproblem of a real symmetric matrix (SYEVD). This
+/// is the production entry point every physics consumer goes through:
+/// blocked Householder tridiagonalization (panel reflectors, GEMM
+/// trailing updates), pool-parallel QL rotation sweeps, and a compact-WY
+/// GEMM back-transformation of the eigenvectors. Results are bitwise
+/// identical for any thread count. Throws NdftError if the matrix is not
+/// square or the QL iteration fails to converge (pathological input).
+EigenResult syevd(const RealMatrix& symmetric, OpCount* count = nullptr);
+
+/// Serial reference solver (EISPACK tred2/tql2 lineage), kept as the
+/// ground truth `syevd` is validated and benchmarked against. Same
+/// semantics and OpCount accounting as syevd().
+EigenResult syevd_naive(const RealMatrix& symmetric,
+                        OpCount* count = nullptr);
 
 /// Result of a Hermitian eigensolve.
 struct HermitianEigenResult {
@@ -74,9 +91,20 @@ struct HermitianEigenResult {
 };
 
 /// Solves the full eigenproblem of a complex Hermitian matrix via the real
-/// 2n x 2n embedding (each eigenvalue appears twice; duplicates are folded).
+/// 2n x 2n embedding (each eigenvalue appears twice; duplicates are
+/// folded), so the solve runs on the blocked real syevd() path.
 HermitianEigenResult heev(const ComplexMatrix& hermitian,
                           OpCount* count = nullptr);
+
+/// Zeroes the calling thread's accumulated linalg wall time. The engine
+/// resets before executing a job and reads the tally after, giving every
+/// JobResult a `linalg_ms` timing bucket.
+void linalg_timer_reset() noexcept;
+
+/// Wall-clock milliseconds the calling thread has spent inside top-level
+/// linalg entry points (gemm/syevd/heev) since the last reset. Nested
+/// calls (GEMM inside syevd) are counted once, under the outermost entry.
+double linalg_timer_ms() noexcept;
 
 /// Frobenius norm of (A*x - lambda*x) for result verification in tests.
 double eigen_residual(const RealMatrix& symmetric, const EigenResult& result);

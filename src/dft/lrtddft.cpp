@@ -165,8 +165,10 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
       static_cast<Flops>(npair) * fft_flops(nr),
       static_cast<Bytes>(npair) * 6 * nr * sizeof(Complex));
 
-  // Coulomb-weighted copy: rows scaled by sqrt(4 pi / |G|^2), G = 0 dropped
-  // (compensated by the neutralising background).
+  // Coulomb-weighted conjugate copy: rows conjugated and scaled by
+  // 4 pi / |G|^2, G = 0 dropped (compensated by the neutralising
+  // background). The conjugation makes the kernel contraction below
+  // Hermitian without assuming anything about orbital phases.
   ComplexMatrix pair_coulomb = pair_recip;
   {
     OpCount& oc = counts[KernelClass::kFaceSplit];
@@ -183,7 +185,7 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
                    for (std::size_t p = lo; p < hi; ++p) {
                      Complex* row = pair_coulomb.row(p);
                      for (std::size_t i = 0; i < nr; ++i) {
-                       row[i] *= weight[i];
+                       row[i] = std::conj(row[i]) * weight[i];
                      }
                    }
                  });
@@ -191,15 +193,17 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
            static_cast<Bytes>(npair) * nr * 2 * sizeof(Complex));
   }
 
-  // Hartree kernel matrix K_H = (1/Omega) * P * conj(P_coulomb)^T.
+  // Hartree kernel K_H(p, q) = (1/Omega) sum_G rho_p(G) v(G) conj(rho_q(G)):
+  // Hermitian positive semidefinite for any orbital gauge. Eigensolver
+  // orientations inside degenerate multiplets are arbitrary, so the
+  // kernels must not assume real pair densities.
   ComplexMatrix k_hartree;
   gemm(pair_recip, pair_coulomb, k_hartree,
        Complex{1.0 / omega, 0.0}, Complex{}, /*conj_transpose_a=*/false,
        /*transpose_b=*/true, &counts[KernelClass::kGemm]);
-  // pair_recip rows are conjugate-symmetric in G (real P_vc), so the
-  // transpose-without-conjugation above equals the Hermitian contraction.
 
-  // XC kernel matrix K_xc = sum_r P_vc(r) f_xc(r) P_v'c'(r) dOmega.
+  // XC kernel K_xc(p, q) = sum_r P_p(r) f_xc(r) conj(P_q(r)) dOmega,
+  // Hermitian with a strictly negative diagonal (f_xc < 0).
   ComplexMatrix k_xc(npair, npair);
   if (config.include_xc) {
     ComplexMatrix weighted(npair, nr);
@@ -212,7 +216,7 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
                        const Complex* src = pair_real.row(p);
                        Complex* dst = weighted.row(p);
                        for (std::size_t i = 0; i < nr; ++i) {
-                         dst[i] = src[i] * (fxc[i] * element);
+                         dst[i] = std::conj(src[i]) * (fxc[i] * element);
                        }
                      }
                    });
@@ -224,31 +228,34 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
          &counts[KernelClass::kGemm]);
   }
 
-  // Assemble the TDA response matrix A = diag(eps_c - eps_v) + s*(K_H+K_xc)
-  // (real symmetric: P_vc are real in real space at Gamma).
+  // Assemble the TDA (Casida) matrix A = diag(eps_c - eps_v) + s*(K_H+K_xc)
+  // and Hermitise away the numerical skew from finite FFT grids. A is
+  // complex Hermitian in general; it degenerates to real symmetric only
+  // when every orbital happens to be real in real space.
   const std::vector<double> diagonal = transition_energies(ground, config);
-  RealMatrix a_matrix(npair, npair);
+  ComplexMatrix a_matrix(npair, npair);
   for (std::size_t p = 0; p < npair; ++p) {
     for (std::size_t q = 0; q < npair; ++q) {
-      double value = config.spin_factor *
-                     (k_hartree(p, q).real() +
-                      (config.include_xc ? k_xc(p, q).real() : 0.0));
+      Complex value = config.spin_factor *
+                      (k_hartree(p, q) +
+                       (config.include_xc ? k_xc(p, q) : Complex{}));
       if (p == q) {
-        value += diagonal[p];
+        value = Complex{value.real() + diagonal[p], 0.0};
       }
       a_matrix(p, q) = value;
     }
   }
-  // Symmetrise away the numerical asymmetry from finite FFT grids.
   for (std::size_t p = 0; p < npair; ++p) {
+    a_matrix(p, p) = Complex{a_matrix(p, p).real(), 0.0};
     for (std::size_t q = p + 1; q < npair; ++q) {
-      const double mean = 0.5 * (a_matrix(p, q) + a_matrix(q, p));
+      const Complex mean =
+          0.5 * (a_matrix(p, q) + std::conj(a_matrix(q, p)));
       a_matrix(p, q) = mean;
-      a_matrix(q, p) = mean;
+      a_matrix(q, p) = std::conj(mean);
     }
   }
 
-  EigenResult eigen = syev(a_matrix, &counts[KernelClass::kSyevd]);
+  HermitianEigenResult eigen = heev(a_matrix, &counts[KernelClass::kSyevd]);
   result.excitations_ha = std::move(eigen.eigenvalues);
   if (config.keep_eigenvectors) {
     result.eigenvectors = std::move(eigen.eigenvectors);

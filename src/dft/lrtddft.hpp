@@ -5,8 +5,8 @@
 //     -> face-splitting products  P_vc(r) = psi_v(r) * psi_c(r)
 //     -> FFT                      P_vc(G)
 //     -> Coulomb + ALDA kernels   f_H(G) P, f_xc(r) P
-//     -> GEMM                     K = P^T f P   (response Hamiltonian)
-//     -> SYEVD                    excitation energies
+//     -> GEMM                     K = P f conj(P)^T  (response Hamiltonian)
+//     -> SYEVD (heev)             excitation energies
 //
 // within the Tamm-Dancoff approximation at the Gamma point. Every stage
 // tallies its flop/byte cost per kernel class so the analytic workload
@@ -45,8 +45,10 @@ struct LrTddftResult {
   std::size_t pair_count = 0;          ///< dimension of the response matrix
   KernelCounts counts;                 ///< per-kernel operation tallies
   /// Casida eigenvectors (pair x excitation), populated only when
-  /// LrTddftConfig::keep_eigenvectors is set.
-  RealMatrix eigenvectors;
+  /// LrTddftConfig::keep_eigenvectors is set. Complex: the Casida matrix
+  /// is Hermitian for a general orbital gauge (degenerate multiplets come
+  /// out of the eigensolver in an arbitrary orientation).
+  ComplexMatrix eigenvectors;
 
   /// Lowest excitation in eV.
   double lowest_ev() const;

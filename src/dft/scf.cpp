@@ -261,7 +261,7 @@ ScfResult solve_scf(const PlaneWaveBasis& basis, const ScfConfig& config) {
         });
     mirror_upper(hamiltonian);
 
-    EigenResult eigen = syev(hamiltonian);
+    EigenResult eigen = syevd(hamiltonian);
 
     state.valence_bands = valence;
     state.energies_ha.assign(

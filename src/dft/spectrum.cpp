@@ -73,14 +73,24 @@ std::vector<OscillatorLine> oscillator_strengths(
   lines.reserve(result.excitations_ha.size());
   for (std::size_t x = 0; x < result.excitations_ha.size(); ++x) {
     const double omega = result.excitations_ha[x];
-    Vec3 amplitude{};
+    // Casida eigenvectors are complex (Hermitian response matrix), so the
+    // Cartesian amplitudes interfere as complex sums; the strength takes
+    // their squared moduli.
+    Complex ax{};
+    Complex ay{};
+    Complex az{};
     for (std::size_t p = 0; p < result.pair_count; ++p) {
-      amplitude = amplitude + moments[p] * result.eigenvectors(p, x);
+      const Complex weight = result.eigenvectors(p, x);
+      ax += moments[p].x * weight;
+      ay += moments[p].y * weight;
+      az += moments[p].z * weight;
     }
+    const double amplitude2 =
+        std::norm(ax) + std::norm(ay) + std::norm(az);
     OscillatorLine line;
     line.energy_ev = omega * kEvPerHa;
     line.strength =
-        omega > 1e-12 ? 2.0 / (3.0 * omega) * amplitude.norm2() : 0.0;
+        omega > 1e-12 ? 2.0 / (3.0 * omega) * amplitude2 : 0.0;
     lines.push_back(line);
   }
   return lines;

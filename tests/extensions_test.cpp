@@ -125,7 +125,7 @@ dft::RealMatrix test_matrix(std::size_t n) {
 TEST(DavidsonTest, MatchesDenseSolverOnLowestPairs) {
   const std::size_t n = 120;
   const dft::RealMatrix m = test_matrix(n);
-  const dft::EigenResult dense = dft::syev(m);
+  const dft::EigenResult dense = dft::syevd(m);
   dft::DavidsonConfig config;
   config.wanted = 5;
   config.tolerance = 1e-9;

@@ -308,70 +308,78 @@ TEST(GemmComplexTest, ConjugateTransposeContractions) {
   }
 }
 
-TEST(SyevTest, DiagonalMatrixIsItsOwnSolution) {
+TEST(SyevdTest, DiagonalMatrixIsItsOwnSolution) {
   RealMatrix m(4, 4);
   m(0, 0) = 3.0;
   m(1, 1) = -1.0;
   m(2, 2) = 7.0;
   m(3, 3) = 0.5;
-  const EigenResult result = syev(m);
+  const EigenResult result = syevd(m);
   EXPECT_DOUBLE_EQ(result.eigenvalues[0], -1.0);
   EXPECT_DOUBLE_EQ(result.eigenvalues[1], 0.5);
   EXPECT_DOUBLE_EQ(result.eigenvalues[2], 3.0);
   EXPECT_DOUBLE_EQ(result.eigenvalues[3], 7.0);
 }
 
-TEST(SyevTest, TwoByTwoAnalytic) {
+TEST(SyevdTest, TwoByTwoAnalytic) {
   // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
   RealMatrix m(2, 2);
   m(0, 0) = 2.0;
   m(0, 1) = 1.0;
   m(1, 0) = 1.0;
   m(1, 1) = 2.0;
-  const EigenResult result = syev(m);
+  const EigenResult result = syevd(m);
   EXPECT_NEAR(result.eigenvalues[0], 1.0, 1e-12);
   EXPECT_NEAR(result.eigenvalues[1], 3.0, 1e-12);
 }
 
-TEST(SyevTest, EigenvaluesAscending) {
-  const RealMatrix m = random_symmetric(40, 21);
-  const EigenResult result = syev(m);
-  for (std::size_t i = 1; i < result.eigenvalues.size(); ++i) {
-    EXPECT_LE(result.eigenvalues[i - 1], result.eigenvalues[i]);
-  }
-}
-
-TEST(SyevTest, TraceIsPreserved) {
-  const RealMatrix m = random_symmetric(30, 22);
-  const EigenResult result = syev(m);
+TEST(SyevdTest, TraceIsPreserved) {
+  const RealMatrix m = random_symmetric(70, 22);
+  const EigenResult result = syevd(m);
   double trace = 0.0;
   double sum = 0.0;
-  for (std::size_t i = 0; i < 30; ++i) {
+  for (std::size_t i = 0; i < 70; ++i) {
     trace += m(i, i);
     sum += result.eigenvalues[i];
   }
   EXPECT_NEAR(trace, sum, 1e-9);
 }
 
-TEST(SyevTest, CountsCubicWork) {
+TEST(SyevdTest, CountsCubicWork) {
   const RealMatrix m = random_symmetric(32, 23);
   OpCount count;
-  syev(m, &count);
+  syevd(m, &count);
   EXPECT_GT(count.flops, 32ull * 32 * 32);  // at least n^3
+  // The analytic descriptor is shared with the reference solver, so the
+  // cost model sees the same SYEVD regardless of the implementation.
+  OpCount naive;
+  syevd_naive(m, &naive);
+  EXPECT_EQ(count.flops, naive.flops);
+  EXPECT_EQ(count.bytes, naive.bytes);
 }
 
-TEST(SyevTest, RejectsNonSquare) {
+TEST(SyevdTest, RejectsNonSquare) {
   const RealMatrix m = random_matrix(3, 4, 24);
-  EXPECT_THROW(syev(m), NdftError);
+  EXPECT_THROW(syevd(m), NdftError);
+  EXPECT_THROW(syevd_naive(m), NdftError);
 }
 
-// Property sweep: residual and orthogonality across sizes.
-class SyevPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+// Property sweep for the blocked solver: residual, orthonormality,
+// ascending order and agreement with the serial reference across sizes
+// chosen around the panel width (kEigBlock = 32): below the block, at the
+// block, one off either side, non-multiples, and multi-panel sizes.
+class SyevdPropertyTest : public ::testing::TestWithParam<std::size_t> {};
 
-TEST_P(SyevPropertyTest, ResidualAndOrthogonality) {
+TEST_P(SyevdPropertyTest, ResidualOrthogonalityOrderAndNaiveAgreement) {
   const std::size_t n = GetParam();
   const RealMatrix m = random_symmetric(n, 100 + n);
-  const EigenResult result = syev(m);
+  const EigenResult result = syevd(m);
+  ASSERT_EQ(result.eigenvalues.size(), n);
+
+  // Eigenvalues ascending.
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_LE(result.eigenvalues[i - 1], result.eigenvalues[i]);
+  }
   // ||A v - lambda v|| small relative to n.
   EXPECT_LT(eigen_residual(m, result), 1e-8 * static_cast<double>(n));
   // Eigenvector columns orthonormal.
@@ -384,12 +392,53 @@ TEST_P(SyevPropertyTest, ResidualAndOrthogonality) {
       EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
     }
   }
+  // Spectrum matches the serial reference.
+  const EigenResult reference = syevd_naive(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.eigenvalues[i], reference.eigenvalues[i], 1e-9)
+        << "eigenvalue " << i << " of " << n;
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(Sizes, SyevPropertyTest,
-                         ::testing::Values(1, 2, 3, 5, 8, 16, 33, 64));
+INSTANTIATE_TEST_SUITE_P(Sizes, SyevdPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 31, 32, 33,
+                                           50, 64, 70, 97, 128, 130));
 
-TEST(HeevTest, RealSymmetricReducesToSyev) {
+TEST(SyevdTest, DeterministicAcrossThreadCounts) {
+  // The reduction's GEMM updates, the QL rotation sweeps and the WY
+  // back-transformation all split work across the pool; eigenvalues AND
+  // eigenvectors must stay bitwise identical for any thread count. Large
+  // enough to engage every parallel path (multiple panels, rotation
+  // sweeps above the serial grain).
+  const std::size_t n = 200;
+  const RealMatrix m = random_symmetric(n, 77);
+
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t original_threads = pool.threads();
+  std::vector<EigenResult> results;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    pool.resize(threads);
+    results.push_back(syevd(m));
+  }
+  // Restore before the assertions below: an ASSERT returns out of the
+  // test, and the process-wide pool must not stay at the failing width.
+  pool.resize(original_threads);
+
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(results[0].eigenvalues[i], results[t].eigenvalues[i])
+          << "eigenvalue " << i << " at thread variant " << t;
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(results[0].eigenvectors(i, j),
+                  results[t].eigenvectors(i, j))
+            << "eigenvector element (" << i << ", " << j
+            << ") at thread variant " << t;
+      }
+    }
+  }
+}
+
+TEST(HeevTest, RealSymmetricReducesToSyevd) {
   const RealMatrix m = random_symmetric(12, 31);
   ComplexMatrix h(12, 12);
   for (std::size_t i = 0; i < 12; ++i) {
@@ -397,7 +446,7 @@ TEST(HeevTest, RealSymmetricReducesToSyev) {
       h(i, j) = Complex{m(i, j), 0.0};
     }
   }
-  const EigenResult real_result = syev(m);
+  const EigenResult real_result = syevd(m);
   const HermitianEigenResult hermitian_result = heev(h);
   ASSERT_EQ(hermitian_result.eigenvalues.size(), 12u);
   for (std::size_t i = 0; i < 12; ++i) {
@@ -439,8 +488,9 @@ TEST_P(HeevPropertyTest, ResidualAndOrthonormality) {
   }
 }
 
+// 40 embeds to an 80x80 real problem: several reduction panels deep.
 INSTANTIATE_TEST_SUITE_P(Sizes, HeevPropertyTest,
-                         ::testing::Values(1, 2, 4, 7, 12, 24));
+                         ::testing::Values(1, 2, 4, 7, 12, 24, 40));
 
 TEST(HeevTest, DegenerateEigenvaluesHandled) {
   // 2x identity block plus a distinct eigenvalue.
@@ -452,6 +502,19 @@ TEST(HeevTest, DegenerateEigenvaluesHandled) {
   EXPECT_NEAR(result.eigenvalues[0], 1.0, 1e-12);
   EXPECT_NEAR(result.eigenvalues[1], 1.0, 1e-12);
   EXPECT_NEAR(result.eigenvalues[2], 5.0, 1e-12);
+}
+
+TEST(LinalgTimerTest, AccumulatesAndResets) {
+  linalg_timer_reset();
+  EXPECT_EQ(linalg_timer_ms(), 0.0);
+  const RealMatrix m = random_symmetric(96, 5);
+  (void)syevd(m);
+  EXPECT_GT(linalg_timer_ms(), 0.0);
+  const double after_one = linalg_timer_ms();
+  (void)syevd(m);
+  EXPECT_GT(linalg_timer_ms(), after_one);  // tallies accumulate
+  linalg_timer_reset();
+  EXPECT_EQ(linalg_timer_ms(), 0.0);
 }
 
 }  // namespace

@@ -12,6 +12,7 @@
 #include "dft/lattice.hpp"
 #include "dft/lrtddft.hpp"
 #include "dft/pseudopotential.hpp"
+#include "dft/scf.hpp"
 
 namespace ndft::dft {
 namespace {
@@ -364,6 +365,60 @@ TEST_F(LrTddftFixture, RejectsWindowBeyondComputedBands) {
   LrTddftConfig config;
   config.conduction_window = 100;  // only 24 bands were kept
   EXPECT_THROW(solve_lrtddft(basis, ground, config), NdftError);
+}
+
+// ---------------------------------------------------- golden regressions
+//
+// Pinned end-to-end physics values. The loose windows above catch gross
+// breakage; these catch the subtle kind — an eigensolver or kernel swap
+// that shifts eigenvalues by more than numerical noise changes these
+// observables long before it breaks a monotonicity property. Values were
+// produced by the blocked SYEVD path and verified bitwise identical for
+// NDFT_NUM_THREADS in {1, 2, 8}. Tolerances are far above solver noise
+// (~1e-12) but far below any physical effect, so a legitimate kernel
+// rewrite passes and a wrong one fails on values, not just smoke.
+
+TEST(PhysicsGoldenTest, EpmSiliconBandStructure) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 2.25);
+  ASSERT_EQ(basis.size(), 179u);  // goldens are tied to this basis
+  const GroundState state = solve_epm(basis, 24);
+  // Indirect gap of the folded 8-atom cell, Cohen-Bergstresser form
+  // factors at the 4.5 Ry cutoff.
+  EXPECT_NEAR(state.band_gap_ev(), 0.925350553339, 1e-6);
+  // Band-edge anchors: bottom of the valence band and the VBM (Ha).
+  EXPECT_NEAR(state.energies_ha[0], -0.078736065541, 1e-7);
+  EXPECT_NEAR(state.energies_ha[state.valence_bands - 1], 0.388892802013,
+              1e-7);
+}
+
+TEST(PhysicsGoldenTest, ScfSiliconTotalEnergyAndGap) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 2.0);
+  ScfConfig config;
+  config.tolerance = 1e-6;
+  config.max_iterations = 60;
+  const ScfResult result = solve_scf(basis, config);
+  ASSERT_TRUE(result.converged);
+  // The fixed point is tolerance-limited, so the pin is looser than the
+  // EPM eigenvalue pins: 1e-5 Ha still catches any real solver change.
+  EXPECT_NEAR(result.history.back().total_energy_ha, -3.075515232837, 1e-5);
+  EXPECT_NEAR(result.history.back().gap_ev, 0.837089395823, 1e-4);
+}
+
+TEST(PhysicsGoldenTest, LrtddftSiliconLowestExcitation) {
+  const Crystal crystal = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis basis(crystal, 2.25);
+  const GroundState ground = solve_epm(basis, 24);
+  LrTddftConfig config;
+  config.valence_window = 4;
+  config.conduction_window = 2;
+  const LrTddftResult result = solve_lrtddft(basis, ground, config);
+  ASSERT_EQ(result.pair_count, 8u);
+  // Lowest TDA excitation from the Hermitian (gauge-robust) Casida solve:
+  // above the ground-state gap (the Hartree kernel's shift beats the ALDA
+  // attraction here).
+  EXPECT_NEAR(result.lowest_ev(), 0.980905597494, 1e-5);
 }
 
 }  // namespace
