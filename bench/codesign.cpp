@@ -1,0 +1,176 @@
+// bench_codesign: the co-design loop end to end. Records a real LR-TDDFT
+// run's kernel trace through the Engine, replays it through the
+// calibrated cost-aware scheduler, and simulates the planned schedule on
+// the CPU-NDP machine. Results go to BENCH_codesign.json for
+// cross-commit tracking.
+//
+// Modes:
+//   bench_codesign            full loop at Si_8 and Si_16
+//   bench_codesign --smoke    Si_8 only; exits nonzero if the replay
+//                             fails, the plan does not cover the trace,
+//                             or the payload does not round-trip as JSON
+//                             (the verify.sh --bench-smoke gate)
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "common/run_metadata.hpp"
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+
+using namespace ndft;
+
+namespace {
+
+struct LoopSample {
+  std::size_t atoms = 0;
+  std::size_t events = 0;
+  std::size_t planned = 0;
+  double traced_ms = 0.0;
+  unsigned crossings = 0;
+  TimePs est_total_ps = 0;
+  TimePs sim_total_ps = 0;
+  api::CalibrationPayload calibration;
+};
+
+const api::JobResult& check(const api::JobResult& result, const char* what) {
+  if (!result.ok()) {
+    throw NdftError(strformat("%s failed (%s): %s", what,
+                              api::to_string(result.error),
+                              result.error_message.c_str()));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::vector<std::size_t> systems =
+      smoke ? std::vector<std::size_t>{8} : std::vector<std::size_t>{8, 16};
+
+  api::EngineConfig config;
+  config.dispatch_threads = 0;  // deterministic single-thread drain
+  api::Engine engine(config);
+
+  std::printf("co-design loop: record -> calibrate -> plan -> simulate%s\n\n",
+              smoke ? " (smoke)" : "");
+
+  std::vector<LoopSample> samples;
+  for (const std::size_t atoms : systems) {
+    api::LrtddftJob record;
+    record.atoms = atoms;
+    record.ecut_ry = 4.5;
+    record.config.valence_window = 4;
+    record.config.conduction_window = 4;
+    // One untraced warmup so the recorded times measure kernel behaviour
+    // rather than first-touch allocation and plan-cache misses.
+    check(engine.run(record), "warmup");
+    record.record_trace = true;
+    const api::JobResult recorded = check(engine.run(record), "record");
+    if (!recorded.trace || recorded.trace->events.empty()) {
+      throw NdftError("recorded run carries no trace");
+    }
+
+    api::CoDesignJob replay;
+    replay.trace = *recorded.trace;
+    replay.simulate = true;
+    const api::JobResult result = check(engine.run(replay), "replay");
+    const api::CoDesignPayload& payload = *result.codesign;
+
+    LoopSample sample;
+    sample.atoms = atoms;
+    sample.events = payload.trace_events;
+    sample.planned = payload.plan.placements.size();
+    sample.traced_ms = payload.trace_host_ms;
+    sample.crossings = payload.plan.crossings;
+    sample.est_total_ps = payload.plan.est_total_ps;
+    sample.sim_total_ps = payload.simulate ? payload.simulate->total_ps : 0;
+    sample.calibration = payload.calibration;
+    samples.push_back(sample);
+
+    if (smoke) {
+      // Structural gate: the plan must cover every schedulable event and
+      // the result must survive a JSON round trip bit-exactly.
+      if (sample.planned == 0 || sample.planned > sample.events) {
+        std::fprintf(stderr, "FAIL: plan covers %zu of %zu events\n",
+                     sample.planned, sample.events);
+        return 1;
+      }
+      if (!sample.calibration.calibrated) {
+        std::fprintf(stderr, "FAIL: calibration did not fit any event\n");
+        return 1;
+      }
+      const std::string dumped = result.to_json().dump();
+      const api::JobResult reparsed =
+          api::JobResult::from_json(Json::parse(dumped));
+      if (reparsed.to_json().dump() != dumped) {
+        std::fprintf(stderr, "FAIL: codesign result JSON round trip\n");
+        return 1;
+      }
+      std::printf("smoke OK: %zu events planned, %u crossings, "
+                  "calibration ratio %.2f\n",
+                  sample.planned, sample.crossings,
+                  sample.calibration.max_ratio);
+    }
+  }
+
+  TextTable table({"atoms", "events", "traced", "est total", "sim total",
+                   "crossings", "fit GF/s", "fit GB/s", "fit ratio"});
+  for (const LoopSample& s : samples) {
+    table.add_row({strformat("%zu", s.atoms), strformat("%zu", s.events),
+                   strformat("%.1f ms", s.traced_ms),
+                   format_time(s.est_total_ps),
+                   format_time(s.sim_total_ps),
+                   strformat("%u", s.crossings),
+                   strformat("%.1f", s.calibration.peak_gflops),
+                   strformat("%.1f", s.calibration.dram_gbps),
+                   strformat("%.2f", s.calibration.max_ratio)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  Json bench = Json::object();
+  bench.set("bench", "codesign");
+  bench.set("meta", run_metadata_json());
+  Json entries = Json::array();
+  for (const LoopSample& s : samples) {
+    Json entry = Json::object();
+    entry.set("atoms", s.atoms);
+    entry.set("trace_events", s.events);
+    entry.set("planned_kernels", s.planned);
+    entry.set("traced_ms", s.traced_ms);
+    entry.set("crossings", s.crossings);
+    entry.set("est_total_ps", s.est_total_ps);
+    entry.set("sim_total_ps", s.sim_total_ps);
+    Json calibration = Json::object();
+    calibration.set("calibrated", s.calibration.calibrated);
+    calibration.set("peak_gflops", s.calibration.peak_gflops);
+    calibration.set("dram_gbps", s.calibration.dram_gbps);
+    calibration.set("blocked_efficiency", s.calibration.blocked_efficiency);
+    calibration.set("max_ratio", s.calibration.max_ratio);
+    calibration.set("fitted_events", s.calibration.fitted_events);
+    entry.set("calibration", std::move(calibration));
+    entries.push_back(std::move(entry));
+  }
+  bench.set("systems", std::move(entries));
+  const char* path = "BENCH_codesign.json";
+  if (std::FILE* file = std::fopen(path, "w")) {
+    const std::string text = bench.dump(2);
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("wrote %zu loop records to %s\n", samples.size(), path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path);
+    return 1;
+  }
+  return 0;
+} catch (const NdftError& error) {
+  std::fprintf(stderr, "codesign: %s\n", error.what());
+  return 1;
+}

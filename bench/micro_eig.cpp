@@ -18,6 +18,7 @@
 
 #include "common/json.hpp"
 #include "common/prng.hpp"
+#include "common/run_metadata.hpp"
 #include "common/str_util.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
@@ -143,6 +144,7 @@ int main(int argc, char** argv) try {
 
   Json bench = Json::object();
   bench.set("bench", "eig_syevd");
+  bench.set("meta", run_metadata_json());
   Json entries = Json::array();
   for (const SizeSample& s : samples) {
     Json entry = Json::object();

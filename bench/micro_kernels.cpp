@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
+#include "common/run_metadata.hpp"
 #include "dft/basis.hpp"
 #include "dft/epm.hpp"
 #include "dft/fft.hpp"
@@ -229,18 +231,24 @@ bool write_json(const char* path,
                 const std::vector<JsonCollectingReporter::Entry>& entries) {
   std::FILE* file = std::fopen(path, "w");
   if (file == nullptr) return false;
-  std::fputs("[\n", file);
-  for (std::size_t i = 0; i < entries.size(); ++i) {
-    const auto& e = entries[i];
-    std::fprintf(file,
-                 "  {\"kernel\": \"%s\", \"size\": %ld, \"ns_per_op\": %.1f",
-                 e.kernel.c_str(), e.size, e.ns_per_op);
+  ndft::Json bench = ndft::Json::object();
+  bench.set("bench", "micro_kernels");
+  bench.set("meta", ndft::run_metadata_json());
+  ndft::Json list = ndft::Json::array();
+  for (const auto& e : entries) {
+    ndft::Json entry = ndft::Json::object();
+    entry.set("kernel", e.kernel);
+    entry.set("size", e.size);
+    entry.set("ns_per_op", e.ns_per_op);
     if (e.has_gflops) {
-      std::fprintf(file, ", \"gflops\": %.3f", e.gflops);
+      entry.set("gflops", e.gflops);
     }
-    std::fprintf(file, "}%s\n", i + 1 < entries.size() ? "," : "");
+    list.push_back(std::move(entry));
   }
-  std::fputs("]\n", file);
+  bench.set("kernels", std::move(list));
+  const std::string text = bench.dump(2);
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fputc('\n', file);
   std::fclose(file);
   return true;
 }

@@ -16,6 +16,7 @@
 
 #include "api/engine.hpp"
 #include "common/json.hpp"
+#include "common/run_metadata.hpp"
 #include "common/str_util.hpp"
 #include "common/table.hpp"
 #include "ndp/ndp_system.hpp"
@@ -127,6 +128,7 @@ int main() try {
 
   Json bench = Json::object();
   bench.set("bench", "api_submit_drain");
+  bench.set("meta", run_metadata_json());
   bench.set("dispatch_threads", config.dispatch_threads);
   Json entries = Json::array();
   for (const BatchSample& s : samples) {

@@ -1,0 +1,22 @@
+# Script mode (cmake -P): regenerates the git-SHA header every build so
+# BENCH_*.json provenance names the commit the binary was actually built
+# from, not the one last configured. Writes only on change to keep
+# incremental builds incremental.
+#   cmake -DOUT=<header> -DSRC=<source-dir> -P git_sha.cmake
+
+execute_process(COMMAND git rev-parse --short HEAD
+                WORKING_DIRECTORY ${SRC}
+                OUTPUT_VARIABLE NDFT_GIT_SHA
+                OUTPUT_STRIP_TRAILING_WHITESPACE
+                ERROR_QUIET)
+if(NOT NDFT_GIT_SHA)
+  set(NDFT_GIT_SHA "unknown")
+endif()
+set(CONTENT "#define NDFT_GIT_SHA \"${NDFT_GIT_SHA}\"\n")
+set(OLD "")
+if(EXISTS ${OUT})
+  file(READ ${OUT} OLD)
+endif()
+if(NOT OLD STREQUAL CONTENT)
+  file(WRITE ${OUT} "${CONTENT}")
+endif()

@@ -1,0 +1,109 @@
+// codesign_loop: the hardware/software co-design loop in one program.
+//
+//   1. Run a real SCF ground state through the Engine with record_trace
+//      set, so the run emits its measured kernel trace.
+//   2. Replay the trace through a CoDesignJob: the engine calibrates the
+//      SCA's CPU-side roofline from the measured kernel times, plans the
+//      cost-aware CPU/NDP schedule for the *actual* workload, and
+//      simulates that schedule on the CPU-NDP machine.
+//
+// This is the measured counterpart of scheduler_playground (which plans
+// the analytic workload model): offload decisions here come from what
+// the DFT pipeline really did.
+//
+//   example_codesign_loop [--atoms 8] [--iterations 4]
+
+#include <cstdio>
+#include <map>
+
+#include "api/engine.hpp"
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "core/cli.hpp"
+
+using namespace ndft;
+
+int main(int argc, char** argv) {
+  try {
+    const core::CliArgs args(argc, argv);
+    const auto atoms = static_cast<std::size_t>(args.get_int("atoms", 8));
+    const auto iterations =
+        static_cast<unsigned>(args.get_int("iterations", 4));
+
+    api::EngineConfig config;
+    config.dispatch_threads = 0;
+    api::Engine engine(config);
+
+    // ---- 1. record a real run (after one untraced warmup, so the trace
+    // measures kernel behaviour rather than first-touch allocation).
+    api::ScfJob scf;
+    scf.atoms = atoms;
+    scf.ecut_ry = 4.0;
+    scf.scf.max_iterations = iterations;
+    engine.run(scf);
+    scf.record_trace = true;
+    const api::JobResult recorded = engine.run(scf);
+    if (!recorded.ok()) {
+      std::fprintf(stderr, "scf failed: %s\n",
+                   recorded.error_message.c_str());
+      return 1;
+    }
+    const KernelTrace& trace = *recorded.trace;
+    std::printf("recorded Si_%zu SCF: %zu kernel events, %.1f ms traced\n\n",
+                atoms, trace.events.size(), trace.total_host_ms());
+
+    // Per-class view of what the run actually did.
+    std::map<KernelClass, std::pair<Flops, double>> by_class;
+    for (const TraceEvent& event : trace.events) {
+      by_class[event.cls].first += event.flops;
+      by_class[event.cls].second += event.host_ms;
+    }
+    TextTable classes({"class", "events", "GFLOP", "measured"});
+    for (const auto& [cls, tally] : by_class) {
+      classes.add_row({to_string(cls),
+                       strformat("%zu", trace.count_of(cls)),
+                       strformat("%.2f",
+                                 static_cast<double>(tally.first) * 1e-9),
+                       strformat("%.1f ms", tally.second)});
+    }
+    std::printf("%s\n", classes.render().c_str());
+
+    // ---- 2. replay through the co-design loop.
+    api::CoDesignJob replay;
+    replay.trace = trace;
+    replay.simulate = true;
+    const api::JobResult result = engine.run(replay);
+    if (!result.ok()) {
+      std::fprintf(stderr, "replay failed: %s\n",
+                   result.error_message.c_str());
+      return 1;
+    }
+    const api::CoDesignPayload& payload = *result.codesign;
+
+    const api::CalibrationPayload& fit = payload.calibration;
+    std::printf("calibrated CPU roofline: %.1f GFLOP/s, %.1f GB/s, "
+                "panel efficiency %.2f (worst fit ratio %.2fx over %zu "
+                "kernels)\n\n",
+                fit.peak_gflops, fit.dram_gbps, fit.blocked_efficiency,
+                fit.max_ratio, fit.fitted_events);
+
+    TextTable plan({"kernel", "device", "est", "crossing"});
+    for (const api::PlacementPayload& p : payload.plan.placements) {
+      plan.add_row({p.kernel, to_string(p.device),
+                    format_time(p.est_time_ps), p.crossing ? "yes" : ""});
+    }
+    std::printf("%s\n", plan.render().c_str());
+    std::printf("plan: %u crossings, estimated %s (+%s overhead)\n",
+                payload.plan.crossings,
+                format_time(payload.plan.est_total_ps).c_str(),
+                format_time(payload.plan.est_overhead_ps).c_str());
+    if (payload.simulate) {
+      std::printf("simulated on the CPU-NDP machine: %s\n",
+                  format_time(payload.simulate->total_ps).c_str());
+    }
+    return 0;
+  } catch (const NdftError& error) {
+    std::fprintf(stderr, "codesign_loop: %s\n", error.what());
+    return 1;
+  }
+}

@@ -4,26 +4,50 @@
 # numerical kernel fails the gate before the physics/simulator tiers pay
 # their startup cost.
 #
-# Usage: scripts/verify.sh [--bench-smoke] [build-dir]   (default: build)
-#   --bench-smoke  additionally run the SYEVD microbenchmark at n=128 and
-#                  fail if the blocked solver is slower than the serial
-#                  reference.
+# Usage: scripts/verify.sh [--tier LABEL] [--bench-smoke] [build-dir]
+#   (default build-dir: build)
+#   --tier LABEL   build, then run only the ctest tier LABEL (kernel,
+#                  physics, api, trace or sim) and stop — e.g.
+#                  `--tier sim` while iterating on the simulator.
+#   --bench-smoke  additionally run the SYEVD microbenchmark at n=128
+#                  (fail if the blocked solver is slower than the serial
+#                  reference) and the co-design loop smoke (record ->
+#                  calibrate -> plan -> simulate must close end to end).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCH_SMOKE=0
+TIER=""
 BUILD_DIR="build"
-for arg in "$@"; do
-  case "$arg" in
+while [ "$#" -gt 0 ]; do
+  case "$1" in
     --bench-smoke) BENCH_SMOKE=1 ;;
-    -*) echo "verify.sh: unknown option '$arg'" >&2; exit 2 ;;
-    *) BUILD_DIR="$arg" ;;
+    --tier)
+      [ "$#" -ge 2 ] || { echo "verify.sh: --tier needs a label" >&2; exit 2; }
+      TIER="$2"; shift ;;
+    -*) echo "verify.sh: unknown option '$1'" >&2; exit 2 ;;
+    *) BUILD_DIR="$1" ;;
   esac
+  shift
 done
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+if [ -n "$TIER" ] && [ "$BENCH_SMOKE" -eq 1 ]; then
+  # --tier is an iteration shortcut that stops after one ctest label; it
+  # would silently skip the smoke gates the caller asked for.
+  echo "verify.sh: --tier and --bench-smoke cannot be combined" >&2
+  exit 2
+fi
+
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j "$JOBS"
+
+if [ -n "$TIER" ]; then
+  ctest --test-dir "$BUILD_DIR" -L "$TIER" --output-on-failure -j "$JOBS"
+  echo "tier '$TIER': OK"
+  exit 0
+fi
+
 ctest --test-dir "$BUILD_DIR" -L kernel --output-on-failure -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" -LE kernel --output-on-failure -j "$JOBS"
 
@@ -43,4 +67,8 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
   # reference at n=128 or the spectra disagree.
   (cd "$BUILD_DIR" && ./bench_micro_eig --smoke)
   echo "bench smoke: OK ($BUILD_DIR/BENCH_eig.json)"
+  # The co-design loop must close: record a real LR-TDDFT trace, replay
+  # it through the calibrated scheduler, survive a JSON round trip.
+  (cd "$BUILD_DIR" && ./bench_codesign --smoke)
+  echo "codesign smoke: OK ($BUILD_DIR/BENCH_codesign.json)"
 fi

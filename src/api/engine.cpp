@@ -1,13 +1,19 @@
 #include "api/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <complex>
+#include <numbers>
 
+#include "common/kernel_trace.hpp"
 #include "common/thread_pool.hpp"
+#include "dft/fft.hpp"
 #include "dft/kpoints.hpp"
+#include "dft/lattice.hpp"
 #include "dft/linalg.hpp"
 #include "dft/pseudopotential.hpp"
 #include "dft/spectrum.hpp"
+#include "runtime/calibrate.hpp"
 #include "runtime/sca.hpp"
 
 namespace ndft::api {
@@ -111,7 +117,19 @@ LrtddftPayload execute_lrtddft(const LrtddftJob& job) {
     psi[i] = dft::Complex{ground.orbitals(i, 0), 0.0};
   }
   std::vector<dft::Complex> v_psi;
-  projectors.apply(psi, v_psi);
+  {
+    // One trace event for the projector application (the workload
+    // model's Pseudopotential kernel): ~8 flops per projector-coefficient
+    // pair for the two complex inner loops.
+    TraceRegion region(KernelClass::kPseudopotential, "nonlocal");
+    region.set_dims(projectors.count(), basis.size(), 0);
+    region.add_work(
+        8ull * projectors.count() * basis.size(),
+        2ull * projectors.count() * basis.size() * sizeof(dft::Complex));
+    region.set_io(basis.size() * sizeof(dft::Complex),
+                  basis.size() * sizeof(dft::Complex));
+    projectors.apply(psi, v_psi);
+  }
   dft::Complex expectation{};
   for (std::size_t i = 0; i < basis.size(); ++i) {
     expectation += std::conj(psi[i]) * v_psi[i];
@@ -139,23 +157,9 @@ LrtddftPayload execute_lrtddft(const LrtddftJob& job) {
   return payload;
 }
 
-SimulatePayload execute_simulate(const SimulateJob& job,
-                                 const core::NdftSystem& shared_system,
-                                 const core::SystemConfig& base_config) {
-  // The engine's machine template covers the common case; a per-job
-  // sampling override builds a one-shot system from the same config.
-  const core::NdftSystem* system = &shared_system;
-  std::unique_ptr<core::NdftSystem> scoped;
-  if (job.sampled_ops != 0) {
-    core::SystemConfig config = base_config;
-    config.sampled_ops_per_kernel = job.sampled_ops;
-    scoped = std::make_unique<core::NdftSystem>(config);
-    system = scoped.get();
-  }
-
-  const dft::Workload workload = system->workload_for(job.atoms);
-  const core::RunReport report = system->run(workload, job.mode);
-
+/// Distills a RunReport into the serializable simulation payload (shared
+/// by SimulateJob and the CoDesignJob replay).
+SimulatePayload simulate_payload_from(const core::RunReport& report) {
   SimulatePayload payload;
   payload.mode = report.mode;
   payload.atoms = report.dims.atoms;
@@ -178,25 +182,16 @@ SimulatePayload execute_simulate(const SimulateJob& job,
   return payload;
 }
 
-PlanPayload execute_plan(const PlanJob& job,
-                         const core::NdftSystem& system,
-                         const core::SystemConfig& base_config) {
-  const runtime::DeviceProfile& cpu_profile =
-      job.profile_override.empty() ? base_config.cpu_profile
-                                   : job.profile_override[0];
-  const runtime::DeviceProfile& ndp_profile =
-      job.profile_override.empty() ? base_config.ndp_profile
-                                   : job.profile_override[1];
-  const dft::Workload workload = system.workload_for(job.atoms);
-  const runtime::Sca sca(cpu_profile, ndp_profile);
-  const runtime::CostModel cost(cpu_profile, ndp_profile);
-  const runtime::Scheduler scheduler(sca, cost);
-  const runtime::ExecutionPlan plan =
-      scheduler.plan(workload, job.granularity);
-
+/// Distills a schedule into the serializable plan payload (shared by
+/// PlanJob and the CoDesignJob replay).
+PlanPayload plan_payload_from(const dft::Workload& workload,
+                              const runtime::Sca& sca,
+                              const runtime::ExecutionPlan& plan,
+                              std::size_t atoms,
+                              runtime::Granularity granularity) {
   PlanPayload payload;
-  payload.atoms = job.atoms;
-  payload.granularity = job.granularity;
+  payload.atoms = atoms;
+  payload.granularity = granularity;
   payload.placements.reserve(plan.placements.size());
   for (std::size_t i = 0; i < workload.kernels.size(); ++i) {
     const dft::KernelWork& kernel = workload.kernels[i];
@@ -219,6 +214,214 @@ PlanPayload execute_plan(const PlanJob& job,
   payload.est_overhead_ps = plan.est_overhead_ps;
   payload.crossings = plan.crossings;
   return payload;
+}
+
+SimulatePayload execute_simulate(const SimulateJob& job,
+                                 const core::NdftSystem& shared_system,
+                                 const core::SystemConfig& base_config) {
+  // The engine's machine template covers the common case; a per-job
+  // sampling override builds a one-shot system from the same config.
+  const core::NdftSystem* system = &shared_system;
+  std::unique_ptr<core::NdftSystem> scoped;
+  if (job.sampled_ops != 0) {
+    core::SystemConfig config = base_config;
+    config.sampled_ops_per_kernel = job.sampled_ops;
+    scoped = std::make_unique<core::NdftSystem>(config);
+    system = scoped.get();
+  }
+
+  const dft::Workload workload = system->workload_for(job.atoms);
+  return simulate_payload_from(system->run(workload, job.mode));
+}
+
+PlanPayload execute_plan(const PlanJob& job,
+                         const core::NdftSystem& system,
+                         const core::SystemConfig& base_config) {
+  const runtime::DeviceProfile& cpu_profile =
+      job.profile_override.empty() ? base_config.cpu_profile
+                                   : job.profile_override[0];
+  const runtime::DeviceProfile& ndp_profile =
+      job.profile_override.empty() ? base_config.ndp_profile
+                                   : job.profile_override[1];
+  const dft::Workload workload = system.workload_for(job.atoms);
+  const runtime::Sca sca(cpu_profile, ndp_profile);
+  const runtime::CostModel cost(cpu_profile, ndp_profile);
+  const runtime::Scheduler scheduler(sca, cost);
+  const runtime::ExecutionPlan plan =
+      scheduler.plan(workload, job.granularity);
+  return plan_payload_from(workload, sca, plan, job.atoms, job.granularity);
+}
+
+CoDesignPayload execute_codesign(const CoDesignJob& job,
+                                 const core::NdftSystem& system,
+                                 const core::SystemConfig& base_config) {
+  const dft::Workload workload = system.workload_from_trace(job.trace);
+
+  CoDesignPayload payload;
+  payload.trace_events = job.trace.events.size();
+  payload.trace_atoms = job.trace.atoms;
+  payload.trace_flops = job.trace.total_flops();
+  payload.trace_bytes = job.trace.total_bytes();
+  payload.trace_host_ms = job.trace.total_host_ms();
+  payload.trace_truncated = job.trace.truncated;
+
+  // The scheduler prices the CPU side from the machine the trace was
+  // measured on (when calibration is requested and possible); the NDP
+  // side keeps the engine's configured beliefs.
+  runtime::DeviceProfile cpu_profile = base_config.cpu_profile;
+  if (job.calibrate) {
+    const runtime::CpuCalibration calibration =
+        runtime::calibrate_cpu(job.trace, cpu_profile);
+    cpu_profile = calibration.profile;
+    payload.calibration.calibrated = calibration.calibrated;
+    payload.calibration.peak_gflops = cpu_profile.peak_gflops;
+    payload.calibration.dram_gbps = cpu_profile.dram_gbps;
+    payload.calibration.blocked_efficiency =
+        cpu_profile.blocked_compute_efficiency;
+    payload.calibration.max_ratio = calibration.max_ratio;
+    payload.calibration.fitted_events = calibration.fitted_events;
+    payload.calibration.fitted_ms = calibration.fitted_ms;
+  }
+
+  const runtime::Sca sca(cpu_profile, base_config.ndp_profile);
+  const runtime::CostModel cost(cpu_profile, base_config.ndp_profile);
+  const runtime::Scheduler scheduler(sca, cost);
+  const runtime::ExecutionPlan plan =
+      scheduler.plan(workload, job.granularity);
+  payload.plan = plan_payload_from(workload, sca, plan, job.trace.atoms,
+                                   job.granularity);
+  if (job.simulate) {
+    payload.simulate =
+        simulate_payload_from(system.run_planned(workload, plan));
+  }
+  return payload;
+}
+
+/// True when the request asked for its kernel trace to be recorded.
+bool wants_trace(const JobRequest& request) noexcept {
+  if (const auto* job = std::get_if<ScfJob>(&request)) {
+    return job->record_trace;
+  }
+  if (const auto* job = std::get_if<BandStructureJob>(&request)) {
+    return job->record_trace;
+  }
+  if (const auto* job = std::get_if<LrtddftJob>(&request)) {
+    return job->record_trace;
+  }
+  return false;
+}
+
+/// Prices one event-shaped kernel through the same trace-conversion and
+/// SCA machinery the co-design replay uses, so the queue's priority key
+/// and the planner's estimates share one cost model instead of drifting
+/// as two hand-maintained formula sets.
+TimePs price_event(const runtime::Sca& sca, KernelClass cls, Flops flops,
+                   Bytes bytes, std::uint64_t dim) {
+  TraceEvent event;
+  event.cls = cls;
+  event.flops = flops;
+  event.bytes = bytes;
+  event.dims[0] = dim;
+  event.dims[1] = dim;
+  return sca.estimate(dft::kernel_work_from_event(event), sca.cpu());
+}
+
+/// The full-spectrum eigensolve on an n x n matrix (the shared
+/// dft::syevd_cost tally).
+TimePs price_syevd(const runtime::Sca& sca, std::size_t n) {
+  const dft::SyevdCost cost = dft::syevd_cost(n);
+  return price_event(sca, KernelClass::kSyevd, cost.flops, cost.bytes, n);
+}
+
+/// Summed CPU roofline estimate of a workload's kernels.
+TimePs price_workload(const runtime::Sca& sca, const dft::Workload& w) {
+  TimePs total = 0;
+  for (const dft::KernelWork& kernel : w.kernels) {
+    total += sca.estimate(kernel, sca.cpu());
+  }
+  return total;
+}
+
+/// Submission-time cost estimate keying the priority queue: the CPU-side
+/// SCA estimate of the job's dominant kernels (the analytic workload
+/// model where it applies, measured time for trace replays). Only the
+/// relative magnitudes matter — a wrong estimate reorders the queue but
+/// cannot break it. Plan jobs are effectively free and drain first.
+TimePs estimate_cost_ps(const JobRequest& request,
+                        const core::SystemConfig& config) noexcept {
+  // The estimator runs at submit(), BEFORE validation, so request fields
+  // may be arbitrary garbage. Cutoffs outside this sane window would
+  // push the closed-form basis sizes past the double->size_t cast range
+  // (undefined behaviour, not catchable); such jobs cost 0 and surface
+  // immediately, where validation rejects or execution prices them.
+  const auto sane_ecut = [](double ecut_ry) {
+    return ecut_ry > 0.0 && ecut_ry < 1e4;
+  };
+  const auto sane_atoms = [](std::size_t atoms) {
+    return atoms <= (std::size_t{1} << 24);
+  };
+  try {
+    const runtime::Sca sca(config.cpu_profile, config.ndp_profile);
+    if (const auto* job = std::get_if<ScfJob>(&request)) {
+      if (!sane_ecut(job->ecut_ry) || !sane_atoms(job->atoms)) return 0;
+      // Per iteration: the dense eigensolve plus the valence density
+      // FFTs, at the closed-form basis/grid sizes for the cutoff.
+      const dft::SystemDims dims =
+          dft::SystemDims::silicon(job->atoms, job->ecut_ry * 0.5);
+      const TimePs fft = price_event(
+          sca, KernelClass::kFft, dft::fft_flops(dims.grid_points),
+          6ull * dims.grid_points * sizeof(dft::Complex), dims.grid_points);
+      return job->scf.max_iterations *
+             (price_syevd(sca, dims.basis_size) +
+              (2 * job->atoms + 3) * fft);
+    }
+    if (const auto* job = std::get_if<BandStructureJob>(&request)) {
+      if (!sane_ecut(job->ecut_ry)) return 0;
+      // Primitive-cell basis at the cutoff, N_G ~ V (2E)^{3/2}/(6 pi^2);
+      // one eigensolve per path k-point.
+      const double a0 = dft::kSiliconLatticeBohr;
+      const double volume = a0 * a0 * a0 / 4.0;
+      const double kmax = std::sqrt(job->ecut_ry);  // sqrt(2 * ecut_ha)
+      const auto ng = static_cast<std::size_t>(
+          volume * kmax * kmax * kmax /
+          (6.0 * std::numbers::pi * std::numbers::pi));
+      return (4ull * job->segments + 1) * price_syevd(sca, ng);
+    }
+    if (const auto* job = std::get_if<LrtddftJob>(&request)) {
+      if (!sane_ecut(job->ecut_ry) || !sane_atoms(job->atoms)) return 0;
+      // The analytic iteration evaluated at the job's excitation window,
+      // plus the EPM ground-state eigensolve it sits on.
+      dft::SystemDims dims =
+          dft::SystemDims::silicon(job->atoms, job->ecut_ry * 0.5);
+      dims.valence_window =
+          job->config.valence_window == 0
+              ? dims.valence_bands
+              : std::min(job->config.valence_window, dims.valence_bands);
+      dims.conduction_window = job->config.conduction_window;
+      dims.pairs = dims.valence_window * dims.conduction_window;
+      dims.subspace = 2 * dims.pairs;  // heev's real embedding
+      return price_syevd(sca, dims.basis_size) +
+             price_workload(sca, dft::Workload::lrtddft_iteration(dims));
+    }
+    if (const auto* job = std::get_if<SimulateJob>(&request)) {
+      if (!sane_atoms(job->atoms)) return 0;
+      // Proxy: the analytic iteration's CPU roofline estimate (scales
+      // with the system size like the simulation's own cost does).
+      return price_workload(sca, dft::Workload::lrtddft_iteration(
+                                     dft::SystemDims::silicon(job->atoms)));
+    }
+    if (const auto* job = std::get_if<CoDesignJob>(&request)) {
+      // Replays cost roughly what the trace took to record, plus as much
+      // again when the timing simulation is requested.
+      const double ms = job->trace.total_host_ms();
+      return static_cast<TimePs>(ms * (job->simulate ? 2.0 : 1.0) *
+                                 static_cast<double>(kPsPerMs));
+    }
+  } catch (...) {
+    // Invalid dimensions and similar: fall through to zero cost so the
+    // job surfaces (and fails validation) quickly.
+  }
+  return 0;  // PlanJob and anything unpriceable: effectively free
 }
 
 }  // namespace
@@ -279,6 +482,7 @@ Engine::~Engine() {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     stopping_ = true;
     orphaned.swap(queue_);
+    fifo_.clear();
   }
   for (const auto& state : orphaned) {
     JobHandle handle(state);
@@ -319,6 +523,7 @@ JobHandle Engine::submit(JobRequest request) {
   state->id = next_job_id_.fetch_add(1);
   state->request = std::move(request);
   state->submitted_at = Clock::now();
+  state->est_cost_ps = estimate_cost_ps(state->request, config_.system);
   // Engine metadata the cancel path also needs, stamped up front.
   state->result.engine.job_id = state->id;
   state->result.engine.kind = job_kind(state->request);
@@ -329,7 +534,20 @@ JobHandle Engine::submit(JobRequest request) {
     NDFT_REQUIRE(!stopping_, "engine is shutting down");
     NDFT_REQUIRE(queue_.size() < config_.max_pending,
                  "engine queue is full");
-    queue_.push_back(state);
+    // Cost-aware ordering: cheapest job first, FIFO (by id) among equal
+    // estimates. Insertion keeps the deque sorted so the pop side stays
+    // front-only for the dispatchers and drain().
+    const auto before = [](const std::shared_ptr<detail::JobState>& a,
+                           const std::shared_ptr<detail::JobState>& b) {
+      if (a->est_cost_ps != b->est_cost_ps) {
+        return a->est_cost_ps < b->est_cost_ps;
+      }
+      return a->id < b->id;
+    };
+    queue_.insert(std::upper_bound(queue_.begin(), queue_.end(), state,
+                                   before),
+                  state);
+    fifo_.push_back(state);
   }
   submitted_.fetch_add(1);
   queue_cv_.notify_one();
@@ -346,6 +564,28 @@ std::vector<JobHandle> Engine::submit_batch(
   return handles;
 }
 
+std::shared_ptr<detail::JobState> Engine::pop_next_locked() {
+  // Drop submission-order entries already taken off the queue; what
+  // remains at the front is the oldest pending job, found in O(1).
+  while (!fifo_.empty() && fifo_.front()->dequeued) {
+    fifo_.pop_front();
+  }
+  // Cheapest-first (the queue is sorted), unless the oldest pending job
+  // has aged past the starvation limit — then it runs next regardless of
+  // cost, so heavy jobs make progress under sustained cheap traffic (the
+  // linear find only runs on that rare aged path).
+  auto next = queue_.begin();
+  if (!fifo_.empty() && fifo_.front() != *next &&
+      ms_between(fifo_.front()->submitted_at, Clock::now()) >=
+          config_.starvation_limit_ms) {
+    next = std::find(queue_.begin(), queue_.end(), fifo_.front());
+  }
+  std::shared_ptr<detail::JobState> state = std::move(*next);
+  queue_.erase(next);
+  state->dequeued = true;
+  return state;
+}
+
 void Engine::drain() {
   if (config_.dispatch_threads == 0) {
     // Manual mode: the caller's thread is the dispatcher.
@@ -354,8 +594,7 @@ void Engine::drain() {
       {
         std::lock_guard<std::mutex> lock(queue_mutex_);
         if (queue_.empty()) break;
-        state = std::move(queue_.front());
-        queue_.pop_front();
+        state = pop_next_locked();
         ++in_flight_;
       }
       execute_queued(state);
@@ -378,8 +617,7 @@ void Engine::dispatcher_loop() {
         if (stopping_) return;
         continue;
       }
-      state = std::move(queue_.front());
-      queue_.pop_front();
+      state = pop_next_locked();
       ++in_flight_;
     }
     execute_queued(state);
@@ -402,10 +640,11 @@ void Engine::execute_queued(const std::shared_ptr<detail::JobState>& state) {
       return;
     }
     state->status = JobStatus::kRunning;
+    state->result.engine.exec_seq = exec_seq_.fetch_add(1) + 1;
     started = Clock::now();
   }
   JobResult result = execute(state->request);
-  result.engine = state->result.engine;  // id/kind stamped at submit
+  result.engine = state->result.engine;  // id/kind/exec_seq stamped above
   result.timings.queue_ms = ms_between(state->submitted_at, started);
   result.timings.total_ms = result.timings.queue_ms + result.timings.run_ms;
   // Count before publishing: a waiter woken by the notify must already
@@ -437,8 +676,15 @@ JobResult Engine::execute(const JobRequest& request) {
 
   const Clock::time_point start = Clock::now();
   // The job runs to completion on this thread, so the thread-local linalg
-  // tally brackets exactly this job's dense-algebra share.
+  // tally brackets exactly this job's dense-algebra share — and the trace
+  // scope, when requested, brackets exactly this job's kernel stream.
   dft::linalg_timer_reset();
+  std::unique_ptr<TraceRecorder> recorder;
+  std::unique_ptr<TraceScope> scope;
+  if (wants_trace(request)) {
+    recorder = std::make_unique<TraceRecorder>();
+    scope = std::make_unique<TraceScope>(*recorder);
+  }
   try {
     if (const auto* job = std::get_if<ScfJob>(&request)) {
       result.scf = execute_scf(*job);
@@ -450,6 +696,8 @@ JobResult Engine::execute(const JobRequest& request) {
       result.simulate = execute_simulate(*job, system_, config_.system);
     } else if (const auto* job = std::get_if<PlanJob>(&request)) {
       result.plan = execute_plan(*job, system_, config_.system);
+    } else if (const auto* job = std::get_if<CoDesignJob>(&request)) {
+      result.codesign = execute_codesign(*job, system_, config_.system);
     } else {
       throw NdftError("unhandled job kind");
     }
@@ -462,6 +710,10 @@ JobResult Engine::execute(const JobRequest& request) {
     result.status = JobStatus::kFailed;
     result.error = ErrorKind::kInternal;
     result.error_message = error.what();
+  }
+  scope.reset();
+  if (recorder != nullptr && result.status == JobStatus::kOk) {
+    result.trace = recorder->take();
   }
   result.timings.run_ms = ms_between(start, Clock::now());
   result.timings.linalg_ms = dft::linalg_timer_ms();

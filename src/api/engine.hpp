@@ -11,6 +11,13 @@
 // top-level calls), so concurrent jobs produce results bitwise identical
 // to serial execution.
 //
+// The queue is cost-aware: each submission is stamped with an SCA-style
+// estimate of its execution cost (the PlanJob roofline machinery) and
+// dispatchers drain cheapest-first, so light jobs are not stuck behind
+// heavy mixed traffic. Equal-cost jobs keep FIFO submission order, which
+// also keeps the ordering stable for job kinds the estimator treats
+// uniformly.
+//
 // Thread safety: every Engine method may be called from any thread.
 // JobHandles are value types over shared state; status(), cancel() and
 // wait() are safe from any thread.
@@ -42,6 +49,11 @@ struct EngineConfig {
   /// Upper bound on not-yet-started jobs; submit() throws NdftError when
   /// the queue is full (backpressure instead of unbounded growth).
   std::size_t max_pending = 4096;
+  /// Aging escape hatch of the cost-aware queue: once the oldest pending
+  /// job has waited this long, it runs next regardless of cost, so a
+  /// sustained stream of cheap submissions cannot starve a heavy job.
+  /// 0 degenerates to pure FIFO (age always wins).
+  double starvation_limit_ms = 10000.0;
 };
 
 namespace detail {
@@ -51,12 +63,18 @@ struct JobState {
   std::uint64_t id = 0;
   JobRequest request;
   std::chrono::steady_clock::time_point submitted_at;
+  /// Submission-time cost estimate: the queue's priority key (smaller
+  /// drains first; the id breaks ties in FIFO order).
+  TimePs est_cost_ps = 0;
 
   std::mutex mutex;
   std::condition_variable cv;
   JobStatus status = JobStatus::kQueued;  // guarded by mutex
   bool terminal = false;                  // result is final
   JobResult result;                       // valid once terminal
+  /// Taken off the pending queue (guarded by Engine::queue_mutex_); lets
+  /// the submission-order view prune lazily instead of erasing eagerly.
+  bool dequeued = false;
 };
 
 }  // namespace detail
@@ -99,8 +117,10 @@ class Engine {
   /// failures come back as JobResult.status / error.
   JobResult run(const JobRequest& request);
 
-  /// Enqueues `request` for asynchronous execution. Throws NdftError when
-  /// the pending queue is full.
+  /// Enqueues `request` for asynchronous execution, ordered by the
+  /// engine's cost estimate (cheapest jobs drain first; equal estimates
+  /// keep submission order). Throws NdftError when the pending queue is
+  /// full.
   JobHandle submit(JobRequest request);
 
   /// Enqueues a batch in order; equivalent to calling submit() per entry.
@@ -123,6 +143,10 @@ class Engine {
 
  private:
   void dispatcher_loop();
+  /// Removes the next job to run (queue_mutex_ held, queue non-empty):
+  /// the cheapest job, unless the oldest one has aged past the
+  /// starvation limit.
+  std::shared_ptr<detail::JobState> pop_next_locked();
   /// Runs one queued job to its terminal state (dispatcher or drain path).
   void execute_queued(const std::shared_ptr<detail::JobState>& state);
   /// Validation + execution + timing/metadata stamping (no queue logic).
@@ -134,12 +158,19 @@ class Engine {
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;  ///< signals dispatchers: work/stop
   std::condition_variable idle_cv_;   ///< signals drain(): queue empty
+  /// Pending jobs, kept sorted by (est_cost_ps, id): front is always the
+  /// cheapest job, FIFO among equals.
   std::deque<std::shared_ptr<detail::JobState>> queue_;
+  /// The same jobs in submission order (lazily pruned via
+  /// JobState::dequeued), so the starvation check finds the oldest
+  /// pending job in O(1) instead of scanning the queue.
+  std::deque<std::shared_ptr<detail::JobState>> fifo_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> dispatchers_;
 
   std::atomic<std::uint64_t> next_job_id_{1};
+  std::atomic<std::uint64_t> exec_seq_{0};  ///< queued-job start order
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> cancelled_{0};

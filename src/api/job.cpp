@@ -81,7 +81,37 @@ struct Validator {
 
   void operator()(const PlanJob& job) {
     check_atoms(job.atoms, errors);
-    switch (job.granularity) {
+    check_granularity(job.granularity);
+    if (!job.profile_override.empty() && job.profile_override.size() != 2) {
+      errors.push_back(strformat(
+          "profile_override must hold exactly [cpu, ndp] profiles "
+          "(got %zu)", job.profile_override.size()));
+    }
+  }
+
+  void operator()(const CoDesignJob& job) {
+    check_granularity(job.granularity);
+    if (job.trace.events.empty()) {
+      errors.push_back("trace must carry at least one recorded event");
+      return;
+    }
+    bool has_work = false;
+    for (const TraceEvent& event : job.trace.events) {
+      if (event.flops != 0 || event.bytes != 0) has_work = true;
+      if (event.host_ms < 0.0) {
+        errors.push_back(strformat(
+            "trace event '%s' has a negative host time",
+            event.name.c_str()));
+        return;
+      }
+    }
+    if (!has_work) {
+      errors.push_back("trace carries no schedulable kernel work");
+    }
+  }
+
+  void check_granularity(runtime::Granularity granularity) {
+    switch (granularity) {
       case runtime::Granularity::kInstruction:
       case runtime::Granularity::kBasicBlock:
       case runtime::Granularity::kFunction:
@@ -89,11 +119,6 @@ struct Validator {
         break;
       default:
         errors.push_back("unknown granularity");
-    }
-    if (!job.profile_override.empty() && job.profile_override.size() != 2) {
-      errors.push_back(strformat(
-          "profile_override must hold exactly [cpu, ndp] profiles "
-          "(got %zu)", job.profile_override.size()));
     }
   }
 };
@@ -109,6 +134,7 @@ const char* job_kind(const JobRequest& request) noexcept {
     const char* operator()(const LrtddftJob&) const { return "lrtddft"; }
     const char* operator()(const SimulateJob&) const { return "simulate"; }
     const char* operator()(const PlanJob&) const { return "plan"; }
+    const char* operator()(const CoDesignJob&) const { return "codesign"; }
   };
   return std::visit(Namer{}, request);
 }

@@ -14,6 +14,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/kernel_trace.hpp"
 #include "core/report.hpp"
 #include "dft/lrtddft.hpp"
 #include "dft/scf.hpp"
@@ -28,6 +29,9 @@ struct ScfJob {
   std::size_t atoms = 8;        ///< supercell size (multiple of 8)
   double ecut_ry = 4.5;         ///< plane-wave cutoff in Rydberg
   dft::ScfConfig scf;           ///< mixing / tolerance / band controls
+  /// Record the run's kernel trace into JobResult::trace (feeds a
+  /// follow-up CoDesignJob).
+  bool record_trace = false;
 };
 
 /// Cohen-Bergstresser band structure of primitive FCC silicon along
@@ -37,6 +41,8 @@ struct BandStructureJob {
   unsigned segments = 10;       ///< k-points per path leg
   std::size_t bands = 8;        ///< bands kept per k-point
   std::size_t valence_bands = 4;  ///< filled bands for the gap summary
+  /// Record the run's kernel trace into JobResult::trace.
+  bool record_trace = false;
 };
 
 /// Functional LR-TDDFT excitation spectrum on an EPM ground state
@@ -46,6 +52,8 @@ struct LrtddftJob {
   double ecut_ry = 4.5;         ///< plane-wave cutoff in Rydberg
   dft::LrTddftConfig config;    ///< excitation-window controls
   bool oscillator_strengths = false;  ///< also compute optical lines
+  /// Record the run's kernel trace into JobResult::trace.
+  bool record_trace = false;
 };
 
 /// Timing simulation of one LR-TDDFT iteration on one of the paper's
@@ -67,12 +75,27 @@ struct PlanJob {
   std::vector<runtime::DeviceProfile> profile_override;  ///< [cpu, ndp]
 };
 
+/// Replays a recorded kernel trace through the cost-aware scheduler (and
+/// optionally the timing simulation): one Engine call answers "what would
+/// the NDP machine do with *this actual* workload". The trace typically
+/// comes from a previous job run with record_trace set (JobResult::trace).
+struct CoDesignJob {
+  KernelTrace trace;            ///< measured workload to replay
+  runtime::Granularity granularity = runtime::Granularity::kFunction;
+  /// Fit the SCA's CPU-side roofline constants from the measured kernel
+  /// times before planning (runtime::calibrate_cpu).
+  bool calibrate = true;
+  /// Also simulate the planned schedule on the CPU-NDP machine
+  /// (core::NdftSystem::run_planned) and attach the SimulatePayload.
+  bool simulate = true;
+};
+
 /// The closed sum of everything the Engine can execute.
 using JobRequest = std::variant<ScfJob, BandStructureJob, LrtddftJob,
-                                SimulateJob, PlanJob>;
+                                SimulateJob, PlanJob, CoDesignJob>;
 
 /// Stable kind name of a request ("scf", "band_structure", "lrtddft",
-/// "simulate", "plan") — used in results, logs and JSON.
+/// "simulate", "plan", "codesign") — used in results, logs and JSON.
 const char* job_kind(const JobRequest& request) noexcept;
 
 /// Validates a request against the physics/simulation preconditions.

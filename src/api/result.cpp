@@ -335,6 +335,61 @@ PlanPayload plan_from_json(const Json& j) {
   return p;
 }
 
+Json to_json(const CalibrationPayload& p) {
+  Json j = Json::object();
+  j.set("calibrated", p.calibrated);
+  j.set("peak_gflops", p.peak_gflops);
+  j.set("dram_gbps", p.dram_gbps);
+  j.set("blocked_efficiency", p.blocked_efficiency);
+  j.set("max_ratio", p.max_ratio);
+  j.set("fitted_events", p.fitted_events);
+  j.set("fitted_ms", p.fitted_ms);
+  return j;
+}
+
+CalibrationPayload calibration_from_json(const Json& j) {
+  CalibrationPayload p;
+  p.calibrated = j.at("calibrated").as_bool();
+  p.peak_gflops = j.at("peak_gflops").as_double();
+  p.dram_gbps = j.at("dram_gbps").as_double();
+  p.blocked_efficiency = j.at("blocked_efficiency").as_double();
+  p.max_ratio = j.at("max_ratio").as_double();
+  p.fitted_events = j.at("fitted_events").as_uint();
+  p.fitted_ms = j.at("fitted_ms").as_double();
+  return p;
+}
+
+Json to_json(const CoDesignPayload& p) {
+  Json j = Json::object();
+  j.set("trace_events", p.trace_events);
+  j.set("trace_atoms", p.trace_atoms);
+  j.set("trace_flops", p.trace_flops);
+  j.set("trace_bytes", p.trace_bytes);
+  j.set("trace_host_ms", p.trace_host_ms);
+  j.set("trace_truncated", p.trace_truncated);
+  j.set("calibration", to_json(p.calibration));
+  j.set("plan", to_json(p.plan));
+  j.set("simulate", p.simulate ? to_json(*p.simulate) : Json());
+  return j;
+}
+
+CoDesignPayload codesign_from_json(const Json& j) {
+  CoDesignPayload p;
+  p.trace_events = j.at("trace_events").as_uint();
+  p.trace_atoms = j.at("trace_atoms").as_uint();
+  p.trace_flops = j.at("trace_flops").as_uint();
+  p.trace_bytes = j.at("trace_bytes").as_uint();
+  p.trace_host_ms = j.at("trace_host_ms").as_double();
+  p.trace_truncated = j.at("trace_truncated").as_bool();
+  p.calibration = calibration_from_json(j.at("calibration"));
+  p.plan = plan_from_json(j.at("plan"));
+  const Json& simulate = j.at("simulate");
+  if (!simulate.is_null()) {
+    p.simulate = simulate_from_json(simulate);
+  }
+  return p;
+}
+
 }  // namespace
 
 const char* to_string(JobStatus status) noexcept {
@@ -385,6 +440,7 @@ Json JobResult::to_json() const {
   engine_json.set("job_id", engine.job_id);
   engine_json.set("pool_threads", engine.pool_threads);
   engine_json.set("dispatch_threads", engine.dispatch_threads);
+  engine_json.set("exec_seq", engine.exec_seq);
   j.set("engine", std::move(engine_json));
 
   Json payload = Json();  // null unless a payload is engaged
@@ -393,7 +449,11 @@ Json JobResult::to_json() const {
   else if (lrtddft) payload = api::to_json(*lrtddft);
   else if (simulate) payload = api::to_json(*simulate);
   else if (plan) payload = api::to_json(*plan);
+  else if (codesign) payload = api::to_json(*codesign);
   j.set("payload", std::move(payload));
+  // Additive since the schema's first emission: the recorded kernel
+  // trace rides along when the request asked for one.
+  j.set("trace", trace ? trace->to_json() : Json());
   return j;
 }
 
@@ -429,6 +489,10 @@ JobResult JobResult::from_json(const Json& json) {
   result.engine.pool_threads = engine_json.at("pool_threads").as_uint();
   result.engine.dispatch_threads =
       engine_json.at("dispatch_threads").as_uint();
+  // Additive since the cost-aware queue; absent in older documents.
+  if (const Json* seq = engine_json.find("exec_seq")) {
+    result.engine.exec_seq = seq->as_uint();
+  }
 
   const Json& payload = json.at("payload");
   if (!payload.is_null()) {
@@ -440,7 +504,16 @@ JobResult JobResult::from_json(const Json& json) {
     else if (kind == "simulate")
       result.simulate = simulate_from_json(payload);
     else if (kind == "plan") result.plan = plan_from_json(payload);
+    else if (kind == "codesign")
+      result.codesign = codesign_from_json(payload);
     else throw NdftError("unknown payload kind: " + kind);
+  }
+  // Absent in documents emitted before traces existed; null when the
+  // request did not record one.
+  if (const Json* trace_json = json.find("trace")) {
+    if (!trace_json->is_null()) {
+      result.trace = KernelTrace::from_json(*trace_json);
+    }
   }
   return result;
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/kernel_trace.hpp"
 #include "common/types.hpp"
 #include "core/report.hpp"
 #include "runtime/scheduler.hpp"
@@ -53,6 +54,10 @@ struct EngineInfo {
   std::string kind;              ///< job kind name ("scf", "simulate", ...)
   std::size_t pool_threads = 0;  ///< shared kernel thread-pool width
   std::size_t dispatch_threads = 0;  ///< async queue drain width
+  /// Order in which the engine started executing this job relative to
+  /// the other queued jobs (1-based; 0 for synchronous run()). Makes the
+  /// cost-aware queue ordering observable.
+  std::uint64_t exec_seq = 0;
 };
 
 // ---------------------------------------------------------------- payloads
@@ -173,6 +178,36 @@ struct PlanPayload {
   }
 };
 
+/// Fitted CPU-side roofline constants (CoDesignJob with calibrate).
+struct CalibrationPayload {
+  bool calibrated = false;
+  double peak_gflops = 0.0;
+  double dram_gbps = 0.0;
+  double blocked_efficiency = 0.0;
+  /// Worst est/measured multiplicative mismatch across fitted kernels.
+  double max_ratio = 0.0;
+  std::size_t fitted_events = 0;
+  double fitted_ms = 0.0;
+};
+
+/// Trace replay through the co-design loop (CoDesignJob): the schedule
+/// the NDP machine would use for the measured workload, the calibration
+/// behind its CPU-side estimates, and optionally the simulated execution
+/// of that schedule.
+struct CoDesignPayload {
+  std::size_t trace_events = 0;       ///< events replayed
+  std::size_t trace_atoms = 0;
+  Flops trace_flops = 0;
+  Bytes trace_bytes = 0;
+  double trace_host_ms = 0.0;         ///< measured wall time of the trace
+  /// True when the recorder hit its event cap: the trace (and therefore
+  /// this plan) covers only a prefix of the recorded run.
+  bool trace_truncated = false;
+  CalibrationPayload calibration;
+  PlanPayload plan;                   ///< placements / crossings / estimates
+  std::optional<SimulatePayload> simulate;  ///< engaged when requested
+};
+
 // ----------------------------------------------------------------- result
 
 /// The structured result of one job. Exactly one payload member is
@@ -190,6 +225,11 @@ struct JobResult {
   std::optional<LrtddftPayload> lrtddft;
   std::optional<SimulatePayload> simulate;
   std::optional<PlanPayload> plan;
+  std::optional<CoDesignPayload> codesign;
+
+  /// Kernel trace of the run, engaged when the request set record_trace
+  /// (serialized additively under "trace"; older documents omit it).
+  std::optional<KernelTrace> trace;
 
   bool ok() const noexcept { return status == JobStatus::kOk; }
 

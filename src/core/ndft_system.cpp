@@ -128,6 +128,11 @@ dft::Workload NdftSystem::workload_for(std::size_t atoms) const {
   return dft::Workload::lrtddft_iteration(dft::SystemDims::silicon(atoms));
 }
 
+dft::Workload NdftSystem::workload_from_trace(
+    const KernelTrace& trace) const {
+  return dft::Workload::from_trace(trace);
+}
+
 runtime::ExecutionPlan NdftSystem::plan(
     const dft::Workload& workload, runtime::Granularity granularity) const {
   const runtime::Sca sca(config_.cpu_profile, config_.ndp_profile);

@@ -31,6 +31,12 @@ class NdftSystem {
   /// The representative LR-TDDFT iteration for an Si_n system.
   dft::Workload workload_for(std::size_t atoms) const;
 
+  /// A measured workload rebuilt from a recorded kernel trace; plan() and
+  /// run() accept it interchangeably with the analytic model (the
+  /// co-design loop: record a real DFT run, replay it on the simulated
+  /// machine).
+  dft::Workload workload_from_trace(const KernelTrace& trace) const;
+
   /// The cost-aware schedule NDFT would use for a workload.
   runtime::ExecutionPlan plan(
       const dft::Workload& workload,

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/kernel_trace.hpp"
+
 namespace ndft::dft {
 namespace {
 
@@ -70,12 +72,20 @@ DavidsonResult davidson(std::size_t n, const ApplyFn& apply,
   for (unsigned iteration = 1; iteration <= config.max_iterations;
        ++iteration) {
     result.iterations = iteration;
-    // Apply the operator to any new basis vectors.
-    while (applied.size() < basis.size()) {
-      std::vector<double> w(n);
-      apply(basis[applied.size()], w);
-      ++result.operator_applications;
-      applied.push_back(std::move(w));
+    // Apply the operator to any new basis vectors. The batch is one trace
+    // event (the paper's response-GEMM hot loop); matrix-free callbacks
+    // account their own work through trace_add_work.
+    {
+      TraceRegion region(KernelClass::kGemm, "davidson.apply");
+      region.set_dims(n, basis.size() - applied.size(), 0);
+      region.set_io((basis.size() - applied.size()) * n * sizeof(double),
+                    (basis.size() - applied.size()) * n * sizeof(double));
+      while (applied.size() < basis.size()) {
+        std::vector<double> w(n);
+        apply(basis[applied.size()], w);
+        ++result.operator_applications;
+        applied.push_back(std::move(w));
+      }
     }
 
     // Rayleigh-Ritz in the subspace, through the blocked GEMM kernels:
@@ -197,6 +207,7 @@ DavidsonResult davidson(const RealMatrix& symmetric,
       for (std::size_t j = 0; j < n; ++j) acc += row[j] * x[j];
       y[i] = acc;
     }
+    trace_add_work(2ull * n * n, (n * n + 2 * n) * sizeof(double));
   };
   return davidson(n, apply, diagonal, config);
 }

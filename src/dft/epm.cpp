@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/kernel_trace.hpp"
 #include "common/thread_pool.hpp"
 
 namespace ndft::dft {
@@ -58,20 +59,31 @@ GroundState solve_epm(const PlaneWaveBasis& basis, std::size_t bands,
   const std::size_t n = basis.size();
   NDFT_REQUIRE(n > 0, "empty plane-wave basis");
   const auto& g = basis.gvectors();
+  const TraceStage trace_stage("epm");
+  trace_set_system(basis.crystal().atom_count(), n, basis.fft_size());
 
   // Rows of the upper triangle are independent: assemble on the thread
   // pool, then mirror (each pass writes disjoint rows, so the result is
   // identical for any thread count).
   RealMatrix hamiltonian(n, n);
-  parallel_for(0, n, parallel_grain(n), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      hamiltonian(i, i) = 0.5 * g[i].g2;
-      for (std::size_t j = i + 1; j < n; ++j) {
-        hamiltonian(i, j) = epm_potential(basis.crystal(), g[i], g[j]);
-      }
-    }
-  });
-  mirror_upper(hamiltonian);
+  {
+    TraceRegion region(KernelClass::kOther, "epm.assembly");
+    region.set_dims(n, n, 0);
+    region.add_work(static_cast<Flops>(n) * n * 8,
+                    static_cast<Bytes>(n) * n * sizeof(double));
+    region.set_io(0, static_cast<Bytes>(n) * n * sizeof(double));
+    parallel_for(0, n, parallel_grain(n),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) {
+                     hamiltonian(i, i) = 0.5 * g[i].g2;
+                     for (std::size_t j = i + 1; j < n; ++j) {
+                       hamiltonian(i, j) =
+                           epm_potential(basis.crystal(), g[i], g[j]);
+                     }
+                   }
+                 });
+    mirror_upper(hamiltonian);
+  }
   if (count != nullptr) {
     count->add(static_cast<Flops>(n) * n * 8,
                static_cast<Bytes>(n) * n * sizeof(double));

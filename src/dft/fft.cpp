@@ -5,6 +5,7 @@
 #include <numbers>
 #include <unordered_map>
 
+#include "common/kernel_trace.hpp"
 #include "common/math_util.hpp"
 #include "common/thread_pool.hpp"
 
@@ -344,6 +345,11 @@ void fft3d(Grid3& grid, FftDirection direction, OpCount* count) {
   const std::size_t ny = grid.ny();
   const std::size_t nz = grid.nz();
   NDFT_REQUIRE(nx > 0 && ny > 0 && nz > 0, "fft3d on an empty grid");
+  KernelTimer trace(KernelClass::kFft, "fft3d");
+  trace.set_dims(nx, ny, nz);
+  trace.set_work(fft_flops(grid.size()),
+                 static_cast<Bytes>(6) * grid.size() * sizeof(Complex));
+  trace.set_io(grid.size() * sizeof(Complex), grid.size() * sizeof(Complex));
   Complex* data = grid.raw().data();
 
   // X lines are contiguous rows of the storage: transform them in place,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/kernel_trace.hpp"
+#include "common/str_util.hpp"
 #include "dft/linalg.hpp"
 
 namespace ndft::dft {
@@ -82,13 +84,20 @@ BandsAtK solve_epm_at_k(const PlaneWaveBasis& basis, const KPoint& kpoint,
   const auto& g = basis.gvectors();
 
   RealMatrix hamiltonian(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Vec3 kg = kpoint.k + g[i].g;
-    hamiltonian(i, i) = 0.5 * kg.norm2();
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double v = epm_potential(basis.crystal(), g[i], g[j]);
-      hamiltonian(i, j) = v;
-      hamiltonian(j, i) = v;
+  {
+    TraceRegion region(KernelClass::kOther, "bands.assembly");
+    region.set_dims(n, n, 0);
+    region.add_work(static_cast<Flops>(n) * n * 8,
+                    static_cast<Bytes>(n) * n * sizeof(double));
+    region.set_io(0, static_cast<Bytes>(n) * n * sizeof(double));
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec3 kg = kpoint.k + g[i].g;
+      hamiltonian(i, i) = 0.5 * kg.norm2();
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double v = epm_potential(basis.crystal(), g[i], g[j]);
+        hamiltonian(i, j) = v;
+        hamiltonian(j, i) = v;
+      }
     }
   }
   EigenResult eigen = syevd(hamiltonian);
@@ -105,9 +114,17 @@ BandsAtK solve_epm_at_k(const PlaneWaveBasis& basis, const KPoint& kpoint,
 std::vector<BandsAtK> band_structure(const PlaneWaveBasis& basis,
                                      const std::vector<KPoint>& path,
                                      std::size_t bands) {
+  trace_set_system(basis.crystal().atom_count(), basis.size(),
+                   basis.fft_size());
   std::vector<BandsAtK> result;
   result.reserve(path.size());
-  for (const KPoint& kp : path) {
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const KPoint& kp = path[i];
+    const TraceStage trace_stage(
+        trace_active()
+            ? strformat("bands[%zu]%s%s", i, kp.label.empty() ? "" : ":",
+                        kp.label.c_str())
+            : std::string());
     result.push_back(solve_epm_at_k(basis, kp, bands));
   }
   return result;

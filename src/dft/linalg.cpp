@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/kernel_trace.hpp"
 #include "common/math_util.hpp"
 #include "common/thread_pool.hpp"
 
@@ -567,12 +568,11 @@ void sort_eigenpairs(const std::vector<double>& d, const RealMatrix& z,
   result.eigenvectors = std::move(sorted);
 }
 
-/// Analytic SYEVD tally shared by both solvers: ~(4/3)n^3 for the
-/// reduction plus ~6n^3 for rotations with eigenvectors.
+/// Analytic SYEVD tally shared by both solvers (the syevd_cost formula).
 void count_syevd(std::size_t n, OpCount* count) {
   if (count == nullptr) return;
-  const auto cubic = static_cast<Flops>(n) * n * n;
-  count->add(cubic * 22 / 3, 3 * n * n * sizeof(double));
+  const SyevdCost cost = syevd_cost(n);
+  count->add(cost.flops, cost.bytes);
 }
 
 /// Conjugates complex values when `Conj`; the identity for doubles.
@@ -922,6 +922,16 @@ void gemm(const RealMatrix& a, const RealMatrix& b, RealMatrix& c,
           double alpha, double beta, bool transpose_a, bool transpose_b,
           OpCount* count) {
   LinalgTimerScope timer;
+  KernelTimer trace(KernelClass::kGemm, "gemm");
+  {
+    const std::size_t m = transpose_a ? a.cols() : a.rows();
+    const std::size_t k = transpose_a ? a.rows() : a.cols();
+    const std::size_t n = transpose_b ? b.rows() : b.cols();
+    trace.set_dims(m, n, k);
+    trace.set_work(2ull * m * n * k,
+                   (m * k + k * n + 2 * m * n) * sizeof(double));
+    trace.set_io((m * k + k * n) * sizeof(double), m * n * sizeof(double));
+  }
   gemm_impl(a, b, c, alpha, beta, transpose_a, transpose_b);
   if (count != nullptr) {
     const std::size_t m = transpose_a ? a.cols() : a.rows();
@@ -936,6 +946,16 @@ void gemm(const ComplexMatrix& a, const ComplexMatrix& b, ComplexMatrix& c,
           Complex alpha, Complex beta, bool conj_transpose_a,
           bool transpose_b, OpCount* count) {
   LinalgTimerScope timer;
+  KernelTimer trace(KernelClass::kGemm, "gemm.c");
+  {
+    const std::size_t m = conj_transpose_a ? a.cols() : a.rows();
+    const std::size_t k = conj_transpose_a ? a.rows() : a.cols();
+    const std::size_t n = transpose_b ? b.rows() : b.cols();
+    trace.set_dims(m, n, k);
+    trace.set_work(8ull * m * n * k,
+                   (m * k + k * n + 2 * m * n) * sizeof(Complex));
+    trace.set_io((m * k + k * n) * sizeof(Complex), m * n * sizeof(Complex));
+  }
   gemm_impl(a, b, c, alpha, beta, conj_transpose_a, transpose_b);
   if (count != nullptr) {
     const std::size_t m = conj_transpose_a ? a.cols() : a.rows();
@@ -976,9 +996,16 @@ void gemm_naive(const ComplexMatrix& a, const ComplexMatrix& b,
 
 EigenResult syevd(const RealMatrix& symmetric, OpCount* count) {
   LinalgTimerScope timer;
+  KernelTimer trace(KernelClass::kSyevd, "syevd");
   NDFT_REQUIRE(symmetric.rows() == symmetric.cols(),
                "syevd: matrix must be square");
   const std::size_t n = symmetric.rows();
+  trace.set_dims(n, n, 0);
+  {
+    const SyevdCost cost = syevd_cost(n);
+    trace.set_work(cost.flops, cost.bytes);
+  }
+  trace.set_io(n * n * sizeof(double), (n * n + n) * sizeof(double));
   EigenResult result;
   if (n == 0) return result;
 
@@ -1027,9 +1054,19 @@ EigenResult syevd_naive(const RealMatrix& symmetric, OpCount* count) {
 
 HermitianEigenResult heev(const ComplexMatrix& hermitian, OpCount* count) {
   LinalgTimerScope timer;
+  KernelTimer trace(KernelClass::kSyevd, "heev");
   NDFT_REQUIRE(hermitian.rows() == hermitian.cols(),
                "heev: matrix must be square");
   const std::size_t n = hermitian.rows();
+  // Dims and costs follow the 2n x 2n real embedding the solve actually
+  // runs: the trace consumers' SYEVD reuse model keys its arithmetic
+  // intensity off dims[0], which must name the executed solve size.
+  trace.set_dims(2 * n, 2 * n, 0);
+  {
+    const SyevdCost cost = syevd_cost(2 * n);
+    trace.set_work(cost.flops, cost.bytes);
+  }
+  trace.set_io(n * n * sizeof(Complex), (n * n + n) * sizeof(Complex));
   // Real embedding M = [[A, -B], [B, A]] for H = A + iB: the Hermitian
   // solve rides the blocked real path.
   RealMatrix embedded(2 * n, 2 * n);
@@ -1080,6 +1117,11 @@ HermitianEigenResult heev(const ComplexMatrix& hermitian, OpCount* count) {
     }
   }
   return result;
+}
+
+SyevdCost syevd_cost(std::size_t n) noexcept {
+  const auto cubic = static_cast<Flops>(n) * n * n;
+  return {cubic * 22 / 3, 3ull * n * n * sizeof(double)};
 }
 
 void linalg_timer_reset() noexcept { tl_linalg_ms = 0.0; }

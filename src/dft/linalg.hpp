@@ -63,6 +63,17 @@ void gemm_naive(const ComplexMatrix& a, const ComplexMatrix& b,
                 bool conj_transpose_a = false, bool transpose_b = false,
                 OpCount* count = nullptr);
 
+/// Analytic cost tally of a full-spectrum n x n symmetric eigensolve:
+/// ~(4/3)n^3 flops for the reduction plus ~6n^3 for rotations with
+/// eigenvectors (22 n^3 / 3 total) over the 3 n^2 matrix doubles. The
+/// one formula shared by the solvers' OpCount/trace accounting, the
+/// analytic workload descriptors and the Engine's queue estimator.
+struct SyevdCost {
+  Flops flops = 0;
+  Bytes bytes = 0;
+};
+SyevdCost syevd_cost(std::size_t n) noexcept;
+
 /// Result of a symmetric eigensolve.
 struct EigenResult {
   std::vector<double> eigenvalues;  ///< ascending

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/kernel_trace.hpp"
 #include "common/thread_pool.hpp"
 
 namespace ndft::dft {
@@ -80,6 +81,8 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
   const auto dims = basis.fft_dims();
   const std::size_t nr = basis.fft_size();
   const double omega = basis.crystal().volume();
+  const TraceStage trace_stage("lrtddft");
+  trace_set_system(basis.crystal().atom_count(), basis.size(), nr);
 
   // Real-space orbitals for the window (valence then conduction).
   std::vector<Grid3> valence;
@@ -128,6 +131,12 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
   ComplexMatrix pair_real(npair, nr);
   {
     OpCount& oc = counts[KernelClass::kFaceSplit];
+    TraceRegion region(KernelClass::kFaceSplit, "facesplit");
+    region.set_dims(npair, nr, 0);
+    region.add_work(6ull * npair * nr,
+                    static_cast<Bytes>(npair) * nr * 3 * sizeof(Complex));
+    region.set_io(static_cast<Bytes>(nv + nc) * nr * sizeof(Complex),
+                  static_cast<Bytes>(npair) * nr * sizeof(Complex));
     parallel_for(0, npair, parallel_grain(nr),
                  [&](std::size_t lo, std::size_t hi) {
                    for (std::size_t p = lo; p < hi; ++p) {
@@ -148,19 +157,32 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
   // line loops serial inside each task); the per-transform OpCount tally
   // is added afterwards, identical to per-call accumulation.
   ComplexMatrix pair_recip(npair, nr);
-  parallel_for(0, npair, 1, [&](std::size_t lo, std::size_t hi) {
-    Grid3 grid(dims[0], dims[1], dims[2]);
-    const double element = omega / static_cast<double>(nr);
-    for (std::size_t p = lo; p < hi; ++p) {
-      std::copy(pair_real.row(p), pair_real.row(p) + nr, grid.raw().begin());
-      fft3d(grid, FftDirection::kForward);
-      // Forward FFT sum -> density Fourier coefficients need the grid
-      // volume element Omega/Nr.
-      for (std::size_t i = 0; i < nr; ++i) {
-        pair_recip(p, i) = grid[i] * element;
+  {
+    // The per-pair transforms run across the pool, so the individual
+    // fft3d entries must not emit (the calling thread's inline chunk
+    // would make the event stream depend on the pool width); the batch
+    // is one aggregated trace event with the same analytic tally.
+    TraceRegion region(KernelClass::kFft, "fft.pairs");
+    region.set_dims(dims[0], dims[1], dims[2]);
+    region.add_work(static_cast<Flops>(npair) * fft_flops(nr),
+                    static_cast<Bytes>(npair) * 6 * nr * sizeof(Complex));
+    region.set_io(static_cast<Bytes>(npair) * nr * sizeof(Complex),
+                  static_cast<Bytes>(npair) * nr * sizeof(Complex));
+    parallel_for(0, npair, 1, [&](std::size_t lo, std::size_t hi) {
+      Grid3 grid(dims[0], dims[1], dims[2]);
+      const double element = omega / static_cast<double>(nr);
+      for (std::size_t p = lo; p < hi; ++p) {
+        std::copy(pair_real.row(p), pair_real.row(p) + nr,
+                  grid.raw().begin());
+        fft3d(grid, FftDirection::kForward);
+        // Forward FFT sum -> density Fourier coefficients need the grid
+        // volume element Omega/Nr.
+        for (std::size_t i = 0; i < nr; ++i) {
+          pair_recip(p, i) = grid[i] * element;
+        }
       }
-    }
-  });
+    });
+  }
   counts[KernelClass::kFft].add(
       static_cast<Flops>(npair) * fft_flops(nr),
       static_cast<Bytes>(npair) * 6 * nr * sizeof(Complex));
@@ -172,6 +194,12 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
   ComplexMatrix pair_coulomb = pair_recip;
   {
     OpCount& oc = counts[KernelClass::kFaceSplit];
+    TraceRegion region(KernelClass::kFaceSplit, "coulomb");
+    region.set_dims(npair, nr, 0);
+    region.add_work(2ull * npair * nr,
+                    static_cast<Bytes>(npair) * nr * 2 * sizeof(Complex));
+    region.set_io(static_cast<Bytes>(npair) * nr * sizeof(Complex),
+                  static_cast<Bytes>(npair) * nr * sizeof(Complex));
     std::vector<double> weight(nr, 0.0);
     // Build |G|^2 on the full FFT grid from the basis mapping: grid points
     // not covered by any basis vector carry higher |G|^2 than the cutoff;
@@ -210,6 +238,12 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
     const double element = omega / static_cast<double>(nr);
     {
       OpCount& oc = counts[KernelClass::kFaceSplit];
+      TraceRegion region(KernelClass::kFaceSplit, "xc.weight");
+      region.set_dims(npair, nr, 0);
+      region.add_work(2ull * npair * nr,
+                      static_cast<Bytes>(npair) * nr * 2 * sizeof(Complex));
+      region.set_io(static_cast<Bytes>(npair) * nr * sizeof(Complex),
+                    static_cast<Bytes>(npair) * nr * sizeof(Complex));
       parallel_for(0, npair, parallel_grain(nr),
                    [&](std::size_t lo, std::size_t hi) {
                      for (std::size_t p = lo; p < hi; ++p) {
@@ -234,24 +268,32 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
   // when every orbital happens to be real in real space.
   const std::vector<double> diagonal = transition_energies(ground, config);
   ComplexMatrix a_matrix(npair, npair);
-  for (std::size_t p = 0; p < npair; ++p) {
-    for (std::size_t q = 0; q < npair; ++q) {
-      Complex value = config.spin_factor *
-                      (k_hartree(p, q) +
-                       (config.include_xc ? k_xc(p, q) : Complex{}));
-      if (p == q) {
-        value = Complex{value.real() + diagonal[p], 0.0};
+  {
+    TraceRegion region(KernelClass::kOther, "assemble");
+    region.set_dims(npair, npair, 0);
+    region.add_work(6ull * npair * npair,
+                    static_cast<Bytes>(npair) * npair * 3 * sizeof(Complex));
+    region.set_io(static_cast<Bytes>(npair) * npair * 2 * sizeof(Complex),
+                  static_cast<Bytes>(npair) * npair * sizeof(Complex));
+    for (std::size_t p = 0; p < npair; ++p) {
+      for (std::size_t q = 0; q < npair; ++q) {
+        Complex value = config.spin_factor *
+                        (k_hartree(p, q) +
+                         (config.include_xc ? k_xc(p, q) : Complex{}));
+        if (p == q) {
+          value = Complex{value.real() + diagonal[p], 0.0};
+        }
+        a_matrix(p, q) = value;
       }
-      a_matrix(p, q) = value;
     }
-  }
-  for (std::size_t p = 0; p < npair; ++p) {
-    a_matrix(p, p) = Complex{a_matrix(p, p).real(), 0.0};
-    for (std::size_t q = p + 1; q < npair; ++q) {
-      const Complex mean =
-          0.5 * (a_matrix(p, q) + std::conj(a_matrix(q, p)));
-      a_matrix(p, q) = mean;
-      a_matrix(q, p) = std::conj(mean);
+    for (std::size_t p = 0; p < npair; ++p) {
+      a_matrix(p, p) = Complex{a_matrix(p, p).real(), 0.0};
+      for (std::size_t q = p + 1; q < npair; ++q) {
+        const Complex mean =
+            0.5 * (a_matrix(p, q) + std::conj(a_matrix(q, p)));
+        a_matrix(p, q) = mean;
+        a_matrix(q, p) = std::conj(mean);
+      }
     }
   }
 

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <numbers>
 
+#include "common/kernel_trace.hpp"
+#include "common/str_util.hpp"
 #include "common/thread_pool.hpp"
 #include "dft/linalg.hpp"
 
@@ -150,41 +152,55 @@ ScfResult solve_scf(const PlaneWaveBasis& basis, const ScfConfig& config) {
   const std::size_t dim_k = static_cast<std::size_t>(4 * span_k + 1);
   const std::size_t dim_l = static_cast<std::size_t>(4 * span_l + 1);
   std::vector<double> v_ion_table(dim_h * dim_k * dim_l);
-  parallel_for(
-      0, dim_h, parallel_grain(dim_k * dim_l * crystal.atom_count()),
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t th = lo; th < hi; ++th) {
-          const int dh = static_cast<int>(th) - 2 * span_h;
-          for (std::size_t tk = 0; tk < dim_k; ++tk) {
-            const int dk = static_cast<int>(tk) - 2 * span_k;
-            for (std::size_t tl = 0; tl < dim_l; ++tl) {
-              const int dl = static_cast<int>(tl) - 2 * span_l;
-              const Vec3 dg = crystal.b1() * static_cast<double>(dh) +
-                              crystal.b2() * static_cast<double>(dk) +
-                              crystal.b3() * static_cast<double>(dl);
-              v_ion_table[(th * dim_k + tk) * dim_l + tl] =
-                  ashcroft_potential(crystal, dg, config.valence_charge,
-                                     config.core_radius_bohr);
+  RealMatrix v_ion(n_g, n_g);
+  trace_set_system(crystal.atom_count(), n_g, nr);
+  {
+    // One trace event for the per-geometry ionic-potential tabulation:
+    // ~20 flops per cos() plus the dot product, per table entry per atom,
+    // and the O(n_g^2) lookup assembly.
+    TraceRegion region(KernelClass::kOther, "scf.v_ion");
+    region.set_dims(n_g, n_g, 0);
+    region.add_work(static_cast<Flops>(v_ion_table.size()) *
+                            (24 * crystal.atom_count() + 8) +
+                        static_cast<Flops>(n_g) * n_g,
+                    v_ion_table.size() * sizeof(double) +
+                        static_cast<Bytes>(n_g) * n_g * sizeof(double));
+    region.set_io(0, static_cast<Bytes>(n_g) * n_g * sizeof(double));
+    parallel_for(
+        0, dim_h, parallel_grain(dim_k * dim_l * crystal.atom_count()),
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t th = lo; th < hi; ++th) {
+            const int dh = static_cast<int>(th) - 2 * span_h;
+            for (std::size_t tk = 0; tk < dim_k; ++tk) {
+              const int dk = static_cast<int>(tk) - 2 * span_k;
+              for (std::size_t tl = 0; tl < dim_l; ++tl) {
+                const int dl = static_cast<int>(tl) - 2 * span_l;
+                const Vec3 dg = crystal.b1() * static_cast<double>(dh) +
+                                crystal.b2() * static_cast<double>(dk) +
+                                crystal.b3() * static_cast<double>(dl);
+                v_ion_table[(th * dim_k + tk) * dim_l + tl] =
+                    ashcroft_potential(crystal, dg, config.valence_charge,
+                                       config.core_radius_bohr);
+              }
             }
           }
-        }
-      });
-  const auto v_ion_at = [&](const GVector& a, const GVector& b) {
-    const std::size_t th = static_cast<std::size_t>(a.h - b.h + 2 * span_h);
-    const std::size_t tk = static_cast<std::size_t>(a.k - b.k + 2 * span_k);
-    const std::size_t tl = static_cast<std::size_t>(a.l - b.l + 2 * span_l);
-    return v_ion_table[(th * dim_k + tk) * dim_l + tl];
-  };
-  RealMatrix v_ion(n_g, n_g);
-  parallel_for(0, n_g, parallel_grain(n_g),
-               [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t i = lo; i < hi; ++i) {
-                   for (std::size_t j = i; j < n_g; ++j) {
-                     v_ion(i, j) = v_ion_at(g[i], g[j]);
+        });
+    const auto v_ion_at = [&](const GVector& a, const GVector& b) {
+      const std::size_t th = static_cast<std::size_t>(a.h - b.h + 2 * span_h);
+      const std::size_t tk = static_cast<std::size_t>(a.k - b.k + 2 * span_k);
+      const std::size_t tl = static_cast<std::size_t>(a.l - b.l + 2 * span_l);
+      return v_ion_table[(th * dim_k + tk) * dim_l + tl];
+    };
+    parallel_for(0, n_g, parallel_grain(n_g),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) {
+                     for (std::size_t j = i; j < n_g; ++j) {
+                       v_ion(i, j) = v_ion_at(g[i], g[j]);
+                     }
                    }
-                 }
-               });
-  mirror_upper(v_ion);
+                 });
+    mirror_upper(v_ion);
+  }
 
   // Integer grid offsets for assembling V_eff(G_i - G_j) from the FFT grid.
   const auto wrap = [](int idx, std::size_t n) {
@@ -204,6 +220,8 @@ ScfResult solve_scf(const PlaneWaveBasis& basis, const ScfConfig& config) {
   GroundState state;
   for (unsigned iteration = 0; iteration < config.max_iterations;
        ++iteration) {
+    const TraceStage trace_stage(
+        trace_active() ? strformat("scf[%u]", iteration) : std::string());
     // --- effective potential on the grid.
     // Hartree: V_H(G) = 4 pi n(G) / G^2, via FFT of the density.
     Grid3 density_grid(dims[0], dims[1], dims[2]);
@@ -243,23 +261,31 @@ ScfResult solve_scf(const PlaneWaveBasis& basis, const ScfConfig& config) {
     const double veff_norm = 1.0 / static_cast<double>(nr);
 
     RealMatrix hamiltonian(n_g, n_g);
-    parallel_for(
-        0, n_g, parallel_grain(n_g), [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t i = lo; i < hi; ++i) {
-            hamiltonian(i, i) = 0.5 * g[i].g2 + v_ion(i, i) +
-                                veff_grid[0].real() * veff_norm;
-            for (std::size_t j = i + 1; j < n_g; ++j) {
-              const std::size_t ix = wrap(g[i].h - g[j].h, dims[0]);
-              const std::size_t iy = wrap(g[i].k - g[j].k, dims[1]);
-              const std::size_t iz = wrap(g[i].l - g[j].l, dims[2]);
-              // Inversion-symmetric cell: V_eff(G) is real; symmetrise
-              // away the residual imaginary part from the finite grid.
-              hamiltonian(i, j) =
-                  veff_grid.at(ix, iy, iz).real() * veff_norm + v_ion(i, j);
+    {
+      TraceRegion region(KernelClass::kOther, "scf.hamiltonian");
+      region.set_dims(n_g, n_g, 0);
+      region.add_work(3ull * n_g * n_g,
+                      3ull * n_g * n_g * sizeof(double));
+      region.set_io(static_cast<Bytes>(nr) * sizeof(Complex),
+                    static_cast<Bytes>(n_g) * n_g * sizeof(double));
+      parallel_for(
+          0, n_g, parallel_grain(n_g), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              hamiltonian(i, i) = 0.5 * g[i].g2 + v_ion(i, i) +
+                                  veff_grid[0].real() * veff_norm;
+              for (std::size_t j = i + 1; j < n_g; ++j) {
+                const std::size_t ix = wrap(g[i].h - g[j].h, dims[0]);
+                const std::size_t iy = wrap(g[i].k - g[j].k, dims[1]);
+                const std::size_t iz = wrap(g[i].l - g[j].l, dims[2]);
+                // Inversion-symmetric cell: V_eff(G) is real; symmetrise
+                // away the residual imaginary part from the finite grid.
+                hamiltonian(i, j) =
+                    veff_grid.at(ix, iy, iz).real() * veff_norm + v_ion(i, j);
+              }
             }
-          }
-        });
-    mirror_upper(hamiltonian);
+          });
+      mirror_upper(hamiltonian);
+    }
 
     EigenResult eigen = syevd(hamiltonian);
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/kernel_trace.hpp"
 #include "common/types.hpp"
 #include "dft/pseudopotential.hpp"
 
@@ -90,6 +91,22 @@ struct Workload {
   /// Builds the representative LR-TDDFT iteration for the dimensions.
   static Workload lrtddft_iteration(const SystemDims& dims,
                                     const PseudoSizing& sizing = {});
+
+  /// Builds a workload from a measured kernel trace (the co-design path):
+  /// every recorded event becomes one KernelWork in trace order, with the
+  /// DRAM-level traffic estimated by the class-specific reuse model of
+  /// kernel_work_from_event. System dimensions come from the trace's
+  /// recorded atoms/basis/grid. Throws NdftError on an empty trace.
+  static Workload from_trace(const KernelTrace& trace,
+                             const PseudoSizing& sizing = {});
 };
+
+/// Converts one measured trace event into a schedulable kernel
+/// descriptor. The instruction-level bytes are the event's own tally;
+/// DRAM traffic applies the same reuse assumptions as the analytic model
+/// (GEMM/SYEVD blocked with flops/AI traffic, FFT and streaming kernels
+/// at instruction-level volume), so measured and analytic workloads land
+/// on the same roofline axes.
+KernelWork kernel_work_from_event(const TraceEvent& event);
 
 }  // namespace ndft::dft

@@ -1,0 +1,148 @@
+#include "runtime/calibrate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dft/workload.hpp"
+
+namespace ndft::runtime {
+namespace {
+
+/// Significance floor: events shorter than this enter neither the fit nor
+/// the mismatch report. Sub-millisecond kernels are dominated by call
+/// overhead, allocation and cache warmup — effects the roofline terms
+/// being fitted do not model — while the offload decision is driven by
+/// the kernels that actually carry the run.
+constexpr double kMinEventMs = 0.05;
+constexpr double kMinEventShare = 0.02;
+
+struct Sample {
+  dft::KernelWork work;
+  double ms = 0.0;
+  bool blocked = false;
+};
+
+/// Roofline time in ms for one sample under (P GFLOP/s, B GB/s, eff).
+double estimate_ms(const Sample& s, double p_gflops, double b_gbps,
+                   double blocked_eff) {
+  const double gflops =
+      s.blocked ? p_gflops * blocked_eff : p_gflops;
+  const double compute_ms =
+      gflops <= 0.0 ? 0.0
+                    : static_cast<double>(s.work.flops) / (gflops * 1e6);
+  const double memory_ms =
+      b_gbps <= 0.0
+          ? 0.0
+          : static_cast<double>(s.work.dram_bytes) / (b_gbps * 1e6);
+  return std::max(compute_ms, memory_ms);
+}
+
+double mismatch(double est_ms, double measured_ms) {
+  if (est_ms <= 0.0 || measured_ms <= 0.0) return 1e18;
+  return std::max(est_ms / measured_ms, measured_ms / est_ms);
+}
+
+double worst_mismatch(const std::vector<Sample>& samples, double p,
+                      double b, double eff) {
+  double worst = 1.0;
+  for (const Sample& s : samples) {
+    worst = std::max(worst, mismatch(estimate_ms(s, p, b, eff), s.ms));
+  }
+  return worst;
+}
+
+}  // namespace
+
+CpuCalibration calibrate_cpu(const KernelTrace& trace,
+                             const DeviceProfile& base) {
+  CpuCalibration result;
+  result.profile = base;
+
+  const double total_ms = trace.total_host_ms();
+  const double floor_ms =
+      std::max(kMinEventMs, total_ms * kMinEventShare);
+
+  std::vector<Sample> plain;    // sequential / strided events
+  std::vector<Sample> blocked;  // GEMM / SYEVD panel events
+  for (const TraceEvent& event : trace.events) {
+    if (event.cls == KernelClass::kOther) continue;
+    if (event.host_ms < floor_ms) continue;
+    if (event.flops == 0 && event.bytes == 0) continue;
+    Sample s;
+    s.work = dft::kernel_work_from_event(event);
+    s.ms = event.host_ms;
+    s.blocked = s.work.pattern == AccessPattern::kBlocked;
+    (s.blocked ? blocked : plain).push_back(std::move(s));
+  }
+  if (plain.empty() && blocked.empty()) {
+    return result;  // nothing significant to fit against
+  }
+
+  // Candidate rates are the ones the events themselves achieved; the fit
+  // picks the pair minimising the worst-case multiplicative mismatch.
+  // When there are no non-blocked events the blocked ones fix (P, B)
+  // directly (efficiency folds into P).
+  const std::vector<Sample>& pb_samples = plain.empty() ? blocked : plain;
+  std::vector<double> cand_p{base.peak_gflops};
+  std::vector<double> cand_b{base.dram_gbps};
+  for (const Sample& s : pb_samples) {
+    if (s.work.flops > 0) {
+      cand_p.push_back(static_cast<double>(s.work.flops) / (s.ms * 1e6));
+    }
+    if (s.work.dram_bytes > 0) {
+      cand_b.push_back(
+          static_cast<double>(s.work.dram_bytes) / (s.ms * 1e6));
+    }
+  }
+  double best_p = base.peak_gflops;
+  double best_b = base.dram_gbps;
+  double best = worst_mismatch(pb_samples, best_p, best_b, 1.0);
+  for (const double p : cand_p) {
+    for (const double b : cand_b) {
+      const double w = worst_mismatch(pb_samples, p, b, 1.0);
+      if (w < best) {
+        best = w;
+        best_p = p;
+        best_b = b;
+      }
+    }
+  }
+
+  // Blocked-panel efficiency, fitted with (P, B) held fixed.
+  double best_eff = base.blocked_compute_efficiency;
+  if (!blocked.empty() && !plain.empty()) {
+    std::vector<double> cand_eff{base.blocked_compute_efficiency};
+    for (const Sample& s : blocked) {
+      if (s.work.flops == 0 || best_p <= 0.0) continue;
+      const double achieved =
+          static_cast<double>(s.work.flops) / (s.ms * 1e6);
+      cand_eff.push_back(std::clamp(achieved / best_p, 1e-3, 1.0));
+    }
+    double best_blocked = worst_mismatch(blocked, best_p, best_b, best_eff);
+    for (const double eff : cand_eff) {
+      const double w = worst_mismatch(blocked, best_p, best_b, eff);
+      if (w < best_blocked) {
+        best_blocked = w;
+        best_eff = eff;
+      }
+    }
+  } else if (plain.empty()) {
+    best_eff = 1.0;  // efficiency already folded into the fitted P
+  }
+
+  result.profile.peak_gflops = best_p;
+  result.profile.dram_gbps = best_b;
+  result.profile.blocked_compute_efficiency = best_eff;
+  result.calibrated = true;
+  result.fitted_events = plain.size() + blocked.size();
+  double worst = worst_mismatch(plain, best_p, best_b, best_eff);
+  worst = std::max(worst, worst_mismatch(blocked, best_p, best_b, best_eff));
+  result.max_ratio = worst;
+  for (const Sample& s : plain) result.fitted_ms += s.ms;
+  for (const Sample& s : blocked) result.fitted_ms += s.ms;
+  return result;
+}
+
+}  // namespace ndft::runtime

@@ -1,0 +1,45 @@
+#pragma once
+// Roofline calibration: fits the SCA's CPU-side constants (peak GFLOP/s,
+// sustained DRAM GB/s, blocked-panel efficiency) from the measured kernel
+// times of a recorded trace, so the cost-aware scheduler prices the CPU
+// side of the offload decision from the machine it actually ran on
+// instead of the paper's Table III beliefs. This is the software half of
+// the co-design loop: measure -> calibrate -> plan.
+//
+// Fit: each trace event is converted to its KernelWork descriptor and the
+// roofline estimate max(flops / P_eff, dram_bytes / B) is matched against
+// the measured wall time. P and B are chosen from the candidate rates the
+// events themselves imply, minimising the worst-case multiplicative
+// mismatch over the non-blocked events; the blocked-panel efficiency is
+// then fitted the same way over the blocked (GEMM/SYEVD) events. Events
+// below the significance floor (shorter than 0.05 ms or 2 % of the
+// traced total — call overhead, not roofline behaviour, dominates there)
+// and bookkeeping events (KernelClass::kOther — stages the analytic
+// workload model does not price either) are excluded.
+
+#include "common/kernel_trace.hpp"
+#include "runtime/device_profile.hpp"
+
+namespace ndft::runtime {
+
+/// Outcome of fitting the CPU-side roofline constants to a trace.
+struct CpuCalibration {
+  /// The base profile with peak_gflops / dram_gbps /
+  /// blocked_compute_efficiency replaced by the fitted values (the base
+  /// is returned unchanged when no event qualifies).
+  DeviceProfile profile;
+  bool calibrated = false;      ///< at least one event entered the fit
+  /// Worst multiplicative mismatch max(est/measured, measured/est) of the
+  /// calibrated roofline across the fitted events.
+  double max_ratio = 1.0;
+  std::size_t fitted_events = 0;
+  double fitted_ms = 0.0;       ///< summed measured time of fitted events
+};
+
+/// Fits the CPU-side constants of `base` to the measured kernel times of
+/// `trace`. Deterministic; never throws on benign traces (an empty or
+/// all-excluded trace returns the base profile uncalibrated).
+CpuCalibration calibrate_cpu(const KernelTrace& trace,
+                             const DeviceProfile& base);
+
+}  // namespace ndft::runtime

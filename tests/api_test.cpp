@@ -265,6 +265,56 @@ TEST(EngineTest, JobIdsAreUniqueAndMonotonic) {
   engine.drain();
 }
 
+// ------------------------------------------------ cost-aware queue order
+
+TEST(EngineQueueTest, DrainsCheapestEstimateFirst) {
+  // Submission order is heaviest-first; the queue must reorder so the
+  // near-free plan drains first and the large simulation last
+  // (exec_seq records the start order of the single-threaded drain).
+  Engine engine(fast_config(/*dispatch_threads=*/0));
+  SimulateJob heavy;
+  heavy.atoms = 128;
+  SimulateJob light;
+  light.atoms = 16;
+  PlanJob plan;
+  JobHandle h_heavy = engine.submit(heavy);
+  JobHandle h_light = engine.submit(light);
+  JobHandle h_plan = engine.submit(plan);
+  engine.drain();
+  ASSERT_TRUE(h_heavy.wait().ok());
+  ASSERT_TRUE(h_light.wait().ok());
+  ASSERT_TRUE(h_plan.wait().ok());
+  EXPECT_LT(h_plan.wait().engine.exec_seq, h_light.wait().engine.exec_seq);
+  EXPECT_LT(h_light.wait().engine.exec_seq, h_heavy.wait().engine.exec_seq);
+}
+
+TEST(EngineQueueTest, EqualEstimatesKeepFifoOrder) {
+  Engine engine(fast_config(/*dispatch_threads=*/0));
+  JobHandle first = engine.submit(PlanJob{});
+  JobHandle second = engine.submit(PlanJob{});
+  JobHandle third = engine.submit(PlanJob{});
+  engine.drain();
+  EXPECT_LT(first.wait().engine.exec_seq, second.wait().engine.exec_seq);
+  EXPECT_LT(second.wait().engine.exec_seq, third.wait().engine.exec_seq);
+}
+
+TEST(EngineQueueTest, AgedJobsBypassCostOrder) {
+  // The aging escape hatch: with a zero starvation limit the oldest
+  // pending job always runs next, degenerating to FIFO even when later
+  // submissions are cheaper — so heavy jobs cannot be starved by a
+  // stream of cheap ones.
+  EngineConfig config = fast_config(/*dispatch_threads=*/0);
+  config.starvation_limit_ms = 0.0;
+  Engine engine(config);
+  SimulateJob heavy;
+  heavy.atoms = 64;
+  JobHandle h_heavy = engine.submit(heavy);
+  JobHandle h_cheap = engine.submit(PlanJob{});
+  engine.drain();
+  EXPECT_LT(h_heavy.wait().engine.exec_seq,
+            h_cheap.wait().engine.exec_seq);
+}
+
 // --------------------------------------------- concurrency determinism
 
 TEST(EngineStressTest, ConcurrentSimulationsMatchSerialBitwise) {
