@@ -1,13 +1,16 @@
 // Eigensolver microbenchmark: blocked SYEVD (syevd) against the serial
-// reference (syevd_naive) across problem sizes and pool widths. Results
-// go to BENCH_eig.json for cross-commit tracking; docs/PERF.md quotes a
-// snapshot.
+// reference (syevd_naive), and the partial-spectrum solver
+// (syevd_partial, lowest n/8 pairs) against the blocked full solve,
+// across problem sizes and pool widths. Results go to BENCH_eig.json for
+// cross-commit tracking; docs/PERF.md quotes a snapshot.
 //
 // Modes:
 //   bench_micro_eig            full sweep: n in {64..1024}, threads {1,2,4,8}
 //   bench_micro_eig --smoke    n = 128 only; exits nonzero if the blocked
-//                              solver is slower than the reference (the
-//                              verify.sh --bench-smoke gate)
+//                              solver is slower than the reference or the
+//                              partial solver is slower than the blocked
+//                              full solve (the verify.sh --bench-smoke
+//                              gate)
 
 #include <chrono>
 #include <cmath>
@@ -57,11 +60,20 @@ struct ThreadSample {
   double speedup = 0.0;  ///< naive_ms / ms
 };
 
+struct PartialSample {
+  std::size_t threads = 0;
+  double ms = 0.0;
+  double speedup_vs_full = 0.0;  ///< blocked full ms / partial ms
+};
+
 struct SizeSample {
   std::size_t n = 0;
+  std::size_t partial_m = 0;  ///< lowest-pair window of the partial runs
   double naive_ms = 0.0;
   std::vector<ThreadSample> blocked;
+  std::vector<PartialSample> partial;
   double max_eigenvalue_diff = 0.0;  ///< blocked vs naive, sanity check
+  double max_partial_diff = 0.0;     ///< partial vs naive on the window
 };
 
 }  // namespace
@@ -106,6 +118,9 @@ int main(int argc, char** argv) try {
           std::min(sample.naive_ms, time_ms([&] { dft::syevd_naive(m); }));
     }
 
+    // The low-band window the physics consumers ask for: n/8 pairs (64
+    // of 512 is the headline SCF/EPM shape), at least one.
+    sample.partial_m = std::max<std::size_t>(1, n / 8);
     for (const std::size_t threads : thread_sweep) {
       pool.resize(threads);
       dft::EigenResult blocked;
@@ -123,21 +138,45 @@ int main(int argc, char** argv) try {
                      std::fabs(blocked.eigenvalues[i] - naive.eigenvalues[i]));
       }
       sample.blocked.push_back(ts);
+
+      dft::EigenResult partial;
+      PartialSample ps;
+      ps.threads = threads;
+      if (smoke) partial = dft::syevd_partial(m, sample.partial_m);
+      ps.ms = time_ms([&] {
+        partial = dft::syevd_partial(m, sample.partial_m);
+      });
+      for (int r = 1; r < reps; ++r) {
+        ps.ms = std::min(
+            ps.ms, time_ms([&] { dft::syevd_partial(m, sample.partial_m); }));
+      }
+      ps.speedup_vs_full = ps.ms > 0.0 ? ts.ms / ps.ms : 0.0;
+      for (std::size_t i = 0; i < sample.partial_m; ++i) {
+        sample.max_partial_diff =
+            std::max(sample.max_partial_diff,
+                     std::fabs(partial.eigenvalues[i] - naive.eigenvalues[i]));
+      }
+      sample.partial.push_back(ps);
     }
     samples.push_back(std::move(sample));
   }
   pool.resize(original_threads);
 
   TextTable table({"n", "naive", "threads", "blocked", "speedup",
-                   "max |dlambda|"});
+                   "partial(m=n/8)", "vs full", "max |dlambda|"});
   for (const SizeSample& s : samples) {
-    for (const ThreadSample& t : s.blocked) {
+    for (std::size_t i = 0; i < s.blocked.size(); ++i) {
+      const ThreadSample& t = s.blocked[i];
+      const PartialSample& p = s.partial[i];
       table.add_row({strformat("%zu", s.n),
                      strformat("%.1f ms", s.naive_ms),
                      strformat("%zu", t.threads),
                      strformat("%.1f ms", t.ms),
                      strformat("%.2fx", t.speedup),
-                     strformat("%.1e", s.max_eigenvalue_diff)});
+                     strformat("%.1f ms", p.ms),
+                     strformat("%.2fx", p.speedup_vs_full),
+                     strformat("%.1e", std::max(s.max_eigenvalue_diff,
+                                                s.max_partial_diff))});
     }
   }
   std::printf("%s\n", table.render().c_str());
@@ -160,6 +199,17 @@ int main(int argc, char** argv) try {
       runs.push_back(std::move(run));
     }
     entry.set("blocked", std::move(runs));
+    entry.set("partial_m", s.partial_m);
+    entry.set("max_partial_eigenvalue_diff", s.max_partial_diff);
+    Json partial_runs = Json::array();
+    for (const PartialSample& p : s.partial) {
+      Json run = Json::object();
+      run.set("threads", p.threads);
+      run.set("ms", p.ms);
+      run.set("speedup_vs_full", p.speedup_vs_full);
+      partial_runs.push_back(std::move(run));
+    }
+    entry.set("partial", std::move(partial_runs));
     entries.push_back(std::move(entry));
   }
   bench.set("sizes", std::move(entries));
@@ -180,10 +230,18 @@ int main(int argc, char** argv) try {
                    s.n);
       return 1;
     }
+    if (s.max_partial_diff > 1e-8) {
+      std::fprintf(stderr,
+                   "FAIL: partial/naive spectra disagree on the lowest "
+                   "%zu pairs at n=%zu\n",
+                   s.partial_m, s.n);
+      return 1;
+    }
   }
   if (smoke) {
-    // Gate: at n=128 the blocked path must not lose to the reference at
-    // any swept thread count's best.
+    // Gate: at n=128 the blocked path must not lose to the reference, and
+    // the partial path must not lose to the blocked full solve, at any
+    // swept thread count's best.
     double best = samples[0].blocked[0].ms;
     for (const ThreadSample& t : samples[0].blocked) {
       best = std::min(best, t.ms);
@@ -195,8 +253,21 @@ int main(int argc, char** argv) try {
                    best, samples[0].naive_ms);
       return 1;
     }
-    std::printf("smoke OK: blocked %.1f ms <= naive %.1f ms at n=128\n",
-                best, samples[0].naive_ms);
+    double best_partial = samples[0].partial[0].ms;
+    for (const PartialSample& p : samples[0].partial) {
+      best_partial = std::min(best_partial, p.ms);
+    }
+    if (best_partial > best) {
+      std::fprintf(stderr,
+                   "FAIL: partial SYEVD (m=%zu) slower than the full "
+                   "blocked solve at n=128 (%.1f ms vs %.1f ms)\n",
+                   samples[0].partial_m, best_partial, best);
+      return 1;
+    }
+    std::printf(
+        "smoke OK: blocked %.1f ms <= naive %.1f ms, partial(m=%zu) "
+        "%.1f ms <= blocked %.1f ms at n=128\n",
+        best, samples[0].naive_ms, samples[0].partial_m, best_partial, best);
   }
   return 0;
 } catch (const NdftError& error) {

@@ -11,8 +11,10 @@
 #                  `--tier sim` while iterating on the simulator.
 #   --bench-smoke  additionally run the SYEVD microbenchmark at n=128
 #                  (fail if the blocked solver is slower than the serial
-#                  reference) and the co-design loop smoke (record ->
-#                  calibrate -> plan -> simulate must close end to end).
+#                  reference, or the partial-spectrum solver slower than
+#                  the full blocked solve) and the co-design loop smoke
+#                  (record -> calibrate -> plan -> simulate must close
+#                  end to end).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -64,7 +66,8 @@ echo "ndft_run --json smoke: OK ($SMOKE_JSON)"
 
 if [ "$BENCH_SMOKE" -eq 1 ]; then
   # The bench exits nonzero if the blocked eigensolver loses to the
-  # reference at n=128 or the spectra disagree.
+  # reference at n=128, the partial solver loses to the full blocked
+  # solve, or the spectra disagree.
   (cd "$BUILD_DIR" && ./bench_micro_eig --smoke)
   echo "bench smoke: OK ($BUILD_DIR/BENCH_eig.json)"
   # The co-design loop must close: record a real LR-TDDFT trace, replay

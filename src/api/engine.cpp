@@ -59,20 +59,30 @@ ScfPayload execute_scf(const ScfJob& job) {
 }
 
 BandStructurePayload execute_band_structure(const BandStructureJob& job) {
-  const dft::Crystal primitive = dft::silicon_primitive();
-  const dft::PlaneWaveBasis basis(primitive, job.ecut_ry * kHaPerRy);
+  const dft::Crystal crystal =
+      job.atoms == 0 ? dft::silicon_primitive()
+                     : dft::Crystal::silicon_supercell(job.atoms);
+  const dft::PlaneWaveBasis basis(crystal, job.ecut_ry * kHaPerRy);
   const std::vector<dft::KPoint> path =
-      dft::fcc_kpath(dft::kSiliconLatticeBohr, job.segments);
+      job.sampling == BandStructureJob::Sampling::kPath
+          ? dft::fcc_kpath(dft::kSiliconLatticeBohr, job.segments)
+          : dft::monkhorst_pack(crystal, job.mp_grid[0], job.mp_grid[1],
+                                job.mp_grid[2]);
   const std::vector<dft::BandsAtK> structure =
       dft::band_structure(basis, path, job.bands);
   const dft::GapSummary gap = dft::find_gap(structure, job.valence_bands);
 
   BandStructurePayload payload;
+  payload.atoms = crystal.atom_count();
+  payload.sampling = job.sampling == BandStructureJob::Sampling::kPath
+                         ? "path"
+                         : "monkhorst_pack";
   payload.basis_size = basis.size();
   payload.path.reserve(structure.size());
   for (const dft::BandsAtK& at_k : structure) {
     BandsAtKPayload point;
     point.label = at_k.kpoint.label;
+    point.weight = at_k.kpoint.weight;
     point.energies_ha = at_k.energies_ha;
     payload.path.push_back(std::move(point));
   }
@@ -81,9 +91,14 @@ BandStructurePayload execute_band_structure(const BandStructureJob& job) {
   payload.vbm_label = gap.vbm_label;
   payload.cbm_label = gap.cbm_label;
   payload.indirect_gap_ev = gap.indirect_gap_ev();
+  payload.band_energy_ha = gap.band_energy_ha;
+  payload.weight_sum = gap.weight_sum;
+  // Direct gap at the zone centre: the labelled path point, or the
+  // unlabelled k == 0 point an odd Monkhorst-Pack grid contains.
   for (const dft::BandsAtK& at_k : structure) {
-    if (at_k.kpoint.label == "Gamma" &&
-        at_k.energies_ha.size() > job.valence_bands) {
+    const bool is_gamma =
+        at_k.kpoint.label == "Gamma" || at_k.kpoint.k.norm2() < 1e-20;
+    if (is_gamma && at_k.energies_ha.size() > job.valence_bands) {
       payload.direct_gap_gamma_ev =
           (at_k.energies_ha[job.valence_bands] -
            at_k.energies_ha[job.valence_bands - 1]) * kEvPerHa;
@@ -333,6 +348,14 @@ TimePs price_syevd(const runtime::Sca& sca, std::size_t n) {
   return price_event(sca, KernelClass::kSyevd, cost.flops, cost.bytes, n);
 }
 
+/// The lowest-m partial eigensolve (dft::syevd_partial_cost), which is
+/// what the rewired low-band consumers actually run.
+TimePs price_syevd_partial(const runtime::Sca& sca, std::size_t n,
+                           std::size_t m) {
+  const dft::SyevdCost cost = dft::syevd_partial_cost(n, std::min(m, n));
+  return price_event(sca, KernelClass::kSyevd, cost.flops, cost.bytes, n);
+}
+
 /// Summed CPU roofline estimate of a workload's kernels.
 TimePs price_workload(const runtime::Sca& sca, const dft::Workload& w) {
   TimePs total = 0;
@@ -376,16 +399,30 @@ TimePs estimate_cost_ps(const JobRequest& request,
               (2 * job->atoms + 3) * fft);
     }
     if (const auto* job = std::get_if<BandStructureJob>(&request)) {
-      if (!sane_ecut(job->ecut_ry)) return 0;
-      // Primitive-cell basis at the cutoff, N_G ~ V (2E)^{3/2}/(6 pi^2);
-      // one eigensolve per path k-point.
+      if (!sane_ecut(job->ecut_ry) || !sane_atoms(job->atoms)) return 0;
+      // Basis at the cutoff, N_G ~ V (2E)^{3/2}/(6 pi^2), for the
+      // requested cell (primitive: a0^3/4; supercell: a0^3/8 per atom);
+      // one partial eigensolve per k-point.
       const double a0 = dft::kSiliconLatticeBohr;
-      const double volume = a0 * a0 * a0 / 4.0;
+      const double volume = a0 * a0 * a0 *
+                            (job->atoms == 0
+                                 ? 0.25
+                                 : static_cast<double>(job->atoms) / 8.0);
       const double kmax = std::sqrt(job->ecut_ry);  // sqrt(2 * ecut_ha)
       const auto ng = static_cast<std::size_t>(
           volume * kmax * kmax * kmax /
           (6.0 * std::numbers::pi * std::numbers::pi));
-      return (4ull * job->segments + 1) * price_syevd(sca, ng);
+      std::uint64_t kpoints = 4ull * job->segments + 1;
+      if (job->sampling == BandStructureJob::Sampling::kMonkhorstPack) {
+        kpoints = 1;
+        for (const unsigned n : job->mp_grid) {
+          // Bound each factor: the estimator runs before validation, and
+          // a garbage grid must not overflow the product.
+          kpoints *= std::min<std::uint64_t>(n, 1u << 20);
+        }
+        kpoints = std::min<std::uint64_t>(kpoints, 1u << 20);
+      }
+      return kpoints * price_syevd_partial(sca, ng, job->bands);
     }
     if (const auto* job = std::get_if<LrtddftJob>(&request)) {
       if (!sane_ecut(job->ecut_ry) || !sane_atoms(job->atoms)) return 0;

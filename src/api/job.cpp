@@ -5,6 +5,10 @@
 namespace ndft::api {
 namespace {
 
+/// Ceiling on Monkhorst-Pack k-points per job: one dense eigensolve per
+/// point, so an absurd grid is an absurd job.
+constexpr std::size_t kMaxMpPoints = 65536;
+
 void check_atoms(std::size_t atoms, std::vector<std::string>& errors) {
   if (atoms < 8 || atoms % 8 != 0) {
     errors.push_back(strformat(
@@ -40,12 +44,49 @@ struct Validator {
 
   void operator()(const BandStructureJob& job) {
     check_ecut(job.ecut_ry, errors);
-    if (job.segments < 1) {
-      errors.push_back("segments must be at least 1");
+    if (job.atoms != 0) {
+      check_atoms(job.atoms, errors);
+    }
+    switch (job.sampling) {
+      case BandStructureJob::Sampling::kPath:
+        if (job.segments < 1) {
+          errors.push_back("segments must be at least 1");
+        }
+        if (job.atoms != 0) {
+          errors.push_back(
+              "the FCC high-symmetry path applies to the primitive cell "
+              "(atoms == 0); supercells sample a Monkhorst-Pack grid");
+        }
+        break;
+      case BandStructureJob::Sampling::kMonkhorstPack: {
+        std::size_t points = 1;
+        bool dims_valid = true;
+        for (const unsigned n : job.mp_grid) {
+          if (n < 1) {
+            errors.push_back("mp_grid divisions must be at least 1");
+            dims_valid = false;
+            break;
+          }
+          // Divide-side overflow guard: three 32-bit factors can wrap a
+          // 64-bit product, so saturate above the cap instead.
+          points = points > kMaxMpPoints / n ? kMaxMpPoints + 1
+                                             : points * n;
+        }
+        if (dims_valid && points > kMaxMpPoints) {
+          errors.push_back(strformat(
+              "mp_grid requests more than the %zu k-point limit",
+              kMaxMpPoints));
+        }
+        break;
+      }
+      default:
+        errors.push_back("unknown sampling");
     }
     if (job.bands == 0) {
       errors.push_back("bands must be at least 1");
     }
+    // Mirrors find_gap's valence >= 1 precondition: valence_bands == 0
+    // would underflow the VBM index inside the solver.
     if (job.valence_bands == 0 || job.valence_bands >= job.bands) {
       errors.push_back(strformat(
           "valence_bands must be in [1, bands) (got %zu of %zu)",

@@ -34,11 +34,25 @@ struct ScfJob {
   bool record_trace = false;
 };
 
-/// Cohen-Bergstresser band structure of primitive FCC silicon along
-/// L -> Gamma -> X -> U|K -> Gamma (dft::band_structure).
+/// EPM band structure (dft::band_structure, dft::find_gap): the
+/// Cohen-Bergstresser high-symmetry path on the primitive FCC cell, or
+/// an arbitrary silicon crystal sampled on a Monkhorst-Pack grid whose
+/// weights flow into the gap summary's band-energy integral.
 struct BandStructureJob {
+  /// How the Brillouin zone is sampled.
+  enum class Sampling {
+    kPath,           ///< FCC path L -> Gamma -> X -> K -> Gamma
+    kMonkhorstPack,  ///< mp_grid[0] x mp_grid[1] x mp_grid[2] grid
+  };
+
+  /// Crystal spec: 0 selects the 2-atom primitive FCC cell; a positive
+  /// multiple of 8 builds Crystal::silicon_supercell(atoms).
+  std::size_t atoms = 0;
   double ecut_ry = 9.0;         ///< plane-wave cutoff in Rydberg
-  unsigned segments = 10;       ///< k-points per path leg
+  Sampling sampling = Sampling::kPath;
+  unsigned segments = 10;       ///< k-points per path leg (kPath)
+  /// Monkhorst-Pack divisions per reciprocal axis (kMonkhorstPack).
+  unsigned mp_grid[3] = {4, 4, 4};
   std::size_t bands = 8;        ///< bands kept per k-point
   std::size_t valence_bands = 4;  ///< filled bands for the gap summary
   /// Record the run's kernel trace into JobResult::trace.

@@ -133,6 +133,7 @@ Json to_json(const BandStructurePayload& p) {
     Json point = Json::object();
     point.set("label", at_k.label);
     point.set("energies_ha", doubles_to_json(at_k.energies_ha));
+    point.set("weight", at_k.weight);
     path.push_back(std::move(point));
   }
   j.set("path", std::move(path));
@@ -142,6 +143,12 @@ Json to_json(const BandStructurePayload& p) {
   j.set("cbm_label", p.cbm_label);
   j.set("indirect_gap_ev", p.indirect_gap_ev);
   j.set("direct_gap_gamma_ev", p.direct_gap_gamma_ev);
+  // Additive since the generalized (crystal + Monkhorst-Pack) job;
+  // appended so older documents differ only by absent keys.
+  j.set("atoms", p.atoms);
+  j.set("sampling", p.sampling);
+  j.set("band_energy_ha", p.band_energy_ha);
+  j.set("weight_sum", p.weight_sum);
   return j;
 }
 
@@ -152,6 +159,10 @@ BandStructurePayload bands_from_json(const Json& j) {
     BandsAtKPayload at_k;
     at_k.label = point.at("label").as_string();
     at_k.energies_ha = doubles_from_json(point.at("energies_ha"));
+    // Additive: unit weight in pre-grid documents.
+    if (const Json* weight = point.find("weight")) {
+      at_k.weight = weight->as_double();
+    }
     p.path.push_back(std::move(at_k));
   }
   p.vbm_ha = j.at("vbm_ha").as_double();
@@ -160,6 +171,20 @@ BandStructurePayload bands_from_json(const Json& j) {
   p.cbm_label = j.at("cbm_label").as_string();
   p.indirect_gap_ev = j.at("indirect_gap_ev").as_double();
   p.direct_gap_gamma_ev = j.at("direct_gap_gamma_ev").as_double();
+  // Additive members: absent in documents emitted before the
+  // generalized job; defaults keep them deserializable.
+  if (const Json* atoms = j.find("atoms")) {
+    p.atoms = atoms->as_uint();
+  }
+  if (const Json* sampling = j.find("sampling")) {
+    p.sampling = sampling->as_string();
+  }
+  if (const Json* band_energy = j.find("band_energy_ha")) {
+    p.band_energy_ha = band_energy->as_double();
+  }
+  if (const Json* weight_sum = j.find("weight_sum")) {
+    p.weight_sum = weight_sum->as_double();
+  }
   return p;
 }
 

@@ -81,11 +81,17 @@ struct ScfPayload {
 /// Band energies at one k-point (BandStructureJob).
 struct BandsAtKPayload {
   std::string label;            ///< nonempty at high-symmetry points
+  double weight = 1.0;          ///< integration weight (additive in v1)
   std::vector<double> energies_ha;
 };
 
-/// EPM band structure along the FCC path (BandStructureJob).
+/// EPM band structure along the FCC path or a Monkhorst-Pack grid
+/// (BandStructureJob). The crystal/sampling/band-energy members are
+/// additive in ndft.job_result.v1: older documents omit them and
+/// deserialize to the defaults.
 struct BandStructurePayload {
+  std::size_t atoms = 0;        ///< atoms in the solved crystal (2 = primitive)
+  std::string sampling;         ///< "path" or "monkhorst_pack"
   std::size_t basis_size = 0;
   std::vector<BandsAtKPayload> path;
   double vbm_ha = 0.0;
@@ -94,6 +100,8 @@ struct BandStructurePayload {
   std::string cbm_label;
   double indirect_gap_ev = 0.0;
   double direct_gap_gamma_ev = 0.0;
+  double band_energy_ha = 0.0;  ///< weight-averaged occupied band energy
+  double weight_sum = 0.0;      ///< total integration weight of the k-set
 };
 
 /// One optical line (LrtddftJob with oscillator_strengths).

@@ -1,7 +1,9 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -17,19 +19,69 @@ namespace {
 /// nested calls run inline to avoid deadlock and oversubscription.
 thread_local bool t_in_parallel_region = false;
 
-std::size_t default_thread_count() {
-  if (const char* env = std::getenv("NDFT_NUM_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && parsed >= 1) {
-      return static_cast<std::size_t>(parsed);
-    }
-  }
+std::size_t hardware_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
 
+std::size_t default_thread_count() {
+  const char* env = std::getenv("NDFT_NUM_THREADS");
+  if (env == nullptr) {
+    return hardware_thread_count();
+  }
+  bool clamped = false;
+  const std::size_t parsed = thread_count_from_env(env, &clamped);
+  if (parsed == 0) {
+    // Malformed override ("8x", "", "abc", "-2"): strtol's longest-prefix
+    // reading would silently accept the garbage. Warn once (this runs
+    // once, at first pool use) and fall back to the hardware width.
+    const std::size_t fallback = hardware_thread_count();
+    std::fprintf(stderr,
+                 "ndft: ignoring malformed NDFT_NUM_THREADS='%s'; "
+                 "using %zu hardware threads\n",
+                 env, fallback);
+    return fallback;
+  }
+  if (clamped) {
+    std::fprintf(stderr,
+                 "ndft: NDFT_NUM_THREADS='%s' exceeds the %zu-thread "
+                 "ceiling; clamping\n",
+                 env, kMaxPoolThreads);
+  }
+  return parsed;
+}
+
 }  // namespace
+
+std::size_t thread_count_from_env(const char* value,
+                                  bool* clamped) noexcept {
+  if (clamped != nullptr) {
+    *clamped = false;
+  }
+  if (value == nullptr || *value == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long parsed = std::strtol(value, &end, 10);
+  const bool overflowed = errno == ERANGE;
+  if (end == value || *end != '\0') {
+    return 0;  // non-numeric, or a trailing suffix like "8x"
+  }
+  if (overflowed && parsed <= 0) {
+    return 0;  // underflowed a huge negative value
+  }
+  if (!overflowed && parsed < 1) {
+    return 0;
+  }
+  if (overflowed || static_cast<unsigned long>(parsed) > kMaxPoolThreads) {
+    if (clamped != nullptr) {
+      *clamped = true;
+    }
+    return kMaxPoolThreads;
+  }
+  return static_cast<std::size_t>(parsed);
+}
 
 struct ThreadPool::Impl {
   // One broadcast job at a time: concurrent top-level parallel_for calls

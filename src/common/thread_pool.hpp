@@ -67,6 +67,19 @@ inline void parallel_for(
   ThreadPool::instance().parallel_for(begin, end, grain, body);
 }
 
+/// Ceiling on the pool width an NDFT_NUM_THREADS override may request;
+/// absurd values clamp here instead of spawning thousands of threads.
+inline constexpr std::size_t kMaxPoolThreads = 512;
+
+/// Parses an NDFT_NUM_THREADS-style override. Returns the thread count
+/// for a well-formed positive integer (clamped to kMaxPoolThreads, with
+/// `clamped` set when that happened), and 0 for anything else — null,
+/// empty, non-numeric, trailing garbage ("8x"), or values below 1 — so
+/// the caller can fall back to the hardware concurrency. Exposed
+/// separately from the pool so the parsing rules are testable.
+std::size_t thread_count_from_env(const char* value,
+                                  bool* clamped = nullptr) noexcept;
+
 /// The one place the serial/parallel cutoff policy lives: a grain that
 /// keeps roughly 64k work units per chunk given the work per index
 /// (elements of an FFT line, entries of a matrix row, ...). Ranges whose

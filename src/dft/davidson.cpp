@@ -109,11 +109,10 @@ DavidsonResult davidson(std::size_t n, const ApplyFn& apply,
         projected(b, a) = mean;
       }
     }
-    const EigenResult small = syevd(projected);
-
-    // Ritz vectors and residuals for the lowest `wanted` pairs:
-    // X = Y^T V and R = Y^T W with Y the leading Ritz coefficients.
+    // Only the lowest `keep` Ritz pairs are consumed (values, vectors and
+    // the restart basis), so the subspace solve goes partial.
     const std::size_t keep = std::min(config.wanted, m);
+    const EigenResult small = syevd_partial(projected, keep);
     ritz_values.assign(small.eigenvalues.begin(),
                        small.eigenvalues.begin() +
                            static_cast<std::ptrdiff_t>(keep));

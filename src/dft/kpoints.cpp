@@ -1,9 +1,11 @@
 #include "dft/kpoints.hpp"
 
 #include <cmath>
+#include <iterator>
 
 #include "common/kernel_trace.hpp"
 #include "common/str_util.hpp"
+#include "common/thread_pool.hpp"
 #include "dft/linalg.hpp"
 
 namespace ndft::dft {
@@ -34,23 +36,31 @@ std::vector<KPoint> fcc_kpath(double a0, unsigned segments) {
               {gamma, x, "Gamma", "X"},
               {x, k_point, "X", "K"},
               {k_point, gamma, "K", "Gamma"}};
+  constexpr std::size_t kLegCount = std::size(legs);
 
+  // Every leg emits its labelled start and interior points; the terminal
+  // is emitted (and labelled) by the next leg it chains into, except for
+  // the last leg, which emits its own endpoint. Labelling both endpoints
+  // here (rather than relying on the chaining) keeps the high-symmetry
+  // junctions named in traces and gap summaries even if the leg table
+  // ever stops being contiguous.
   std::vector<KPoint> path;
-  for (const Leg& leg : legs) {
-    for (unsigned s = 0; s < segments; ++s) {
+  path.reserve(kLegCount * segments + 1);
+  for (std::size_t li = 0; li < kLegCount; ++li) {
+    const Leg& leg = legs[li];
+    const unsigned points = (li + 1 == kLegCount) ? segments + 1 : segments;
+    for (unsigned s = 0; s < points; ++s) {
       const double t = static_cast<double>(s) / segments;
       KPoint kp;
       kp.k = leg.from + (leg.to - leg.from) * t;
       if (s == 0) {
         kp.label = leg.from_label;
+      } else if (s == segments) {
+        kp.label = leg.to_label;
       }
       path.push_back(kp);
     }
   }
-  KPoint last;
-  last.k = gamma;
-  last.label = "Gamma";
-  path.push_back(last);
   return path;
 }
 
@@ -82,7 +92,11 @@ BandsAtK solve_epm_at_k(const PlaneWaveBasis& basis, const KPoint& kpoint,
   const std::size_t n = basis.size();
   NDFT_REQUIRE(n > 0, "empty plane-wave basis");
   const auto& g = basis.gvectors();
+  const std::size_t keep = bands == 0 ? n : std::min(bands, n);
 
+  // Rows of the upper triangle are independent: assemble on the thread
+  // pool, then mirror (same deterministic pattern as solve_epm; the
+  // region aggregates, so the trace shape ignores the chunking).
   RealMatrix hamiltonian(n, n);
   {
     TraceRegion region(KernelClass::kOther, "bands.assembly");
@@ -90,21 +104,25 @@ BandsAtK solve_epm_at_k(const PlaneWaveBasis& basis, const KPoint& kpoint,
     region.add_work(static_cast<Flops>(n) * n * 8,
                     static_cast<Bytes>(n) * n * sizeof(double));
     region.set_io(0, static_cast<Bytes>(n) * n * sizeof(double));
-    for (std::size_t i = 0; i < n; ++i) {
-      const Vec3 kg = kpoint.k + g[i].g;
-      hamiltonian(i, i) = 0.5 * kg.norm2();
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double v = epm_potential(basis.crystal(), g[i], g[j]);
-        hamiltonian(i, j) = v;
-        hamiltonian(j, i) = v;
-      }
-    }
+    parallel_for(0, n, parallel_grain(n),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t i = lo; i < hi; ++i) {
+                     const Vec3 kg = kpoint.k + g[i].g;
+                     hamiltonian(i, i) = 0.5 * kg.norm2();
+                     for (std::size_t j = i + 1; j < n; ++j) {
+                       hamiltonian(i, j) =
+                           epm_potential(basis.crystal(), g[i], g[j]);
+                     }
+                   }
+                 });
+    mirror_upper(hamiltonian);
   }
-  EigenResult eigen = syevd(hamiltonian);
+  // Band windows below the basis size only need the lowest eigenpairs.
+  EigenResult eigen = keep < n ? syevd_partial(hamiltonian, keep)
+                               : syevd(hamiltonian);
 
   BandsAtK result;
   result.kpoint = kpoint;
-  const std::size_t keep = bands == 0 ? n : std::min(bands, n);
   result.energies_ha.assign(
       eigen.eigenvalues.begin(),
       eigen.eigenvalues.begin() + static_cast<std::ptrdiff_t>(keep));
@@ -116,26 +134,43 @@ std::vector<BandsAtK> band_structure(const PlaneWaveBasis& basis,
                                      std::size_t bands) {
   trace_set_system(basis.crystal().atom_count(), basis.size(),
                    basis.fft_size());
-  std::vector<BandsAtK> result;
-  result.reserve(path.size());
-  for (std::size_t i = 0; i < path.size(); ++i) {
-    const KPoint& kp = path[i];
-    const TraceStage trace_stage(
-        trace_active()
-            ? strformat("bands[%zu]%s%s", i, kp.label.empty() ? "" : ":",
-                        kp.label.c_str())
-            : std::string());
-    result.push_back(solve_epm_at_k(basis, kp, bands));
+  std::vector<BandsAtK> result(path.size());
+  if (trace_active()) {
+    // Traced runs keep the serial k-loop: per-k stage events stay in
+    // program order with a pool-width-independent shape (kernels inside a
+    // parallel k-loop would record or not depending on which thread ran
+    // them).
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      const KPoint& kp = path[i];
+      const TraceStage trace_stage(
+          strformat("bands[%zu]%s%s", i, kp.label.empty() ? "" : ":",
+                    kp.label.c_str()));
+      result[i] = solve_epm_at_k(basis, kp, bands);
+    }
+    return result;
   }
+  // Independent k-points across the pool, one per task (each is a dense
+  // assembly plus an eigensolve; nested kernels degrade to serial
+  // inline). Each k-point's arithmetic is identical to the serial loop's,
+  // so the result is bitwise identical for any thread count.
+  parallel_for(0, path.size(), 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      result[i] = solve_epm_at_k(basis, path[i], bands);
+    }
+  });
   return result;
 }
 
 GapSummary find_gap(const std::vector<BandsAtK>& bands,
                     std::size_t valence) {
   NDFT_REQUIRE(!bands.empty(), "no k-points solved");
+  NDFT_REQUIRE(valence >= 1,
+               "need at least one valence band (valence == 0 would read "
+               "energies_ha[-1])");
   GapSummary summary;
   summary.vbm_ha = -1e18;
   summary.cbm_ha = 1e18;
+  double weighted_band_energy = 0.0;
   for (const BandsAtK& at_k : bands) {
     NDFT_REQUIRE(at_k.energies_ha.size() > valence,
                  "need at least one conduction band per k-point");
@@ -149,7 +184,16 @@ GapSummary find_gap(const std::vector<BandsAtK>& bands,
       summary.cbm_ha = cbm;
       summary.cbm_label = at_k.kpoint.label;
     }
+    double occupied = 0.0;
+    for (std::size_t v = 0; v < valence; ++v) {
+      occupied += at_k.energies_ha[v];
+    }
+    weighted_band_energy += at_k.kpoint.weight * 2.0 * occupied;
+    summary.weight_sum += at_k.kpoint.weight;
   }
+  summary.band_energy_ha = summary.weight_sum > 0.0
+                               ? weighted_band_energy / summary.weight_sum
+                               : 0.0;
   return summary;
 }
 

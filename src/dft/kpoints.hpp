@@ -36,31 +36,48 @@ struct BandsAtK {
 /// (no supercell band folding).
 Crystal silicon_primitive();
 
-/// The standard FCC high-symmetry path L -> Gamma -> X -> U|K -> Gamma
-/// for the conventional lattice constant `a0`, sampled with `segments`
-/// points per leg.
+/// The FCC high-symmetry path L -> Gamma -> X -> K -> Gamma for the
+/// conventional lattice constant `a0`, sampled with `segments` points per
+/// leg (the X -> K leg runs directly, not via the textbook U|K jump).
+/// Both endpoints of every leg carry their high-symmetry labels, so path
+/// traces and gap summaries always name the junctions.
 std::vector<KPoint> fcc_kpath(double a0, unsigned segments = 12);
 
 /// A Monkhorst-Pack n1 x n2 x n3 grid for `crystal`, weights summing to 1.
 std::vector<KPoint> monkhorst_pack(const Crystal& crystal, unsigned n1,
                                    unsigned n2, unsigned n3);
 
-/// EPM eigenvalues at one k (lowest `bands`; 0 keeps all).
+/// EPM eigenvalues at one k (lowest `bands`, clamped to the basis size;
+/// 0 keeps all). A nonzero window below the basis size runs the
+/// partial-spectrum eigensolver (syevd_partial).
 BandsAtK solve_epm_at_k(const PlaneWaveBasis& basis, const KPoint& kpoint,
                         std::size_t bands = 0);
 
-/// EPM band structure along a path.
+/// EPM band structure along a path or grid: one partial eigensolve per
+/// k-point. Independent k-points split across the thread pool (results
+/// bitwise identical for any thread count); traced runs solve the
+/// k-points serially instead, so the per-k stage events keep program
+/// order and a pool-width-independent shape.
 std::vector<BandsAtK> band_structure(const PlaneWaveBasis& basis,
                                      const std::vector<KPoint>& path,
                                      std::size_t bands);
 
 /// Valence-band maximum, conduction-band minimum and the indirect gap
-/// (eV) over a set of solved k-points, assuming `valence` filled bands.
+/// (eV) over a set of solved k-points, assuming `valence` filled bands
+/// (>= 1), plus the weight-integrated occupied band energy.
 struct GapSummary {
   double vbm_ha = 0.0;
   double cbm_ha = 0.0;
   std::string vbm_label;
   std::string cbm_label;
+  /// Weight-averaged occupied band energy,
+  /// sum_k w_k * 2 * sum_{v < valence} e_v(k) / sum_k w_k: the
+  /// BZ-integrated band energy per cell when the weights are a normalised
+  /// Monkhorst-Pack grid's, the plain path average for unit weights.
+  double band_energy_ha = 0.0;
+  /// Total integration weight of the summarised k-set (1 for MP grids,
+  /// the point count for unit-weight paths).
+  double weight_sum = 0.0;
 
   double indirect_gap_ev() const noexcept {
     return (cbm_ha - vbm_ha) * 27.211386;

@@ -8,6 +8,7 @@
 
 #include "common/kernel_trace.hpp"
 #include "common/math_util.hpp"
+#include "common/prng.hpp"
 #include "common/thread_pool.hpp"
 
 namespace ndft::dft {
@@ -59,6 +60,53 @@ double pythag(double a, double b) noexcept {
 
 double sign_of(double magnitude, double sign) noexcept {
   return sign >= 0.0 ? std::fabs(magnitude) : -std::fabs(magnitude);
+}
+
+#if defined(__GNUC__) && defined(__AVX512F__)
+#define NDFT_GEMM_SIMD 1
+/// 8 doubles per lane; the GEMM microkernel's kNr is exactly two lanes.
+typedef double V8d __attribute__((vector_size(64)));
+
+V8d v8_load(const double* p) {
+  V8d v;
+  __builtin_memcpy(&v, p, sizeof(v));  // unaligned load, folds to vmovupd
+  return v;
+}
+#endif
+
+/// Dot product of x[begin:end) with y[begin:end) over fixed-width
+/// independent partial sums: breaks the FP add latency chain that makes a
+/// naive dot run at ~1 element per 4 cycles under -ffp-contract=off, and
+/// vectorises on AVX-512 builds. The accumulation order depends only on
+/// the index range, so results are identical for any thread count.
+double dot_range(const double* __restrict x, const double* __restrict y,
+                 std::size_t begin, std::size_t end) {
+  std::size_t c = begin;
+  double head = 0.0;
+#if NDFT_GEMM_SIMD
+  V8d acc0{};
+  V8d acc1{};
+  for (; c + 16 <= end; c += 16) {
+    acc0 += v8_load(x + c) * v8_load(y + c);
+    acc1 += v8_load(x + c + 8) * v8_load(y + c + 8);
+  }
+  const V8d acc = acc0 + acc1;
+  double lanes[8];
+  __builtin_memcpy(lanes, &acc, sizeof(lanes));
+  head = ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) +
+         ((lanes[4] + lanes[5]) + (lanes[6] + lanes[7]));
+#else
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  for (; c + 4 <= end; c += 4) {
+    s0 += x[c] * y[c];
+    s1 += x[c + 1] * y[c + 1];
+    s2 += x[c + 2] * y[c + 2];
+    s3 += x[c + 3] * y[c + 3];
+  }
+  head = (s0 + s1) + (s2 + s3);
+#endif
+  for (; c < end; ++c) head += x[c] * y[c];
+  return head;
 }
 
 /// Householder reduction of a real symmetric matrix to tridiagonal form
@@ -272,26 +320,22 @@ void blocked_tridiagonalize(RealMatrix& a, std::vector<double>& d,
       parallel_for(j + 1, n, eig_grain(n - j),
                    [&](std::size_t lo, std::size_t hi) {
                      for (std::size_t r = lo; r < hi; ++r) {
-                       const double* row = a.row(r);
-                       double acc = 0.0;
-                       for (std::size_t c = j + 1; c < n; ++c) {
-                         acc += row[c] * v[c];
-                       }
-                       w(r, jj) = acc;
+                       w(r, jj) = dot_range(a.row(r), v.data(), j + 1, n);
                      }
                    });
       if (jj > 0) {
+        // Row-outer accumulation: the W / V panel rows are contiguous and
+        // the jj partial sums are independent chains.
         std::vector<double> wtv(jj, 0.0);
         std::vector<double> vtv(jj, 0.0);
-        for (std::size_t p = 0; p < jj; ++p) {
-          double acc_w = 0.0;
-          double acc_v = 0.0;
-          for (std::size_t r = j + 1; r < n; ++r) {
-            acc_w += w(r, p) * v[r];
-            acc_v += a(r, i0 + p) * v[r];
+        for (std::size_t r = j + 1; r < n; ++r) {
+          const double* wrow = w.row(r);
+          const double* arow = a.row(r) + i0;
+          const double vr = v[r];
+          for (std::size_t p = 0; p < jj; ++p) {
+            wtv[p] += wrow[p] * vr;
+            vtv[p] += arow[p] * vr;
           }
-          wtv[p] = acc_w;
-          vtv[p] = acc_v;
         }
         for (std::size_t r = j + 1; r < n; ++r) {
           double acc = 0.0;
@@ -549,6 +593,227 @@ void apply_q_blocked(const RealMatrix& a, const std::vector<double>& tau,
   }
 }
 
+// ---------------------------------------------- partial tridiagonal stage
+//
+// The partial-spectrum path replaces the QL stage: bisection (Sturm
+// counts) finds the lowest m eigenvalues of the tridiagonal matrix, and
+// inverse iteration builds just those m eigenvectors. Both stages process
+// independent eigenvalue indices (clusters of close eigenvalues are one
+// index group), so they split across the pool with disjoint writes and a
+// fixed per-index operation order — bitwise identical for any thread
+// count, like every other stage of the solver.
+
+/// Number of eigenvalues of the tridiagonal matrix strictly below x, via
+/// the LDL^T Sturm recurrence. `d` is the diagonal, `e2[i]` the squared
+/// coupling of rows (i-1, i) (e2[0] unused); `pivmin` guards zero pivots
+/// (dstebz convention).
+std::size_t sturm_count_below(const std::vector<double>& d,
+                              const std::vector<double>& e2, double pivmin,
+                              double x) {
+  const std::size_t n = d.size();
+  std::size_t count = 0;
+  double q = d[0] - x;
+  if (q < 0.0) ++count;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (std::fabs(q) < pivmin) q = -pivmin;
+    q = d[i] - x - e2[i] / q;
+    if (q < 0.0) ++count;
+  }
+  return count;
+}
+
+/// Bisects for eigenvalue `k` (0-based, ascending) inside [lo, hi], which
+/// must satisfy count(lo) <= k < count(hi). Runs to floating-point
+/// fixpoint (~60 halvings), so the result is determined by the matrix
+/// alone.
+double bisect_eigenvalue(const std::vector<double>& d,
+                         const std::vector<double>& e2, double pivmin,
+                         double lo, double hi, std::size_t k) {
+  for (;;) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) break;  // interval shrunk to one ulp
+    if (sturm_count_below(d, e2, pivmin, mid) > k) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;  // count(hi) > k: the k-th eigenvalue is at most hi
+}
+
+/// Solves (T - lambda I) x = b in place by Gaussian elimination with
+/// partial pivoting (dgttrf/dgttrs shape, refactored per call — the solve
+/// is O(n) either way). `e[i]` couples rows (i-1, i); zero pivots are
+/// nudged to pivmin so exactly-converged shifts cannot divide by zero.
+void tridiag_shifted_solve(const std::vector<double>& d,
+                           const std::vector<double>& e, double lambda,
+                           double pivmin, std::vector<double>& x,
+                           std::vector<double>& diag,
+                           std::vector<double>& upper,
+                           std::vector<double>& upper2) {
+  const std::size_t n = d.size();
+  diag.resize(n);
+  upper.resize(n);
+  upper2.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    diag[i] = d[i] - lambda;
+    upper[i] = (i + 1 < n) ? e[i + 1] : 0.0;  // T(i, i+1)
+    upper2[i] = 0.0;                          // fill-in from row swaps
+  }
+  // Forward elimination, pivoting between rows i and i+1. Row swaps fold
+  // into the stored upper diagonals; the multiplier applies to x directly.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double sub = e[i + 1];  // T(i+1, i), untouched by earlier steps
+    if (std::fabs(diag[i]) >= std::fabs(sub)) {
+      const double pivot =
+          std::fabs(diag[i]) < pivmin ? sign_of(pivmin, diag[i]) : diag[i];
+      const double mult = sub / pivot;
+      diag[i] = pivot;
+      diag[i + 1] -= mult * upper[i];
+      x[i + 1] -= mult * x[i];
+    } else {
+      // Swap rows i and i+1; row i+1's upper element becomes fill-in.
+      const double mult = diag[i] / sub;
+      diag[i] = sub;
+      const double old_upper = upper[i];
+      upper[i] = diag[i + 1];
+      upper2[i] = upper[i + 1];
+      diag[i + 1] = old_upper - mult * upper[i];
+      upper[i + 1] = -mult * upper2[i];
+      std::swap(x[i], x[i + 1]);
+      x[i + 1] -= mult * x[i];
+    }
+  }
+  if (std::fabs(diag[n - 1]) < pivmin) {
+    diag[n - 1] = sign_of(pivmin, diag[n - 1]);
+  }
+  // Back substitution.
+  x[n - 1] /= diag[n - 1];
+  if (n >= 2) {
+    x[n - 2] = (x[n - 2] - upper[n - 2] * x[n - 1]) / diag[n - 2];
+    for (std::size_t i = n - 2; i-- > 0;) {
+      x[i] = (x[i] - upper[i] * x[i + 1] - upper2[i] * x[i + 2]) / diag[i];
+    }
+  }
+}
+
+/// Lowest-m eigenpairs of the tridiagonal matrix (d, e): eigenvalues by
+/// bisection, eigenvectors by inverse iteration (dstein shape: clusters
+/// of close eigenvalues are orthogonalised against their earlier members
+/// every iteration, with ulp-scale shift perturbations separating exact
+/// degeneracies). Vectors land in the rows of `vt` (m x n).
+void tridiag_lowest(const std::vector<double>& d, const std::vector<double>& e,
+                    std::size_t m, std::vector<double>& eigenvalues,
+                    RealMatrix& vt) {
+  const std::size_t n = d.size();
+  std::vector<double> e2(n, 0.0);
+  double emax2 = 1.0;
+  for (std::size_t i = 1; i < n; ++i) {
+    e2[i] = e[i] * e[i];
+    emax2 = std::max(emax2, e2[i]);
+  }
+  const double pivmin = std::numeric_limits<double>::min() * emax2;
+
+  // Gershgorin bounds, widened by a few ulps so the count invariants
+  // (count(lo) == 0, count(hi) == n) hold strictly.
+  double lo = d[0];
+  double hi = d[0];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double radius = (i > 0 ? std::fabs(e[i]) : 0.0) +
+                          (i + 1 < n ? std::fabs(e[i + 1]) : 0.0);
+    lo = std::min(lo, d[i] - radius);
+    hi = std::max(hi, d[i] + radius);
+  }
+  const double anorm = std::max(std::fabs(lo), std::fabs(hi));
+  const double margin =
+      16.0 * std::numeric_limits<double>::epsilon() * anorm + 2.0 * pivmin;
+  lo -= margin;
+  hi += margin;
+
+  eigenvalues.assign(m, 0.0);
+  parallel_for(0, m, eig_grain(64 * n),
+               [&](std::size_t klo, std::size_t khi) {
+                 for (std::size_t k = klo; k < khi; ++k) {
+                   eigenvalues[k] =
+                       bisect_eigenvalue(d, e2, pivmin, lo, hi, k);
+                 }
+               });
+
+  // Cluster boundaries: consecutive eigenvalues closer than the dstein
+  // orthogonalisation threshold iterate as one group, so their vectors
+  // are re-orthogonalised against each other every inverse-iteration
+  // pass. The grouping depends only on the eigenvalues.
+  const double cluster_tol =
+      1e-3 * std::max(anorm, std::numeric_limits<double>::min());
+  std::vector<std::size_t> cluster_starts{0};
+  for (std::size_t k = 1; k < m; ++k) {
+    if (eigenvalues[k] - eigenvalues[k - 1] > cluster_tol) {
+      cluster_starts.push_back(k);
+    }
+  }
+  cluster_starts.push_back(m);
+
+  vt = RealMatrix(m, n);
+  const double eps = std::numeric_limits<double>::epsilon();
+  parallel_for(
+      0, cluster_starts.size() - 1, 1, [&](std::size_t clo, std::size_t chi) {
+        std::vector<double> diag, upper, upper2;
+        for (std::size_t c = clo; c < chi; ++c) {
+          const std::size_t begin = cluster_starts[c];
+          const std::size_t end = cluster_starts[c + 1];
+          for (std::size_t k = begin; k < end; ++k) {
+            // Exact degeneracies make (T - lambda I) singular in the same
+            // direction for every member; an index-scaled ulp nudge plus
+            // the per-pass orthogonalisation separates them (dstein).
+            const double shift =
+                eigenvalues[k] +
+                static_cast<double>(k - begin) * 2.0 * eps * anorm;
+            double* v = vt.row(k);
+            Prng prng(0x9e1d5eedull + 1000003ull * k);
+            std::vector<double> x(n);
+            for (std::size_t i = 0; i < n; ++i) {
+              x[i] = prng.next_double(-0.5, 0.5);
+            }
+            const auto orthogonalise_normalise = [&]() {
+              for (std::size_t j = begin; j < k; ++j) {
+                const double* u = vt.row(j);
+                double dot = 0.0;
+                for (std::size_t i = 0; i < n; ++i) dot += u[i] * x[i];
+                for (std::size_t i = 0; i < n; ++i) x[i] -= dot * u[i];
+              }
+              double norm2 = 0.0;
+              for (const double value : x) norm2 += value * value;
+              if (!(norm2 > 0.0) || !std::isfinite(norm2)) {
+                return false;
+              }
+              const double inv = 1.0 / std::sqrt(norm2);
+              for (double& value : x) value *= inv;
+              return true;
+            };
+            for (unsigned pass = 0; pass < 4; ++pass) {
+              tridiag_shifted_solve(d, e, shift, pivmin, x, diag, upper,
+                                    upper2);
+              if (!orthogonalise_normalise()) {
+                // Degenerate start (orthogonalised away or overflowed):
+                // restart from the next deterministic random vector.
+                for (std::size_t i = 0; i < n; ++i) {
+                  x[i] = prng.next_double(-0.5, 0.5);
+                }
+              }
+            }
+            if (!orthogonalise_normalise()) {
+              // Pathological fallback: a canonical basis vector made
+              // orthogonal to the cluster prefix (still deterministic).
+              std::fill(x.begin(), x.end(), 0.0);
+              x[k % n] = 1.0;
+              (void)orthogonalise_normalise();
+            }
+            std::copy(x.begin(), x.end(), v);
+          }
+        }
+      });
+}
+
 /// Sorts eigenvalues ascending, permuting eigenvector columns to match.
 void sort_eigenpairs(const std::vector<double>& d, const RealMatrix& z,
                      EigenResult& result) {
@@ -647,18 +912,6 @@ void pack_b_block(const Matrix<T>& b, std::size_t row0, std::size_t col0,
     }
   }
 }
-
-#if defined(__GNUC__) && defined(__AVX512F__)
-#define NDFT_GEMM_SIMD 1
-/// 8 doubles per lane; kNr is exactly two lanes.
-typedef double V8d __attribute__((vector_size(64)));
-
-V8d v8_load(const double* p) {
-  V8d v;
-  __builtin_memcpy(&v, p, sizeof(v));  // unaligned load, folds to vmovupd
-  return v;
-}
-#endif
 
 /// Register-tile kernel: acc(kMr x kNr) += Apanel * Bpanel over kc terms.
 /// The double path names every accumulator lane explicitly — compilers
@@ -1050,6 +1303,79 @@ EigenResult syevd_naive(const RealMatrix& symmetric, OpCount* count) {
   sort_eigenpairs(d, result.eigenvectors, result);
   count_syevd(n, count);
   return result;
+}
+
+EigenResult syevd_partial(const RealMatrix& symmetric, std::size_t m,
+                          OpCount* count) {
+  LinalgTimerScope timer;
+  KernelTimer trace(KernelClass::kSyevd, "syevd.partial");
+  NDFT_REQUIRE(symmetric.rows() == symmetric.cols(),
+               "syevd_partial: matrix must be square");
+  const std::size_t n = symmetric.rows();
+  NDFT_REQUIRE(m >= 1 && m <= n,
+               "syevd_partial: eigenpair count must be in [1, n]");
+  trace.set_dims(n, m, 0);
+  {
+    const SyevdCost cost = syevd_partial_cost(n, m);
+    trace.set_work(cost.flops, cost.bytes);
+  }
+  trace.set_io(n * n * sizeof(double), (n * m + m) * sizeof(double));
+
+  if (2 * m > n) {
+    // The QL/back-transform savings vanish near the full spectrum; the
+    // full blocked solver is both faster and more robust there. Nested
+    // timer/trace entries fold into this one.
+    EigenResult full = syevd(symmetric, count);
+    if (m == n) return full;
+    EigenResult result;
+    result.eigenvalues.assign(
+        full.eigenvalues.begin(),
+        full.eigenvalues.begin() + static_cast<std::ptrdiff_t>(m));
+    result.eigenvectors = RealMatrix(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* src = full.eigenvectors.row(i);
+      std::copy(src, src + m, result.eigenvectors.row(i));
+    }
+    return result;
+  }
+
+  RealMatrix reduced = symmetric;
+  std::vector<double> d;
+  std::vector<double> e;
+  std::vector<double> tau;
+  blocked_tridiagonalize(reduced, d, e, tau);
+
+  EigenResult result;
+  RealMatrix vt;  // tridiagonal eigenvectors, one per row
+  tridiag_lowest(d, e, m, result.eigenvalues, vt);
+
+  // Assemble the n x m eigenvector block and push it through the same
+  // compact-WY panels as the full solver — O(n^2 m) instead of O(n^3).
+  RealMatrix z(n, m);
+  parallel_for(0, n, eig_grain(m),
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t r = lo; r < hi; ++r) {
+                   double* row = z.row(r);
+                   for (std::size_t c = 0; c < m; ++c) row[c] = vt(c, r);
+                 }
+               });
+  apply_q_blocked(reduced, tau, z);
+  result.eigenvectors = std::move(z);
+
+  if (count != nullptr) {
+    const SyevdCost cost = syevd_partial_cost(n, m);
+    count->add(cost.flops, cost.bytes);
+  }
+  return result;
+}
+
+SyevdCost syevd_partial_cost(std::size_t n, std::size_t m) noexcept {
+  if (2 * m > n) return syevd_cost(n);
+  const auto nn = static_cast<Flops>(n) * n;
+  // Reduction (~4/3 n^3), WY back-transform (~2 n^2 m), bisection +
+  // inverse iteration (~60 Sturm sweeps and a few O(n) solves per pair).
+  return {nn * n * 4 / 3 + 2 * nn * m + 400ull * n * m,
+          (2 * nn + 2 * static_cast<Bytes>(n) * m) * sizeof(double)};
 }
 
 HermitianEigenResult heev(const ComplexMatrix& hermitian, OpCount* count) {

@@ -95,6 +95,28 @@ EigenResult syevd(const RealMatrix& symmetric, OpCount* count = nullptr);
 EigenResult syevd_naive(const RealMatrix& symmetric,
                         OpCount* count = nullptr);
 
+/// Analytic cost tally of a partial eigensolve returning the lowest `m`
+/// pairs: the full reduction (~(4/3)n^3) survives, but the QL rotations
+/// and the back-transformation shrink to O(n^2 m). Collapses to
+/// syevd_cost(n) in the regime where syevd_partial() delegates to the
+/// full solver.
+SyevdCost syevd_partial_cost(std::size_t n, std::size_t m) noexcept;
+
+/// Solves for the lowest `m` eigenpairs of a real symmetric matrix
+/// (1 <= m <= n). Reuses the blocked Householder reduction, then replaces
+/// the full-spectrum QL stage with bisection (Sturm counts on the
+/// tridiagonal matrix) plus inverse iteration for just those `m` vectors,
+/// which are back-transformed through the compact-WY GEMMs restricted to
+/// m columns — O(n^2 m) after the reduction instead of O(n^3). When
+/// 2m > n the savings vanish and the call delegates to syevd(),
+/// truncated to m pairs, so callers can request any window. Eigenvalues
+/// match the full solver to ~n*eps*||A||; eigenvectors match to sign
+/// within nondegenerate multiplets (clustered eigenvalues are
+/// re-orthogonalised, spanning the same invariant subspace). Results are
+/// bitwise identical for any thread count.
+EigenResult syevd_partial(const RealMatrix& symmetric, std::size_t m,
+                          OpCount* count = nullptr);
+
 /// Result of a Hermitian eigensolve.
 struct HermitianEigenResult {
   std::vector<double> eigenvalues;  ///< ascending

@@ -287,7 +287,9 @@ ScfResult solve_scf(const PlaneWaveBasis& basis, const ScfConfig& config) {
       mirror_upper(hamiltonian);
     }
 
-    EigenResult eigen = syevd(hamiltonian);
+    // Only the lowest `bands` pairs feed the density and the band window;
+    // the partial solver skips the full-spectrum QL and back-transform.
+    EigenResult eigen = syevd_partial(hamiltonian, bands);
 
     state.valence_bands = valence;
     state.energies_ha.assign(

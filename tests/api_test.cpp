@@ -7,11 +7,13 @@
 
 #include <cmath>
 #include <limits>
+#include <numbers>
 #include <string>
 #include <vector>
 
 #include "api/engine.hpp"
 #include "common/json.hpp"
+#include "dft/kpoints.hpp"
 
 namespace ndft::api {
 namespace {
@@ -133,6 +135,41 @@ TEST(JobValidationTest, BandStructureWindow) {
   job.valence_bands = 4;
   job.segments = 0;
   EXPECT_FALSE(validate(job).empty());
+  // Mirrors find_gap's valence >= 1 precondition (the size_t underflow
+  // regression): zero valence bands must be rejected up front.
+  job.segments = 2;
+  job.valence_bands = 0;
+  EXPECT_FALSE(validate(job).empty());
+}
+
+TEST(JobValidationTest, BandStructureCrystalAndSampling) {
+  // Monkhorst-Pack on a supercell is valid.
+  BandStructureJob job;
+  job.atoms = 8;
+  job.sampling = BandStructureJob::Sampling::kMonkhorstPack;
+  job.mp_grid[0] = job.mp_grid[1] = job.mp_grid[2] = 2;
+  job.bands = 20;
+  job.valence_bands = 16;
+  EXPECT_TRUE(validate(job).empty());
+  // The FCC path is primitive-cell-only.
+  job.sampling = BandStructureJob::Sampling::kPath;
+  EXPECT_FALSE(validate(job).empty());
+  // Supercell sizes follow the usual multiple-of-8 rule.
+  job.sampling = BandStructureJob::Sampling::kMonkhorstPack;
+  job.atoms = 12;
+  EXPECT_FALSE(validate(job).empty());
+  // Grid divisions must be positive and the point count bounded.
+  job.atoms = 8;
+  job.mp_grid[1] = 0;
+  EXPECT_FALSE(validate(job).empty());
+  job.mp_grid[0] = job.mp_grid[1] = job.mp_grid[2] = 1u << 10;
+  EXPECT_FALSE(validate(job).empty());
+  // A product that wraps a 64-bit accumulator (2^22 * 2^21 * 2^21 =
+  // 2^64 -> 0) must still be rejected, not validate via overflow.
+  job.mp_grid[0] = 1u << 22;
+  job.mp_grid[1] = 1u << 21;
+  job.mp_grid[2] = 1u << 21;
+  EXPECT_FALSE(validate(job).empty());
 }
 
 TEST(JobValidationTest, PlanProfileOverridePairs) {
@@ -206,6 +243,113 @@ TEST(JobResultJsonTest, AllJobKindsRoundTrip) {
 
   PlanJob plan;
   expect_round_trip(engine.run(plan));
+}
+
+TEST(BandStructureJobTest, MonkhorstPackPrimitiveMatchesDirectSolve) {
+  // The generalized job on the primitive cell must reproduce the direct
+  // dft-layer computation exactly (same crystal, grid and window).
+  Engine engine(fast_config());
+  BandStructureJob job;
+  job.sampling = BandStructureJob::Sampling::kMonkhorstPack;
+  job.mp_grid[0] = job.mp_grid[1] = job.mp_grid[2] = 2;
+  job.bands = 6;
+  job.valence_bands = 4;
+  const JobResult result = engine.run(job);
+  ASSERT_TRUE(result.ok()) << result.error_message;
+  ASSERT_TRUE(result.band_structure.has_value());
+  const BandStructurePayload& payload = *result.band_structure;
+  EXPECT_EQ(payload.atoms, 2u);
+  EXPECT_EQ(payload.sampling, "monkhorst_pack");
+  ASSERT_EQ(payload.path.size(), 8u);
+  EXPECT_NEAR(payload.weight_sum, 1.0, 1e-12);
+
+  const dft::Crystal primitive = dft::silicon_primitive();
+  const dft::PlaneWaveBasis basis(primitive, job.ecut_ry * 0.5);
+  EXPECT_EQ(payload.basis_size, basis.size());
+  const auto grid = dft::monkhorst_pack(primitive, 2, 2, 2);
+  const auto structure = dft::band_structure(basis, grid, job.bands);
+  const dft::GapSummary gap = dft::find_gap(structure, job.valence_bands);
+  EXPECT_EQ(payload.vbm_ha, gap.vbm_ha);
+  EXPECT_EQ(payload.cbm_ha, gap.cbm_ha);
+  EXPECT_EQ(payload.indirect_gap_ev, gap.indirect_gap_ev());
+  EXPECT_EQ(payload.band_energy_ha, gap.band_energy_ha);
+  for (std::size_t i = 0; i < payload.path.size(); ++i) {
+    EXPECT_EQ(payload.path[i].weight, grid[i].weight);
+    ASSERT_EQ(payload.path[i].energies_ha.size(),
+              structure[i].energies_ha.size());
+    for (std::size_t b = 0; b < job.bands; ++b) {
+      EXPECT_EQ(payload.path[i].energies_ha[b],
+                structure[i].energies_ha[b]);
+    }
+  }
+}
+
+TEST(BandStructureJobTest, SupercellMonkhorstPackThroughSubmit) {
+  // The acceptance path: a Monkhorst-Pack job on a non-primitive crystal
+  // enters through Engine::submit(), round-trips its JSON result
+  // losslessly, and reproduces the primitive-cell gap summary when
+  // configured equivalently (the Gamma-only grid of the 8-atom
+  // conventional cell folds the primitive {Gamma, X_x, X_y, X_z} set).
+  Engine engine(fast_config());
+  BandStructureJob job;
+  job.atoms = 8;
+  job.sampling = BandStructureJob::Sampling::kMonkhorstPack;
+  job.mp_grid[0] = job.mp_grid[1] = job.mp_grid[2] = 1;
+  job.bands = 20;
+  job.valence_bands = 16;
+  JobHandle handle = engine.submit(job);
+  const JobResult& result = handle.wait();
+  ASSERT_TRUE(result.ok()) << result.error_message;
+  ASSERT_TRUE(result.band_structure.has_value());
+  const BandStructurePayload& payload = *result.band_structure;
+  EXPECT_EQ(payload.atoms, 8u);
+  EXPECT_EQ(payload.sampling, "monkhorst_pack");
+  ASSERT_EQ(payload.path.size(), 1u);
+  EXPECT_NEAR(payload.weight_sum, 1.0, 1e-12);
+  // The 1x1x1 MP grid is the (unlabelled) zone centre, so the direct
+  // gap is reported off the k == 0 point.
+  EXPECT_GT(payload.direct_gap_gamma_ev, 0.0);
+
+  expect_round_trip(result);
+
+  // Primitive-cell reference over the folded cosets.
+  const dft::Crystal primitive = dft::silicon_primitive();
+  const dft::PlaneWaveBasis basis(primitive, job.ecut_ry * 0.5);
+  const double unit = 2.0 * std::numbers::pi / dft::kSiliconLatticeBohr;
+  std::vector<dft::KPoint> cosets(4);
+  cosets[1].k = {unit, 0.0, 0.0};
+  cosets[2].k = {0.0, unit, 0.0};
+  cosets[3].k = {0.0, 0.0, unit};
+  const auto solved = dft::band_structure(basis, cosets, 6);
+  const dft::GapSummary reference = dft::find_gap(solved, 4);
+  EXPECT_NEAR(payload.vbm_ha, reference.vbm_ha, 1e-10);
+  EXPECT_NEAR(payload.cbm_ha, reference.cbm_ha, 1e-3);
+  EXPECT_NEAR(payload.indirect_gap_ev, reference.indirect_gap_ev(), 0.03);
+  // Folded occupied band energy = sum of the cosets' (equal-weight)
+  // occupied energies; both summaries normalise by their weight sums.
+  EXPECT_NEAR(payload.band_energy_ha / 4.0, reference.band_energy_ha,
+              2e-3);
+}
+
+TEST(BandStructureJobTest, PathJobKeepsPrimitiveDefaults) {
+  // The generalized job with default crystal/sampling reproduces the old
+  // hard-wired primitive path behaviour, weights included.
+  Engine engine(fast_config());
+  BandStructureJob job;
+  job.segments = 2;
+  const JobResult result = engine.run(job);
+  ASSERT_TRUE(result.ok()) << result.error_message;
+  const BandStructurePayload& payload = *result.band_structure;
+  EXPECT_EQ(payload.atoms, 2u);
+  EXPECT_EQ(payload.sampling, "path");
+  EXPECT_EQ(payload.path.size(), 4u * job.segments + 1);
+  for (const BandsAtKPayload& point : payload.path) {
+    EXPECT_EQ(point.weight, 1.0);
+  }
+  EXPECT_NEAR(payload.weight_sum,
+              static_cast<double>(payload.path.size()), 1e-12);
+  EXPECT_EQ(payload.path.front().label, "L");
+  EXPECT_EQ(payload.path.back().label, "Gamma");
 }
 
 TEST(JobResultJsonTest, RejectionRoundTrips) {

@@ -260,6 +260,40 @@ TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
                           [](int h) { return h == 1; }));
 }
 
+TEST(ThreadPoolTest, EnvThreadCountParsesStrictly) {
+  // Well-formed positive integers pass through.
+  EXPECT_EQ(thread_count_from_env("1"), 1u);
+  EXPECT_EQ(thread_count_from_env("8"), 8u);
+  EXPECT_EQ(thread_count_from_env("512"), 512u);
+  // Regression: strtol's longest-prefix parse used to accept trailing
+  // garbage ("8x" ran with 8 threads). Malformed values must be
+  // rejected (0 = fall back to hardware concurrency).
+  EXPECT_EQ(thread_count_from_env("8x"), 0u);
+  EXPECT_EQ(thread_count_from_env("x8"), 0u);
+  EXPECT_EQ(thread_count_from_env("8 "), 0u);
+  EXPECT_EQ(thread_count_from_env("3.5"), 0u);
+  EXPECT_EQ(thread_count_from_env(""), 0u);
+  EXPECT_EQ(thread_count_from_env(nullptr), 0u);
+  EXPECT_EQ(thread_count_from_env("0"), 0u);
+  EXPECT_EQ(thread_count_from_env("-4"), 0u);
+}
+
+TEST(ThreadPoolTest, EnvThreadCountClampsAbsurdValues) {
+  bool clamped = false;
+  EXPECT_EQ(thread_count_from_env("100000", &clamped), kMaxPoolThreads);
+  EXPECT_TRUE(clamped);
+  // Overflowing strtol entirely still clamps rather than wrapping.
+  clamped = false;
+  EXPECT_EQ(thread_count_from_env("99999999999999999999999", &clamped),
+            kMaxPoolThreads);
+  EXPECT_TRUE(clamped);
+  EXPECT_EQ(thread_count_from_env("-99999999999999999999999"), 0u);
+  // In-range values do not report a clamp.
+  clamped = true;
+  EXPECT_EQ(thread_count_from_env("2", &clamped), 2u);
+  EXPECT_FALSE(clamped);
+}
+
 TEST(ThreadPoolTest, PropagatesExceptions) {
   ThreadPool& pool = ThreadPool::instance();
   const std::size_t original_threads = pool.threads();

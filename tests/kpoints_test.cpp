@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <numbers>
 
+#include "common/thread_pool.hpp"
 #include "dft/kpoints.hpp"
 
 namespace ndft::dft {
@@ -51,6 +54,38 @@ TEST(KPathTest, GammaIsAtOrigin) {
   }
 }
 
+TEST(KPathTest, LabelsBothLegEndpoints) {
+  // Every high-symmetry junction must carry its label at the exact index
+  // where the leg boundary sits: point l*segments for leg l, and the
+  // final appended endpoint. Interior points stay unlabelled.
+  const unsigned segments = 7;
+  const std::vector<KPoint> path = fcc_kpath(kSiliconLatticeBohr, segments);
+  ASSERT_EQ(path.size(), 4u * segments + 1);
+  const char* expected[] = {"L", "Gamma", "X", "K", "Gamma"};
+  for (std::size_t leg = 0; leg < 5; ++leg) {
+    EXPECT_EQ(path[leg * segments].label, expected[leg])
+        << "junction " << leg;
+  }
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i % segments != 0) {
+      EXPECT_TRUE(path[i].label.empty()) << "interior point " << i;
+    }
+  }
+  // The third leg runs straight from X to K (what the docstring now
+  // says), not via the textbook U|K jump: every interior point
+  // interpolates linearly between the two junctions.
+  const double unit = 2.0 * std::numbers::pi / kSiliconLatticeBohr;
+  const Vec3 x{0.0, unit, 0.0};
+  const Vec3 k_point{0.75 * unit, 0.75 * unit, 0.0};
+  for (unsigned s = 0; s < segments; ++s) {
+    const double t = static_cast<double>(s) / segments;
+    const Vec3 expected_k = x + (k_point - x) * t;
+    EXPECT_NEAR((path[2 * segments + s].k - expected_k).norm2(), 0.0,
+                1e-24)
+        << "X->K interior point " << s;
+  }
+}
+
 TEST(MonkhorstPackTest, WeightsSumToOne) {
   const Crystal primitive = silicon_primitive();
   const auto grid = monkhorst_pack(primitive, 3, 3, 3);
@@ -58,6 +93,41 @@ TEST(MonkhorstPackTest, WeightsSumToOne) {
   double total = 0.0;
   for (const KPoint& kp : grid) total += kp.weight;
   EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MonkhorstPackTest, NonCubicGridCountAndWeights) {
+  const Crystal primitive = silicon_primitive();
+  const auto grid = monkhorst_pack(primitive, 2, 3, 4);
+  EXPECT_EQ(grid.size(), 2u * 3 * 4);
+  double total = 0.0;
+  for (const KPoint& kp : grid) {
+    EXPECT_NEAR(kp.weight, 1.0 / 24.0, 1e-15);
+    total += kp.weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(MonkhorstPackTest, TimeReversalPairsPresent) {
+  // The MP fractions (2r - n - 1)/2n negate under r -> n - 1 - r, so the
+  // grid is closed under k -> -k (time reversal) for even and odd
+  // divisions alike.
+  const Crystal primitive = silicon_primitive();
+  for (const auto& dims : {std::array<unsigned, 3>{2, 2, 2},
+                           std::array<unsigned, 3>{3, 3, 3},
+                           std::array<unsigned, 3>{2, 3, 4}}) {
+    const auto grid = monkhorst_pack(primitive, dims[0], dims[1], dims[2]);
+    for (const KPoint& kp : grid) {
+      bool paired = false;
+      for (const KPoint& other : grid) {
+        if ((kp.k + other.k).norm2() < 1e-20) {
+          paired = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(paired) << "no -k partner for (" << kp.k.x << ", "
+                          << kp.k.y << ", " << kp.k.z << ")";
+    }
+  }
 }
 
 TEST(MonkhorstPackTest, EvenGridAvoidsGamma) {
@@ -140,11 +210,118 @@ TEST_F(BandStructureFixture, MpGridGapMatchesPathGap) {
   EXPECT_LT(gap.indirect_gap_ev(), 2.0);
 }
 
+TEST_F(BandStructureFixture, BandWindowClampsToBasisSize) {
+  // Requesting more bands than the basis holds must clamp, not throw or
+  // read past the spectrum.
+  KPoint gamma;
+  const BandsAtK clamped =
+      solve_epm_at_k(basis, gamma, basis.size() + 100);
+  EXPECT_EQ(clamped.energies_ha.size(), basis.size());
+  const BandsAtK full = solve_epm_at_k(basis, gamma, 0);
+  ASSERT_EQ(full.energies_ha.size(), basis.size());
+  for (std::size_t b = 0; b < basis.size(); ++b) {
+    EXPECT_NEAR(clamped.energies_ha[b], full.energies_ha[b], 1e-10);
+  }
+}
+
+TEST_F(BandStructureFixture, PartialWindowMatchesFullSpectrum) {
+  // The band window runs the partial eigensolver; its energies must
+  // match the full solve's lowest entries at every path point.
+  const auto path = fcc_kpath(kSiliconLatticeBohr, 3);
+  const auto partial = band_structure(basis, path, 6);
+  const auto full = band_structure(basis, path, 0);
+  ASSERT_EQ(partial.size(), full.size());
+  for (std::size_t i = 0; i < partial.size(); ++i) {
+    ASSERT_EQ(partial[i].energies_ha.size(), 6u);
+    for (std::size_t b = 0; b < 6; ++b) {
+      EXPECT_NEAR(partial[i].energies_ha[b], full[i].energies_ha[b], 1e-10)
+          << "band " << b << " at point " << i;
+    }
+  }
+}
+
+TEST_F(BandStructureFixture, PoolParallelKLoopBitwiseMatchesSerial) {
+  // The k-loop fans out one task per k-point; energies must be bitwise
+  // identical to the single-threaded loop for any pool width.
+  const auto path = fcc_kpath(kSiliconLatticeBohr, 4);
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t original = pool.threads();
+  std::vector<std::vector<BandsAtK>> runs;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    pool.resize(threads);
+    runs.push_back(band_structure(basis, path, 6));
+  }
+  pool.resize(original);
+  for (std::size_t t = 1; t < runs.size(); ++t) {
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      for (std::size_t b = 0; b < 6; ++b) {
+        ASSERT_EQ(runs[0][i].energies_ha[b], runs[t][i].energies_ha[b])
+            << "band " << b << " at point " << i << " thread variant " << t;
+      }
+    }
+  }
+}
+
+TEST(FoldingTest, SupercellGammaReproducesPrimitiveCosetGap) {
+  // Band folding: the 8-atom conventional cell at Gamma spans exactly the
+  // primitive cell's {Gamma, X_x, X_y, X_z} cosets, so its 16-valence gap
+  // summary must reproduce the primitive 4-valence summary over those
+  // k-points. The Gamma-coset block is the identical matrix (VBM agrees
+  // to machine precision); the X blocks differ only by the Gamma-centred
+  // basis truncation (~2e-4 Ha at 9 Ry).
+  const double ecut_ha = 4.5;
+  const Crystal super8 = Crystal::silicon_supercell(8);
+  const PlaneWaveBasis super_basis(super8, ecut_ha);
+  KPoint gamma;
+  const BandsAtK folded = solve_epm_at_k(super_basis, gamma, 20);
+  const GapSummary folded_gap = find_gap({folded}, 16);
+
+  const Crystal primitive = silicon_primitive();
+  const PlaneWaveBasis prim_basis(primitive, ecut_ha);
+  const double unit = 2.0 * std::numbers::pi / kSiliconLatticeBohr;
+  std::vector<KPoint> cosets(4);
+  cosets[1].k = {unit, 0.0, 0.0};
+  cosets[2].k = {0.0, unit, 0.0};
+  cosets[3].k = {0.0, 0.0, unit};
+  const auto solved = band_structure(prim_basis, cosets, 6);
+  const GapSummary primitive_gap = find_gap(solved, 4);
+
+  EXPECT_NEAR(folded_gap.vbm_ha, primitive_gap.vbm_ha, 1e-10);
+  EXPECT_NEAR(folded_gap.cbm_ha, primitive_gap.cbm_ha, 1e-3);
+  EXPECT_NEAR(folded_gap.indirect_gap_ev(),
+              primitive_gap.indirect_gap_ev(), 0.03);
+}
+
 TEST(FindGapTest, RejectsDegenerateInput) {
   EXPECT_THROW(find_gap({}, 4), NdftError);
   BandsAtK only_valence;
   only_valence.energies_ha = {1.0, 2.0};
   EXPECT_THROW(find_gap({only_valence}, 2), NdftError);
+}
+
+TEST(FindGapTest, RejectsZeroValence) {
+  // Regression: valence == 0 used to wrap `valence - 1` to SIZE_MAX and
+  // read energies_ha out of bounds; it must throw instead.
+  BandsAtK at_k;
+  at_k.energies_ha = {1.0, 2.0, 3.0};
+  EXPECT_THROW(find_gap({at_k}, 0), NdftError);
+}
+
+TEST(FindGapTest, WeightsFlowIntoBandEnergy) {
+  // Two k-points with different weights: the summary integrates
+  // 2 * sum of occupied energies against the normalised weights.
+  BandsAtK heavy;
+  heavy.kpoint.weight = 0.75;
+  heavy.energies_ha = {-1.0, 2.0};
+  BandsAtK light;
+  light.kpoint.weight = 0.25;
+  light.energies_ha = {-3.0, 1.0};
+  const GapSummary gap = find_gap({heavy, light}, 1);
+  EXPECT_NEAR(gap.weight_sum, 1.0, 1e-15);
+  // 0.75 * 2 * (-1) + 0.25 * 2 * (-3) = -3.0.
+  EXPECT_NEAR(gap.band_energy_ha, -3.0, 1e-12);
+  EXPECT_NEAR(gap.vbm_ha, -1.0, 1e-15);
+  EXPECT_NEAR(gap.cbm_ha, 1.0, 1e-15);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "common/prng.hpp"
 #include "common/thread_pool.hpp"
@@ -436,6 +437,185 @@ TEST(SyevdTest, DeterministicAcrossThreadCounts) {
       }
     }
   }
+}
+
+// Partial-spectrum sweep: the lowest-m path must agree with the full
+// solver on eigenvalues (to ~n*eps*||A||) and eigenvectors (to sign),
+// stay orthonormal, and keep a small residual. Sizes bracket the panel
+// width (kEigBlock = 32) like the full sweep; m spans the bisection
+// regime (2m <= n) and the delegating regime (2m > n).
+class SyevdPartialTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(SyevdPartialTest, AgreesWithFullSolverOnLowestPairs) {
+  const auto [n, m] = GetParam();
+  const RealMatrix matrix = random_symmetric(n, 300 + n + m);
+  const EigenResult full = syevd(matrix);
+  const EigenResult partial = syevd_partial(matrix, m);
+  ASSERT_EQ(partial.eigenvalues.size(), m);
+  ASSERT_EQ(partial.eigenvectors.rows(), n);
+  ASSERT_EQ(partial.eigenvectors.cols(), m);
+
+  for (std::size_t k = 0; k < m; ++k) {
+    EXPECT_NEAR(partial.eigenvalues[k], full.eigenvalues[k], 1e-10)
+        << "eigenvalue " << k << " of n=" << n << " m=" << m;
+  }
+  // Vectors agree up to sign: |<v_partial, v_full>| ~ 1 (the random
+  // matrices have simple spectra, so no multiplet gauge freedom).
+  for (std::size_t k = 0; k < m; ++k) {
+    double dot = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dot += partial.eigenvectors(i, k) * full.eigenvectors(i, k);
+    }
+    EXPECT_NEAR(std::fabs(dot), 1.0, 1e-8)
+        << "eigenvector " << k << " of n=" << n << " m=" << m;
+  }
+  // Orthonormal columns.
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a; b < m; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += partial.eigenvectors(i, a) * partial.eigenvectors(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9)
+          << "pair (" << a << ", " << b << ") of n=" << n << " m=" << m;
+    }
+  }
+  // ||A v - lambda v|| per pair.
+  for (std::size_t k = 0; k < m; ++k) {
+    double residual2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += matrix(i, j) * partial.eigenvectors(j, k);
+      }
+      acc -= partial.eigenvalues[k] * partial.eigenvectors(i, k);
+      residual2 += acc * acc;
+    }
+    EXPECT_LT(std::sqrt(residual2), 1e-8 * static_cast<double>(n))
+        << "residual of pair " << k << " at n=" << n << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SyevdPartialTest,
+    ::testing::Values(std::make_tuple(1, 1), std::make_tuple(2, 1),
+                      std::make_tuple(8, 3), std::make_tuple(31, 4),
+                      std::make_tuple(32, 8), std::make_tuple(33, 16),
+                      std::make_tuple(50, 50), std::make_tuple(64, 8),
+                      std::make_tuple(70, 40), std::make_tuple(97, 12),
+                      std::make_tuple(128, 16), std::make_tuple(130, 64)));
+
+TEST(SyevdPartialTest, DegenerateClusterSpansTheSameSubspace) {
+  // A matrix with an exactly threefold-degenerate lowest eigenvalue (the
+  // Gamma_25' situation in the EPM matrices): the partial solver's
+  // cluster vectors must be orthonormal and satisfy the residual even
+  // though individual vectors are gauge-free.
+  const std::size_t n = 40;
+  RealMatrix diag(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    diag(i, i) = (i < 3) ? -5.0 : static_cast<double>(i);
+  }
+  // Conjugate by a Householder reflector so the matrix is dense.
+  std::vector<double> w(n);
+  Prng prng(77);
+  double norm2 = 0.0;
+  for (double& value : w) {
+    value = prng.next_double(-1.0, 1.0);
+    norm2 += value * value;
+  }
+  const double inv = 1.0 / std::sqrt(norm2);
+  for (double& value : w) value *= inv;
+  RealMatrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      q(i, j) = (i == j ? 1.0 : 0.0) - 2.0 * w[i] * w[j];
+    }
+  }
+  RealMatrix tmp;
+  RealMatrix matrix;
+  gemm(q, diag, tmp);
+  gemm(tmp, q, matrix, 1.0, 0.0, false, /*transpose_b=*/true);
+
+  const EigenResult partial = syevd_partial(matrix, 5);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(partial.eigenvalues[k], -5.0, 1e-9);
+  }
+  EXPECT_NEAR(partial.eigenvalues[3], 3.0, 1e-9);
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = a; b < 5; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += partial.eigenvectors(i, a) * partial.eigenvectors(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-9);
+    }
+  }
+  for (std::size_t k = 0; k < 5; ++k) {
+    double residual2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += matrix(i, j) * partial.eigenvectors(j, k);
+      }
+      acc -= partial.eigenvalues[k] * partial.eigenvectors(i, k);
+      residual2 += acc * acc;
+    }
+    EXPECT_LT(std::sqrt(residual2), 1e-8);
+  }
+}
+
+TEST(SyevdPartialTest, DeterministicAcrossThreadCounts) {
+  // Reduction GEMMs, bisection, per-cluster inverse iteration and the WY
+  // back-transform all split across the pool; eigenvalues AND
+  // eigenvectors must stay bitwise identical for any thread count.
+  const std::size_t n = 200;
+  const std::size_t m = 48;
+  const RealMatrix matrix = random_symmetric(n, 88);
+
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t original_threads = pool.threads();
+  std::vector<EigenResult> results;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    pool.resize(threads);
+    results.push_back(syevd_partial(matrix, m));
+  }
+  pool.resize(original_threads);
+
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    for (std::size_t k = 0; k < m; ++k) {
+      ASSERT_EQ(results[0].eigenvalues[k], results[t].eigenvalues[k])
+          << "eigenvalue " << k << " at thread variant " << t;
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(results[0].eigenvectors(i, k),
+                  results[t].eigenvectors(i, k))
+            << "eigenvector element (" << i << ", " << k
+            << ") at thread variant " << t;
+      }
+    }
+  }
+}
+
+TEST(SyevdPartialTest, RejectsBadWindows) {
+  const RealMatrix matrix = random_symmetric(8, 91);
+  EXPECT_THROW(syevd_partial(matrix, 0), NdftError);
+  EXPECT_THROW(syevd_partial(matrix, 9), NdftError);
+  EXPECT_THROW(syevd_partial(random_matrix(3, 4, 92), 2), NdftError);
+}
+
+TEST(SyevdPartialTest, CountsLessWorkThanFullSolve) {
+  const RealMatrix matrix = random_symmetric(96, 93);
+  OpCount partial;
+  OpCount full;
+  (void)syevd_partial(matrix, 8, &partial);
+  (void)syevd(matrix, &full);
+  EXPECT_GT(partial.flops, 0u);
+  EXPECT_LT(partial.flops, full.flops);
+  // Near the full window the call delegates and costs the full solve.
+  OpCount wide;
+  (void)syevd_partial(matrix, 96, &wide);
+  EXPECT_EQ(wide.flops, full.flops);
 }
 
 TEST(HeevTest, RealSymmetricReducesToSyevd) {
