@@ -1,0 +1,211 @@
+// bench_fault_sweep: fault-injection sweep over every registered site.
+// For each site in the catalog, arms the site at probability 1.0 (capped
+// to one fire, then uncapped) and drives a small job through the layer
+// that owns the site, asserting the contract of its fault class:
+//
+//   resource/device (transient)  @1: retries to success, attempts == 2
+//                                uncapped: classified transient failure
+//                                with attempts == max_attempts
+//   solver/trace (degradable)    job stays Ok and reports the fallback in
+//                                JobResult::degraded
+//
+// Exits nonzero on any contract violation — and simply completing proves
+// no site hangs or crashes the engine. Results go to
+// BENCH_fault_sweep.json for cross-commit tracking.
+//
+// Modes:
+//   bench_fault_sweep           full sweep (capped + uncapped per site)
+//   bench_fault_sweep --smoke   same sweep, smaller jobs (the
+//                               verify.sh --bench-smoke gate)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "common/fault.hpp"
+#include "common/run_metadata.hpp"
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "dft/davidson.hpp"
+#include "dft/linalg.hpp"
+
+using namespace ndft;
+
+namespace {
+
+struct SweepRow {
+  std::string site;
+  FaultClass cls = FaultClass::kResource;
+  std::string capped_outcome;
+  std::string uncapped_outcome;
+  bool pass = false;
+};
+
+/// A small job that reaches the layer owning `site`.
+api::JobRequest job_for_site(const char* site, bool smoke) {
+  if (std::strcmp(site, "scf.alloc") == 0 ||
+      std::strcmp(site, "trace.recorder") == 0) {
+    api::ScfJob job;
+    job.scf.max_iterations = smoke ? 2 : 4;
+    job.scf.tolerance = 1e-2;
+    job.record_trace = std::strcmp(site, "trace.recorder") == 0;
+    return job;
+  }
+  if (std::strcmp(site, "bands.alloc") == 0 ||
+      std::strcmp(site, "solver.syevd_partial") == 0) {
+    api::BandStructureJob job;
+    job.segments = smoke ? 1 : 2;
+    return job;
+  }
+  if (std::strcmp(site, "sim.mem") == 0) {
+    api::SimulateJob job;
+    job.atoms = 16;
+    return job;
+  }
+  return api::PlanJob{};  // engine.alloc and anything engine-level
+}
+
+/// The davidson site lives outside the Engine's job kinds: drive the
+/// dense overload directly and report in the same outcome vocabulary.
+SweepRow sweep_davidson() {
+  SweepRow row;
+  row.site = "solver.davidson";
+  row.cls = FaultClass::kSolver;
+  dft::RealMatrix m(32, 32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    m(i, i) = static_cast<double>(i) + 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      m(i, j) = m(j, i) = 0.05 / static_cast<double>(i + j + 1);
+    }
+  }
+  dft::DavidsonConfig config;
+  config.wanted = 3;
+  bool pass = true;
+  for (const bool capped : {true, false}) {
+    fault_install(FaultSpec::parse(capped ? "solver.davidson=1.0@1"
+                                          : "solver.davidson=1.0"));
+    DegradationScope notes;
+    const dft::DavidsonResult result = dft::davidson(m, config);
+    const std::vector<std::string> taken = notes.take();
+    const bool ok = result.converged && !taken.empty();
+    (capped ? row.capped_outcome : row.uncapped_outcome) =
+        ok ? "ok+" + taken.front() : "FAIL";
+    pass = pass && ok;
+  }
+  fault_clear();
+  row.pass = pass;
+  return row;
+}
+
+bool transient(FaultClass cls) {
+  return cls == FaultClass::kResource || cls == FaultClass::kDevice;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::printf("fault sweep over %zu sites%s\n\n", fault_sites().size(),
+              smoke ? " (smoke)" : "");
+
+  constexpr unsigned kMaxAttempts = 3;
+  std::vector<SweepRow> rows;
+  for (const FaultSite& site : fault_sites()) {
+    if (std::strcmp(site.name, "solver.davidson") == 0) {
+      rows.push_back(sweep_davidson());
+      continue;
+    }
+    SweepRow row;
+    row.site = site.name;
+    row.cls = site.cls;
+    bool pass = true;
+    for (const bool capped : {true, false}) {
+      api::EngineConfig config;
+      config.dispatch_threads = 0;
+      config.system.sampled_ops_per_kernel = 20000;
+      config.system.min_ops_per_core = 200;
+      config.max_attempts = kMaxAttempts;
+      config.retry_backoff_ms = 0.1;
+      config.fault_spec =
+          std::string(site.name) + (capped ? "=1.0@1" : "=1.0");
+      api::Engine engine(config);
+      const api::JobResult result =
+          engine.run(job_for_site(site.name, smoke));
+      bool ok;
+      std::string outcome;
+      if (transient(site.cls)) {
+        if (capped) {
+          // One injected failure, then the retry succeeds.
+          ok = result.ok() && result.engine.attempts == 2;
+          outcome = strformat("ok@%u", result.engine.attempts);
+        } else {
+          // Every attempt fails: a classified transient error, with the
+          // whole retry budget spent and recorded.
+          ok = result.status == api::JobStatus::kFailed &&
+               api::is_transient(result.error) &&
+               result.engine.attempts == kMaxAttempts;
+          outcome = strformat("%s@%u", api::to_string(result.error),
+                              result.engine.attempts);
+        }
+      } else {
+        // Degradable: the job succeeds and says how it degraded.
+        ok = result.ok() && !result.degraded.empty();
+        outcome = ok ? "ok+" + result.degraded.front()
+                     : strformat("%s", api::to_string(result.status));
+      }
+      (capped ? row.capped_outcome : row.uncapped_outcome) =
+          ok ? outcome : "FAIL:" + outcome;
+      pass = pass && ok;
+    }
+    row.pass = pass;
+    rows.push_back(row);
+  }
+
+  TextTable table({"site", "class", "capped @1", "uncapped", "verdict"});
+  bool all_pass = true;
+  for (const SweepRow& row : rows) {
+    table.add_row({row.site, to_string(row.cls), row.capped_outcome,
+                   row.uncapped_outcome, row.pass ? "pass" : "FAIL"});
+    all_pass = all_pass && row.pass;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  Json bench = Json::object();
+  bench.set("bench", "fault_sweep");
+  bench.set("meta", run_metadata_json());
+  Json entries = Json::array();
+  for (const SweepRow& row : rows) {
+    Json entry = Json::object();
+    entry.set("site", row.site);
+    entry.set("class", to_string(row.cls));
+    entry.set("capped", row.capped_outcome);
+    entry.set("uncapped", row.uncapped_outcome);
+    entry.set("pass", row.pass);
+    entries.push_back(std::move(entry));
+  }
+  bench.set("sites", std::move(entries));
+  const char* path = "BENCH_fault_sweep.json";
+  if (std::FILE* file = std::fopen(path, "w")) {
+    const std::string text = bench.dump(2);
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("wrote %zu site records to %s\n", rows.size(), path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path);
+    return 1;
+  }
+  if (!all_pass) {
+    std::fprintf(stderr, "fault sweep: contract violation (see table)\n");
+    return 1;
+  }
+  return 0;
+} catch (const NdftError& error) {
+  std::fprintf(stderr, "fault_sweep: %s\n", error.what());
+  return 1;
+}

@@ -4,26 +4,34 @@
 # numerical kernel fails the gate before the physics/simulator tiers pay
 # their startup cost.
 #
-# Usage: scripts/verify.sh [--tier LABEL] [--bench-smoke] [build-dir]
+# Usage: scripts/verify.sh [--tier LABEL] [--bench-smoke] [--sanitize]
+#                          [build-dir]
 #   (default build-dir: build)
 #   --tier LABEL   build, then run only the ctest tier LABEL (kernel,
-#                  physics, api, trace or sim) and stop — e.g.
+#                  physics, api, robust, trace or sim) and stop — e.g.
 #                  `--tier sim` while iterating on the simulator.
 #   --bench-smoke  additionally run the SYEVD microbenchmark at n=128
 #                  (fail if the blocked solver is slower than the serial
 #                  reference, or the partial-spectrum solver slower than
-#                  the full blocked solve) and the co-design loop smoke
+#                  the full blocked solve), the co-design loop smoke
 #                  (record -> calibrate -> plan -> simulate must close
-#                  end to end).
+#                  end to end), the fault-injection sweep over every
+#                  registered site, and the engine-overhead guard (the
+#                  disabled-faults path must stay within noise).
+#   --sanitize     additionally build an ASan+UBSan tree (build-asan,
+#                  -DNDFT_SANITIZE=ON) and run the api and robust tiers
+#                  under it; any sanitizer report fails the gate.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BENCH_SMOKE=0
+SANITIZE=0
 TIER=""
 BUILD_DIR="build"
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --sanitize) SANITIZE=1 ;;
     --tier)
       [ "$#" -ge 2 ] || { echo "verify.sh: --tier needs a label" >&2; exit 2; }
       TIER="$2"; shift ;;
@@ -74,4 +82,22 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
   # it through the calibrated scheduler, survive a JSON round trip.
   (cd "$BUILD_DIR" && ./bench_codesign --smoke)
   echo "codesign smoke: OK ($BUILD_DIR/BENCH_codesign.json)"
+  # Every registered fault site must honour its class contract (transient
+  # sites retry/classify, degradable sites keep the job Ok) with no hang.
+  (cd "$BUILD_DIR" && ./bench_fault_sweep --smoke)
+  echo "fault sweep smoke: OK ($BUILD_DIR/BENCH_fault_sweep.json)"
+  # Disabled-faults engine path must stay within noise of the armed one.
+  (cd "$BUILD_DIR" && ./bench_micro_engine --smoke)
+  echo "engine overhead smoke: OK ($BUILD_DIR/BENCH_engine.json)"
+fi
+
+if [ "$SANITIZE" -eq 1 ]; then
+  # Instrumented pass over the tiers that exercise concurrency, fault
+  # paths and cancellation races; -fno-sanitize-recover=all makes any
+  # report fail the run.
+  SAN_DIR="build-asan"
+  cmake -B "$SAN_DIR" -S . -DNDFT_SANITIZE=ON
+  cmake --build "$SAN_DIR" -j "$JOBS"
+  ctest --test-dir "$SAN_DIR" -L 'api|robust' --output-on-failure -j "$JOBS"
+  echo "sanitize (api|robust): OK ($SAN_DIR)"
 fi

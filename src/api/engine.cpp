@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <complex>
+#include <cstdlib>
+#include <new>
 #include <numbers>
+#include <thread>
 
+#include "common/fault.hpp"
 #include "common/kernel_trace.hpp"
 #include "common/thread_pool.hpp"
 #include "dft/fft.hpp"
@@ -479,16 +483,30 @@ JobStatus JobHandle::status() const {
 bool JobHandle::cancel() {
   NDFT_REQUIRE(valid(), "empty job handle");
   std::lock_guard<std::mutex> lock(state_->mutex);
-  if (state_->status != JobStatus::kQueued) return false;
-  state_->status = JobStatus::kCancelled;
-  state_->result.status = JobStatus::kCancelled;
-  state_->result.error = ErrorKind::kCancelled;
-  state_->result.error_message = "job cancelled while queued";
-  state_->result.timings.queue_ms =
-      ms_between(state_->submitted_at, Clock::now());
-  state_->result.timings.total_ms = state_->result.timings.queue_ms;
-  state_->terminal = true;
-  state_->cv.notify_all();
+  if (state_->terminal) return false;
+  if (state_->status == JobStatus::kQueued) {
+    // Still queued: terminal immediately. This is the only kQueued ->
+    // kCancelled transition (guarded by the state mutex), so counting
+    // here — and only here — makes double-counting impossible no matter
+    // how cancel races the pop/start/drain/destructor paths.
+    state_->status = JobStatus::kCancelled;
+    state_->result.status = JobStatus::kCancelled;
+    state_->result.error = ErrorKind::kCancelled;
+    state_->result.error_message = "job cancelled while queued";
+    state_->result.timings.queue_ms =
+        ms_between(state_->submitted_at, Clock::now());
+    state_->result.timings.total_ms = state_->result.timings.queue_ms;
+    state_->terminal = true;
+    if (state_->cancelled_counter != nullptr) {
+      state_->cancelled_counter->fetch_add(1);
+    }
+    state_->cv.notify_all();
+    return true;
+  }
+  // Running: request cooperative cancellation; the job observes it at
+  // its next stage boundary and execute_queued() publishes (and counts)
+  // the kCancelled result. Idempotent while the job is still running.
+  state_->cancel.request_cancel();
   return true;
 }
 
@@ -503,6 +521,18 @@ const JobResult& JobHandle::wait() const {
 
 Engine::Engine(EngineConfig config)
     : config_(std::move(config)), system_(config_.system) {
+  // Arm the fault-injection layer: the explicit config wins, the
+  // NDFT_FAULTS environment variable is the fallback, and an empty spec
+  // leaves the process-wide state alone (so engines without one do not
+  // clobber a spec another engine installed).
+  std::string spec_text = config_.fault_spec;
+  if (spec_text.empty()) {
+    if (const char* env = std::getenv("NDFT_FAULTS")) spec_text = env;
+  }
+  if (!spec_text.empty()) {
+    fault_install(FaultSpec::parse(spec_text));  // throws on bad specs
+    installed_faults_ = true;
+  }
   // Warm the shared kernel pool so the first job does not pay thread
   // startup; the FFT plan cache warms lazily per grid size.
   (void)ThreadPool::instance();
@@ -522,18 +552,16 @@ Engine::~Engine() {
     fifo_.clear();
   }
   for (const auto& state : orphaned) {
-    JobHandle handle(state);
-    handle.cancel();
-    // Count every orphan that ends up cancelled, whether by us just now
-    // or by the user earlier (never popped, so never counted elsewhere).
-    if (handle.status() == JobStatus::kCancelled) {
-      cancelled_.fetch_add(1);
-    }
+    // cancel() counts the kQueued -> kCancelled transition itself;
+    // orphans the user already cancelled were counted then, so the
+    // sweep cannot double-count them.
+    JobHandle(state).cancel();
   }
   queue_cv_.notify_all();
   for (std::thread& dispatcher : dispatchers_) {
     dispatcher.join();
   }
+  if (installed_faults_) fault_clear();
 }
 
 const core::SystemConfig& Engine::system_config() const noexcept {
@@ -546,7 +574,16 @@ std::size_t Engine::pool_threads() const noexcept {
 
 JobResult Engine::run(const JobRequest& request) {
   const Clock::time_point start = Clock::now();
-  JobResult result = execute(request);
+  // Synchronous runs have no handle to cancel through, but the deadline
+  // still applies, measured from execution start.
+  const CancelToken token = CancelToken::create();
+  const double deadline_ms = job_deadline_ms(request);
+  if (deadline_ms > 0.0) {
+    token.set_deadline(start + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(
+                                       deadline_ms)));
+  }
+  JobResult result = execute(request, token);
   result.engine.job_id = next_job_id_.fetch_add(1);
   result.timings.queue_ms = 0.0;
   result.timings.total_ms = ms_between(start, Clock::now());
@@ -561,6 +598,17 @@ JobHandle Engine::submit(JobRequest request) {
   state->request = std::move(request);
   state->submitted_at = Clock::now();
   state->est_cost_ps = estimate_cost_ps(state->request, config_.system);
+  state->cancel = CancelToken::create();
+  state->cancelled_counter = &cancelled_;
+  // The deadline clock starts at submission: time spent queued counts
+  // against the budget (that is what a service-level deadline means).
+  const double deadline_ms = job_deadline_ms(state->request);
+  if (deadline_ms > 0.0) {
+    state->cancel.set_deadline(
+        state->submitted_at +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(deadline_ms)));
+  }
   // Engine metadata the cancel path also needs, stamped up front.
   state->result.engine.job_id = state->id;
   state->result.engine.kind = job_kind(state->request);
@@ -673,20 +721,46 @@ void Engine::execute_queued(const std::shared_ptr<detail::JobState>& state) {
   {
     std::lock_guard<std::mutex> lock(state->mutex);
     if (state->status != JobStatus::kQueued) {
-      cancelled_.fetch_add(1);  // cancelled between pop and start
+      // Cancelled between pop and start: cancel() made it terminal and
+      // already counted it — counting here again was the double-count
+      // this path used to have.
       return;
     }
     state->status = JobStatus::kRunning;
     state->result.engine.exec_seq = exec_seq_.fetch_add(1) + 1;
     started = Clock::now();
   }
-  JobResult result = execute(state->request);
-  result.engine = state->result.engine;  // id/kind/exec_seq stamped above
+  JobResult result;
+  if (state->cancel.deadline_exceeded()) {
+    // Expired while queued: surface without paying for the execution.
+    result.engine.kind = job_kind(state->request);
+    result.engine.pool_threads = pool_threads();
+    result.engine.dispatch_threads = config_.dispatch_threads;
+    result.status = JobStatus::kDeadlineExceeded;
+    result.error = ErrorKind::kDeadlineExceeded;
+    result.error_message = "deadline expired while queued";
+  } else {
+    result = execute(state->request, state->cancel);
+  }
+  // Merge: id/kind/exec_seq were stamped on the queued state up front
+  // (the cancel path publishes them too), attempts by the retry loop.
+  const std::uint32_t attempts = result.engine.attempts;
+  result.engine = state->result.engine;
+  result.engine.attempts = attempts;
   result.timings.queue_ms = ms_between(state->submitted_at, started);
   result.timings.total_ms = result.timings.queue_ms + result.timings.run_ms;
+  if (result.status == JobStatus::kDeadlineExceeded) {
+    deadline_expired_.fetch_add(1);
+  }
   // Count before publishing: a waiter woken by the notify must already
-  // observe this job in jobs_completed().
-  completed_.fetch_add(1);
+  // observe this job in jobs_completed() / jobs_cancelled(). A job
+  // cancelled mid-run counts as cancelled, not completed, keeping
+  // submitted == completed + cancelled an exact invariant.
+  if (result.status == JobStatus::kCancelled) {
+    cancelled_.fetch_add(1);
+  } else {
+    completed_.fetch_add(1);
+  }
   {
     std::lock_guard<std::mutex> lock(state->mutex);
     state->result = std::move(result);
@@ -696,7 +770,8 @@ void Engine::execute_queued(const std::shared_ptr<detail::JobState>& state) {
   }
 }
 
-JobResult Engine::execute(const JobRequest& request) {
+JobResult Engine::execute(const JobRequest& request,
+                          const CancelToken& token) {
   JobResult result;
   result.engine.kind = job_kind(request);
   result.engine.pool_threads = pool_threads();
@@ -711,18 +786,81 @@ JobResult Engine::execute(const JobRequest& request) {
     return result;
   }
 
+  // Retry loop: transient failures (allocation pressure, simulated
+  // device faults) re-execute with capped exponential backoff. The
+  // schedule is deterministic — base * 2^(attempt-1), no jitter — so a
+  // replayed fault spec replays the same attempt pattern.
+  const unsigned max_attempts = std::max(1u, config_.max_attempts);
+  double backoff_ms =
+      std::max(0.0, config_.retry_backoff_ms);
+  double backoff_total_ms = 0.0;
+  unsigned attempt = 0;
+  for (;;) {
+    ++attempt;
+    const JobTimings carried = result.timings;  // accumulate run/backoff
+    result = execute_once(request, token);
+    result.engine.kind = job_kind(request);
+    result.engine.pool_threads = pool_threads();
+    result.engine.dispatch_threads = config_.dispatch_threads;
+    result.engine.attempts = attempt;
+    result.timings.run_ms += carried.run_ms;
+    if (!is_transient(result.error) || attempt >= max_attempts) break;
+    // Don't burn retries on a job that is already doomed: a cancel or
+    // expired deadline surfaces as its own status instead.
+    if (token.cancel_requested()) {
+      result.status = JobStatus::kCancelled;
+      result.error = ErrorKind::kCancelled;
+      result.error_message = "job cancelled while running";
+      break;
+    }
+    if (token.deadline_exceeded()) {
+      result.status = JobStatus::kDeadlineExceeded;
+      result.error = ErrorKind::kDeadlineExceeded;
+      result.error_message = "job deadline exceeded";
+      break;
+    }
+    retries_.fetch_add(1);
+    if (backoff_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+      backoff_total_ms += backoff_ms;
+      backoff_ms = std::min(backoff_ms * 2.0,
+                            std::max(0.0, config_.retry_backoff_cap_ms));
+    }
+  }
+  result.timings.backoff_ms = backoff_total_ms;
+  return result;
+}
+
+JobResult Engine::execute_once(const JobRequest& request,
+                               const CancelToken& token) {
+  JobResult result;
+  result.engine.kind = job_kind(request);
+  result.engine.pool_threads = pool_threads();
+  result.engine.dispatch_threads = config_.dispatch_threads;
+
   const Clock::time_point start = Clock::now();
   // The job runs to completion on this thread, so the thread-local linalg
-  // tally brackets exactly this job's dense-algebra share — and the trace
-  // scope, when requested, brackets exactly this job's kernel stream.
+  // tally brackets exactly this job's dense-algebra share — and the
+  // trace, cancel and degradation scopes bracket exactly this job.
   dft::linalg_timer_reset();
+  const CancelScope cancel_scope(token);
+  DegradationScope degradation_scope;
   std::unique_ptr<TraceRecorder> recorder;
   std::unique_ptr<TraceScope> scope;
   if (wants_trace(request)) {
-    recorder = std::make_unique<TraceRecorder>();
-    scope = std::make_unique<TraceScope>(*recorder);
+    if (fault_fires("trace.recorder")) {
+      // Graceful degradation: a failed recorder downgrades the job to an
+      // untraced run instead of failing it.
+      note_degradation("trace:recorder_failed");
+    } else {
+      recorder = std::make_unique<TraceRecorder>();
+      scope = std::make_unique<TraceScope>(*recorder);
+    }
   }
   try {
+    cancel_point();               // cancelled/expired before any work
+    fault_point("engine.alloc");  // simulated setup allocation pressure
     if (const auto* job = std::get_if<ScfJob>(&request)) {
       result.scf = execute_scf(*job);
     } else if (const auto* job = std::get_if<BandStructureJob>(&request)) {
@@ -739,6 +877,36 @@ JobResult Engine::execute(const JobRequest& request) {
       throw NdftError("unhandled job kind");
     }
     result.status = JobStatus::kOk;
+  } catch (const CancelledError& error) {
+    result.status = JobStatus::kCancelled;
+    result.error = ErrorKind::kCancelled;
+    result.error_message = error.what();
+  } catch (const DeadlineExceededError& error) {
+    result.status = JobStatus::kDeadlineExceeded;
+    result.error = ErrorKind::kDeadlineExceeded;
+    result.error_message = error.what();
+  } catch (const FaultInjected& error) {
+    // An escaped injected fault classifies by its site's class; the
+    // transient kinds feed the retry loop.
+    result.status = JobStatus::kFailed;
+    switch (error.fault_class()) {
+      case FaultClass::kResource:
+        result.error = ErrorKind::kTransientResource;
+        break;
+      case FaultClass::kDevice:
+        result.error = ErrorKind::kTransientDevice;
+        break;
+      default:
+        // Solver/trace faults are degradable at their site; one escaping
+        // means no fallback existed there — a permanent failure.
+        result.error = ErrorKind::kPhysics;
+        break;
+    }
+    result.error_message = error.what();
+  } catch (const std::bad_alloc&) {
+    result.status = JobStatus::kFailed;
+    result.error = ErrorKind::kTransientResource;
+    result.error_message = "allocation failure";
   } catch (const NdftError& error) {
     result.status = JobStatus::kFailed;
     result.error = ErrorKind::kPhysics;
@@ -752,6 +920,7 @@ JobResult Engine::execute(const JobRequest& request) {
   if (recorder != nullptr && result.status == JobStatus::kOk) {
     result.trace = recorder->take();
   }
+  result.degraded = degradation_scope.take();
   result.timings.run_ms = ms_between(start, Clock::now());
   result.timings.linalg_ms = dft::linalg_timer_ms();
   return result;

@@ -34,6 +34,7 @@
 
 #include "api/job.hpp"
 #include "api/result.hpp"
+#include "common/cancel.hpp"
 #include "core/ndft_system.hpp"
 
 namespace ndft::api {
@@ -54,6 +55,19 @@ struct EngineConfig {
   /// sustained stream of cheap submissions cannot starve a heavy job.
   /// 0 degenerates to pure FIFO (age always wins).
   double starvation_limit_ms = 10000.0;
+  /// Execution attempts per job for transient failures (allocation
+  /// pressure, simulated device faults). 1 disables retry.
+  unsigned max_attempts = 3;
+  /// Deterministic backoff before retry k: retry_backoff_ms * 2^(k-1),
+  /// capped at retry_backoff_cap_ms. No jitter — retry schedules replay.
+  double retry_backoff_ms = 1.0;
+  double retry_backoff_cap_ms = 50.0;
+  /// Fault-injection spec installed at construction (see
+  /// docs/ROBUSTNESS.md for the grammar). Empty = leave the process-wide
+  /// fault state alone; the NDFT_FAULTS environment variable is the
+  /// fallback when this is empty. The destructor clears whatever the
+  /// constructor installed.
+  std::string fault_spec;
 };
 
 namespace detail {
@@ -66,6 +80,15 @@ struct JobState {
   /// Submission-time cost estimate: the queue's priority key (smaller
   /// drains first; the id breaks ties in FIFO order).
   TimePs est_cost_ps = 0;
+
+  /// Cooperative cancel/deadline channel into the running job; also
+  /// carries the queued-phase deadline.
+  CancelToken cancel;
+  /// The engine's cancelled-jobs counter. cancel() bumps it exactly once
+  /// at the unique kQueued -> kCancelled transition; running-phase
+  /// cancellations are counted by execute_queued() when the cancelled
+  /// result is published. Null for states without an owning engine.
+  std::atomic<std::uint64_t>* cancelled_counter = nullptr;
 
   std::mutex mutex;
   std::condition_variable cv;
@@ -88,9 +111,13 @@ class JobHandle {
   std::uint64_t id() const;
   JobStatus status() const;
 
-  /// Cancels a job that is still queued. Returns true when the job was
-  /// cancelled here; false when it already started (running jobs run to
-  /// completion) or already finished.
+  /// Requests cancellation. A still-queued job becomes terminal
+  /// kCancelled immediately. A running job is cancelled cooperatively:
+  /// the request is accepted (returns true) and the job stops at its
+  /// next stage boundary — SCF iteration, per-k solve, Davidson sweep,
+  /// sim event batch — with status kCancelled; a job that finishes
+  /// before reaching one keeps its result. Returns false once the job
+  /// is already terminal.
   bool cancel();
 
   /// Blocks until the job reaches a terminal state and returns its result.
@@ -140,6 +167,13 @@ class Engine {
   std::uint64_t jobs_submitted() const noexcept { return submitted_; }
   std::uint64_t jobs_completed() const noexcept { return completed_; }
   std::uint64_t jobs_cancelled() const noexcept { return cancelled_; }
+  /// Transient-failure retries across all jobs (attempts beyond the
+  /// first).
+  std::uint64_t jobs_retried() const noexcept { return retries_; }
+  /// Jobs that ended kDeadlineExceeded (queued or mid-run).
+  std::uint64_t jobs_deadline_exceeded() const noexcept {
+    return deadline_expired_;
+  }
 
  private:
   void dispatcher_loop();
@@ -149,8 +183,12 @@ class Engine {
   std::shared_ptr<detail::JobState> pop_next_locked();
   /// Runs one queued job to its terminal state (dispatcher or drain path).
   void execute_queued(const std::shared_ptr<detail::JobState>& state);
-  /// Validation + execution + timing/metadata stamping (no queue logic).
-  JobResult execute(const JobRequest& request);
+  /// Validation + retry loop around execute_once + timing/metadata
+  /// stamping (no queue logic).
+  JobResult execute(const JobRequest& request, const CancelToken& token);
+  /// One execution attempt under the cancel/degradation scopes.
+  JobResult execute_once(const JobRequest& request,
+                         const CancelToken& token);
 
   EngineConfig config_;
   core::NdftSystem system_;  ///< machine template (thread-safe, immutable)
@@ -174,6 +212,11 @@ class Engine {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> deadline_expired_{0};
+  /// True when the constructor installed a fault spec (and the
+  /// destructor therefore clears the process-wide fault state).
+  bool installed_faults_ = false;
 };
 
 }  // namespace ndft::api

@@ -1,5 +1,7 @@
 #include "api/job.hpp"
 
+#include <cmath>
+
 #include "common/str_util.hpp"
 
 namespace ndft::api {
@@ -23,10 +25,21 @@ void check_ecut(double ecut_ry, std::vector<std::string>& errors) {
   }
 }
 
+void check_deadline(double deadline_ms, std::vector<std::string>& errors) {
+  // 0 = unlimited; anything else must be a positive finite budget (NaN
+  // fails both comparisons).
+  if (!(deadline_ms >= 0.0) || std::isinf(deadline_ms)) {
+    errors.push_back(strformat(
+        "deadline_ms must be finite and non-negative (got %g)",
+        deadline_ms));
+  }
+}
+
 struct Validator {
   std::vector<std::string> errors;
 
   void operator()(const ScfJob& job) {
+    check_deadline(job.deadline_ms, errors);
     check_atoms(job.atoms, errors);
     check_ecut(job.ecut_ry, errors);
     if (!(job.scf.mixing > 0.0 && job.scf.mixing <= 1.0)) {
@@ -43,6 +56,7 @@ struct Validator {
   }
 
   void operator()(const BandStructureJob& job) {
+    check_deadline(job.deadline_ms, errors);
     check_ecut(job.ecut_ry, errors);
     if (job.atoms != 0) {
       check_atoms(job.atoms, errors);
@@ -95,6 +109,7 @@ struct Validator {
   }
 
   void operator()(const LrtddftJob& job) {
+    check_deadline(job.deadline_ms, errors);
     check_atoms(job.atoms, errors);
     check_ecut(job.ecut_ry, errors);
     if (job.config.conduction_window == 0) {
@@ -108,6 +123,7 @@ struct Validator {
   }
 
   void operator()(const SimulateJob& job) {
+    check_deadline(job.deadline_ms, errors);
     check_atoms(job.atoms, errors);
     switch (job.mode) {
       case core::ExecMode::kCpuBaseline:
@@ -121,6 +137,7 @@ struct Validator {
   }
 
   void operator()(const PlanJob& job) {
+    check_deadline(job.deadline_ms, errors);
     check_atoms(job.atoms, errors);
     check_granularity(job.granularity);
     if (!job.profile_override.empty() && job.profile_override.size() != 2) {
@@ -131,6 +148,7 @@ struct Validator {
   }
 
   void operator()(const CoDesignJob& job) {
+    check_deadline(job.deadline_ms, errors);
     check_granularity(job.granularity);
     if (job.trace.events.empty()) {
       errors.push_back("trace must carry at least one recorded event");
@@ -178,6 +196,11 @@ const char* job_kind(const JobRequest& request) noexcept {
     const char* operator()(const CoDesignJob&) const { return "codesign"; }
   };
   return std::visit(Namer{}, request);
+}
+
+double job_deadline_ms(const JobRequest& request) noexcept {
+  return std::visit([](const auto& job) { return job.deadline_ms; },
+                    request);
 }
 
 std::vector<std::string> validate(const JobRequest& request) {

@@ -32,6 +32,11 @@ struct ScfJob {
   /// Record the run's kernel trace into JobResult::trace (feeds a
   /// follow-up CoDesignJob).
   bool record_trace = false;
+  /// Wall-clock budget in milliseconds, measured from submission
+  /// (submit()) or from execution start (run()). 0 = unlimited. Expiry
+  /// surfaces as JobStatus::kDeadlineExceeded, detected at the next
+  /// stage boundary once the job is running.
+  double deadline_ms = 0.0;
 };
 
 /// EPM band structure (dft::band_structure, dft::find_gap): the
@@ -57,6 +62,11 @@ struct BandStructureJob {
   std::size_t valence_bands = 4;  ///< filled bands for the gap summary
   /// Record the run's kernel trace into JobResult::trace.
   bool record_trace = false;
+  /// Wall-clock budget in milliseconds, measured from submission
+  /// (submit()) or from execution start (run()). 0 = unlimited. Expiry
+  /// surfaces as JobStatus::kDeadlineExceeded, detected at the next
+  /// stage boundary once the job is running.
+  double deadline_ms = 0.0;
 };
 
 /// Functional LR-TDDFT excitation spectrum on an EPM ground state
@@ -68,6 +78,11 @@ struct LrtddftJob {
   bool oscillator_strengths = false;  ///< also compute optical lines
   /// Record the run's kernel trace into JobResult::trace.
   bool record_trace = false;
+  /// Wall-clock budget in milliseconds, measured from submission
+  /// (submit()) or from execution start (run()). 0 = unlimited. Expiry
+  /// surfaces as JobStatus::kDeadlineExceeded, detected at the next
+  /// stage boundary once the job is running.
+  double deadline_ms = 0.0;
 };
 
 /// Timing simulation of one LR-TDDFT iteration on one of the paper's
@@ -77,6 +92,11 @@ struct SimulateJob {
   core::ExecMode mode = core::ExecMode::kNdft;
   /// Sampled memory ops per kernel; 0 keeps the engine's default.
   std::size_t sampled_ops = 0;
+  /// Wall-clock budget in milliseconds, measured from submission
+  /// (submit()) or from execution start (run()). 0 = unlimited. Expiry
+  /// surfaces as JobStatus::kDeadlineExceeded, detected at the next
+  /// stage boundary once the job is running.
+  double deadline_ms = 0.0;
 };
 
 /// Cost-aware schedule for one LR-TDDFT iteration, with optional what-if
@@ -87,6 +107,11 @@ struct PlanJob {
   /// Override the engine's scheduler beliefs (what-if experiments). Both
   /// must be set together or left unset.
   std::vector<runtime::DeviceProfile> profile_override;  ///< [cpu, ndp]
+  /// Wall-clock budget in milliseconds, measured from submission
+  /// (submit()) or from execution start (run()). 0 = unlimited. Expiry
+  /// surfaces as JobStatus::kDeadlineExceeded, detected at the next
+  /// stage boundary once the job is running.
+  double deadline_ms = 0.0;
 };
 
 /// Replays a recorded kernel trace through the cost-aware scheduler (and
@@ -102,6 +127,11 @@ struct CoDesignJob {
   /// Also simulate the planned schedule on the CPU-NDP machine
   /// (core::NdftSystem::run_planned) and attach the SimulatePayload.
   bool simulate = true;
+  /// Wall-clock budget in milliseconds, measured from submission
+  /// (submit()) or from execution start (run()). 0 = unlimited. Expiry
+  /// surfaces as JobStatus::kDeadlineExceeded, detected at the next
+  /// stage boundary once the job is running.
+  double deadline_ms = 0.0;
 };
 
 /// The closed sum of everything the Engine can execute.
@@ -111,6 +141,9 @@ using JobRequest = std::variant<ScfJob, BandStructureJob, LrtddftJob,
 /// Stable kind name of a request ("scf", "band_structure", "lrtddft",
 /// "simulate", "plan", "codesign") — used in results, logs and JSON.
 const char* job_kind(const JobRequest& request) noexcept;
+
+/// The request's deadline_ms (every job kind carries one; 0 = unlimited).
+double job_deadline_ms(const JobRequest& request) noexcept;
 
 /// Validates a request against the physics/simulation preconditions.
 /// Returns every violation found (empty = the request is runnable).

@@ -1,6 +1,7 @@
 #include "api/result.hpp"
 
 #include <cstring>
+#include <iterator>
 
 #include "common/str_util.hpp"
 
@@ -58,23 +59,26 @@ runtime::Granularity granularity_from(const std::string& name) {
   throw NdftError("unknown granularity: " + name);
 }
 
-JobStatus status_from(const std::string& name) {
-  for (const JobStatus status :
-       {JobStatus::kQueued, JobStatus::kRunning, JobStatus::kOk,
-        JobStatus::kInvalid, JobStatus::kFailed, JobStatus::kCancelled}) {
-    if (name == to_string(status)) return status;
-  }
-  throw NdftError("unknown job status: " + name);
-}
+// ---- exhaustive enum name tables. The static_asserts tie the table
+// length to the kCount_ sentinel, so adding an enumerator without a
+// serialized name fails the build instead of silently printing "?" or
+// breaking JSON round trips.
 
-ErrorKind error_kind_from(const std::string& name) {
-  for (const ErrorKind kind :
-       {ErrorKind::kNone, ErrorKind::kInvalidRequest, ErrorKind::kPhysics,
-        ErrorKind::kInternal, ErrorKind::kCancelled}) {
-    if (name == to_string(kind)) return kind;
-  }
-  throw NdftError("unknown error kind: " + name);
-}
+constexpr const char* kJobStatusNames[] = {
+    "queued", "running", "ok", "invalid", "failed", "cancelled",
+    "deadline_exceeded",
+};
+static_assert(std::size(kJobStatusNames) ==
+                  static_cast<std::size_t>(JobStatus::kCount_),
+              "every JobStatus enumerator needs a serialized name");
+
+constexpr const char* kErrorKindNames[] = {
+    "none", "invalid_request", "physics", "internal", "cancelled",
+    "deadline_exceeded", "transient_resource", "transient_device",
+};
+static_assert(std::size(kErrorKindNames) ==
+                  static_cast<std::size_t>(ErrorKind::kCount_),
+              "every ErrorKind enumerator needs a serialized name");
 
 // ---- small array helpers.
 
@@ -418,26 +422,32 @@ CoDesignPayload codesign_from_json(const Json& j) {
 }  // namespace
 
 const char* to_string(JobStatus status) noexcept {
-  switch (status) {
-    case JobStatus::kQueued: return "queued";
-    case JobStatus::kRunning: return "running";
-    case JobStatus::kOk: return "ok";
-    case JobStatus::kInvalid: return "invalid";
-    case JobStatus::kFailed: return "failed";
-    case JobStatus::kCancelled: return "cancelled";
-  }
-  return "?";
+  const auto index = static_cast<std::size_t>(status);
+  return index < std::size(kJobStatusNames) ? kJobStatusNames[index] : "?";
 }
 
 const char* to_string(ErrorKind kind) noexcept {
-  switch (kind) {
-    case ErrorKind::kNone: return "none";
-    case ErrorKind::kInvalidRequest: return "invalid_request";
-    case ErrorKind::kPhysics: return "physics";
-    case ErrorKind::kInternal: return "internal";
-    case ErrorKind::kCancelled: return "cancelled";
+  const auto index = static_cast<std::size_t>(kind);
+  return index < std::size(kErrorKindNames) ? kErrorKindNames[index] : "?";
+}
+
+JobStatus job_status_from_string(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kJobStatusNames); ++i) {
+    if (name == kJobStatusNames[i]) return static_cast<JobStatus>(i);
   }
-  return "?";
+  throw NdftError("unknown job status: " + name);
+}
+
+ErrorKind error_kind_from_string(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kErrorKindNames); ++i) {
+    if (name == kErrorKindNames[i]) return static_cast<ErrorKind>(i);
+  }
+  throw NdftError("unknown error kind: " + name);
+}
+
+bool is_transient(ErrorKind kind) noexcept {
+  return kind == ErrorKind::kTransientResource ||
+         kind == ErrorKind::kTransientDevice;
 }
 
 Json JobResult::to_json() const {
@@ -459,6 +469,7 @@ Json JobResult::to_json() const {
   timings_json.set("run_ms", timings.run_ms);
   timings_json.set("total_ms", timings.total_ms);
   timings_json.set("linalg_ms", timings.linalg_ms);
+  timings_json.set("backoff_ms", timings.backoff_ms);
   j.set("timings", std::move(timings_json));
 
   Json engine_json = Json::object();
@@ -466,7 +477,14 @@ Json JobResult::to_json() const {
   engine_json.set("pool_threads", engine.pool_threads);
   engine_json.set("dispatch_threads", engine.dispatch_threads);
   engine_json.set("exec_seq", engine.exec_seq);
+  engine_json.set("attempts", engine.attempts);
   j.set("engine", std::move(engine_json));
+
+  // Additive since the robustness layer: how (if at all) the run was
+  // degraded to still succeed.
+  Json degraded_json = Json::array();
+  for (const std::string& note : degraded) degraded_json.push_back(note);
+  j.set("degraded", std::move(degraded_json));
 
   Json payload = Json();  // null unless a payload is engaged
   if (scf) payload = api::to_json(*scf);
@@ -490,10 +508,10 @@ JobResult JobResult::from_json(const Json& json) {
 
   JobResult result;
   result.engine.kind = json.at("kind").as_string();
-  result.status = status_from(json.at("status").as_string());
+  result.status = job_status_from_string(json.at("status").as_string());
 
   const Json& error_json = json.at("error");
-  result.error = error_kind_from(error_json.at("kind").as_string());
+  result.error = error_kind_from_string(error_json.at("kind").as_string());
   result.error_message = error_json.at("message").as_string();
   for (const Json& detail : error_json.at("details").items()) {
     result.error_details.push_back(detail.as_string());
@@ -508,6 +526,9 @@ JobResult JobResult::from_json(const Json& json) {
   if (const Json* linalg = timings_json.find("linalg_ms")) {
     result.timings.linalg_ms = linalg->as_double();
   }
+  if (const Json* backoff = timings_json.find("backoff_ms")) {
+    result.timings.backoff_ms = backoff->as_double();
+  }
 
   const Json& engine_json = json.at("engine");
   result.engine.job_id = engine_json.at("job_id").as_uint();
@@ -517,6 +538,16 @@ JobResult JobResult::from_json(const Json& json) {
   // Additive since the cost-aware queue; absent in older documents.
   if (const Json* seq = engine_json.find("exec_seq")) {
     result.engine.exec_seq = seq->as_uint();
+  }
+  // Additive since the retry loop; absent in older documents.
+  if (const Json* attempts = engine_json.find("attempts")) {
+    result.engine.attempts =
+        static_cast<std::uint32_t>(attempts->as_uint());
+  }
+  if (const Json* degraded_json = json.find("degraded")) {
+    for (const Json& note : degraded_json->items()) {
+      result.degraded.push_back(note.as_string());
+    }
   }
 
   const Json& payload = json.at("payload");

@@ -21,31 +21,49 @@ namespace ndft::api {
 
 /// Lifecycle / outcome of a job.
 enum class JobStatus {
-  kQueued,     ///< accepted, waiting in the engine queue
-  kRunning,    ///< executing
-  kOk,         ///< finished successfully
-  kInvalid,    ///< rejected by request validation
-  kFailed,     ///< physics or internal error during execution
-  kCancelled,  ///< cancelled while still queued
+  kQueued,            ///< accepted, waiting in the engine queue
+  kRunning,           ///< executing
+  kOk,                ///< finished successfully
+  kInvalid,           ///< rejected by request validation
+  kFailed,            ///< physics or internal error during execution
+  kCancelled,         ///< cancelled while queued or mid-run
+  kDeadlineExceeded,  ///< deadline_ms expired before the job finished
+  kCount_,            ///< sentinel for the name table; keep last
 };
 const char* to_string(JobStatus status) noexcept;
+/// Inverse of to_string (every enumerator round-trips); throws NdftError
+/// on unknown names.
+JobStatus job_status_from_string(const std::string& name);
 
-/// Error taxonomy for non-Ok results.
+/// Error taxonomy for non-Ok results. Transient kinds (is_transient)
+/// are retried by the Engine with capped deterministic backoff;
+/// everything else is permanent for the request.
 enum class ErrorKind {
-  kNone,            ///< no error (status Ok, Queued or Running)
-  kInvalidRequest,  ///< request failed validation
-  kPhysics,         ///< solver-level failure (NdftError from the pipeline)
-  kInternal,        ///< unexpected exception
-  kCancelled,       ///< job cancelled before execution
+  kNone,               ///< no error (status Ok, Queued or Running)
+  kInvalidRequest,     ///< request failed validation
+  kPhysics,            ///< solver-level failure (NdftError)
+  kInternal,           ///< unexpected exception
+  kCancelled,          ///< job cancelled while queued or mid-run
+  kDeadlineExceeded,   ///< deadline_ms expired (queued or mid-run)
+  kTransientResource,  ///< allocation pressure; retry may succeed
+  kTransientDevice,    ///< simulated NDP/memory fault; retry may succeed
+  kCount_,             ///< sentinel for the name table; keep last
 };
 const char* to_string(ErrorKind kind) noexcept;
+/// Inverse of to_string (every enumerator round-trips); throws NdftError
+/// on unknown names.
+ErrorKind error_kind_from_string(const std::string& name);
+
+/// True for the error kinds the Engine's retry loop treats as transient.
+bool is_transient(ErrorKind kind) noexcept;
 
 /// Wall-clock accounting of one job (milliseconds).
 struct JobTimings {
-  double queue_ms = 0.0;   ///< submit -> execution start
-  double run_ms = 0.0;     ///< execution start -> finish
-  double total_ms = 0.0;   ///< submit -> finish
-  double linalg_ms = 0.0;  ///< run time spent in dense linalg (GEMM/SYEVD)
+  double queue_ms = 0.0;    ///< submit -> execution start
+  double run_ms = 0.0;      ///< execution start -> finish (all attempts)
+  double total_ms = 0.0;    ///< submit -> finish
+  double linalg_ms = 0.0;   ///< run time spent in dense linalg (GEMM/SYEVD)
+  double backoff_ms = 0.0;  ///< slept between retry attempts (additive)
 };
 
 /// Engine metadata stamped onto every result.
@@ -58,6 +76,9 @@ struct EngineInfo {
   /// the other queued jobs (1-based; 0 for synchronous run()). Makes the
   /// cost-aware queue ordering observable.
   std::uint64_t exec_seq = 0;
+  /// Execution attempts this result took (1 = no retries; additive in
+  /// ndft.job_result.v1).
+  std::uint32_t attempts = 1;
 };
 
 // ---------------------------------------------------------------- payloads
@@ -238,6 +259,11 @@ struct JobResult {
   /// Kernel trace of the run, engaged when the request set record_trace
   /// (serialized additively under "trace"; older documents omit it).
   std::optional<KernelTrace> trace;
+
+  /// Non-empty when the job succeeded in degraded form: stable tags like
+  /// "syevd_partial:full_fallback" or "trace:recorder_failed", in program
+  /// order (serialized additively under "degraded").
+  std::vector<std::string> degraded;
 
   bool ok() const noexcept { return status == JobStatus::kOk; }
 

@@ -1,0 +1,27 @@
+#include "common/cancel.hpp"
+
+namespace ndft {
+namespace {
+
+thread_local const CancelToken* t_cancel_token = nullptr;
+
+}  // namespace
+
+CancelScope::CancelScope(const CancelToken& token)
+    : token_(token), previous_(t_cancel_token) {
+  t_cancel_token = &token_;
+}
+
+CancelScope::~CancelScope() { t_cancel_token = previous_; }
+
+void cancel_point() {
+  if (t_cancel_token != nullptr) t_cancel_token->check();
+}
+
+bool cancel_pending() noexcept {
+  return t_cancel_token != nullptr &&
+         (t_cancel_token->cancel_requested() ||
+          t_cancel_token->deadline_exceeded());
+}
+
+}  // namespace ndft

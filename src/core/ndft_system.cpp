@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "cpu/trace_gen.hpp"
 #include "mem/energy.hpp"
 #include "runtime/pseudo_store.hpp"
@@ -170,6 +172,9 @@ RunReport NdftSystem::run_cpu_baseline(const dft::Workload& workload) const {
   const Bytes xeon_reuse_floor = config_.xeon.l2.size_bytes * 3 / 2;
   RunArena arena;
   for (const dft::KernelWork& kernel : workload.kernels) {
+    // Stage boundary: one simulated kernel (event batch) at a time.
+    cancel_point();
+    fault_point("sim.mem");
     const auto traces =
         make_traces(kernel, config_.xeon.cores, arena, config_,
                     Bytes{128} << 10, xeon_llc_share, xeon_reuse_floor);
@@ -298,6 +303,9 @@ RunReport NdftSystem::run_hybrid(const dft::Workload& workload,
 
   RunArena arena;
   for (std::size_t i = 0; i < workload.kernels.size(); ++i) {
+    // Stage boundary: one simulated kernel (event batch) at a time.
+    cancel_point();
+    fault_point("sim.mem");
     const dft::KernelWork& kernel = workload.kernels[i];
     const runtime::Placement& placement = plan.placements[i];
     if (co_design && placement.crossing) {

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/cancel.hpp"
+#include "common/fault.hpp"
 #include "common/kernel_trace.hpp"
 
 namespace ndft::dft {
@@ -71,6 +73,7 @@ DavidsonResult davidson(std::size_t n, const ApplyFn& apply,
 
   for (unsigned iteration = 1; iteration <= config.max_iterations;
        ++iteration) {
+    cancel_point();  // sweep stage boundary
     result.iterations = iteration;
     // Apply the operator to any new basis vectors. The batch is one trace
     // event (the paper's response-GEMM hot loop); matrix-free callbacks
@@ -195,20 +198,42 @@ DavidsonResult davidson(const RealMatrix& symmetric,
   NDFT_REQUIRE(symmetric.rows() == symmetric.cols(),
                "davidson: matrix must be square");
   const std::size_t n = symmetric.rows();
-  std::vector<double> diagonal(n);
-  for (std::size_t i = 0; i < n; ++i) diagonal[i] = symmetric(i, i);
-  const ApplyFn apply = [&symmetric, n](const std::vector<double>& x,
-                                        std::vector<double>& y) {
-    y.assign(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double* row = symmetric.row(i);
-      double acc = 0.0;
-      for (std::size_t j = 0; j < n; ++j) acc += row[j] * x[j];
-      y[i] = acc;
-    }
-    trace_add_work(2ull * n * n, (n * n + 2 * n) * sizeof(double));
-  };
-  return davidson(n, apply, diagonal, config);
+  NDFT_REQUIRE(config.wanted > 0 && config.wanted <= n,
+               "wanted eigenpair count out of range");
+  unsigned attempted_iterations = 0;
+  if (!fault_fires("solver.davidson")) {
+    std::vector<double> diagonal(n);
+    for (std::size_t i = 0; i < n; ++i) diagonal[i] = symmetric(i, i);
+    const ApplyFn apply = [&symmetric, n](const std::vector<double>& x,
+                                          std::vector<double>& y) {
+      y.assign(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* row = symmetric.row(i);
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j) acc += row[j] * x[j];
+        y[i] = acc;
+      }
+      trace_add_work(2ull * n * n, (n * n + 2 * n) * sizeof(double));
+    };
+    DavidsonResult iterative = davidson(n, apply, diagonal, config);
+    if (iterative.converged) return iterative;
+    attempted_iterations = iterative.iterations;
+  }
+  // Graceful degradation: the iterative solver was skipped (injected
+  // fault) or stagnated; the dense partial solver always has the matrix
+  // in hand, so answer from it instead of surfacing a half-converged
+  // subspace.
+  note_degradation("davidson:dense_fallback");
+  const EigenResult dense = syevd_partial(symmetric, config.wanted);
+  DavidsonResult result;
+  result.converged = true;
+  result.iterations = attempted_iterations;
+  result.eigenvalues.assign(
+      dense.eigenvalues.begin(),
+      dense.eigenvalues.begin() +
+          static_cast<std::ptrdiff_t>(config.wanted));
+  result.eigenvectors = dense.eigenvectors;
+  return result;
 }
 
 }  // namespace ndft::dft

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <iterator>
 
+#include "common/cancel.hpp"
+#include "common/fault.hpp"
 #include "common/kernel_trace.hpp"
 #include "common/str_util.hpp"
 #include "common/thread_pool.hpp"
@@ -135,29 +137,44 @@ std::vector<BandsAtK> band_structure(const PlaneWaveBasis& basis,
   trace_set_system(basis.crystal().atom_count(), basis.size(),
                    basis.fft_size());
   std::vector<BandsAtK> result(path.size());
-  if (trace_active()) {
+  if (trace_active() || fault_enabled()) {
     // Traced runs keep the serial k-loop: per-k stage events stay in
     // program order with a pool-width-independent shape (kernels inside a
     // parallel k-loop would record or not depending on which thread ran
-    // them).
+    // them). Fault-armed runs serialize too, so injection decisions and
+    // degradation notes stay on the job thread and replay bitwise.
     for (std::size_t i = 0; i < path.size(); ++i) {
+      cancel_point();               // per-k stage boundary
+      fault_point("bands.alloc");
       const KPoint& kp = path[i];
       const TraceStage trace_stage(
-          strformat("bands[%zu]%s%s", i, kp.label.empty() ? "" : ":",
-                    kp.label.c_str()));
+          trace_active()
+              ? strformat("bands[%zu]%s%s", i, kp.label.empty() ? "" : ":",
+                          kp.label.c_str())
+              : std::string());
       result[i] = solve_epm_at_k(basis, kp, bands);
     }
     return result;
   }
-  // Independent k-points across the pool, one per task (each is a dense
-  // assembly plus an eigensolve; nested kernels degrade to serial
-  // inline). Each k-point's arithmetic is identical to the serial loop's,
-  // so the result is bitwise identical for any thread count.
-  parallel_for(0, path.size(), 1, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      result[i] = solve_epm_at_k(basis, path[i], bands);
-    }
-  });
+  // Independent k-points across the pool (each is a dense assembly plus
+  // an eigensolve; nested kernels degrade to serial inline), in batches
+  // so the calling thread hits a cancellation/deadline checkpoint
+  // between batches instead of only after the whole grid. Each k-point's
+  // arithmetic is identical to the serial loop's, so the result is
+  // bitwise identical for any thread count and batch size.
+  const std::size_t batch =
+      std::max<std::size_t>(std::size_t{1},
+                            ThreadPool::instance().threads()) *
+      2;
+  for (std::size_t start = 0; start < path.size(); start += batch) {
+    cancel_point();  // batch stage boundary (calling thread)
+    const std::size_t stop = std::min(path.size(), start + batch);
+    parallel_for(start, stop, 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        result[i] = solve_epm_at_k(basis, path[i], bands);
+      }
+    });
+  }
   return result;
 }
 

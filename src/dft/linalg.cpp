@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "common/kernel_trace.hpp"
 #include "common/math_util.hpp"
 #include "common/prng.hpp"
@@ -1305,6 +1306,29 @@ EigenResult syevd_naive(const RealMatrix& symmetric, OpCount* count) {
   return result;
 }
 
+namespace {
+
+/// Full-spectrum answer cut down to the lowest m pairs: the fallback the
+/// partial solver degrades to (and the fast path near the full spectrum).
+EigenResult partial_from_full(const RealMatrix& symmetric, std::size_t m,
+                              OpCount* count) {
+  const std::size_t n = symmetric.rows();
+  EigenResult full = syevd(symmetric, count);
+  if (m == n) return full;
+  EigenResult result;
+  result.eigenvalues.assign(
+      full.eigenvalues.begin(),
+      full.eigenvalues.begin() + static_cast<std::ptrdiff_t>(m));
+  result.eigenvectors = RealMatrix(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* src = full.eigenvectors.row(i);
+    std::copy(src, src + m, result.eigenvectors.row(i));
+  }
+  return result;
+}
+
+}  // namespace
+
 EigenResult syevd_partial(const RealMatrix& symmetric, std::size_t m,
                           OpCount* count) {
   LinalgTimerScope timer;
@@ -1321,52 +1345,56 @@ EigenResult syevd_partial(const RealMatrix& symmetric, std::size_t m,
   }
   trace.set_io(n * n * sizeof(double), (n * m + m) * sizeof(double));
 
+  if (fault_fires("solver.syevd_partial")) {
+    // Injected solver fault: degrade to the always-available full
+    // solver instead of failing the job.
+    note_degradation("syevd_partial:full_fallback");
+    return partial_from_full(symmetric, m, count);
+  }
+
   if (2 * m > n) {
     // The QL/back-transform savings vanish near the full spectrum; the
     // full blocked solver is both faster and more robust there. Nested
     // timer/trace entries fold into this one.
-    EigenResult full = syevd(symmetric, count);
-    if (m == n) return full;
+    return partial_from_full(symmetric, m, count);
+  }
+
+  try {
+    RealMatrix reduced = symmetric;
+    std::vector<double> d;
+    std::vector<double> e;
+    std::vector<double> tau;
+    blocked_tridiagonalize(reduced, d, e, tau);
+
     EigenResult result;
-    result.eigenvalues.assign(
-        full.eigenvalues.begin(),
-        full.eigenvalues.begin() + static_cast<std::ptrdiff_t>(m));
-    result.eigenvectors = RealMatrix(n, m);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double* src = full.eigenvectors.row(i);
-      std::copy(src, src + m, result.eigenvectors.row(i));
+    RealMatrix vt;  // tridiagonal eigenvectors, one per row
+    tridiag_lowest(d, e, m, result.eigenvalues, vt);
+
+    // Assemble the n x m eigenvector block and push it through the same
+    // compact-WY panels as the full solver — O(n^2 m) instead of O(n^3).
+    RealMatrix z(n, m);
+    parallel_for(0, n, eig_grain(m),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t r = lo; r < hi; ++r) {
+                     double* row = z.row(r);
+                     for (std::size_t c = 0; c < m; ++c) row[c] = vt(c, r);
+                   }
+                 });
+    apply_q_blocked(reduced, tau, z);
+    result.eigenvectors = std::move(z);
+
+    if (count != nullptr) {
+      const SyevdCost cost = syevd_partial_cost(n, m);
+      count->add(cost.flops, cost.bytes);
     }
     return result;
+  } catch (const NdftError&) {
+    // The partial path rejected the problem (e.g. a degenerate cluster
+    // its inverse iteration cannot split): same answer from the full
+    // solver, recorded as a degradation.
+    note_degradation("syevd_partial:full_fallback");
+    return partial_from_full(symmetric, m, count);
   }
-
-  RealMatrix reduced = symmetric;
-  std::vector<double> d;
-  std::vector<double> e;
-  std::vector<double> tau;
-  blocked_tridiagonalize(reduced, d, e, tau);
-
-  EigenResult result;
-  RealMatrix vt;  // tridiagonal eigenvectors, one per row
-  tridiag_lowest(d, e, m, result.eigenvalues, vt);
-
-  // Assemble the n x m eigenvector block and push it through the same
-  // compact-WY panels as the full solver — O(n^2 m) instead of O(n^3).
-  RealMatrix z(n, m);
-  parallel_for(0, n, eig_grain(m),
-               [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t r = lo; r < hi; ++r) {
-                   double* row = z.row(r);
-                   for (std::size_t c = 0; c < m; ++c) row[c] = vt(c, r);
-                 }
-               });
-  apply_q_blocked(reduced, tau, z);
-  result.eigenvectors = std::move(z);
-
-  if (count != nullptr) {
-    const SyevdCost cost = syevd_partial_cost(n, m);
-    count->add(cost.flops, cost.bytes);
-  }
-  return result;
 }
 
 SyevdCost syevd_partial_cost(std::size_t n, std::size_t m) noexcept {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/cancel.hpp"
 #include "common/kernel_trace.hpp"
 #include "common/thread_pool.hpp"
 
@@ -64,6 +65,7 @@ std::vector<double> transition_energies(const GroundState& ground,
 LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
                             const GroundState& ground,
                             const LrTddftConfig& config) {
+  cancel_point();  // stage boundary: before the orbital transforms
   LrTddftResult result;
   KernelCounts& counts = result.counts;
 
@@ -262,6 +264,7 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
          &counts[KernelClass::kGemm]);
   }
 
+  cancel_point();  // stage boundary: kernels built, Casida solve ahead
   // Assemble the TDA (Casida) matrix A = diag(eps_c - eps_v) + s*(K_H+K_xc)
   // and Hermitise away the numerical skew from finite FFT grids. A is
   // complex Hermitian in general; it degenerates to real symmetric only

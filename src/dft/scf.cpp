@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <numbers>
 
+#include "common/cancel.hpp"
+#include "common/fault.hpp"
 #include "common/kernel_trace.hpp"
 #include "common/str_util.hpp"
 #include "common/thread_pool.hpp"
@@ -220,6 +222,11 @@ ScfResult solve_scf(const PlaneWaveBasis& basis, const ScfConfig& config) {
   GroundState state;
   for (unsigned iteration = 0; iteration < config.max_iterations;
        ++iteration) {
+    // Stage boundary: cooperative cancellation/deadline checkpoint and
+    // the per-iteration allocation-pressure injection site. Both are a
+    // single branch when no token/spec is installed.
+    cancel_point();
+    fault_point("scf.alloc");
     const TraceStage trace_stage(
         trace_active() ? strformat("scf[%u]", iteration) : std::string());
     // --- effective potential on the grid.
