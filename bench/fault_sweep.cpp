@@ -30,6 +30,8 @@
 #include "common/table.hpp"
 #include "dft/davidson.hpp"
 #include "dft/linalg.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 
 using namespace ndft;
 
@@ -99,6 +101,57 @@ SweepRow sweep_davidson() {
   return row;
 }
 
+/// net.accept lives at the service boundary, not inside an Engine job:
+/// drive a real loopback server and let the client's reconnect play the
+/// role of the Engine's retry loop.
+SweepRow sweep_net_accept() {
+  SweepRow row;
+  row.site = "net.accept";
+  row.cls = FaultClass::kDevice;
+  bool pass = true;
+  for (const bool capped : {true, false}) {
+    fault_install(
+        FaultSpec::parse(capped ? "net.accept=1.0@1" : "net.accept=1.0"));
+    net::HttpServer server(net::ServerConfig{},
+                           [](const net::HttpRequest&) {
+                             net::HttpResponse response;
+                             response.body = "ok";
+                             return response;
+                           });
+    server.start();
+    const auto attempt_once = [&server] {
+      try {
+        net::HttpClient client("127.0.0.1", server.port());
+        return client.get("/").status == 200;
+      } catch (const NdftError&) {
+        return false;  // connection dropped at accept
+      }
+    };
+    bool ok;
+    std::string outcome;
+    if (capped) {
+      // First connection dropped, the retry connects and is served.
+      const bool first = attempt_once();
+      const bool second = attempt_once();
+      ok = !first && second && server.connections_dropped() == 1;
+      outcome = strformat("%s@2", ok ? "ok" : "served-through-fault");
+    } else {
+      // Every connection dropped; nothing gets through.
+      bool any_served = false;
+      for (int i = 0; i < 3; ++i) any_served = attempt_once() || any_served;
+      ok = !any_served && server.connections_dropped() == 3;
+      outcome = ok ? "all-dropped@3" : "leaked-through";
+    }
+    server.shutdown();
+    (capped ? row.capped_outcome : row.uncapped_outcome) =
+        ok ? outcome : "FAIL:" + outcome;
+    pass = pass && ok;
+  }
+  fault_clear();
+  row.pass = pass;
+  return row;
+}
+
 bool transient(FaultClass cls) {
   return cls == FaultClass::kResource || cls == FaultClass::kDevice;
 }
@@ -118,6 +171,10 @@ int main(int argc, char** argv) try {
   for (const FaultSite& site : fault_sites()) {
     if (std::strcmp(site.name, "solver.davidson") == 0) {
       rows.push_back(sweep_davidson());
+      continue;
+    }
+    if (std::strcmp(site.name, "net.accept") == 0) {
+      rows.push_back(sweep_net_accept());
       continue;
     }
     SweepRow row;

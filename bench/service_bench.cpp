@@ -1,0 +1,188 @@
+// bench_service_bench: throughput and latency of the HTTP service layer.
+// An in-process ndft service (Engine + Service + HttpServer on an
+// ephemeral loopback port) is stormed with cheap PlanJobs — submitted
+// with a long poll so each request covers the full submit -> execute ->
+// result round trip — at 1, 8 and 64 concurrent clients.
+//
+// Results go to BENCH_service.json for cross-commit tracking.
+//
+// Modes:
+//   bench_service_bench           200 requests per client tier
+//   bench_service_bench --smoke   25 requests per tier, exits nonzero
+//                                 when any request fails (the verify.sh
+//                                 --bench-smoke gate)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/request_json.hpp"
+#include "common/run_metadata.hpp"
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/service.hpp"
+
+using namespace ndft;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TierResult {
+  std::size_t clients = 0;
+  std::size_t requests = 0;
+  std::size_t failures = 0;
+  double wall_s = 0.0;
+  double req_per_s = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+TierResult storm(std::uint16_t port, std::size_t clients,
+                 std::size_t requests_per_client) {
+  const std::string body = api::job_request_to_json(api::PlanJob{}).dump();
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::size_t> failures{0};
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        // One keep-alive connection per client for the whole storm.
+        net::HttpClient client("127.0.0.1", port);
+        latencies[c].reserve(requests_per_client);
+        for (std::size_t i = 0; i < requests_per_client; ++i) {
+          const Clock::time_point t0 = Clock::now();
+          const net::HttpResponse response =
+              client.post("/v1/jobs?wait_ms=60000", body);
+          const Clock::time_point t1 = Clock::now();
+          if (response.status != 200) {
+            failures.fetch_add(1);
+            continue;
+          }
+          latencies[c].push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+        }
+      } catch (const NdftError&) {
+        failures.fetch_add(requests_per_client);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  TierResult tier;
+  tier.clients = clients;
+  tier.requests = clients * requests_per_client;
+  tier.failures = failures.load();
+  tier.wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::vector<double> all;
+  for (const auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  if (!all.empty()) {
+    std::sort(all.begin(), all.end());
+    tier.p50_ms = all[all.size() / 2];
+    tier.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+    tier.req_per_s = tier.wall_s > 0.0 ? all.size() / tier.wall_s : 0.0;
+  }
+  return tier;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const std::size_t requests_per_client = smoke ? 25 : 200;
+
+  api::EngineConfig engine_config;
+  engine_config.dispatch_threads = 4;
+  engine_config.system.sampled_ops_per_kernel = 20000;
+  engine_config.system.min_ops_per_core = 200;
+  api::Engine engine(engine_config);
+  net::ServiceConfig service_config;
+  service_config.log = nullptr;  // the storm would swamp stderr
+  net::Service service(engine, service_config);
+  net::ServerConfig server_config;  // port 0 = ephemeral
+  net::HttpServer server(server_config,
+                         [&service](const net::HttpRequest& request) {
+                           return service.handle(request);
+                         });
+  server.start();
+
+  std::printf(
+      "service throughput, %zu PlanJob requests per client "
+      "(submit + long-poll)%s\n\n",
+      requests_per_client, smoke ? " (smoke)" : "");
+
+  std::vector<TierResult> tiers;
+  for (const std::size_t clients : {1u, 8u, 64u}) {
+    // Warm the path (connections, allocator, plan caches) untimed.
+    (void)storm(server.port(), 1, 5);
+    tiers.push_back(storm(server.port(), clients, requests_per_client));
+  }
+  server.shutdown();
+  engine.drain();
+
+  TextTable table({"clients", "req/s", "p50", "p99", "failures"});
+  std::size_t total_failures = 0;
+  for (const TierResult& tier : tiers) {
+    table.add_row({strformat("%zu", tier.clients),
+                   strformat("%.0f", tier.req_per_s),
+                   strformat("%.2f ms", tier.p50_ms),
+                   strformat("%.2f ms", tier.p99_ms),
+                   strformat("%zu", tier.failures)});
+    total_failures += tier.failures;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  Json bench = Json::object();
+  bench.set("bench", "service");
+  bench.set("meta", run_metadata_json());
+  bench.set("requests_per_client", requests_per_client);
+  Json tier_list = Json::array();
+  for (const TierResult& tier : tiers) {
+    Json entry = Json::object();
+    entry.set("clients", tier.clients);
+    entry.set("requests", tier.requests);
+    entry.set("failures", tier.failures);
+    entry.set("wall_s", tier.wall_s);
+    entry.set("req_per_s", tier.req_per_s);
+    entry.set("p50_ms", tier.p50_ms);
+    entry.set("p99_ms", tier.p99_ms);
+    tier_list.push_back(std::move(entry));
+  }
+  bench.set("tiers", std::move(tier_list));
+  const char* path = "BENCH_service.json";
+  if (std::FILE* file = std::fopen(path, "w")) {
+    const std::string text = bench.dump(2);
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path);
+    return 1;
+  }
+
+  if (smoke && total_failures > 0) {
+    std::fprintf(stderr, "FAIL: %zu requests failed\n", total_failures);
+    return 1;
+  }
+  return 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "service_bench: %s\n", error.what());
+  return 1;
+}

@@ -1,0 +1,92 @@
+// Submits a band-structure job to an NDFT service over a real loopback
+// socket and prints the gap. With no arguments the example hosts its own
+// in-process server (engine + service + HttpServer on an ephemeral
+// port), so it runs standalone; pass a port (and optionally a host) to
+// talk to an already-running `ndft_serve` instead:
+//
+//   ./example_service_client              # self-hosted round trip
+//   ./example_service_client 8424        # talk to ndft_serve on :8424
+//   ./example_service_client 8424 10.0.0.5
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "api/engine.hpp"
+#include "api/request_json.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/service.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ndft;
+
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  if (argc > 1) port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+  if (argc > 2) host = argv[2];
+
+  try {
+    // Self-host when no port was given.
+    std::unique_ptr<api::Engine> engine;
+    std::unique_ptr<net::Service> service;
+    std::unique_ptr<net::HttpServer> server;
+    if (port == 0) {
+      engine = std::make_unique<api::Engine>();
+      net::ServiceConfig service_config;
+      service_config.log = nullptr;
+      service = std::make_unique<net::Service>(*engine, service_config);
+      net::ServerConfig server_config;  // port 0 = ephemeral
+      server = std::make_unique<net::HttpServer>(
+          server_config, [&s = *service](const net::HttpRequest& request) {
+            return s.handle(request);
+          });
+      server->start();
+      port = server->port();
+      std::printf("self-hosted ndft service on %s:%u\n", host.c_str(),
+                  static_cast<unsigned>(port));
+    }
+
+    // Primitive silicon band structure along the FCC path (atoms == 0
+    // selects the 2-atom primitive cell, the only crystal the
+    // high-symmetry path applies to).
+    api::BandStructureJob job;
+    job.sampling = api::BandStructureJob::Sampling::kPath;
+    job.segments = 6;
+    job.bands = 8;
+    job.valence_bands = 4;
+    const Json request_json = api::job_request_to_json(job);
+
+    net::HttpClient client(host, port);
+    // Long-poll so one POST both submits and collects the result.
+    const net::HttpResponse response =
+        client.post("/v1/jobs?wait_ms=60000", request_json.dump());
+    if (response.status != 200) {
+      std::fprintf(stderr, "service returned HTTP %d:\n%s\n", response.status,
+                   response.body.c_str());
+      return 1;
+    }
+
+    const api::JobResult result =
+        api::JobResult::from_json(Json::parse(response.body));
+    if (result.status != api::JobStatus::kOk || !result.band_structure) {
+      std::fprintf(stderr, "job ended %s: %s\n",
+                   api::to_string(result.status),
+                   result.error_message.c_str());
+      return 1;
+    }
+    const api::BandStructurePayload& bands = *result.band_structure;
+    std::printf("band structure over the wire (job %llu, %zu k-points):\n",
+                static_cast<unsigned long long>(result.engine.job_id),
+                bands.path.size());
+    std::printf("  indirect gap    %.4f eV  (%s -> %s)\n",
+                bands.indirect_gap_ev, bands.vbm_label.c_str(),
+                bands.cbm_label.c_str());
+    std::printf("  direct gap at G %.4f eV\n", bands.direct_gap_gamma_ev);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "service_client: %s\n", e.what());
+    return 1;
+  }
+}

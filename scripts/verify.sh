@@ -8,16 +8,18 @@
 #                          [build-dir]
 #   (default build-dir: build)
 #   --tier LABEL   build, then run only the ctest tier LABEL (kernel,
-#                  physics, api, robust, trace or sim) and stop — e.g.
-#                  `--tier sim` while iterating on the simulator.
+#                  physics, api, robust, trace, net or sim) and stop —
+#                  e.g. `--tier sim` while iterating on the simulator.
 #   --bench-smoke  additionally run the SYEVD microbenchmark at n=128
 #                  (fail if the blocked solver is slower than the serial
 #                  reference, or the partial-spectrum solver slower than
 #                  the full blocked solve), the co-design loop smoke
 #                  (record -> calibrate -> plan -> simulate must close
 #                  end to end), the fault-injection sweep over every
-#                  registered site, and the engine-overhead guard (the
-#                  disabled-faults path must stay within noise).
+#                  registered site, the engine-overhead guard (the
+#                  disabled-faults path must stay within noise), and the
+#                  HTTP service throughput smoke (every request through
+#                  the loopback storm must succeed).
 #   --sanitize     additionally build an ASan+UBSan tree (build-asan,
 #                  -DNDFT_SANITIZE=ON) and run the api and robust tiers
 #                  under it; any sanitizer report fails the gate.
@@ -89,6 +91,10 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
   # Disabled-faults engine path must stay within noise of the armed one.
   (cd "$BUILD_DIR" && ./bench_micro_engine --smoke)
   echo "engine overhead smoke: OK ($BUILD_DIR/BENCH_engine.json)"
+  # The HTTP service layer: loopback storms at 1/8/64 clients; any failed
+  # request fails the gate.
+  (cd "$BUILD_DIR" && ./bench_service_bench --smoke)
+  echo "service smoke: OK ($BUILD_DIR/BENCH_service.json)"
 fi
 
 if [ "$SANITIZE" -eq 1 ]; then

@@ -517,6 +517,15 @@ const JobResult& JobHandle::wait() const {
   return state_->result;
 }
 
+bool JobHandle::wait_for(double timeout_ms) const {
+  NDFT_REQUIRE(valid(), "empty job handle");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  if (timeout_ms <= 0.0) return state_->terminal;
+  return state_->cv.wait_for(
+      lock, std::chrono::duration<double, std::milli>(timeout_ms),
+      [&] { return state_->terminal; });
+}
+
 // ----------------------------------------------------------------- Engine
 
 Engine::Engine(EngineConfig config)
@@ -671,9 +680,22 @@ std::shared_ptr<detail::JobState> Engine::pop_next_locked() {
   return state;
 }
 
+void Engine::retire_in_flight_locked() {
+  --in_flight_;
+  if (queue_.empty() && in_flight_ == 0) {
+    idle_cv_.notify_all();
+  }
+}
+
+void Engine::retire_in_flight() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  retire_in_flight_locked();
+}
+
 void Engine::drain() {
   if (config_.dispatch_threads == 0) {
     // Manual mode: the caller's thread is the dispatcher.
+    // execute_queued() retires the in-flight count itself.
     for (;;) {
       std::shared_ptr<detail::JobState> state;
       {
@@ -683,8 +705,6 @@ void Engine::drain() {
         ++in_flight_;
       }
       execute_queued(state);
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      --in_flight_;
     }
     return;
   }
@@ -705,30 +725,31 @@ void Engine::dispatcher_loop() {
       state = pop_next_locked();
       ++in_flight_;
     }
+    // execute_queued() publishes the terminal result and retires the
+    // in-flight count atomically (signalling idle_cv_ when drained).
     execute_queued(state);
-    {
-      std::lock_guard<std::mutex> lock(queue_mutex_);
-      --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) {
-        idle_cv_.notify_all();
-      }
-    }
   }
 }
 
 void Engine::execute_queued(const std::shared_ptr<detail::JobState>& state) {
   Clock::time_point started;
+  bool cancelled_before_start = false;
   {
     std::lock_guard<std::mutex> lock(state->mutex);
     if (state->status != JobStatus::kQueued) {
       // Cancelled between pop and start: cancel() made it terminal and
       // already counted it — counting here again was the double-count
       // this path used to have.
-      return;
+      cancelled_before_start = true;
+    } else {
+      state->status = JobStatus::kRunning;
+      state->result.engine.exec_seq = exec_seq_.fetch_add(1) + 1;
+      started = Clock::now();
     }
-    state->status = JobStatus::kRunning;
-    state->result.engine.exec_seq = exec_seq_.fetch_add(1) + 1;
-    started = Clock::now();
+  }
+  if (cancelled_before_start) {
+    retire_in_flight();
+    return;
   }
   JobResult result;
   if (state->cancel.deadline_exceeded()) {
@@ -762,11 +783,18 @@ void Engine::execute_queued(const std::shared_ptr<detail::JobState>& state) {
     completed_.fetch_add(1);
   }
   {
+    // Publish and retire under both locks (queue before state, the
+    // global order) so the two are atomic to observers: a waiter woken
+    // by the notify must not find this job still counted by
+    // jobs_running(), and drain() must not return before the terminal
+    // result is visible through the handle.
+    std::lock_guard<std::mutex> queue_lock(queue_mutex_);
     std::lock_guard<std::mutex> lock(state->mutex);
     state->result = std::move(result);
     state->status = state->result.status;
     state->terminal = true;
     state->cv.notify_all();
+    retire_in_flight_locked();
   }
 }
 
@@ -829,7 +857,25 @@ JobResult Engine::execute(const JobRequest& request,
     }
   }
   result.timings.backoff_ms = backoff_total_ms;
+  if (!result.degraded.empty()) degraded_.fetch_add(1);
   return result;
+}
+
+std::size_t Engine::jobs_pending() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  // Cancelled-while-queued jobs are already terminal but stay in queue_
+  // until a dispatcher pops (lazy pruning): only count live ones.
+  std::size_t pending = 0;
+  for (const auto& state : queue_) {
+    std::lock_guard<std::mutex> state_lock(state->mutex);
+    if (!state->terminal) ++pending;
+  }
+  return pending;
+}
+
+std::size_t Engine::jobs_running() {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return in_flight_;
 }
 
 JobResult Engine::execute_once(const JobRequest& request,

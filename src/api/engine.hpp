@@ -123,6 +123,12 @@ class JobHandle {
   /// Blocks until the job reaches a terminal state and returns its result.
   const JobResult& wait() const;
 
+  /// Waits up to `timeout_ms` for a terminal state. Returns true when the
+  /// job is terminal (result available via wait(), which no longer
+  /// blocks), false on timeout. The long-poll primitive of the service
+  /// layer.
+  bool wait_for(double timeout_ms) const;
+
  private:
   friend class Engine;
   explicit JobHandle(std::shared_ptr<detail::JobState> state)
@@ -174,6 +180,14 @@ class Engine {
   std::uint64_t jobs_deadline_exceeded() const noexcept {
     return deadline_expired_;
   }
+  /// Queued jobs that began executing (the exec-sequence high-water mark).
+  std::uint64_t jobs_started() const noexcept { return exec_seq_; }
+  /// Jobs that completed with at least one degradation note.
+  std::uint64_t jobs_degraded() const noexcept { return degraded_; }
+  /// Jobs waiting in the pending queue right now.
+  std::size_t jobs_pending();
+  /// Jobs currently executing on dispatcher (or drain) threads.
+  std::size_t jobs_running();
 
  private:
   void dispatcher_loop();
@@ -181,8 +195,14 @@ class Engine {
   /// the cheapest job, unless the oldest one has aged past the
   /// starvation limit.
   std::shared_ptr<detail::JobState> pop_next_locked();
-  /// Runs one queued job to its terminal state (dispatcher or drain path).
+  /// Runs one queued job to its terminal state (dispatcher or drain
+  /// path) and retires the in-flight count — atomically with the
+  /// terminal publish, so a waiter never sees a finished job still
+  /// counted by jobs_running().
   void execute_queued(const std::shared_ptr<detail::JobState>& state);
+  /// Decrements in_flight_ and signals idle_cv_ when fully drained.
+  void retire_in_flight_locked();  // queue_mutex_ held
+  void retire_in_flight();
   /// Validation + retry loop around execute_once + timing/metadata
   /// stamping (no queue logic).
   JobResult execute(const JobRequest& request, const CancelToken& token);
@@ -214,6 +234,7 @@ class Engine {
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> deadline_expired_{0};
+  std::atomic<std::uint64_t> degraded_{0};
   /// True when the constructor installed a fault spec (and the
   /// destructor therefore clears the process-wide fault state).
   bool installed_faults_ = false;

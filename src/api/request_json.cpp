@@ -1,0 +1,336 @@
+#include "api/request_json.hpp"
+
+#include "common/kernel_trace.hpp"
+
+namespace ndft::api {
+namespace {
+
+// ---- enum <-> string maps. The names mirror the result serializer's
+// (api/result.cpp) so requests and results speak one vocabulary.
+
+const char* sampling_name(BandStructureJob::Sampling sampling) {
+  return sampling == BandStructureJob::Sampling::kPath ? "path"
+                                                       : "monkhorst_pack";
+}
+
+BandStructureJob::Sampling sampling_from(const std::string& name) {
+  if (name == "path") return BandStructureJob::Sampling::kPath;
+  if (name == "monkhorst_pack") {
+    return BandStructureJob::Sampling::kMonkhorstPack;
+  }
+  throw NdftError("unknown sampling: " + name);
+}
+
+const char* mixing_name(dft::MixingScheme scheme) {
+  return scheme == dft::MixingScheme::kLinear ? "linear" : "anderson";
+}
+
+dft::MixingScheme mixing_from(const std::string& name) {
+  if (name == "linear") return dft::MixingScheme::kLinear;
+  if (name == "anderson") return dft::MixingScheme::kAnderson;
+  throw NdftError("unknown mixing scheme: " + name);
+}
+
+core::ExecMode exec_mode_from(const std::string& name) {
+  for (const core::ExecMode mode :
+       {core::ExecMode::kCpuBaseline, core::ExecMode::kGpuBaseline,
+        core::ExecMode::kNdpOnly, core::ExecMode::kNdft}) {
+    if (name == core::to_string(mode)) return mode;
+  }
+  throw NdftError("unknown execution mode: " + name);
+}
+
+DeviceKind device_from(const std::string& name) {
+  for (const DeviceKind device :
+       {DeviceKind::kCpu, DeviceKind::kNdp, DeviceKind::kGpu}) {
+    if (name == to_string(device)) return device;
+  }
+  throw NdftError("unknown device: " + name);
+}
+
+const char* granularity_name(runtime::Granularity granularity) {
+  switch (granularity) {
+    case runtime::Granularity::kInstruction: return "instruction";
+    case runtime::Granularity::kBasicBlock: return "block";
+    case runtime::Granularity::kFunction: return "function";
+    case runtime::Granularity::kKernel: return "kernel";
+  }
+  return "?";
+}
+
+runtime::Granularity granularity_from(const std::string& name) {
+  for (const runtime::Granularity g :
+       {runtime::Granularity::kInstruction, runtime::Granularity::kBasicBlock,
+        runtime::Granularity::kFunction, runtime::Granularity::kKernel}) {
+    if (name == granularity_name(g)) return g;
+  }
+  throw NdftError("unknown granularity: " + name);
+}
+
+// ---- optional-member readers: absent keys keep the struct default.
+
+void read(const Json& j, const char* key, double& out) {
+  if (const Json* v = j.find(key)) out = v->as_double();
+}
+
+void read(const Json& j, const char* key, bool& out) {
+  if (const Json* v = j.find(key)) out = v->as_bool();
+}
+
+void read(const Json& j, const char* key, std::size_t& out) {
+  if (const Json* v = j.find(key)) out = v->as_uint();
+}
+
+void read(const Json& j, const char* key, unsigned& out) {
+  if (const Json* v = j.find(key)) {
+    out = static_cast<unsigned>(v->as_uint());
+  }
+}
+
+// ---- per-kind serializers.
+
+Json to_json(const ScfJob& job) {
+  Json j = Json::object();
+  j.set("atoms", job.atoms);
+  j.set("ecut_ry", job.ecut_ry);
+  Json scf = Json::object();
+  scf.set("max_iterations", job.scf.max_iterations);
+  scf.set("mixing", job.scf.mixing);
+  scf.set("scheme", mixing_name(job.scf.scheme));
+  scf.set("tolerance", job.scf.tolerance);
+  scf.set("bands", job.scf.bands);
+  scf.set("valence_charge", job.scf.valence_charge);
+  scf.set("core_radius_bohr", job.scf.core_radius_bohr);
+  j.set("scf", std::move(scf));
+  j.set("record_trace", job.record_trace);
+  j.set("deadline_ms", job.deadline_ms);
+  return j;
+}
+
+ScfJob scf_from_json(const Json& j) {
+  ScfJob job;
+  read(j, "atoms", job.atoms);
+  read(j, "ecut_ry", job.ecut_ry);
+  if (const Json* scf = j.find("scf")) {
+    read(*scf, "max_iterations", job.scf.max_iterations);
+    read(*scf, "mixing", job.scf.mixing);
+    if (const Json* scheme = scf->find("scheme")) {
+      job.scf.scheme = mixing_from(scheme->as_string());
+    }
+    read(*scf, "tolerance", job.scf.tolerance);
+    read(*scf, "bands", job.scf.bands);
+    read(*scf, "valence_charge", job.scf.valence_charge);
+    read(*scf, "core_radius_bohr", job.scf.core_radius_bohr);
+  }
+  read(j, "record_trace", job.record_trace);
+  read(j, "deadline_ms", job.deadline_ms);
+  return job;
+}
+
+Json to_json(const BandStructureJob& job) {
+  Json j = Json::object();
+  j.set("atoms", job.atoms);
+  j.set("ecut_ry", job.ecut_ry);
+  j.set("sampling", sampling_name(job.sampling));
+  j.set("segments", job.segments);
+  Json grid = Json::array();
+  for (const unsigned n : job.mp_grid) grid.push_back(n);
+  j.set("mp_grid", std::move(grid));
+  j.set("bands", job.bands);
+  j.set("valence_bands", job.valence_bands);
+  j.set("record_trace", job.record_trace);
+  j.set("deadline_ms", job.deadline_ms);
+  return j;
+}
+
+BandStructureJob bands_from_json(const Json& j) {
+  BandStructureJob job;
+  read(j, "atoms", job.atoms);
+  read(j, "ecut_ry", job.ecut_ry);
+  if (const Json* sampling = j.find("sampling")) {
+    job.sampling = sampling_from(sampling->as_string());
+  }
+  read(j, "segments", job.segments);
+  if (const Json* grid = j.find("mp_grid")) {
+    NDFT_REQUIRE(grid->size() == 3, "mp_grid must have 3 entries");
+    for (std::size_t i = 0; i < 3; ++i) {
+      job.mp_grid[i] = static_cast<unsigned>((*grid)[i].as_uint());
+    }
+  }
+  read(j, "bands", job.bands);
+  read(j, "valence_bands", job.valence_bands);
+  read(j, "record_trace", job.record_trace);
+  read(j, "deadline_ms", job.deadline_ms);
+  return job;
+}
+
+Json to_json(const LrtddftJob& job) {
+  Json j = Json::object();
+  j.set("atoms", job.atoms);
+  j.set("ecut_ry", job.ecut_ry);
+  Json config = Json::object();
+  config.set("valence_window", job.config.valence_window);
+  config.set("conduction_window", job.config.conduction_window);
+  config.set("include_xc", job.config.include_xc);
+  config.set("spin_factor", job.config.spin_factor);
+  config.set("keep_eigenvectors", job.config.keep_eigenvectors);
+  j.set("config", std::move(config));
+  j.set("oscillator_strengths", job.oscillator_strengths);
+  j.set("record_trace", job.record_trace);
+  j.set("deadline_ms", job.deadline_ms);
+  return j;
+}
+
+LrtddftJob lrtddft_from_json(const Json& j) {
+  LrtddftJob job;
+  read(j, "atoms", job.atoms);
+  read(j, "ecut_ry", job.ecut_ry);
+  if (const Json* config = j.find("config")) {
+    read(*config, "valence_window", job.config.valence_window);
+    read(*config, "conduction_window", job.config.conduction_window);
+    read(*config, "include_xc", job.config.include_xc);
+    read(*config, "spin_factor", job.config.spin_factor);
+    read(*config, "keep_eigenvectors", job.config.keep_eigenvectors);
+  }
+  read(j, "oscillator_strengths", job.oscillator_strengths);
+  read(j, "record_trace", job.record_trace);
+  read(j, "deadline_ms", job.deadline_ms);
+  return job;
+}
+
+Json to_json(const SimulateJob& job) {
+  Json j = Json::object();
+  j.set("atoms", job.atoms);
+  j.set("mode", core::to_string(job.mode));
+  j.set("sampled_ops", job.sampled_ops);
+  j.set("deadline_ms", job.deadline_ms);
+  return j;
+}
+
+SimulateJob simulate_from_json(const Json& j) {
+  SimulateJob job;
+  read(j, "atoms", job.atoms);
+  if (const Json* mode = j.find("mode")) {
+    job.mode = exec_mode_from(mode->as_string());
+  }
+  read(j, "sampled_ops", job.sampled_ops);
+  read(j, "deadline_ms", job.deadline_ms);
+  return job;
+}
+
+Json to_json(const runtime::DeviceProfile& profile) {
+  Json j = Json::object();
+  j.set("kind", to_string(profile.kind));
+  j.set("peak_gflops", profile.peak_gflops);
+  j.set("dram_gbps", profile.dram_gbps);
+  j.set("link_gbps", profile.link_gbps);
+  j.set("switch_latency_ps", profile.switch_latency_ps);
+  j.set("blocked_compute_efficiency", profile.blocked_compute_efficiency);
+  return j;
+}
+
+runtime::DeviceProfile profile_from_json(const Json& j) {
+  runtime::DeviceProfile profile;
+  if (const Json* kind = j.find("kind")) {
+    profile.kind = device_from(kind->as_string());
+  }
+  read(j, "peak_gflops", profile.peak_gflops);
+  read(j, "dram_gbps", profile.dram_gbps);
+  read(j, "link_gbps", profile.link_gbps);
+  if (const Json* latency = j.find("switch_latency_ps")) {
+    profile.switch_latency_ps = latency->as_uint();
+  }
+  read(j, "blocked_compute_efficiency", profile.blocked_compute_efficiency);
+  return profile;
+}
+
+Json to_json(const PlanJob& job) {
+  Json j = Json::object();
+  j.set("atoms", job.atoms);
+  j.set("granularity", granularity_name(job.granularity));
+  Json profiles = Json::array();
+  for (const runtime::DeviceProfile& profile : job.profile_override) {
+    profiles.push_back(to_json(profile));
+  }
+  j.set("profile_override", std::move(profiles));
+  j.set("deadline_ms", job.deadline_ms);
+  return j;
+}
+
+PlanJob plan_from_json(const Json& j) {
+  PlanJob job;
+  read(j, "atoms", job.atoms);
+  if (const Json* granularity = j.find("granularity")) {
+    job.granularity = granularity_from(granularity->as_string());
+  }
+  if (const Json* profiles = j.find("profile_override")) {
+    for (const Json& profile : profiles->items()) {
+      job.profile_override.push_back(profile_from_json(profile));
+    }
+  }
+  read(j, "deadline_ms", job.deadline_ms);
+  return job;
+}
+
+Json to_json(const CoDesignJob& job) {
+  Json j = Json::object();
+  j.set("trace", job.trace.to_json());
+  j.set("granularity", granularity_name(job.granularity));
+  j.set("calibrate", job.calibrate);
+  j.set("simulate", job.simulate);
+  j.set("deadline_ms", job.deadline_ms);
+  return j;
+}
+
+CoDesignJob codesign_from_json(const Json& j) {
+  CoDesignJob job;
+  // The trace is the job's entire subject: unlike the tuning knobs it is
+  // required, and it carries its own versioned schema.
+  job.trace = KernelTrace::from_json(j.at("trace"));
+  if (const Json* granularity = j.find("granularity")) {
+    job.granularity = granularity_from(granularity->as_string());
+  }
+  read(j, "calibrate", job.calibrate);
+  read(j, "simulate", job.simulate);
+  read(j, "deadline_ms", job.deadline_ms);
+  return job;
+}
+
+}  // namespace
+
+const char* const kJobRequestSchema = "ndft.job_request.v1";
+
+Json job_request_to_json(const JobRequest& request) {
+  Json j = Json::object();
+  j.set("schema", kJobRequestSchema);
+  j.set("kind", job_kind(request));
+  struct Serializer {
+    Json operator()(const ScfJob& job) const { return to_json(job); }
+    Json operator()(const BandStructureJob& job) const { return to_json(job); }
+    Json operator()(const LrtddftJob& job) const { return to_json(job); }
+    Json operator()(const SimulateJob& job) const { return to_json(job); }
+    Json operator()(const PlanJob& job) const { return to_json(job); }
+    Json operator()(const CoDesignJob& job) const { return to_json(job); }
+  };
+  j.set("job", std::visit(Serializer{}, request));
+  return j;
+}
+
+JobRequest job_request_from_json(const Json& json) {
+  NDFT_REQUIRE(json.is_object(), "job request must be a JSON object");
+  const std::string schema = json.at("schema").as_string();
+  NDFT_REQUIRE(schema == kJobRequestSchema,
+               ("unsupported schema: " + schema).c_str());
+  const std::string kind = json.at("kind").as_string();
+  const Json& job = json.at("job");
+  NDFT_REQUIRE(job.is_object(), "'job' must be a JSON object");
+  if (kind == "scf") return scf_from_json(job);
+  if (kind == "band_structure") return bands_from_json(job);
+  if (kind == "lrtddft") return lrtddft_from_json(job);
+  if (kind == "simulate") return simulate_from_json(job);
+  if (kind == "plan") return plan_from_json(job);
+  if (kind == "codesign") return codesign_from_json(job);
+  throw NdftError("unknown job kind: " + kind);
+}
+
+}  // namespace ndft::api

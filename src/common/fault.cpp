@@ -31,6 +31,9 @@ const std::vector<FaultSite>& catalog() {
        FaultClass::kTrace},
       {"sim.mem", "simulated NDP/DRAM fault during an event batch",
        FaultClass::kDevice},
+      {"net.accept",
+       "accepted connection dropped at the service boundary",
+       FaultClass::kDevice},
   };
   return sites;
 }

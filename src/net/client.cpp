@@ -1,0 +1,80 @@
+#include "net/client.hpp"
+
+#include <utility>
+
+namespace ndft::net {
+
+HttpClient::HttpClient(std::string host, std::uint16_t port,
+                       double timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+HttpResponse HttpClient::request(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body,
+                                 const std::string& content_type) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  if (!bearer_.empty()) {
+    wire += "Authorization: Bearer " + bearer_ + "\r\n";
+  }
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    wire += "Content-Type: " + content_type + "\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+
+  const bool was_connected = socket_.valid();
+  if (!was_connected) {
+    socket_ = Socket::connect(host_, port_);
+    pipeline_rest_.clear();
+  }
+  try {
+    return round_trip(wire);
+  } catch (const NdftError&) {
+    // A kept-alive connection the server closed between requests looks
+    // like EOF/EPIPE on first reuse; retry once on a fresh connection.
+    if (!was_connected) throw;
+    socket_ = Socket::connect(host_, port_);
+    pipeline_rest_.clear();
+    return round_trip(wire);
+  }
+}
+
+HttpResponse HttpClient::round_trip(const std::string& wire) {
+  socket_.send_all(wire);
+  HttpParser parser(HttpParser::Kind::kResponse);
+  if (!pipeline_rest_.empty()) {
+    parser.feed(pipeline_rest_);
+    pipeline_rest_.clear();
+  }
+  char buf[8192];
+  while (parser.state() == HttpParser::State::kNeedMore) {
+    const long n = socket_.recv_some(buf, sizeof(buf), timeout_ms_);
+    if (n < 0) {
+      socket_.close();
+      throw NdftError("HTTP response timeout after " +
+                      std::to_string(timeout_ms_) + " ms");
+    }
+    if (n == 0) {
+      socket_.close();
+      throw NdftError("connection closed mid-response");
+    }
+    parser.feed(buf, static_cast<std::size_t>(n));
+  }
+  if (parser.state() == HttpParser::State::kError) {
+    socket_.close();
+    throw NdftError("malformed HTTP response: " + parser.error_detail());
+  }
+  HttpResponse response = parser.response();
+  pipeline_rest_ = parser.remainder();
+  // Honor the server's connection decision.
+  std::string connection;
+  for (const auto& [key, value] : response.headers) {
+    if (key == "connection") connection = value;
+  }
+  if (connection == "close") socket_.close();
+  return response;
+}
+
+}  // namespace ndft::net

@@ -1,0 +1,374 @@
+#include "net/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ndft::net {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+bool parse_size(const std::string& text, int base, std::size_t* out) {
+  if (text.empty()) return false;
+  std::size_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (base == 16 && c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (base == 16 && c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    if (value > (static_cast<std::size_t>(-1) - digit) / base) return false;
+    value = value * base + static_cast<std::size_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+std::string find_header(
+    const std::vector<std::pair<std::string, std::string>>& headers,
+    const std::string& name) {
+  for (const auto& [key, value] : headers) {
+    if (key == name) return value;
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string HttpRequest::header(const std::string& name) const {
+  return find_header(headers, name);
+}
+
+std::string HttpRequest::path() const {
+  const std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+std::string HttpRequest::query(const std::string& name) const {
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) return "";
+  std::size_t pos = q + 1;
+  while (pos < target.size()) {
+    std::size_t amp = target.find('&', pos);
+    if (amp == std::string::npos) amp = target.size();
+    const std::string pair = target.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    const std::string key = eq == std::string::npos ? pair : pair.substr(0, eq);
+    if (key == name) {
+      return eq == std::string::npos ? "" : pair.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+bool HttpRequest::keep_alive() const {
+  const std::string connection = lower(header("connection"));
+  if (connection == "close") return false;
+  if (version == "HTTP/1.0") return connection == "keep-alive";
+  return true;
+}
+
+std::string HttpResponse::serialize(bool keep_alive) const {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    status_reason(status) + "\r\n";
+  for (const auto& [key, value] : headers) {
+    out += key + ": " + value + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+const char* status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 401: return "Unauthorized";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+void HttpParser::fail(int status, const std::string& detail) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_detail_ = detail;
+}
+
+bool HttpParser::parse_start_line(const std::string& line) {
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    fail(400, "malformed start line");
+    return false;
+  }
+  if (kind_ == Kind::kRequest) {
+    request_.method = line.substr(0, sp1);
+    request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    request_.version = line.substr(sp2 + 1);
+    if (request_.method.empty() || request_.target.empty() ||
+        request_.target[0] != '/') {
+      fail(400, "malformed request target");
+      return false;
+    }
+    if (request_.version != "HTTP/1.1" && request_.version != "HTTP/1.0") {
+      fail(505, "unsupported HTTP version: " + request_.version);
+      return false;
+    }
+  } else {
+    const std::string version = line.substr(0, sp1);
+    if (version.rfind("HTTP/1.", 0) != 0) {
+      fail(400, "malformed status line");
+      return false;
+    }
+    std::size_t status = 0;
+    if (!parse_size(line.substr(sp1 + 1, sp2 - sp1 - 1), 10, &status) ||
+        status < 100 || status > 599) {
+      fail(400, "malformed status code");
+      return false;
+    }
+    response_.status = static_cast<int>(status);
+  }
+  return true;
+}
+
+bool HttpParser::parse_header_line(const std::string& line) {
+  const std::size_t colon = line.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    fail(400, "malformed header line");
+    return false;
+  }
+  const std::string name = lower(trim(line.substr(0, colon)));
+  const std::string value = trim(line.substr(colon + 1));
+  if (name.find(' ') != std::string::npos ||
+      name.find('\t') != std::string::npos) {
+    fail(400, "whitespace in header name");
+    return false;
+  }
+  auto& headers = kind_ == Kind::kRequest ? request_.headers
+                                          : response_.headers;
+  headers.emplace_back(name, value);
+  return true;
+}
+
+void HttpParser::headers_complete() {
+  const auto& headers =
+      kind_ == Kind::kRequest ? request_.headers : response_.headers;
+  const std::string transfer = lower(find_header(headers, "transfer-encoding"));
+  const std::string length = find_header(headers, "content-length");
+  if (!transfer.empty()) {
+    if (transfer != "chunked") {
+      fail(400, "unsupported transfer-encoding: " + transfer);
+      return;
+    }
+    if (!length.empty()) {
+      // Ambiguous framing is the classic request-smuggling vector: reject.
+      fail(400, "both content-length and transfer-encoding present");
+      return;
+    }
+    chunked_ = true;
+    phase_ = Phase::kChunkSize;
+    return;
+  }
+  if (!length.empty()) {
+    if (!parse_size(length, 10, &body_expected_)) {
+      fail(400, "malformed content-length");
+      return;
+    }
+    if (body_expected_ > limits_.max_body_bytes) {
+      fail(413, "declared body exceeds limit");
+      return;
+    }
+    phase_ = Phase::kBody;
+    if (body_expected_ == 0) finish();
+    return;
+  }
+  // No framing headers: no body (the service never parses responses that
+  // close-delimit their body, and requests must declare one).
+  finish();
+}
+
+void HttpParser::finish() {
+  state_ = State::kDone;
+  remainder_ = buffer_;
+  buffer_.clear();
+}
+
+HttpParser::State HttpParser::feed(const char* data, std::size_t size) {
+  if (state_ != State::kNeedMore) return state_;
+  buffer_.append(data, size);
+  process();
+  return state_;
+}
+
+void HttpParser::process() {
+  while (state_ == State::kNeedMore) {
+    switch (phase_) {
+      case Phase::kStartLine:
+      case Phase::kHeaders: {
+        const std::size_t eol = buffer_.find("\r\n");
+        if (eol == std::string::npos) {
+          const std::size_t limit = phase_ == Phase::kStartLine
+                                        ? limits_.max_start_line
+                                        : limits_.max_header_bytes;
+          if (buffer_.size() > limit + 2) {
+            fail(431, "start line or header too long");
+          }
+          return;  // need more bytes
+        }
+        const std::string line = buffer_.substr(0, eol);
+        buffer_.erase(0, eol + 2);
+        if (phase_ == Phase::kStartLine) {
+          if (line.empty()) continue;  // tolerate leading blank lines
+          if (line.size() > limits_.max_start_line) {
+            fail(431, "start line too long");
+            return;
+          }
+          if (!parse_start_line(line)) return;
+          phase_ = Phase::kHeaders;
+        } else {
+          header_bytes_ += line.size() + 2;
+          if (header_bytes_ > limits_.max_header_bytes) {
+            fail(431, "headers exceed limit");
+            return;
+          }
+          if (line.empty()) {
+            headers_complete();
+            if (state_ != State::kNeedMore || phase_ == Phase::kBody ||
+                chunked_) {
+              continue;
+            }
+            return;
+          }
+          if (!parse_header_line(line)) return;
+        }
+        break;
+      }
+      case Phase::kBody: {
+        auto& body = kind_ == Kind::kRequest ? request_.body : response_.body;
+        const std::size_t want = body_expected_ - body.size();
+        const std::size_t take = std::min(want, buffer_.size());
+        body.append(buffer_, 0, take);
+        buffer_.erase(0, take);
+        if (body.size() == body_expected_) {
+          finish();
+        }
+        return;
+      }
+      case Phase::kChunkSize: {
+        const std::size_t eol = buffer_.find("\r\n");
+        if (eol == std::string::npos) {
+          if (buffer_.size() > 1024) fail(400, "chunk size line too long");
+          return;
+        }
+        std::string line = buffer_.substr(0, eol);
+        buffer_.erase(0, eol + 2);
+        // Ignore chunk extensions (";...").
+        const std::size_t semi = line.find(';');
+        if (semi != std::string::npos) line.erase(semi);
+        std::size_t size = 0;
+        if (!parse_size(trim(line), 16, &size)) {
+          fail(400, "malformed chunk size");
+          return;
+        }
+        auto& body = kind_ == Kind::kRequest ? request_.body : response_.body;
+        if (body.size() + size > limits_.max_body_bytes) {
+          fail(413, "chunked body exceeds limit");
+          return;
+        }
+        chunk_remaining_ = size;
+        phase_ = size == 0 ? Phase::kChunkTrailer : Phase::kChunkData;
+        break;
+      }
+      case Phase::kChunkData: {
+        auto& body = kind_ == Kind::kRequest ? request_.body : response_.body;
+        const std::size_t take = std::min(chunk_remaining_, buffer_.size());
+        body.append(buffer_, 0, take);
+        buffer_.erase(0, take);
+        chunk_remaining_ -= take;
+        if (chunk_remaining_ == 0) {
+          phase_ = Phase::kChunkEnd;
+          break;
+        }
+        return;
+      }
+      case Phase::kChunkEnd: {
+        if (buffer_.size() < 2) return;
+        if (buffer_[0] != '\r' || buffer_[1] != '\n') {
+          fail(400, "missing CRLF after chunk data");
+          return;
+        }
+        buffer_.erase(0, 2);
+        phase_ = Phase::kChunkSize;
+        break;
+      }
+      case Phase::kChunkTrailer: {
+        const std::size_t eol = buffer_.find("\r\n");
+        if (eol == std::string::npos) {
+          if (buffer_.size() > limits_.max_header_bytes) {
+            fail(431, "trailer exceeds limit");
+          }
+          return;
+        }
+        const std::string line = buffer_.substr(0, eol);
+        buffer_.erase(0, eol + 2);
+        if (line.empty()) {
+          finish();
+          return;
+        }
+        // Trailer fields are parsed for framing but discarded.
+        break;
+      }
+    }
+  }
+}
+
+void HttpParser::reset() {
+  state_ = State::kNeedMore;
+  phase_ = Phase::kStartLine;
+  error_status_ = 0;
+  error_detail_.clear();
+  buffer_.clear();
+  header_bytes_ = 0;
+  body_expected_ = 0;
+  chunked_ = false;
+  chunk_remaining_ = 0;
+  request_ = HttpRequest();
+  response_ = HttpResponse();
+  remainder_.clear();
+}
+
+}  // namespace ndft::net

@@ -1,0 +1,118 @@
+#pragma once
+// Minimal HTTP/1.1 message model and incremental parser — just enough
+// protocol for the NDFT service: request/response start lines, headers,
+// content-length and chunked bodies, keep-alive, and pipelining (bytes
+// past one message are kept as remainder() for the next parse).
+//
+// Not implemented on purpose: TLS, compression, trailers, multipart,
+// 100-continue. Violations of the implemented subset park the parser in
+// State::kError with a suggested status code (400/413/431/505) the
+// server echoes back before closing.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ndft::net {
+
+/// Byte ceilings enforced while parsing; crossing one is a parse error
+/// (413 for bodies, 431 for headers), not an exception.
+struct HttpLimits {
+  std::size_t max_start_line = 8 * 1024;
+  std::size_t max_header_bytes = 64 * 1024;
+  std::size_t max_body_bytes = 16 * 1024 * 1024;
+};
+
+/// One parsed request. Header names are lowercased on parse; values keep
+/// their case with surrounding whitespace trimmed.
+struct HttpRequest {
+  std::string method;   // uppercase, e.g. "GET"
+  std::string target;   // raw request target, e.g. "/v1/jobs/3?wait_ms=50"
+  std::string version;  // "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  std::string client;  // peer address, filled in by the server
+
+  /// First value of a header (lowercase name), or "" when absent.
+  std::string header(const std::string& name) const;
+  /// target without the query string.
+  std::string path() const;
+  /// Value of one query parameter ("" when absent). No %-decoding: the
+  /// service only uses numeric parameters.
+  std::string query(const std::string& name) const;
+  /// HTTP/1.1 defaults to keep-alive unless "Connection: close".
+  bool keep_alive() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Serializes status line + headers + body, adding Content-Length and a
+  /// Connection header matching `keep_alive`.
+  std::string serialize(bool keep_alive) const;
+};
+
+/// Canonical reason phrase for the status codes the service emits.
+const char* status_reason(int status);
+
+/// Incremental push parser: feed() bytes as they arrive, check state().
+/// After kDone, take the message, call reset(), and re-feed remainder()
+/// to support pipelined messages on one connection.
+class HttpParser {
+ public:
+  enum class Kind { kRequest, kResponse };
+  enum class State { kNeedMore, kDone, kError };
+
+  explicit HttpParser(Kind kind, HttpLimits limits = HttpLimits())
+      : kind_(kind), limits_(limits) {}
+
+  /// Consumes bytes; cheap to call with partial data. Returns state().
+  State feed(const char* data, std::size_t size);
+  State feed(const std::string& data) { return feed(data.data(), data.size()); }
+
+  State state() const noexcept { return state_; }
+  /// On kError: the HTTP status the peer should see (400/413/431/505).
+  int error_status() const noexcept { return error_status_; }
+  const std::string& error_detail() const noexcept { return error_detail_; }
+
+  /// Valid once state() == kDone.
+  const HttpRequest& request() const { return request_; }
+  /// Response status/headers/body for Kind::kResponse parsing.
+  const HttpResponse& response() const { return response_; }
+  /// Bytes received past the end of the completed message.
+  const std::string& remainder() const noexcept { return remainder_; }
+
+  /// Clears everything (including remainder) for the next message.
+  void reset();
+
+ private:
+  enum class Phase { kStartLine, kHeaders, kBody, kChunkSize, kChunkData,
+                     kChunkEnd, kChunkTrailer };
+
+  void fail(int status, const std::string& detail);
+  bool parse_start_line(const std::string& line);
+  bool parse_header_line(const std::string& line);
+  void headers_complete();
+  void finish();
+  void process();
+
+  Kind kind_;
+  HttpLimits limits_;
+  State state_ = State::kNeedMore;
+  Phase phase_ = Phase::kStartLine;
+  int error_status_ = 0;
+  std::string error_detail_;
+  std::string buffer_;        // unconsumed input
+  std::size_t header_bytes_ = 0;
+  std::size_t body_expected_ = 0;  // content-length mode
+  bool chunked_ = false;
+  std::size_t chunk_remaining_ = 0;
+  HttpRequest request_;
+  HttpResponse response_;
+  std::string remainder_;
+};
+
+}  // namespace ndft::net

@@ -1,0 +1,88 @@
+#pragma once
+// Thin RAII layer over POSIX stream sockets: everything src/net needs
+// (bind/listen/accept, connect, timed reads, full writes) with no
+// dependencies beyond the C library. IPv4 only — the service fronts a
+// loopback or LAN port, not the open internet.
+//
+// Timeouts are poll()-based and sliced (see recv_some), so callers that
+// hold a long idle timeout can still observe a shutdown flag promptly.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ndft::net {
+
+/// Move-only owner of one connected stream socket.
+class Socket {
+ public:
+  Socket() = default;
+  /// Takes ownership of an already-open descriptor.
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Connects to an IPv4 address ("127.0.0.1") and port; throws NdftError
+  /// when the address is malformed or the connection is refused.
+  static Socket connect(const std::string& address, std::uint16_t port);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  /// Writes the whole buffer (looping over partial writes); throws
+  /// NdftError when the peer closed or the socket errored.
+  void send_all(const char* data, std::size_t size);
+  void send_all(const std::string& data) {
+    send_all(data.data(), data.size());
+  }
+
+  /// Reads up to `size` bytes, waiting at most `timeout_ms` (0 = forever)
+  /// for the first byte. Returns the byte count, 0 on orderly peer close,
+  /// or -1 on timeout; throws NdftError on socket errors.
+  long recv_some(char* data, std::size_t size, double timeout_ms);
+
+  /// The peer's IPv4 address ("a.b.c.d", no port — reconnecting clients
+  /// keep one rate-limit identity), or "?" when unavailable.
+  std::string peer_address() const;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening IPv4 socket with a poll-based accept.
+class Listener {
+ public:
+  Listener() = default;
+  /// Binds `address`:`port` (port 0 = kernel-assigned ephemeral port,
+  /// readable from port()) and listens. Throws NdftError on failure.
+  Listener(const std::string& address, std::uint16_t port,
+           int backlog = 128);
+  ~Listener() { close(); }
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  /// The port actually bound (resolves port 0 requests).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Waits up to `timeout_ms` for a connection. Returns an invalid Socket
+  /// on timeout or when the listener was closed concurrently; throws
+  /// NdftError on unexpected errors.
+  Socket accept(double timeout_ms);
+
+  void close() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace ndft::net
