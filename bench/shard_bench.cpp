@@ -1,0 +1,226 @@
+// bench_shard_bench: scatter/gather scaling of the ShardedEngine. One
+// Monkhorst-Pack band-structure job is run on a plain Engine (the
+// reference), then sharded across 1, 2 and 4 in-process LocalBackend
+// engines. The process-wide ThreadPool is pinned to one thread for the
+// timed region so parallelism comes from the sharder's per-backend
+// workers alone — otherwise each backend's eigensolves would already
+// fan out across every core and the backend count would measure nothing.
+//
+// Results go to BENCH_shard.json for cross-commit tracking. The payload
+// of every sharded run is compared bitwise against the reference — the
+// determinism contract of docs/SHARDING.md — and the 4-backend tier is
+// expected to reach a 1.7x speedup over the 1-backend tier.
+//
+// Modes:
+//   bench_shard_bench           8x8x8 grid (256 folded k-points), best of 3
+//   bench_shard_bench --smoke   6x6x6 grid (108 folded k-points), single
+//                               run; exits nonzero on a bitwise mismatch
+//                               or a 4-backend speedup below 1.7x (the
+//                               verify.sh --bench-smoke gate)
+//
+// The speedup gate only applies where it is physically meaningful: on a
+// machine with fewer than 4 hardware threads the shard workers time-slice
+// one core and wall-clock speedup cannot exist, so the gate is skipped
+// (reported in the JSON as speedup_gated=false). The bitwise gate always
+// applies — determinism does not depend on the core count.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.hpp"
+#include "api/shard.hpp"
+#include "common/run_metadata.hpp"
+#include "common/str_util.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+using namespace ndft;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TierResult {
+  std::size_t backends = 0;
+  std::size_t shards = 0;
+  double wall_s = 0.0;
+  double speedup = 0.0;  // vs the 1-backend tier
+  bool bitwise_equal = false;
+};
+
+api::EngineConfig engine_config() {
+  api::EngineConfig config;
+  config.dispatch_threads = 0;  // run() is synchronous on the caller
+  config.system.sampled_ops_per_kernel = 20000;
+  config.system.min_ops_per_core = 200;
+  return config;
+}
+
+api::JobRequest bench_job(unsigned grid) {
+  api::BandStructureJob job;
+  job.sampling = api::BandStructureJob::Sampling::kMonkhorstPack;
+  job.mp_grid[0] = job.mp_grid[1] = job.mp_grid[2] = grid;
+  job.ecut_ry = 12.0;  // a denser basis so eigensolves dominate scatter
+  job.bands = 8;
+  job.valence_bands = 4;
+  return job;
+}
+
+double time_run(const std::function<api::JobResult()>& run,
+                std::size_t repeats, std::string* payload,
+                std::size_t* shards = nullptr) {
+  double best_s = 0.0;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    const Clock::time_point t0 = Clock::now();
+    const api::JobResult result = run();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (!result.ok()) {
+      throw NdftError("bench job failed: " + result.error_message);
+    }
+    *payload = result.to_json().at("payload").dump();
+    if (shards != nullptr && result.shard.has_value()) {
+      *shards = result.shard->shards;
+    }
+    if (i == 0 || wall_s < best_s) best_s = wall_s;
+  }
+  return best_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const unsigned grid = smoke ? 6 : 8;
+  const std::size_t repeats = smoke ? 1 : 3;
+  const api::JobRequest request = bench_job(grid);
+
+  // Pin the kernel pool to one thread: parallel_for then runs inline on
+  // whichever sharder worker calls it, so N backends = N truly parallel
+  // eigensolve streams. Restored before the process exits.
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t pool_threads = pool.threads();
+  pool.resize(1);
+
+  std::printf("scatter/gather scaling, %ux%ux%u MP band job%s\n\n", grid,
+              grid, grid, smoke ? " (smoke)" : "");
+
+  // The reference: one plain Engine, same single-threaded kernels.
+  api::Engine reference_engine(engine_config());
+  std::string reference_payload;
+  (void)reference_engine.run(request);  // warm plan caches untimed
+  const double reference_s = time_run(
+      [&] { return reference_engine.run(request); }, repeats,
+      &reference_payload);
+
+  std::vector<TierResult> tiers;
+  for (const std::size_t backends : {1u, 2u, 4u}) {
+    std::vector<std::unique_ptr<api::Engine>> engines;
+    std::vector<std::shared_ptr<api::Backend>> cluster;
+    for (std::size_t i = 0; i < backends; ++i) {
+      engines.push_back(std::make_unique<api::Engine>(engine_config()));
+      cluster.push_back(std::make_shared<api::LocalBackend>(
+          *engines.back(), "local-" + std::to_string(i)));
+    }
+    api::ShardedEngineConfig config;
+    config.local = engine_config();
+    api::ShardedEngine sharded(std::move(cluster), config);
+
+    TierResult tier;
+    tier.backends = backends;
+    std::string payload;
+    (void)sharded.run(request);  // warm every backend's plan caches
+    tier.wall_s = time_run([&] { return sharded.run(request); }, repeats,
+                           &payload, &tier.shards);
+    tier.bitwise_equal = payload == reference_payload;
+    tiers.push_back(tier);
+  }
+  for (TierResult& tier : tiers) {
+    tier.speedup = tier.wall_s > 0.0 ? tiers.front().wall_s / tier.wall_s
+                                     : 0.0;
+  }
+  pool.resize(pool_threads);
+
+  TextTable table({"backends", "shards", "wall", "speedup", "bitwise"});
+  table.add_row({"engine", "-", strformat("%.3f s", reference_s), "-", "-"});
+  for (const TierResult& tier : tiers) {
+    table.add_row({strformat("%zu", tier.backends),
+                   strformat("%zu", tier.shards),
+                   strformat("%.3f s", tier.wall_s),
+                   strformat("%.2fx", tier.speedup),
+                   tier.bitwise_equal ? "ok" : "MISMATCH"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Wall-clock speedup needs real cores under the shard workers; with
+  // fewer than 4 hardware threads the 4-backend tier time-slices and the
+  // gate would fail on machine shape, not on a sharding regression.
+  const std::size_t hardware = std::thread::hardware_concurrency();
+  const bool speedup_gated = hardware >= 4;
+
+  Json bench = Json::object();
+  bench.set("bench", "shard");
+  bench.set("meta", run_metadata_json());
+  bench.set("mp_grid", grid);
+  bench.set("repeats", repeats);
+  bench.set("reference_wall_s", reference_s);
+  bench.set("hardware_concurrency", hardware);
+  bench.set("speedup_gated", speedup_gated);
+  Json tier_list = Json::array();
+  for (const TierResult& tier : tiers) {
+    Json entry = Json::object();
+    entry.set("backends", tier.backends);
+    entry.set("shards", tier.shards);
+    entry.set("wall_s", tier.wall_s);
+    entry.set("speedup", tier.speedup);
+    entry.set("bitwise_equal", tier.bitwise_equal);
+    tier_list.push_back(std::move(entry));
+  }
+  bench.set("tiers", std::move(tier_list));
+  const char* path = "BENCH_shard.json";
+  if (std::FILE* file = std::fopen(path, "w")) {
+    const std::string text = bench.dump(2);
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", path);
+    return 1;
+  }
+
+  bool failed = false;
+  for (const TierResult& tier : tiers) {
+    if (!tier.bitwise_equal) {
+      std::fprintf(stderr,
+                   "FAIL: %zu-backend payload differs from the reference\n",
+                   tier.backends);
+      failed = true;
+    }
+  }
+  if (smoke && tiers.back().speedup < 1.7) {
+    if (speedup_gated) {
+      std::fprintf(stderr, "FAIL: %zu-backend speedup %.2fx < 1.7x\n",
+                   tiers.back().backends, tiers.back().speedup);
+      failed = true;
+    } else {
+      std::printf(
+          "note: %zu hardware thread(s) — speedup gate skipped "
+          "(shard workers time-slice one core)\n",
+          hardware);
+    }
+  }
+  return failed ? 1 : 0;
+} catch (const std::exception& error) {
+  std::fprintf(stderr, "shard_bench: %s\n", error.what());
+  return 1;
+}

@@ -8,8 +8,9 @@
 #                          [build-dir]
 #   (default build-dir: build)
 #   --tier LABEL   build, then run only the ctest tier LABEL (kernel,
-#                  physics, api, robust, trace, net or sim) and stop —
-#                  e.g. `--tier sim` while iterating on the simulator.
+#                  physics, api, robust, trace, net, shard or sim) and
+#                  stop — e.g. `--tier sim` while iterating on the
+#                  simulator.
 #   --bench-smoke  additionally run the SYEVD microbenchmark at n=128
 #                  (fail if the blocked solver is slower than the serial
 #                  reference, or the partial-spectrum solver slower than
@@ -19,7 +20,11 @@
 #                  registered site, the engine-overhead guard (the
 #                  disabled-faults path must stay within noise), and the
 #                  HTTP service throughput smoke (every request through
-#                  the loopback storm must succeed).
+#                  the loopback storm must succeed), and the
+#                  scatter/gather smoke (sharded payloads must stay
+#                  bitwise identical to a single engine; on >= 4
+#                  hardware threads the 4-backend tier must also reach
+#                  a 1.7x speedup).
 #   --sanitize     additionally build an ASan+UBSan tree (build-asan,
 #                  -DNDFT_SANITIZE=ON) and run the api and robust tiers
 #                  under it; any sanitizer report fails the gate.
@@ -95,6 +100,10 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
   # request fails the gate.
   (cd "$BUILD_DIR" && ./bench_service_bench --smoke)
   echo "service smoke: OK ($BUILD_DIR/BENCH_service.json)"
+  # Scatter/gather: sharded band-job payloads must match a single engine
+  # bitwise at 1/2/4 backends; the speedup gate applies on real cores.
+  (cd "$BUILD_DIR" && ./bench_shard_bench --smoke)
+  echo "shard smoke: OK ($BUILD_DIR/BENCH_shard.json)"
 fi
 
 if [ "$SANITIZE" -eq 1 ]; then

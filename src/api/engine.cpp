@@ -62,31 +62,37 @@ ScfPayload execute_scf(const ScfJob& job) {
   return payload;
 }
 
+const char* sampling_payload_name(BandStructureJob::Sampling sampling) {
+  switch (sampling) {
+    case BandStructureJob::Sampling::kPath: return "path";
+    case BandStructureJob::Sampling::kMonkhorstPack: return "monkhorst_pack";
+    case BandStructureJob::Sampling::kExplicit: return "explicit";
+  }
+  return "?";
+}
+
 BandStructurePayload execute_band_structure(const BandStructureJob& job) {
   const dft::Crystal crystal =
       job.atoms == 0 ? dft::silicon_primitive()
                      : dft::Crystal::silicon_supercell(job.atoms);
   const dft::PlaneWaveBasis basis(crystal, job.ecut_ry * kHaPerRy);
-  const std::vector<dft::KPoint> path =
-      job.sampling == BandStructureJob::Sampling::kPath
-          ? dft::fcc_kpath(dft::kSiliconLatticeBohr, job.segments)
-          : dft::monkhorst_pack(crystal, job.mp_grid[0], job.mp_grid[1],
-                                job.mp_grid[2]);
+  const std::vector<dft::KPoint> path = band_job_kpoints(job, crystal);
   const std::vector<dft::BandsAtK> structure =
       dft::band_structure(basis, path, job.bands);
   const dft::GapSummary gap = dft::find_gap(structure, job.valence_bands);
 
   BandStructurePayload payload;
   payload.atoms = crystal.atom_count();
-  payload.sampling = job.sampling == BandStructureJob::Sampling::kPath
-                         ? "path"
-                         : "monkhorst_pack";
+  payload.sampling = sampling_payload_name(job.sampling);
   payload.basis_size = basis.size();
   payload.path.reserve(structure.size());
   for (const dft::BandsAtK& at_k : structure) {
     BandsAtKPayload point;
     point.label = at_k.kpoint.label;
     point.weight = at_k.kpoint.weight;
+    point.k[0] = at_k.kpoint.k.x;
+    point.k[1] = at_k.kpoint.k.y;
+    point.k[2] = at_k.kpoint.k.z;
     point.energies_ha = at_k.energies_ha;
     payload.path.push_back(std::move(point));
   }
@@ -417,14 +423,18 @@ TimePs estimate_cost_ps(const JobRequest& request,
           volume * kmax * kmax * kmax /
           (6.0 * std::numbers::pi * std::numbers::pi));
       std::uint64_t kpoints = 4ull * job->segments + 1;
-      if (job->sampling == BandStructureJob::Sampling::kMonkhorstPack) {
+      if (job->sampling == BandStructureJob::Sampling::kExplicit) {
+        kpoints = std::min<std::uint64_t>(job->kpoints.size(), 1u << 20);
+      } else if (job->sampling ==
+                 BandStructureJob::Sampling::kMonkhorstPack) {
         kpoints = 1;
         for (const unsigned n : job->mp_grid) {
           // Bound each factor: the estimator runs before validation, and
           // a garbage grid must not overflow the product.
           kpoints *= std::min<std::uint64_t>(n, 1u << 20);
         }
-        kpoints = std::min<std::uint64_t>(kpoints, 1u << 20);
+        // Time-reversal folding halves the points actually solved.
+        kpoints = std::min<std::uint64_t>((kpoints + 1) / 2, 1u << 20);
       }
       return kpoints * price_syevd_partial(sca, ng, job->bands);
     }

@@ -93,6 +93,33 @@ struct Validator {
         }
         break;
       }
+      case BandStructureJob::Sampling::kExplicit: {
+        if (job.kpoints.empty()) {
+          errors.push_back(
+              "explicit sampling needs at least one entry in kpoints");
+        }
+        if (job.kpoints.size() > kMaxMpPoints) {
+          errors.push_back(strformat(
+              "kpoints requests more than the %zu k-point limit",
+              kMaxMpPoints));
+        }
+        for (const BandStructureJob::KPointSpec& kp : job.kpoints) {
+          // One finding is enough: shard sub-jobs carry thousands of
+          // points and a flood of identical errors helps nobody.
+          if (!(kp.weight > 0.0) || !std::isfinite(kp.weight)) {
+            errors.push_back(strformat(
+                "kpoints weights must be positive and finite (got %g)",
+                kp.weight));
+            break;
+          }
+          if (!std::isfinite(kp.k[0]) || !std::isfinite(kp.k[1]) ||
+              !std::isfinite(kp.k[2])) {
+            errors.push_back("kpoints coordinates must be finite");
+            break;
+          }
+        }
+        break;
+      }
       default:
         errors.push_back("unknown sampling");
     }
@@ -196,6 +223,33 @@ const char* job_kind(const JobRequest& request) noexcept {
     const char* operator()(const CoDesignJob&) const { return "codesign"; }
   };
   return std::visit(Namer{}, request);
+}
+
+std::vector<dft::KPoint> band_job_kpoints(const BandStructureJob& job,
+                                          const dft::Crystal& crystal) {
+  switch (job.sampling) {
+    case BandStructureJob::Sampling::kPath:
+      return dft::fcc_kpath(dft::kSiliconLatticeBohr, job.segments);
+    case BandStructureJob::Sampling::kMonkhorstPack:
+      // H(k) and H(-k) share a spectrum for the real EPM potential, so
+      // the folded half-grid (partner weights doubled) yields the same
+      // summary with half the eigensolves.
+      return dft::fold_time_reversal(dft::monkhorst_pack(
+          crystal, job.mp_grid[0], job.mp_grid[1], job.mp_grid[2]));
+    case BandStructureJob::Sampling::kExplicit: {
+      std::vector<dft::KPoint> path;
+      path.reserve(job.kpoints.size());
+      for (const BandStructureJob::KPointSpec& spec : job.kpoints) {
+        dft::KPoint kp;
+        kp.k = {spec.k[0], spec.k[1], spec.k[2]};
+        kp.weight = spec.weight;
+        kp.label = spec.label;
+        path.push_back(std::move(kp));
+      }
+      return path;
+    }
+  }
+  throw NdftError("unknown sampling");
 }
 
 double job_deadline_ms(const JobRequest& request) noexcept {

@@ -16,6 +16,7 @@
 
 #include "common/kernel_trace.hpp"
 #include "core/report.hpp"
+#include "dft/kpoints.hpp"
 #include "dft/lrtddft.hpp"
 #include "dft/scf.hpp"
 #include "runtime/device_profile.hpp"
@@ -48,6 +49,18 @@ struct BandStructureJob {
   enum class Sampling {
     kPath,           ///< FCC path L -> Gamma -> X -> K -> Gamma
     kMonkhorstPack,  ///< mp_grid[0] x mp_grid[1] x mp_grid[2] grid
+    kExplicit,       ///< the `kpoints` list verbatim (shard sub-jobs)
+  };
+
+  /// One explicitly requested k-point (Sampling::kExplicit): Cartesian
+  /// reciprocal coordinates in Bohr^-1, an integration weight flowing
+  /// into the gap summary, and an optional high-symmetry label. This is
+  /// how a scatter/gather front end (api/shard) expresses per-shard
+  /// subsets of a folded grid over the wire.
+  struct KPointSpec {
+    double k[3] = {0.0, 0.0, 0.0};
+    double weight = 1.0;
+    std::string label;
   };
 
   /// Crystal spec: 0 selects the 2-atom primitive FCC cell; a positive
@@ -58,6 +71,8 @@ struct BandStructureJob {
   unsigned segments = 10;       ///< k-points per path leg (kPath)
   /// Monkhorst-Pack divisions per reciprocal axis (kMonkhorstPack).
   unsigned mp_grid[3] = {4, 4, 4};
+  /// Explicit k-point list (kExplicit); solved verbatim, no folding.
+  std::vector<KPointSpec> kpoints;
   std::size_t bands = 8;        ///< bands kept per k-point
   std::size_t valence_bands = 4;  ///< filled bands for the gap summary
   /// Record the run's kernel trace into JobResult::trace.
@@ -144,6 +159,14 @@ const char* job_kind(const JobRequest& request) noexcept;
 
 /// The request's deadline_ms (every job kind carries one; 0 = unlimited).
 double job_deadline_ms(const JobRequest& request) noexcept;
+
+/// The k-set a BandStructureJob solves against `crystal`: the
+/// high-symmetry path verbatim, the Monkhorst-Pack grid folded to its
+/// time-reversal half (dft::fold_time_reversal), or the explicit list
+/// verbatim. Shared by the Engine executor and the scatter/gather layer
+/// (api/shard) so both sides carve bitwise-identical k-sets.
+std::vector<dft::KPoint> band_job_kpoints(const BandStructureJob& job,
+                                          const dft::Crystal& crystal);
 
 /// Validates a request against the physics/simulation preconditions.
 /// Returns every violation found (empty = the request is runnable).

@@ -9,8 +9,12 @@ namespace {
 // (api/result.cpp) so requests and results speak one vocabulary.
 
 const char* sampling_name(BandStructureJob::Sampling sampling) {
-  return sampling == BandStructureJob::Sampling::kPath ? "path"
-                                                       : "monkhorst_pack";
+  switch (sampling) {
+    case BandStructureJob::Sampling::kPath: return "path";
+    case BandStructureJob::Sampling::kMonkhorstPack: return "monkhorst_pack";
+    case BandStructureJob::Sampling::kExplicit: return "explicit";
+  }
+  return "?";
 }
 
 BandStructureJob::Sampling sampling_from(const std::string& name) {
@@ -18,6 +22,7 @@ BandStructureJob::Sampling sampling_from(const std::string& name) {
   if (name == "monkhorst_pack") {
     return BandStructureJob::Sampling::kMonkhorstPack;
   }
+  if (name == "explicit") return BandStructureJob::Sampling::kExplicit;
   throw NdftError("unknown sampling: " + name);
 }
 
@@ -136,6 +141,21 @@ Json to_json(const BandStructureJob& job) {
   Json grid = Json::array();
   for (const unsigned n : job.mp_grid) grid.push_back(n);
   j.set("mp_grid", std::move(grid));
+  // Additive since the scatter/gather layer: the explicit list is only
+  // emitted when present, so pre-sharding documents dump unchanged.
+  if (!job.kpoints.empty()) {
+    Json list = Json::array();
+    for (const BandStructureJob::KPointSpec& kp : job.kpoints) {
+      Json point = Json::object();
+      Json coords = Json::array();
+      for (const double c : kp.k) coords.push_back(c);
+      point.set("k", std::move(coords));
+      point.set("weight", kp.weight);
+      point.set("label", kp.label);
+      list.push_back(std::move(point));
+    }
+    j.set("kpoints", std::move(list));
+  }
   j.set("bands", job.bands);
   j.set("valence_bands", job.valence_bands);
   j.set("record_trace", job.record_trace);
@@ -155,6 +175,21 @@ BandStructureJob bands_from_json(const Json& j) {
     NDFT_REQUIRE(grid->size() == 3, "mp_grid must have 3 entries");
     for (std::size_t i = 0; i < 3; ++i) {
       job.mp_grid[i] = static_cast<unsigned>((*grid)[i].as_uint());
+    }
+  }
+  if (const Json* list = j.find("kpoints")) {
+    for (const Json& point : list->items()) {
+      BandStructureJob::KPointSpec kp;
+      const Json& coords = point.at("k");
+      NDFT_REQUIRE(coords.size() == 3, "kpoints entries need 3 coordinates");
+      for (std::size_t i = 0; i < 3; ++i) {
+        kp.k[i] = coords[i].as_double();
+      }
+      read(point, "weight", kp.weight);
+      if (const Json* label = point.find("label")) {
+        kp.label = label->as_string();
+      }
+      job.kpoints.push_back(std::move(kp));
     }
   }
   read(j, "bands", job.bands);

@@ -138,6 +138,11 @@ Json to_json(const BandStructurePayload& p) {
     point.set("label", at_k.label);
     point.set("energies_ha", doubles_to_json(at_k.energies_ha));
     point.set("weight", at_k.weight);
+    // Additive since the scatter/gather layer (%.17g coordinates
+    // round-trip bitwise, so merged and direct payloads stay comparable).
+    Json coords = Json::array();
+    for (const double c : at_k.k) coords.push_back(c);
+    point.set("k", std::move(coords));
     path.push_back(std::move(point));
   }
   j.set("path", std::move(path));
@@ -166,6 +171,13 @@ BandStructurePayload bands_from_json(const Json& j) {
     // Additive: unit weight in pre-grid documents.
     if (const Json* weight = point.find("weight")) {
       at_k.weight = weight->as_double();
+    }
+    // Additive: zero coordinates in pre-sharding documents.
+    if (const Json* coords = point.find("k")) {
+      NDFT_REQUIRE(coords->size() == 3, "point 'k' needs 3 coordinates");
+      for (std::size_t i = 0; i < 3; ++i) {
+        at_k.k[i] = (*coords)[i].as_double();
+      }
     }
     p.path.push_back(std::move(at_k));
   }
@@ -497,6 +509,18 @@ Json JobResult::to_json() const {
   // Additive since the schema's first emission: the recorded kernel
   // trace rides along when the request asked for one.
   j.set("trace", trace ? trace->to_json() : Json());
+  // Additive since the scatter/gather layer: fan-out accounting when a
+  // ShardedEngine executed the job (null for plain Engine results).
+  if (shard) {
+    Json shard_json = Json::object();
+    shard_json.set("backends", shard->backends);
+    shard_json.set("shards", shard->shards);
+    shard_json.set("rerouted", shard->rerouted);
+    shard_json.set("failed_backends", shard->failed_backends);
+    j.set("shard", std::move(shard_json));
+  } else {
+    j.set("shard", Json());
+  }
   return j;
 }
 
@@ -569,6 +593,17 @@ JobResult JobResult::from_json(const Json& json) {
   if (const Json* trace_json = json.find("trace")) {
     if (!trace_json->is_null()) {
       result.trace = KernelTrace::from_json(*trace_json);
+    }
+  }
+  // Absent in pre-sharding documents; null for plain Engine results.
+  if (const Json* shard_json = json.find("shard")) {
+    if (!shard_json->is_null()) {
+      ShardInfo info;
+      info.backends = shard_json->at("backends").as_uint();
+      info.shards = shard_json->at("shards").as_uint();
+      info.rerouted = shard_json->at("rerouted").as_uint();
+      info.failed_backends = shard_json->at("failed_backends").as_uint();
+      result.shard = info;
     }
   }
   return result;

@@ -103,6 +103,10 @@ struct ScfPayload {
 struct BandsAtKPayload {
   std::string label;            ///< nonempty at high-symmetry points
   double weight = 1.0;          ///< integration weight (additive in v1)
+  /// Cartesian reciprocal coordinates in Bohr^-1 (additive in v1; zero
+  /// in pre-sharding documents). Lets a gather stage find the zone
+  /// centre in merged partial payloads without re-deriving the grid.
+  double k[3] = {0.0, 0.0, 0.0};
   std::vector<double> energies_ha;
 };
 
@@ -237,6 +241,16 @@ struct CoDesignPayload {
   std::optional<SimulatePayload> simulate;  ///< engaged when requested
 };
 
+/// Scatter/gather accounting stamped by a ShardedEngine run (api/shard):
+/// how the job was split and what the fan-out survived. Additive in
+/// ndft.job_result.v1 — absent for plain Engine results.
+struct ShardInfo {
+  std::size_t backends = 0;        ///< backends the job was scattered over
+  std::size_t shards = 0;          ///< sub-jobs created for this job
+  std::size_t rerouted = 0;        ///< shard executions retried elsewhere
+  std::size_t failed_backends = 0; ///< backends lost during the run
+};
+
 // ----------------------------------------------------------------- result
 
 /// The structured result of one job. Exactly one payload member is
@@ -264,6 +278,11 @@ struct JobResult {
   /// "syevd_partial:full_fallback" or "trace:recorder_failed", in program
   /// order (serialized additively under "degraded").
   std::vector<std::string> degraded;
+
+  /// Scatter/gather counters, engaged when a ShardedEngine executed the
+  /// job (serialized additively under "shard"; plain Engine results and
+  /// older documents omit it).
+  std::optional<ShardInfo> shard;
 
   bool ok() const noexcept { return status == JobStatus::kOk; }
 

@@ -1,0 +1,639 @@
+#include "api/shard.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "api/request_json.hpp"
+#include "common/error.hpp"
+#include "common/str_util.hpp"
+#include "common/thread_pool.hpp"
+#include "dft/lattice.hpp"
+#include "net/client.hpp"
+
+namespace ndft::api {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+// Same conversion constant the Engine's band executor uses; the merged
+// summary must replay its arithmetic digit for digit.
+constexpr double kEvPerHa = 27.211386;
+
+const char* sampling_payload_name(BandStructureJob::Sampling sampling) {
+  switch (sampling) {
+    case BandStructureJob::Sampling::kPath: return "path";
+    case BandStructureJob::Sampling::kMonkhorstPack: return "monkhorst_pack";
+    case BandStructureJob::Sampling::kExplicit: return "explicit";
+  }
+  return "?";
+}
+
+/// Recomputes the gap summary over the gathered k-points exactly as
+/// dft::find_gap does over a single solve: weighted band-energy terms
+/// accumulate in canonical k-order and the total normalizes ONCE by the
+/// full weight_sum. Merging per-shard summaries instead would divide each
+/// partial sum by its shard's weight before re-averaging — a different
+/// (and double-normalized) float sequence that breaks bitwise equality
+/// with the unsharded run.
+void merge_gap_summary(const BandStructureJob& job,
+                       BandStructurePayload& merged) {
+  const std::size_t valence = job.valence_bands;
+  merged.vbm_ha = -1e18;
+  merged.cbm_ha = 1e18;
+  merged.vbm_label.clear();
+  merged.cbm_label.clear();
+  merged.weight_sum = 0.0;
+  double weighted_band_energy = 0.0;
+  for (const BandsAtKPayload& at_k : merged.path) {
+    const double vbm = at_k.energies_ha[valence - 1];
+    const double cbm = at_k.energies_ha[valence];
+    if (vbm > merged.vbm_ha) {
+      merged.vbm_ha = vbm;
+      merged.vbm_label = at_k.label;
+    }
+    if (cbm < merged.cbm_ha) {
+      merged.cbm_ha = cbm;
+      merged.cbm_label = at_k.label;
+    }
+    double occupied = 0.0;
+    for (std::size_t v = 0; v < valence; ++v) {
+      occupied += at_k.energies_ha[v];
+    }
+    weighted_band_energy += at_k.weight * 2.0 * occupied;
+    merged.weight_sum += at_k.weight;
+  }
+  merged.band_energy_ha = merged.weight_sum > 0.0
+                              ? weighted_band_energy / merged.weight_sum
+                              : 0.0;
+  merged.indirect_gap_ev = (merged.cbm_ha - merged.vbm_ha) * kEvPerHa;
+  // Direct gap at the zone centre, scanning the gathered points in the
+  // same canonical order the Engine scans its solved structure.
+  merged.direct_gap_gamma_ev = 0.0;
+  for (const BandsAtKPayload& at_k : merged.path) {
+    const double norm2 = at_k.k[0] * at_k.k[0] + at_k.k[1] * at_k.k[1] +
+                         at_k.k[2] * at_k.k[2];
+    const bool is_gamma = at_k.label == "Gamma" || norm2 < 1e-20;
+    if (is_gamma && at_k.energies_ha.size() > valence) {
+      merged.direct_gap_gamma_ev =
+          (at_k.energies_ha[valence] - at_k.energies_ha[valence - 1]) *
+          kEvPerHa;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ LocalBackend
+
+LocalBackend::LocalBackend(Engine& engine, std::string name)
+    : engine_(engine), name_(std::move(name)) {}
+
+JobResult LocalBackend::execute(const JobRequest& request) {
+  return engine_.run(request);
+}
+
+// ------------------------------------------------------------- HttpBackend
+
+HttpBackend::HttpBackend(Config config) : config_(std::move(config)) {
+  name_ = strformat("http://%s:%u", config_.host.c_str(),
+                    static_cast<unsigned>(config_.port));
+  client_ = std::make_unique<net::HttpClient>(config_.host, config_.port,
+                                              config_.timeout_ms);
+  if (!config_.bearer.empty()) client_->set_bearer(config_.bearer);
+}
+
+HttpBackend::~HttpBackend() = default;
+
+JobResult HttpBackend::execute(const JobRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::string body = job_request_to_json(request).dump();
+  const std::string wait = strformat("%g", config_.poll_wait_ms);
+  const net::HttpResponse posted =
+      client_->post("/v1/jobs?wait_ms=" + wait, body);
+  if (posted.status == 400) {
+    // The request itself is at fault: rerouting it to another backend
+    // would only reproduce the rejection, so surface it as a structured
+    // invalid result instead of throwing.
+    JobResult result;
+    result.status = JobStatus::kInvalid;
+    result.error = ErrorKind::kInvalidRequest;
+    result.engine.kind = job_kind(request);
+    result.error_message = "request rejected by backend";
+    try {
+      const Json parsed = Json::parse(posted.body);
+      if (parsed.has("error")) {
+        const Json& error = parsed.at("error");
+        if (error.has("message")) {
+          result.error_message = error.at("message").as_string();
+        }
+        if (error.has("details")) {
+          const Json& details = error.at("details");
+          for (std::size_t i = 0; i < details.size(); ++i) {
+            result.error_details.push_back(details[i].as_string());
+          }
+        }
+      }
+    } catch (const NdftError&) {
+      // Keep the generic message; the 400 itself is the signal.
+    }
+    return result;
+  }
+  if (posted.status == 200) {
+    // The long poll covered the whole run.
+    return JobResult::from_json(Json::parse(posted.body));
+  }
+  if (posted.status != 202) {
+    // 401/429/503/...: the backend (or our standing with it) is the
+    // problem — throw so the sharder retries or reroutes.
+    throw NdftError(strformat("backend %s refused job: HTTP %d",
+                              name_.c_str(), posted.status));
+  }
+  const std::uint64_t id = Json::parse(posted.body).at("id").as_uint();
+  // Poll to the terminal result. GET /v1/jobs/{id} answers 200 for BOTH
+  // the {"id","status"} progress stub and the finished document — the
+  // status code cannot distinguish them (mistaking the stub for a result
+  // was exactly the long-poll bug this layer's tests pin down). The full
+  // result alone carries the "schema" member, so gate on that.
+  const bool bounded = config_.result_deadline_ms > 0.0;
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             bounded ? config_.result_deadline_ms : 0.0));
+  const std::string target =
+      "/v1/jobs/" + std::to_string(id) + "?wait_ms=" + wait;
+  for (;;) {
+    const net::HttpResponse polled = client_->get(target);
+    if (polled.status != 200) {
+      throw NdftError(strformat("backend %s lost job %llu: HTTP %d",
+                                name_.c_str(),
+                                static_cast<unsigned long long>(id),
+                                polled.status));
+    }
+    const Json parsed = Json::parse(polled.body);
+    if (parsed.has("schema")) return JobResult::from_json(parsed);
+    if (bounded && Clock::now() >= give_up) {
+      throw NdftError(strformat(
+          "backend %s: job %llu still pending after %g ms", name_.c_str(),
+          static_cast<unsigned long long>(id), config_.result_deadline_ms));
+    }
+  }
+}
+
+// ----------------------------------------------------------- ShardedEngine
+
+/// Cancellation/deadline view of one top-level run: an optional external
+/// token (cancel + its own deadline) combined with the request's
+/// deadline_ms measured from execution start. Checked between shard
+/// dispatches — a sub-job already running on a backend finishes on its
+/// own (its deadline_ms budget bounds it).
+struct ShardedEngine::RunGuard {
+  const CancelToken* external = nullptr;
+  Clock::time_point deadline{};
+  bool has_deadline = false;
+
+  bool cancelled() const {
+    return external != nullptr && external->cancel_requested();
+  }
+  bool expired() const {
+    if (external != nullptr && external->deadline_exceeded()) return true;
+    return has_deadline && Clock::now() >= deadline;
+  }
+};
+
+/// Gather state of one scatter: per-shard results (slots stay disengaged
+/// until a worker stores into them) plus the fan-out tallies.
+struct ShardedEngine::ScatterOutcome {
+  std::vector<std::optional<JobResult>> results;
+  std::uint64_t rerouted = 0;
+  std::uint64_t failed_backends = 0;
+  std::uint64_t fallback_shards = 0;
+};
+
+ShardedEngine::ShardedEngine(std::vector<std::shared_ptr<Backend>> backends,
+                             ShardedEngineConfig config)
+    : backends_(std::move(backends)), config_(std::move(config)) {
+  NDFT_REQUIRE(!backends_.empty(),
+               "a ShardedEngine needs at least one backend");
+  for (const std::shared_ptr<Backend>& backend : backends_) {
+    NDFT_REQUIRE(backend != nullptr, "null backend");
+  }
+  // The fallback engine only ever services synchronous run() calls from
+  // the gather path; dispatcher threads would just idle.
+  config_.local.dispatch_threads = 0;
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+Engine& ShardedEngine::fallback_engine() {
+  std::lock_guard<std::mutex> lock(fallback_mutex_);
+  if (fallback_ == nullptr) {
+    fallback_ = std::make_unique<Engine>(config_.local);
+  }
+  return *fallback_;
+}
+
+JobResult ShardedEngine::run(const JobRequest& request) {
+  RunGuard guard;
+  return run_impl(request, guard);
+}
+
+JobResult ShardedEngine::run(const JobRequest& request,
+                             const CancelToken& cancel) {
+  RunGuard guard;
+  guard.external = &cancel;
+  return run_impl(request, guard);
+}
+
+std::vector<JobResult> ShardedEngine::run_batch(
+    const std::vector<JobRequest>& requests) {
+  RunGuard guard;
+  return run_batch_impl(requests, guard);
+}
+
+std::vector<JobResult> ShardedEngine::run_batch(
+    const std::vector<JobRequest>& requests, const CancelToken& cancel) {
+  RunGuard guard;
+  guard.external = &cancel;
+  return run_batch_impl(requests, guard);
+}
+
+void ShardedEngine::execute_scatter(const std::vector<JobRequest>& subs,
+                                    const RunGuard& guard,
+                                    ScatterOutcome& outcome) {
+  outcome.results.assign(subs.size(), std::nullopt);
+
+  std::mutex mutex;
+  std::deque<std::size_t> pending;
+  for (std::size_t i = 0; i < subs.size(); ++i) pending.push_back(i);
+
+  const unsigned attempts = std::max(1u, config_.backend_attempts);
+  const auto worker = [&](std::size_t backend_index) {
+    Backend& backend = *backends_[backend_index];
+    for (;;) {
+      if (guard.cancelled() || guard.expired()) return;
+      std::size_t shard = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (pending.empty()) return;
+        shard = pending.front();
+        pending.pop_front();
+      }
+      bool done = false;
+      for (unsigned attempt = 1; attempt <= attempts && !done; ++attempt) {
+        try {
+          JobResult result = backend.execute(subs[shard]);
+          std::lock_guard<std::mutex> lock(mutex);
+          outcome.results[shard] = std::move(result);
+          done = true;
+        } catch (const std::exception&) {
+          // Backend-level failure (transport, dead engine). Transient
+          // blips get an in-place retry after a deterministic pause...
+          if (attempt < attempts && config_.retry_backoff_ms > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    config_.retry_backoff_ms));
+          }
+        }
+      }
+      if (done) {
+        shards_exec_.fetch_add(1);
+        continue;
+      }
+      // ...and a persistent failure marks this backend down for the run:
+      // the shard goes back to the FRONT of the queue (preserving the
+      // canonical order of what's left) for a surviving worker to absorb.
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        pending.push_front(shard);
+        outcome.rerouted += 1;
+        outcome.failed_backends += 1;
+      }
+      rerouted_.fetch_add(1);
+      backends_failed_.fetch_add(1);
+      return;
+    }
+  };
+
+  const std::size_t workers = std::min(backends_.size(), subs.size());
+  if (workers <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t b = 0; b < workers; ++b) {
+      threads.emplace_back(worker, b);
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  // Whatever is left had no backend to run on (all marked down). Unless
+  // the run was cancelled or timed out, degrade to local execution
+  // rather than failing work we can still do.
+  if (config_.allow_local_fallback) {
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      if (outcome.results[i].has_value()) continue;
+      if (guard.cancelled() || guard.expired()) break;
+      JobResult result = fallback_engine().run(subs[i]);
+      result.degraded.push_back("shard:local_fallback");
+      outcome.results[i] = std::move(result);
+      outcome.fallback_shards += 1;
+      local_fallback_.fetch_add(1);
+      shards_exec_.fetch_add(1);
+    }
+  }
+}
+
+JobResult ShardedEngine::execute_single(const JobRequest& request,
+                                        const RunGuard& guard,
+                                        ShardInfo& info) {
+  const unsigned attempts = std::max(1u, config_.backend_attempts);
+  const std::size_t count = backends_.size();
+  const std::size_t start =
+      static_cast<std::size_t>(next_backend_.fetch_add(1)) % count;
+  for (std::size_t offset = 0; offset < count; ++offset) {
+    if (guard.cancelled() || guard.expired()) break;
+    Backend& backend = *backends_[(start + offset) % count];
+    for (unsigned attempt = 1; attempt <= attempts; ++attempt) {
+      try {
+        JobResult result = backend.execute(request);
+        shards_exec_.fetch_add(1);
+        return result;
+      } catch (const std::exception&) {
+        if (attempt < attempts && config_.retry_backoff_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  config_.retry_backoff_ms));
+        }
+      }
+    }
+    info.failed_backends += 1;
+    backends_failed_.fetch_add(1);
+    if (offset + 1 < count) {
+      info.rerouted += 1;
+      rerouted_.fetch_add(1);
+    }
+  }
+  if (guard.cancelled()) {
+    JobResult result;
+    result.status = JobStatus::kCancelled;
+    result.error = ErrorKind::kCancelled;
+    result.error_message = "job cancelled while running";
+    result.engine.kind = job_kind(request);
+    return result;
+  }
+  if (guard.expired()) {
+    JobResult result;
+    result.status = JobStatus::kDeadlineExceeded;
+    result.error = ErrorKind::kDeadlineExceeded;
+    result.error_message = "job deadline exceeded";
+    result.engine.kind = job_kind(request);
+    return result;
+  }
+  if (config_.allow_local_fallback) {
+    JobResult result = fallback_engine().run(request);
+    local_fallback_.fetch_add(1);
+    shards_exec_.fetch_add(1);
+    result.degraded.push_back("shard:local_fallback");
+    return result;
+  }
+  JobResult result;
+  result.status = JobStatus::kFailed;
+  result.error = ErrorKind::kInternal;
+  result.error_message = "all backends failed";
+  result.engine.kind = job_kind(request);
+  return result;
+}
+
+JobResult ShardedEngine::run_impl(const JobRequest& request,
+                                  const RunGuard& base_guard) {
+  const Clock::time_point start = Clock::now();
+  jobs_run_.fetch_add(1);
+
+  RunGuard guard = base_guard;
+  const double deadline_ms = job_deadline_ms(request);
+  if (deadline_ms > 0.0) {
+    guard.has_deadline = true;
+    guard.deadline =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+
+  const auto finish = [&](JobResult result) {
+    result.engine.job_id = next_job_id_.fetch_add(1);
+    result.engine.pool_threads = ThreadPool::instance().threads();
+    result.engine.dispatch_threads = backends_.size();
+    result.timings.queue_ms = 0.0;
+    result.timings.total_ms = ms_between(start, Clock::now());
+    return result;
+  };
+
+  // Mirror the Engine: refuse invalid requests up front, before any
+  // backend sees a sub-job carved from them.
+  std::vector<std::string> errors = validate(request);
+  if (!errors.empty()) {
+    JobResult result;
+    result.status = JobStatus::kInvalid;
+    result.error = ErrorKind::kInvalidRequest;
+    result.error_message = "request failed validation";
+    result.error_details = std::move(errors);
+    result.engine.kind = job_kind(request);
+    return finish(std::move(result));
+  }
+
+  // Decide the split. Only an untraced band-structure job is splittable
+  // (a trace must keep whole-run program order); everything else runs
+  // whole on one backend.
+  const auto* band = std::get_if<BandStructureJob>(&request);
+  std::vector<dft::KPoint> points;
+  std::size_t shard_count = 1;
+  if (band != nullptr && !band->record_trace) {
+    const dft::Crystal crystal =
+        band->atoms == 0 ? dft::silicon_primitive()
+                         : dft::Crystal::silicon_supercell(band->atoms);
+    points = band_job_kpoints(*band, crystal);
+    const std::size_t by_backends =
+        std::max<std::size_t>(1, backends_.size() *
+                                     std::max<std::size_t>(
+                                         1, config_.shards_per_backend));
+    const std::size_t by_points =
+        std::max<std::size_t>(1, points.size() /
+                                     std::max<std::size_t>(
+                                         1, config_.min_points_per_shard));
+    shard_count = std::min({by_backends, by_points, points.size()});
+  }
+
+  if (band == nullptr || shard_count <= 1) {
+    ShardInfo info;
+    info.backends = backends_.size();
+    info.shards = 1;
+    JobResult result = execute_single(request, guard, info);
+    result.shard = info;
+    return finish(std::move(result));
+  }
+
+  // Scatter: contiguous chunks of the canonical (already folded) k-set,
+  // expressed as explicit sub-jobs so they survive the wire verbatim.
+  // Sub-jobs inherit the REMAINING budget, floored just above zero so an
+  // already-expired deadline still reads as "a deadline" downstream
+  // (deadline_ms == 0 means unlimited in the job schema).
+  const double remaining_ms =
+      deadline_ms > 0.0
+          ? std::max(0.001, deadline_ms - ms_between(start, Clock::now()))
+          : 0.0;
+  std::vector<JobRequest> subs;
+  subs.reserve(shard_count);
+  const std::size_t base = points.size() / shard_count;
+  const std::size_t extra = points.size() % shard_count;
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t take = base + (s < extra ? 1 : 0);
+    BandStructureJob sub = *band;
+    sub.sampling = BandStructureJob::Sampling::kExplicit;
+    sub.kpoints.clear();
+    sub.kpoints.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      const dft::KPoint& kp = points[cursor + i];
+      BandStructureJob::KPointSpec spec;
+      spec.k[0] = kp.k.x;
+      spec.k[1] = kp.k.y;
+      spec.k[2] = kp.k.z;
+      spec.weight = kp.weight;
+      spec.label = kp.label;
+      sub.kpoints.push_back(std::move(spec));
+    }
+    sub.deadline_ms = remaining_ms;
+    cursor += take;
+    subs.emplace_back(std::move(sub));
+  }
+
+  ScatterOutcome outcome;
+  execute_scatter(subs, guard, outcome);
+
+  ShardInfo info;
+  info.backends = backends_.size();
+  info.shards = shard_count;
+  info.rerouted = outcome.rerouted;
+  info.failed_backends = outcome.failed_backends;
+
+  const auto terminal = [&](JobStatus status, ErrorKind kind,
+                            const char* message) {
+    JobResult result;
+    result.status = status;
+    result.error = kind;
+    result.error_message = message;
+    result.engine.kind = job_kind(request);
+    result.shard = info;
+    return finish(std::move(result));
+  };
+
+  for (const std::optional<JobResult>& slot : outcome.results) {
+    if (!slot.has_value()) {
+      if (guard.cancelled()) {
+        return terminal(JobStatus::kCancelled, ErrorKind::kCancelled,
+                        "job cancelled while running");
+      }
+      if (guard.expired()) {
+        return terminal(JobStatus::kDeadlineExceeded,
+                        ErrorKind::kDeadlineExceeded,
+                        "job deadline exceeded");
+      }
+      return terminal(JobStatus::kFailed, ErrorKind::kInternal,
+                      "all backends failed");
+    }
+  }
+
+  // A sub-job that ran but did not succeed fails the whole job with the
+  // FIRST failing shard's verdict (canonical order keeps this stable
+  // across completion orders).
+  for (const std::optional<JobResult>& slot : outcome.results) {
+    const JobResult& sub = *slot;
+    if (sub.status == JobStatus::kOk) continue;
+    JobResult result;
+    result.status = sub.status;
+    result.error = sub.error;
+    result.error_message = sub.error_message;
+    result.error_details = sub.error_details;
+    result.engine.kind = job_kind(request);
+    result.shard = info;
+    return finish(std::move(result));
+  }
+
+  // Gather: concatenate in canonical shard order, then recompute the
+  // summary once over the whole k-set.
+  JobResult result;
+  result.status = JobStatus::kOk;
+  result.engine.kind = job_kind(request);
+  BandStructurePayload merged;
+  for (std::size_t s = 0; s < outcome.results.size(); ++s) {
+    const JobResult& sub = *outcome.results[s];
+    NDFT_REQUIRE(sub.band_structure.has_value(),
+                 "band sub-job returned no band payload");
+    const BandStructurePayload& part = *sub.band_structure;
+    if (s == 0) {
+      merged.atoms = part.atoms;
+      merged.basis_size = part.basis_size;
+    }
+    merged.path.insert(merged.path.end(), part.path.begin(),
+                       part.path.end());
+    result.timings.run_ms += sub.timings.run_ms;
+    result.timings.linalg_ms += sub.timings.linalg_ms;
+    result.timings.backoff_ms += sub.timings.backoff_ms;
+    result.degraded.insert(result.degraded.end(), sub.degraded.begin(),
+                           sub.degraded.end());
+  }
+  // The merged document reports the sampling the CALLER requested; the
+  // sub-jobs' "explicit" form is a transport detail.
+  merged.sampling = sampling_payload_name(band->sampling);
+  merge_gap_summary(*band, merged);
+  result.band_structure = std::move(merged);
+  result.shard = info;
+  return finish(std::move(result));
+}
+
+std::vector<JobResult> ShardedEngine::run_batch_impl(
+    const std::vector<JobRequest>& requests, const RunGuard& guard) {
+  jobs_run_.fetch_add(requests.size());
+  ScatterOutcome outcome;
+  execute_scatter(requests, guard, outcome);
+  std::vector<JobResult> results;
+  results.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    JobResult result;
+    if (outcome.results[i].has_value()) {
+      result = std::move(*outcome.results[i]);
+    } else if (guard.cancelled()) {
+      result.status = JobStatus::kCancelled;
+      result.error = ErrorKind::kCancelled;
+      result.error_message = "job cancelled while queued";
+      result.engine.kind = job_kind(requests[i]);
+    } else if (guard.expired()) {
+      result.status = JobStatus::kDeadlineExceeded;
+      result.error = ErrorKind::kDeadlineExceeded;
+      result.error_message = "job deadline exceeded";
+      result.engine.kind = job_kind(requests[i]);
+    } else {
+      result.status = JobStatus::kFailed;
+      result.error = ErrorKind::kInternal;
+      result.error_message = "all backends failed";
+      result.engine.kind = job_kind(requests[i]);
+    }
+    ShardInfo info;
+    info.backends = backends_.size();
+    info.shards = requests.size();
+    info.rerouted = outcome.rerouted;
+    info.failed_backends = outcome.failed_backends;
+    result.shard = info;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace ndft::api

@@ -1,7 +1,9 @@
 #include "dft/kpoints.hpp"
 
+#include <array>
 #include <cmath>
 #include <iterator>
+#include <map>
 
 #include "common/cancel.hpp"
 #include "common/fault.hpp"
@@ -87,6 +89,36 @@ std::vector<KPoint> monkhorst_pack(const Crystal& crystal, unsigned n1,
     }
   }
   return grid;
+}
+
+std::vector<KPoint> fold_time_reversal(const std::vector<KPoint>& grid) {
+  // Exact-coordinate index of every point. operator< on doubles treats
+  // 0.0 and -0.0 as equal, so the Gamma point self-pairs even when a
+  // negation produced a signed zero.
+  std::map<std::array<double, 3>, std::size_t> index;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    // Duplicate coordinates keep the first occurrence: folding must never
+    // merge two distinct entries of a (pathological) repeated-point set.
+    index.emplace(std::array<double, 3>{grid[i].k.x, grid[i].k.y,
+                                        grid[i].k.z},
+                  i);
+  }
+  std::vector<KPoint> folded;
+  folded.reserve((grid.size() + 1) / 2);
+  std::vector<bool> consumed(grid.size(), false);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (consumed[i]) continue;
+    KPoint kp = grid[i];
+    const auto partner = index.find(
+        std::array<double, 3>{-grid[i].k.x, -grid[i].k.y, -grid[i].k.z});
+    if (partner != index.end() && partner->second > i &&
+        !consumed[partner->second]) {
+      kp.weight += grid[partner->second].weight;
+      consumed[partner->second] = true;
+    }
+    folded.push_back(std::move(kp));
+  }
+  return folded;
 }
 
 BandsAtK solve_epm_at_k(const PlaneWaveBasis& basis, const KPoint& kpoint,

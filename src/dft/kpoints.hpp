@@ -47,6 +47,16 @@ std::vector<KPoint> fcc_kpath(double a0, unsigned segments = 12);
 std::vector<KPoint> monkhorst_pack(const Crystal& crystal, unsigned n1,
                                    unsigned n2, unsigned n3);
 
+/// Folds a k-set to its time-reversal half: H(-k) and H(k) share a
+/// spectrum for the real EPM potential, so each -k partner is dropped and
+/// its weight added onto the +k representative (the earlier point in grid
+/// order; self-paired points like Gamma keep their weight). Total weight
+/// is preserved exactly — partners carry bitwise-negated coordinates on
+/// Monkhorst-Pack grids ((2r-n-1)/2n is closed under r -> n-1-r), so the
+/// match is exact, not tolerance-based. Points without a partner in the
+/// set pass through unchanged.
+std::vector<KPoint> fold_time_reversal(const std::vector<KPoint>& grid);
+
 /// EPM eigenvalues at one k (lowest `bands`, clamped to the basis size;
 /// 0 keeps all). A nonzero window below the basis size runs the
 /// partial-spectrum eigensolver (syevd_partial).

@@ -1,6 +1,7 @@
 #include "net/service.hpp"
 
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <utility>
 
@@ -60,14 +61,27 @@ bool parse_job_id(const std::string& path, std::uint64_t* id) {
   return true;
 }
 
-double parse_wait_ms(const HttpRequest& request) {
+/// Parses the ?wait_ms= long-poll budget into `*out` (0 when absent).
+/// Returns false on a malformed value — trailing garbage, negative, or
+/// non-finite. The non-finite check matters: strtod happily parses "nan"
+/// and "inf", NaN slips past a plain `value < 0.0` guard, and a NaN
+/// budget poisons every duration comparison downstream of wait_for
+/// (std::min(NaN, cap) is NaN). Malformed input must be a 400, not a
+/// silent zero: a sharded client that typos its long-poll would
+/// otherwise degrade to busy-polling without ever learning why.
+bool parse_wait_ms(const HttpRequest& request, double* out) {
+  *out = 0.0;
   const std::string raw = request.query("wait_ms");
-  if (raw.empty()) return 0.0;
+  if (raw.empty()) return true;
   char* end = nullptr;
   const double value = std::strtod(raw.c_str(), &end);
-  if (end == nullptr || *end != '\0' || value < 0.0) return 0.0;
+  if (end == nullptr || *end != '\0' || raw.c_str() == end ||
+      !std::isfinite(value) || value < 0.0) {
+    return false;
+  }
   // Cap long-polls: a client cannot pin a connection thread forever.
-  return std::min(value, 60000.0);
+  *out = std::min(value, 60000.0);
+  return true;
 }
 
 Json status_stub(std::uint64_t id, api::JobStatus status) {
@@ -153,9 +167,12 @@ HttpResponse Service::route(const HttpRequest& request) {
 }
 
 HttpResponse Service::post_job(const HttpRequest& request) {
-  if (!admit_rate(request.client)) {
+  double retry_after_s = 1.0;
+  if (!admit_rate(request.client, &retry_after_s)) {
     HttpResponse response = error_response(429, "rate limit exceeded");
-    response.headers.emplace_back("Retry-After", "1");
+    response.headers.emplace_back(
+        "Retry-After",
+        std::to_string(static_cast<long long>(retry_after_s)));
     return response;
   }
   // Parse + validate everything BEFORE touching the Engine: a malformed
@@ -170,6 +187,12 @@ HttpResponse Service::post_job(const HttpRequest& request) {
   const std::vector<std::string> errors = api::validate(job);
   if (!errors.empty()) {
     return error_response(400, "request failed validation", errors);
+  }
+  // The long-poll budget is part of the request contract too: reject it
+  // here, while the Engine still has no record of the job.
+  double wait_ms = 0.0;
+  if (!parse_wait_ms(request, &wait_ms)) {
+    return error_response(400, "malformed wait_ms query parameter");
   }
   if (config_.queue_quota > 0) {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -194,7 +217,6 @@ HttpResponse Service::post_job(const HttpRequest& request) {
     std::lock_guard<std::mutex> lock(mutex_);
     retain_locked(id, JobEntry{handle, request.client});
   }
-  const double wait_ms = parse_wait_ms(request);
   // wait_for happens OUTSIDE the service mutex: long-polls must not
   // serialize the route table.
   if (wait_ms > 0.0 && handle.wait_for(wait_ms)) {
@@ -206,6 +228,10 @@ HttpResponse Service::post_job(const HttpRequest& request) {
 }
 
 HttpResponse Service::get_job(const HttpRequest& request, std::uint64_t id) {
+  double wait_ms = 0.0;
+  if (!parse_wait_ms(request, &wait_ms)) {
+    return error_response(400, "malformed wait_ms query parameter");
+  }
   api::JobHandle handle;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -215,7 +241,6 @@ HttpResponse Service::get_job(const HttpRequest& request, std::uint64_t id) {
     }
     handle = it->second.handle;
   }
-  const double wait_ms = parse_wait_ms(request);
   if (wait_ms > 0.0) handle.wait_for(wait_ms);
   const api::JobStatus status = handle.status();
   if (status == api::JobStatus::kQueued || status == api::JobStatus::kRunning) {
@@ -313,7 +338,7 @@ bool Service::authorized(const HttpRequest& request) const {
   return false;
 }
 
-bool Service::admit_rate(const std::string& client) {
+bool Service::admit_rate(const std::string& client, double* retry_after_s) {
   if (config_.rate_limit_per_s <= 0.0) return true;
   std::lock_guard<std::mutex> lock(mutex_);
   Bucket& bucket = buckets_[client];
@@ -330,7 +355,20 @@ bool Service::admit_rate(const std::string& client) {
                                  elapsed_s * config_.rate_limit_per_s);
     bucket.last_refill = now;
   }
-  if (bucket.tokens < 1.0) return false;
+  if (bucket.tokens < 1.0) {
+    // Tell the client when a retry can actually succeed: the bucket just
+    // refilled, so the next admissible request is the time the remaining
+    // token deficit takes to refill at the configured rate, rounded up
+    // to whole seconds (Retry-After is integral) with a floor of 1. A
+    // hardcoded "1" under-reports at low refill rates and turns polite
+    // clients into a retry storm of guaranteed 429s.
+    if (retry_after_s != nullptr) {
+      const double deficit = 1.0 - bucket.tokens;
+      *retry_after_s = std::max(
+          1.0, std::ceil(deficit / config_.rate_limit_per_s));
+    }
+    return false;
+  }
   bucket.tokens -= 1.0;
   return true;
 }

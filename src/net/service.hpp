@@ -79,7 +79,10 @@ class Service {
 
   bool authorized(const HttpRequest& request) const;
   /// True when the client is within its rate limit (consumes a token).
-  bool admit_rate(const std::string& client);
+  /// On rejection, `*retry_after_s` (when non-null) receives the whole
+  /// seconds until the bucket refills enough for one request (>= 1) —
+  /// the value the 429's Retry-After header advertises.
+  bool admit_rate(const std::string& client, double* retry_after_s = nullptr);
   /// Queued-or-running jobs owned by `client` (prunes terminal handles).
   std::size_t active_jobs_locked(const std::string& client);
   void retain_locked(std::uint64_t id, JobEntry entry);

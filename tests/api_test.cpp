@@ -247,7 +247,10 @@ TEST(JobResultJsonTest, AllJobKindsRoundTrip) {
 
 TEST(BandStructureJobTest, MonkhorstPackPrimitiveMatchesDirectSolve) {
   // The generalized job on the primitive cell must reproduce the direct
-  // dft-layer computation exactly (same crystal, grid and window).
+  // dft-layer computation exactly (same crystal, grid and window). The
+  // engine folds the grid to its time-reversal half before solving, so
+  // the reference is the folded grid: 4 representatives of the 2x2x2
+  // grid's 8 points, weights doubled, same total weight and summary.
   Engine engine(fast_config());
   BandStructureJob job;
   job.sampling = BandStructureJob::Sampling::kMonkhorstPack;
@@ -260,13 +263,15 @@ TEST(BandStructureJobTest, MonkhorstPackPrimitiveMatchesDirectSolve) {
   const BandStructurePayload& payload = *result.band_structure;
   EXPECT_EQ(payload.atoms, 2u);
   EXPECT_EQ(payload.sampling, "monkhorst_pack");
-  ASSERT_EQ(payload.path.size(), 8u);
+  ASSERT_EQ(payload.path.size(), 4u);
   EXPECT_NEAR(payload.weight_sum, 1.0, 1e-12);
 
   const dft::Crystal primitive = dft::silicon_primitive();
   const dft::PlaneWaveBasis basis(primitive, job.ecut_ry * 0.5);
   EXPECT_EQ(payload.basis_size, basis.size());
-  const auto grid = dft::monkhorst_pack(primitive, 2, 2, 2);
+  const auto grid =
+      dft::fold_time_reversal(dft::monkhorst_pack(primitive, 2, 2, 2));
+  ASSERT_EQ(grid.size(), 4u);
   const auto structure = dft::band_structure(basis, grid, job.bands);
   const dft::GapSummary gap = dft::find_gap(structure, job.valence_bands);
   EXPECT_EQ(payload.vbm_ha, gap.vbm_ha);

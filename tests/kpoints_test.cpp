@@ -137,6 +137,89 @@ TEST(MonkhorstPackTest, EvenGridAvoidsGamma) {
   }
 }
 
+TEST(FoldTimeReversalTest, HalvesEvenGridsExactly) {
+  // Even grids have no self-paired point, so folding keeps exactly half
+  // the points, each representative carrying its partner's weight too —
+  // bitwise (w doubles exactly), not just approximately.
+  const Crystal primitive = silicon_primitive();
+  for (const auto& dims : {std::array<unsigned, 3>{2, 2, 2},
+                           std::array<unsigned, 3>{2, 3, 4},
+                           std::array<unsigned, 3>{4, 4, 4}}) {
+    const auto grid = monkhorst_pack(primitive, dims[0], dims[1], dims[2]);
+    const auto folded = fold_time_reversal(grid);
+    EXPECT_EQ(folded.size(), grid.size() / 2);
+    const double unit_weight = grid.front().weight;
+    double total = 0.0;
+    for (const KPoint& kp : folded) {
+      EXPECT_EQ(kp.weight, 2.0 * unit_weight);
+      total += kp.weight;
+    }
+    double grid_total = 0.0;
+    for (const KPoint& kp : grid) grid_total += kp.weight;
+    EXPECT_NEAR(total, grid_total, 1e-15);
+  }
+}
+
+TEST(FoldTimeReversalTest, OddGridKeepsGammaSelfPaired) {
+  // Odd grids contain Gamma, its own time-reversal partner: it must
+  // survive the fold exactly once with its original (undoubled) weight.
+  const Crystal primitive = silicon_primitive();
+  const auto grid = monkhorst_pack(primitive, 3, 3, 3);
+  const auto folded = fold_time_reversal(grid);
+  EXPECT_EQ(folded.size(), (grid.size() + 1) / 2);  // 14 of 27
+  std::size_t self_paired = 0;
+  for (const KPoint& kp : folded) {
+    if (kp.k.norm2() < 1e-20) {
+      ++self_paired;
+      EXPECT_EQ(kp.weight, grid.front().weight);
+    } else {
+      EXPECT_EQ(kp.weight, 2.0 * grid.front().weight);
+    }
+  }
+  EXPECT_EQ(self_paired, 1u);
+}
+
+TEST(FoldTimeReversalTest, RepresentativesAreOriginalPointsInGridOrder) {
+  // Folding selects the EARLIER point of each +-k pair, verbatim (same
+  // coordinates, same label), and preserves the grid's relative order —
+  // the canonical order the scatter/gather layer chunks by.
+  const Crystal primitive = silicon_primitive();
+  const auto grid = monkhorst_pack(primitive, 2, 3, 2);
+  const auto folded = fold_time_reversal(grid);
+  std::size_t cursor = 0;
+  for (const KPoint& kp : folded) {
+    bool found = false;
+    for (std::size_t i = cursor; i < grid.size(); ++i) {
+      if (grid[i].k.x == kp.k.x && grid[i].k.y == kp.k.y &&
+          grid[i].k.z == kp.k.z) {
+        cursor = i + 1;
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "folded point not an original grid point in order";
+  }
+}
+
+TEST(FoldTimeReversalTest, FoldedGridSolvesToSameGapSummary) {
+  // The physics behind the fold: H(k) and H(-k) share a spectrum for the
+  // real EPM potential, so the folded grid's weighted summary equals the
+  // full grid's. The band-energy integral regroups (w*e_k + w*e_{-k}
+  // becomes 2w*e_k), so compare to tight tolerance, not bitwise.
+  const Crystal primitive = silicon_primitive();
+  const PlaneWaveBasis basis(primitive, 4.5);
+  const auto grid = monkhorst_pack(primitive, 2, 2, 2);
+  const auto folded = fold_time_reversal(grid);
+  const auto full_structure = band_structure(basis, grid, 6);
+  const auto folded_structure = band_structure(basis, folded, 6);
+  const GapSummary full = find_gap(full_structure, 4);
+  const GapSummary half = find_gap(folded_structure, 4);
+  EXPECT_NEAR(half.vbm_ha, full.vbm_ha, 1e-12);
+  EXPECT_NEAR(half.cbm_ha, full.cbm_ha, 1e-12);
+  EXPECT_NEAR(half.band_energy_ha, full.band_energy_ha, 1e-12);
+  EXPECT_NEAR(half.weight_sum, full.weight_sum, 1e-15);
+}
+
 class BandStructureFixture : public ::testing::Test {
  protected:
   BandStructureFixture()

@@ -211,6 +211,21 @@ TEST(RequestJsonTest, AllJobKindsRoundTrip) {
   bands.deadline_ms = 1234.5;
   requests.emplace_back(bands);
 
+  // Explicit sampling: the sharded front end's wire form of a sub-job.
+  api::BandStructureJob explicit_bands;
+  explicit_bands.sampling = api::BandStructureJob::Sampling::kExplicit;
+  api::BandStructureJob::KPointSpec spec;
+  spec.k[0] = 0.125;
+  spec.k[1] = -0.25;
+  spec.k[2] = 0.5;
+  spec.weight = 0.375;
+  spec.label = "Gamma";
+  explicit_bands.kpoints.push_back(spec);
+  spec.label.clear();
+  spec.k[0] = -0.125;
+  explicit_bands.kpoints.push_back(spec);
+  requests.emplace_back(explicit_bands);
+
   api::LrtddftJob lrtddft;
   lrtddft.config.conduction_window = 6;
   lrtddft.oscillator_strengths = true;
@@ -402,6 +417,65 @@ TEST(ServiceTest, TokenBucketRateLimitsPerClient) {
   other.client = "other";
   EXPECT_EQ(service.handle(other).status, 202);
   EXPECT_EQ(engine.jobs_submitted(), 3u);
+}
+
+TEST(ServiceTest, RateLimit429AdvertisesComputedRetryAfter) {
+  // The Retry-After on a rate-limit 429 must reflect the actual bucket
+  // state: at 0.001 tokens/s an empty bucket refills one token in 1000
+  // seconds, and telling the client "1" would guarantee its polite retry
+  // another 429. The header is ceil(deficit / rate), floored at 1.
+  Engine engine(fast_config(/*dispatch_threads=*/0));
+  ServiceConfig config = quiet_service();
+  config.rate_limit_per_s = 0.001;
+  config.rate_burst = 1.0;
+  Service service(engine, config);
+
+  ASSERT_EQ(
+      service.handle(make_request("POST", "/v1/jobs", plan_request_body()))
+          .status,
+      202);
+  const HttpResponse limited =
+      service.handle(make_request("POST", "/v1/jobs", plan_request_body()));
+  ASSERT_EQ(limited.status, 429);
+  std::string retry_after;
+  for (const auto& [key, value] : limited.headers) {
+    if (key == "Retry-After") retry_after = value;
+  }
+  // The bucket refilled for the elapsed microseconds between the two
+  // requests, so the deficit is a hair under one full token: still 1000
+  // seconds after the ceil unless the test stalls for a second or more.
+  EXPECT_EQ(retry_after, "1000");
+}
+
+TEST(ServiceTest, MalformedWaitMsIsRejectedWith400) {
+  // strtod parses "nan" and "inf" happily, and NaN slips past a plain
+  // `< 0` guard; a NaN long-poll budget then poisons every duration
+  // comparison downstream. All malformed forms must be a clean 400 —
+  // and on POST, a 400 that leaves no trace in the engine.
+  Engine engine(fast_config(/*dispatch_threads=*/0));
+  Service service(engine, quiet_service());
+
+  for (const char* bad : {"nan", "inf", "-inf", "-5", "10abc", "abc"}) {
+    const HttpResponse posted = service.handle(make_request(
+        "POST", std::string("/v1/jobs?wait_ms=") + bad, plan_request_body()));
+    EXPECT_EQ(posted.status, 400) << "wait_ms=" << bad;
+  }
+  EXPECT_EQ(engine.jobs_submitted(), 0u);
+
+  // Same contract on the poll route.
+  const HttpResponse posted =
+      service.handle(make_request("POST", "/v1/jobs", plan_request_body()));
+  ASSERT_EQ(posted.status, 202);
+  const std::string target =
+      "/v1/jobs/" + std::to_string(Json::parse(posted.body).at("id").as_uint());
+  EXPECT_EQ(service.handle(make_request("GET", target + "?wait_ms=nan")).status,
+            400);
+  EXPECT_EQ(service.handle(make_request("GET", target + "?wait_ms=inf")).status,
+            400);
+  // A well-formed zero (and an absent parameter) still poll immediately.
+  EXPECT_EQ(service.handle(make_request("GET", target + "?wait_ms=0")).status,
+            200);
+  EXPECT_EQ(service.handle(make_request("GET", target)).status, 200);
 }
 
 TEST(ServiceTest, QueueQuotaBoundsPerClientBacklog) {

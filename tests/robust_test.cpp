@@ -528,6 +528,62 @@ TEST(EngineQueueTest, AgingBypassesCostOrderAfterLimit) {
             c_heavy.wait().engine.exec_seq);
 }
 
+TEST(EngineQueueTest, AgingBoundsStarvationUnderAdversarialMix) {
+  // Adversarial mixed traffic: expensive jobs interleaved with floods of
+  // cheap ones that pure cost order would always favour. The escape
+  // hatch must bound starvation — an aged heavy job runs before EVERY
+  // cheaper later arrival, while a fresh heavy job still yields to all
+  // of them. Manual drain keeps the order deterministic, so the census
+  // is exact, not statistical. The limit must dwarf the full drain time
+  // (~1 s worst case on a loaded single core): if the fresh heavy job
+  // could age while the floods drain, it would legally jump the late
+  // flood and the exact census would flake.
+  EngineConfig config = fast_config(/*dispatch_threads=*/0);
+  config.starvation_limit_ms = 8000.0;
+  Engine engine(config);
+
+  SimulateJob heavy;
+  heavy.atoms = 64;
+
+  // Phase 1: a heavy job, then a flood of cheap ones.
+  JobHandle aged_heavy = engine.submit(heavy);
+  std::vector<JobHandle> early_cheap;
+  for (int i = 0; i < 6; ++i) early_cheap.push_back(engine.submit(PlanJob{}));
+
+  // Let the heavy job (and the early flood) age past the limit, then
+  // pile on a second heavy job and a fresh flood.
+  std::this_thread::sleep_for(std::chrono::milliseconds(8200));
+  JobHandle fresh_heavy = engine.submit(heavy);
+  std::vector<JobHandle> late_cheap;
+  for (int i = 0; i < 6; ++i) late_cheap.push_back(engine.submit(PlanJob{}));
+
+  engine.drain();
+  ASSERT_TRUE(aged_heavy.wait().ok());
+  ASSERT_TRUE(fresh_heavy.wait().ok());
+
+  // Exact census of the execution order:
+  //  * the aged heavy job ran FIRST — zero cheap jobs overtook it;
+  EXPECT_EQ(aged_heavy.wait().engine.exec_seq, 1u);
+  //  * the fresh heavy job ran LAST — all 12 cheap jobs (6 of them
+  //    submitted later) overtook it, cost order intact for the young;
+  EXPECT_EQ(fresh_heavy.wait().engine.exec_seq, 14u);
+  //  * equal-cost cheap jobs kept FIFO order among themselves, early
+  //    flood before late flood.
+  std::vector<std::uint64_t> cheap_seq;
+  for (JobHandle& handle : early_cheap) {
+    ASSERT_TRUE(handle.wait().ok());
+    cheap_seq.push_back(handle.wait().engine.exec_seq);
+  }
+  for (JobHandle& handle : late_cheap) {
+    ASSERT_TRUE(handle.wait().ok());
+    cheap_seq.push_back(handle.wait().engine.exec_seq);
+  }
+  for (std::size_t i = 0; i < cheap_seq.size(); ++i) {
+    EXPECT_EQ(cheap_seq[i], i + 2) << "cheap job " << i;
+  }
+  EXPECT_EQ(engine.jobs_completed(), 14u);
+}
+
 // ------------------------------------------------- malformed-request fuzz
 
 TEST(EngineFuzzTest, MalformedRequestsNeverEscapeClassification) {
