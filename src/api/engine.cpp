@@ -403,7 +403,7 @@ TimePs estimate_cost_ps(const JobRequest& request,
           dft::SystemDims::silicon(job->atoms, job->ecut_ry * 0.5);
       const TimePs fft = price_event(
           sca, KernelClass::kFft, dft::fft_flops(dims.grid_points),
-          6ull * dims.grid_points * sizeof(dft::Complex), dims.grid_points);
+          4ull * dims.grid_points * sizeof(dft::Complex), dims.grid_points);
       return job->scf.max_iterations *
              (price_syevd(sca, dims.basis_size) +
               (2 * job->atoms + 3) * fft);
@@ -979,6 +979,10 @@ JobResult Engine::execute_once(const JobRequest& request,
   result.degraded = degradation_scope.take();
   result.timings.run_ms = ms_between(start, Clock::now());
   result.timings.linalg_ms = dft::linalg_timer_ms();
+  const dft::LinalgStageTimes stages = dft::linalg_stage_times();
+  result.timings.reduce_ms = stages.reduce_ms;
+  result.timings.tridiag_ms = stages.tridiag_ms;
+  result.timings.backtransform_ms = stages.backtransform_ms;
   return result;
 }
 

@@ -482,6 +482,9 @@ Json JobResult::to_json() const {
   timings_json.set("total_ms", timings.total_ms);
   timings_json.set("linalg_ms", timings.linalg_ms);
   timings_json.set("backoff_ms", timings.backoff_ms);
+  timings_json.set("reduce_ms", timings.reduce_ms);
+  timings_json.set("tridiag_ms", timings.tridiag_ms);
+  timings_json.set("backtransform_ms", timings.backtransform_ms);
   j.set("timings", std::move(timings_json));
 
   Json engine_json = Json::object();
@@ -552,6 +555,15 @@ JobResult JobResult::from_json(const Json& json) {
   }
   if (const Json* backoff = timings_json.find("backoff_ms")) {
     result.timings.backoff_ms = backoff->as_double();
+  }
+  if (const Json* reduce = timings_json.find("reduce_ms")) {
+    result.timings.reduce_ms = reduce->as_double();
+  }
+  if (const Json* tridiag = timings_json.find("tridiag_ms")) {
+    result.timings.tridiag_ms = tridiag->as_double();
+  }
+  if (const Json* back = timings_json.find("backtransform_ms")) {
+    result.timings.backtransform_ms = back->as_double();
   }
 
   const Json& engine_json = json.at("engine");

@@ -64,6 +64,14 @@ struct JobTimings {
   double total_ms = 0.0;    ///< submit -> finish
   double linalg_ms = 0.0;   ///< run time spent in dense linalg (GEMM/SYEVD)
   double backoff_ms = 0.0;  ///< slept between retry attempts (additive)
+  /// Eigensolver stage split (additive fields in ndft.job_result.v1;
+  /// `linalg_ms` above stays for older readers). Disjoint sub-spans of
+  /// the linalg time: the reduction to tridiagonal form, the tridiagonal
+  /// eigensolve, and the eigenvector back-transformations; they sum to
+  /// at most linalg_ms (GEMM time outside an eigensolve is in no bucket).
+  double reduce_ms = 0.0;
+  double tridiag_ms = 0.0;
+  double backtransform_ms = 0.0;
 };
 
 /// Engine metadata stamped onto every result.

@@ -586,6 +586,9 @@ JobResult ShardedEngine::run_impl(const JobRequest& request,
     result.timings.run_ms += sub.timings.run_ms;
     result.timings.linalg_ms += sub.timings.linalg_ms;
     result.timings.backoff_ms += sub.timings.backoff_ms;
+    result.timings.reduce_ms += sub.timings.reduce_ms;
+    result.timings.tridiag_ms += sub.timings.tridiag_ms;
+    result.timings.backtransform_ms += sub.timings.backtransform_ms;
     result.degraded.insert(result.degraded.end(), sub.degraded.begin(),
                            sub.degraded.end());
   }

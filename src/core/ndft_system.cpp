@@ -68,9 +68,25 @@ std::vector<cpu::Trace> make_traces(const dft::KernelWork& kernel,
     footprint = live;  // LLC-resident panels: stream the matrix once
   }
   Bytes ws = std::max<Bytes>(footprint / cores, 4096);
-  const std::size_t ops =
+  std::size_t ops =
       std::clamp(config.sampled_ops_per_kernel / cores,
                  config.min_ops_per_core, config.max_ops_per_core);
+
+  // A blocked kernel's sample must cover at least one full reuse cycle
+  // of the physical tile; with fewer ops the trace generator shrinks the
+  // tile to fit the window, which moves its reuse hits into a faster
+  // cache level than the real tile can reach (a 128 KiB panel reused
+  // from L2 would sample as L1-resident and report an optimistic time).
+  // Grow the window instead of letting the tile shrink.
+  if (kernel.pattern == AccessPattern::kBlocked) {
+    const Bytes block = std::min<Bytes>(std::max<Bytes>(block_bytes, 64),
+                                        std::max<Bytes>(ws, 64));
+    const std::uint64_t reuse =
+        std::max<std::uint64_t>(l1_per_core / std::max<Bytes>(ws, 1), 1);
+    const auto cycle_ops =
+        static_cast<std::size_t>(reuse * std::max<Bytes>(block / 64, 1));
+    ops = std::max(ops, std::min(cycle_ops, config.max_ops_per_core));
+  }
 
   // Sampling-window correction: when the real execution makes several
   // passes over an LLC-resident footprint but the sampled window is

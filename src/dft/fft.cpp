@@ -317,10 +317,12 @@ namespace {
 /// Transforms `batch` lines that are adjacent in x: line b has elements
 /// base[b + i * stride]. The gather walks the grid with unit stride in b,
 /// so every fetched cache line is consumed whole while hot.
-void transform_line_batch(Complex* base, std::size_t batch, std::size_t len,
-                          std::size_t stride, const FftPlan& plan,
-                          FftDirection direction, Complex* gather,
-                          Complex* work) {
+/// Out of line for the same bitwise-identity reason as transform_x_lines
+/// below: every caller must run the same machine code.
+[[gnu::noinline]] void transform_line_batch(
+    Complex* base, std::size_t batch, std::size_t len, std::size_t stride,
+    const FftPlan& plan, FftDirection direction, Complex* gather,
+    Complex* work) {
   for (std::size_t i = 0; i < len; ++i) {
     const Complex* src = base + i * stride;
     for (std::size_t b = 0; b < batch; ++b) {
@@ -340,12 +342,99 @@ void transform_line_batch(Complex* base, std::size_t batch, std::size_t len,
 
 }  // namespace
 
+namespace {
+
+/// The Z pass shared by the fused and unfused 3D transforms: lines of
+/// stride nx*ny, batched over adjacent x; one task per y row.
+void fft3d_z_pass(Complex* data, std::size_t nx, std::size_t ny,
+                  std::size_t nz, FftDirection direction) {
+  const FftPlan& plan = fft_plan(nz);
+  parallel_for(
+      0, ny, parallel_grain(nx * nz), [&](std::size_t lo, std::size_t hi) {
+        std::vector<Complex> gather(kLineBatch * nz);
+        std::vector<Complex> work(plan.workspace_size());
+        for (std::size_t iy = lo; iy < hi; ++iy) {
+          for (std::size_t ix = 0; ix < nx; ix += kLineBatch) {
+            const std::size_t batch = std::min(kLineBatch, nx - ix);
+            transform_line_batch(data + iy * nx + ix, batch, nz, nx * ny,
+                                 plan, direction, gather.data(),
+                                 work.data());
+          }
+        }
+      });
+}
+
+/// Transforms `count` contiguous X lines starting at `base` in place.
+/// Shared (and kept out of line) by the fused and unfused 3D transforms:
+/// the compiler may contract/vectorise the line kernels differently per
+/// inlining site, so the fused/unfused bitwise-identity contract requires
+/// both to run the exact same machine code.
+[[gnu::noinline]] void transform_x_lines(Complex* base, std::size_t count,
+                                         std::size_t nx, const FftPlan& plan,
+                                         FftDirection direction,
+                                         Complex* work) {
+  for (std::size_t line = 0; line < count; ++line) {
+    plan.execute(base + line * nx, work, direction);
+  }
+}
+
+}  // namespace
+
 void fft3d(Grid3& grid, FftDirection direction, OpCount* count) {
   const std::size_t nx = grid.nx();
   const std::size_t ny = grid.ny();
   const std::size_t nz = grid.nz();
   NDFT_REQUIRE(nx > 0 && ny > 0 && nz > 0, "fft3d on an empty grid");
   KernelTimer trace(KernelClass::kFft, "fft3d");
+  trace.set_dims(nx, ny, nz);
+  trace.set_work(fft_flops(grid.size()),
+                 static_cast<Bytes>(4) * grid.size() * sizeof(Complex));
+  trace.set_io(grid.size() * sizeof(Complex), grid.size() * sizeof(Complex));
+  Complex* data = grid.raw().data();
+
+  // Fused X+Y pass: one task per z slab transforms that slab's X lines
+  // in place and immediately re-reads it for the strided Y lines while
+  // the slab (nx*ny points) is still cache-resident — the X-pass scatter
+  // and the Y-pass gather share one trip through memory, so the full
+  // transform sweeps the grid 4 times instead of 6. Per-line arithmetic
+  // and ordering are exactly those of the unfused passes, so results are
+  // bitwise identical to fft3d_unfused for any thread count (each slab
+  // is written by exactly one task).
+  {
+    const FftPlan& plan_x = fft_plan(nx);
+    const FftPlan& plan_y = fft_plan(ny);
+    parallel_for(
+        0, nz, parallel_grain(nx * ny), [&](std::size_t lo, std::size_t hi) {
+          std::vector<Complex> work_x(plan_x.workspace_size());
+          std::vector<Complex> gather(kLineBatch * ny);
+          std::vector<Complex> work_y(plan_y.workspace_size());
+          for (std::size_t iz = lo; iz < hi; ++iz) {
+            Complex* slab = data + iz * nx * ny;
+            transform_x_lines(slab, ny, nx, plan_x, direction,
+                              work_x.data());
+            for (std::size_t ix = 0; ix < nx; ix += kLineBatch) {
+              const std::size_t batch = std::min(kLineBatch, nx - ix);
+              transform_line_batch(slab + ix, batch, ny, nx, plan_y,
+                                   direction, gather.data(), work_y.data());
+            }
+          }
+        });
+  }
+  fft3d_z_pass(data, nx, ny, nz, direction);
+  if (count != nullptr) {
+    const std::size_t n = grid.size();
+    count->add(fft_flops(n),
+               // Fused X+Y sweep (read + write) plus the Z sweep.
+               static_cast<Bytes>(4) * n * sizeof(Complex));
+  }
+}
+
+void fft3d_unfused(Grid3& grid, FftDirection direction, OpCount* count) {
+  const std::size_t nx = grid.nx();
+  const std::size_t ny = grid.ny();
+  const std::size_t nz = grid.nz();
+  NDFT_REQUIRE(nx > 0 && ny > 0 && nz > 0, "fft3d on an empty grid");
+  KernelTimer trace(KernelClass::kFft, "fft3d.unfused");
   trace.set_dims(nx, ny, nz);
   trace.set_work(fft_flops(grid.size()),
                  static_cast<Bytes>(6) * grid.size() * sizeof(Complex));
@@ -359,9 +448,8 @@ void fft3d(Grid3& grid, FftDirection direction, OpCount* count) {
     parallel_for(0, ny * nz, parallel_grain(nx),
                  [&](std::size_t lo, std::size_t hi) {
                    std::vector<Complex> work(plan.workspace_size());
-                   for (std::size_t line = lo; line < hi; ++line) {
-                     plan.execute(data + line * nx, work.data(), direction);
-                   }
+                   transform_x_lines(data + lo * nx, hi - lo, nx, plan,
+                                     direction, work.data());
                  });
   }
   // Y lines: stride nx, batched over adjacent x; one task per z slab.
@@ -381,23 +469,7 @@ void fft3d(Grid3& grid, FftDirection direction, OpCount* count) {
           }
         });
   }
-  // Z lines: stride nx*ny, batched over adjacent x; one task per y row.
-  {
-    const FftPlan& plan = fft_plan(nz);
-    parallel_for(
-        0, ny, parallel_grain(nx * nz), [&](std::size_t lo, std::size_t hi) {
-          std::vector<Complex> gather(kLineBatch * nz);
-          std::vector<Complex> work(plan.workspace_size());
-          for (std::size_t iy = lo; iy < hi; ++iy) {
-            for (std::size_t ix = 0; ix < nx; ix += kLineBatch) {
-              const std::size_t batch = std::min(kLineBatch, nx - ix);
-              transform_line_batch(data + iy * nx + ix, batch, nz, nx * ny,
-                                   plan, direction, gather.data(),
-                                   work.data());
-            }
-          }
-        });
-  }
+  fft3d_z_pass(data, nx, ny, nz, direction);
   if (count != nullptr) {
     const std::size_t n = grid.size();
     count->add(fft_flops(n),

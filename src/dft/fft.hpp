@@ -120,12 +120,21 @@ class Grid3 {
   std::vector<Complex> data_;
 };
 
-/// In-place 3D FFT (one 1D pass per dimension). X lines are transformed
-/// directly in the contiguous storage; Y/Z lines are gathered in cache
-/// friendly batches. Independent lines run on the thread pool for large
-/// grids (results are identical for any thread count). `count`, when
-/// non-null, accumulates the analytic flop/byte cost of the transform.
+/// In-place 3D FFT. The X and Y passes are fused per z slab: each pool
+/// task transforms a slab's contiguous X lines in place and immediately
+/// gathers its strided Y lines while the slab is still cache-resident,
+/// so the transform sweeps the grid 4 times instead of 6; the Z pass
+/// (stride nx*ny) follows in cache-friendly line batches. Results are
+/// bitwise identical to fft3d_unfused() and for any thread count.
+/// `count`, when non-null, accumulates the analytic flop/byte cost.
 void fft3d(Grid3& grid, FftDirection direction, OpCount* count = nullptr);
+
+/// The pre-fusion transform (one separate pass per dimension, 6 grid
+/// sweeps), kept public as the regression baseline the fused fft3d is
+/// tested and benchmarked against. Same semantics; bitwise-identical
+/// results.
+void fft3d_unfused(Grid3& grid, FftDirection direction,
+                   OpCount* count = nullptr);
 
 /// Analytic flop cost of a complex FFT of length n (~5 n log2 n).
 Flops fft_flops(std::size_t n);

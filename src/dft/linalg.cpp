@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cmath>
 #include <numeric>
+#include <type_traits>
 #include <vector>
+
+#if defined(__GNUC__) && defined(__AVX512F__)
+#include <immintrin.h>  // _mm512_fmadd_pd for the GEMM microkernel
+#endif
 
 #include "common/fault.hpp"
 #include "common/kernel_trace.hpp"
@@ -24,6 +30,27 @@ namespace {
 
 thread_local double tl_linalg_ms = 0.0;
 thread_local unsigned tl_linalg_depth = 0;
+thread_local LinalgStageTimes tl_stage_times;
+
+/// Accumulates the wall time of one eigensolver stage into the named
+/// bucket of the thread's LinalgStageTimes. Stages never nest (each is a
+/// disjoint span inside a solver entry point), so a plain scope suffices.
+class StageTimerScope {
+ public:
+  explicit StageTimerScope(double LinalgStageTimes::*slot) noexcept
+      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  ~StageTimerScope() {
+    tl_stage_times.*slot_ += std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - start_)
+                                 .count();
+  }
+  StageTimerScope(const StageTimerScope&) = delete;
+  StageTimerScope& operator=(const StageTimerScope&) = delete;
+
+ private:
+  double LinalgStageTimes::*slot_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 class LinalgTimerScope {
  public:
@@ -72,6 +99,21 @@ V8d v8_load(const double* p) {
   V8d v;
   __builtin_memcpy(&v, p, sizeof(v));  // unaligned load, folds to vmovupd
   return v;
+}
+
+void v8_store(double* p, V8d v) {
+  __builtin_memcpy(p, &v, sizeof(v));  // unaligned store, folds to vmovupd
+}
+
+/// a*b + c as one fused instruction. The build pins -ffp-contract=off so
+/// the compiler never fuses on its own (fusion would make results depend
+/// on which call sites it picked); an explicit fma is a fixed part of the
+/// kernel instead - deterministic everywhere, twice the FLOP throughput,
+/// and one rounding tighter than mul+add.
+V8d v8_fma(V8d a, V8d b, V8d c) {
+  return reinterpret_cast<V8d>(_mm512_fmadd_pd(reinterpret_cast<__m512d>(a),
+                                               reinterpret_cast<__m512d>(b),
+                                               reinterpret_cast<__m512d>(c)));
 }
 #endif
 
@@ -523,49 +565,58 @@ void tridiag_ql(std::vector<double>& d, std::vector<double>& e,
   log.flush();
 }
 
-/// z := Q z with Q = H_0 H_1 ... H_{n-3} read from the reflectors
-/// blocked_tridiagonalize stored in `a`. Panels are applied in reverse
-/// order as compact-WY updates (dlarft forward factor, then three GEMMs
-/// per panel restricted to the rows the panel touches).
-void apply_q_blocked(const RealMatrix& a, const std::vector<double>& tau,
-                     RealMatrix& z) {
+/// z := Q z with Q = H_0 H_1 ... read from reflectors stored in the
+/// columns of `a`. Reflector j spans rows j+offset..n-1 with its unit
+/// head stored explicitly at a(j+offset, j): offset 1 matches the
+/// one-stage tridiagonalization, offset b the full->band reduction.
+/// Panels are applied in reverse order as compact-WY updates (dlarft
+/// forward factor, then three GEMMs per panel restricted to the rows the
+/// panel touches).
+void apply_q_panels(const RealMatrix& a, const std::vector<double>& tau,
+                    RealMatrix& z, std::size_t offset) {
   const std::size_t n = a.rows();
-  if (n < 3) return;
+  if (n < offset + 2) return;
+  // The WY grouping here is independent of the panel width the reduction
+  // used - any run of consecutive reflectors forms a panel. Wider panels
+  // than kEigBlock pay off on the apply side: the staging copies and
+  // per-panel fixed costs scale with the panel count while the GEMM flop
+  // total stays constant.
+  constexpr std::size_t kApplyBlock = 4 * kEigBlock;
   std::vector<std::size_t> panel_starts;
-  for (std::size_t i0 = 0; i0 + 2 < n;
-       i0 += std::min(kEigBlock, n - 2 - i0)) {
+  for (std::size_t i0 = 0; i0 + offset + 1 < n;
+       i0 += std::min(kApplyBlock, n - offset - 1 - i0)) {
     panel_starts.push_back(i0);
   }
   const std::size_t cols = z.cols();
   for (std::size_t pi = panel_starts.size(); pi-- > 0;) {
     const std::size_t i0 = panel_starts[pi];
-    const std::size_t kb = std::min(kEigBlock, n - 2 - i0);
-    const std::size_t r0 = i0 + 1;  // first row the panel can touch
+    const std::size_t kb = std::min(kApplyBlock, n - offset - 1 - i0);
+    const std::size_t r0 = i0 + offset;  // first row the panel can touch
     const std::size_t m = n - r0;
-    // V (m x kb): column p is reflector i0+p, unit at global row i0+p+1,
-    // zero above (zero-initialised storage provides the zeros).
+    // V (m x kb): column p is reflector i0+p, unit at global row
+    // i0+p+offset, zero above (zero-initialised storage provides the
+    // zeros).
     RealMatrix v(m, kb);
     for (std::size_t rr = 0; rr < m; ++rr) {
       const std::size_t r = r0 + rr;
-      for (std::size_t p = 0; p < kb && i0 + p + 1 <= r; ++p) {
+      for (std::size_t p = 0; p < kb && i0 + p + offset <= r; ++p) {
         v(rr, p) = a(r, i0 + p);
       }
     }
     // Compact-WY factor (dlarft, forward columnwise): the panel's product
     // of reflectors is I - V T V^T with T upper triangular.
     RealMatrix t(kb, kb);
-    std::vector<double> h(kb, 0.0);
+    // All the reflector inner products the dlarft recurrence needs are
+    // entries of the Gram matrix V^T V - one GEMM instead of kb^2/2
+    // stride-kb scalar dot products.
+    RealMatrix gram;
+    gemm(v, v, gram, 1.0, 0.0, /*transpose_a=*/true);
     for (std::size_t p = 0; p < kb; ++p) {
       const double tau_p = tau[i0 + p];
       if (tau_p == 0.0) continue;  // H = I: the zero row/column is exact
       for (std::size_t q = 0; q < p; ++q) {
         double acc = 0.0;
-        for (std::size_t rr = 0; rr < m; ++rr) acc += v(rr, q) * v(rr, p);
-        h[q] = acc;
-      }
-      for (std::size_t q = 0; q < p; ++q) {
-        double acc = 0.0;
-        for (std::size_t u = q; u < p; ++u) acc += t(q, u) * h[u];
+        for (std::size_t u = q; u < p; ++u) acc += t(q, u) * gram(u, p);
         t(q, p) = -tau_p * acc;
       }
       t(p, p) = tau_p;
@@ -592,6 +643,1101 @@ void apply_q_blocked(const RealMatrix& a, const std::vector<double>& tau,
                    }
                  });
   }
+}
+
+/// One-stage back-transform: the tridiagonalization's reflectors have
+/// their unit heads one row below the diagonal.
+void apply_q_blocked(const RealMatrix& a, const std::vector<double>& tau,
+                     RealMatrix& z) {
+  apply_q_panels(a, tau, z, 1);
+}
+
+// ------------------------------------------- two-stage reduction (SBR)
+//
+// The two-stage path reduces full -> band -> tridiagonal. Stage one runs
+// blocked QR panels of width b: each panel's reflectors are generated on a
+// transposed copy (contiguous rows), and the trailing square absorbs the
+// whole panel at once through the symmetric compact-WY update
+// A <- A - Z V^T - V Z^T with Z = Y - (1/2) V S, Y = A V T,
+// S = T^T (V^T Y) - pure level-3 GEMM, unlike the one-stage path whose
+// per-column matrix-vector product is level-2 memory-bound. Stage two
+// chases the band to tridiagonal form with Givens rotations (Schwarz /
+// dsbtrd lineage) recorded into a log; the eigenvector back-transform
+// replays that log reversed and transposed, then pushes through the same
+// compact-WY panels as the one-stage solver (offset b instead of 1).
+
+constexpr std::size_t kBandWidth = 64;  ///< stage-one bandwidth, large n
+
+/// Stage-one target bandwidth. Wider bands shift work from the Givens
+/// chase (O(n^2 b) but cache-unfriendly) into the blocked GEMM update,
+/// which is the right trade once the matrix dwarfs the band: 64 wins at
+/// n >= 384 but loses ~15% at n = 256 where the band would be a quarter
+/// of the matrix. A function of n only, so the rotation sequence stays
+/// pool-width independent.
+std::size_t band_width(std::size_t n) {
+  return n < 384 ? 48 : kBandWidth;
+}
+
+/// Problems below this size stay on the one-stage path: the chase and its
+/// reversed-rotation back-transform only pay for themselves once the
+/// trailing updates are big enough to run at level-3 GEMM rate.
+constexpr std::size_t kTwoStageMin = 160;
+
+/// Blocked full -> band reduction (bandwidth kBandWidth, lower-triangle
+/// convention). On return the band of `a` holds the banded matrix;
+/// strictly below it, column j holds reflector j's tail (rows j+b+1..n),
+/// whose unit head lives at a(j+b, j) *conceptually* - that slot holds the
+/// band entry until extract_band() captures it and writes the explicit 1
+/// the back-transform reads. tau[j] is the reflector scalar.
+void band_reduce(RealMatrix& a, std::vector<double>& tau) {
+  const std::size_t n = a.rows();
+  const std::size_t b = band_width(n);
+  tau.assign(n, 0.0);
+  for (std::size_t i0 = 0; i0 + b + 1 < n;) {
+    const std::size_t kb = std::min(b, n - b - 1 - i0);
+    const std::size_t r0 = i0 + b;  // first row the panel reflectors touch
+    const std::size_t mt = n - r0;
+    // Panel QR on the transposed block pt(p, r) = a(r0+r, i0+p): each
+    // reflector's vector is a contiguous row slice.
+    RealMatrix pt(kb, mt);
+    for (std::size_t p = 0; p < kb; ++p) {
+      double* row = pt.row(p);
+      for (std::size_t r = 0; r < mt; ++r) row[r] = a(r0 + r, i0 + p);
+    }
+    for (std::size_t p = 0; p < kb; ++p) {
+      double* vp = pt.row(p);
+      // Householder reflector annihilating rows r0+p+1..n of column i0+p.
+      double tail2 = 0.0;
+      for (std::size_t r = p + 1; r < mt; ++r) tail2 += vp[r] * vp[r];
+      const double alpha = vp[p];
+      double beta = alpha;
+      double tau_p = 0.0;
+      if (tail2 != 0.0) {
+        beta = -sign_of(pythag(alpha, std::sqrt(tail2)), alpha);
+        tau_p = (beta - alpha) / beta;
+        const double inv = 1.0 / (alpha - beta);
+        for (std::size_t r = p + 1; r < mt; ++r) vp[r] *= inv;
+      }
+      tau[i0 + p] = tau_p;
+      vp[p] = beta;  // R(p, p); the reflector's unit head stays implicit
+      if (tau_p != 0.0) {
+        // Fold H_p into the remaining panel columns:
+        // row_q -= tau_p (v . row_q) v, with v's implicit unit at p.
+        for (std::size_t q = p + 1; q < kb; ++q) {
+          double* rq = pt.row(q);
+          const double scale =
+              tau_p * (rq[p] + dot_range(vp, rq, p + 1, mt));
+          rq[p] -= scale;
+          for (std::size_t r = p + 1; r < mt; ++r) rq[r] -= scale * vp[r];
+        }
+      }
+    }
+    // Write the factored panel back: R inside the band, reflector tails
+    // below it.
+    for (std::size_t p = 0; p < kb; ++p) {
+      const double* row = pt.row(p);
+      for (std::size_t r = 0; r < mt; ++r) a(r0 + r, i0 + p) = row[r];
+    }
+    // V (mt x kb, unit lower trapezoidal) and the dlarft forward factor T.
+    RealMatrix v(mt, kb);
+    for (std::size_t p = 0; p < kb; ++p) {
+      v(p, p) = 1.0;
+      for (std::size_t r = p + 1; r < mt; ++r) v(r, p) = pt(p, r);
+    }
+    RealMatrix t(kb, kb);
+    std::vector<double> h(kb, 0.0);
+    for (std::size_t p = 0; p < kb; ++p) {
+      const double tau_p = tau[i0 + p];
+      if (tau_p == 0.0) continue;
+      for (std::size_t q = 0; q < p; ++q) {
+        // v_q . v_p: v_p's unit head plus the contiguous tails in pt.
+        h[q] = pt(q, p) + dot_range(pt.row(q), pt.row(p), p + 1, mt);
+      }
+      for (std::size_t q = 0; q < p; ++q) {
+        double acc = 0.0;
+        for (std::size_t u = q; u < p; ++u) acc += t(q, u) * h[u];
+        t(q, p) = -tau_p * acc;
+      }
+      t(p, p) = tau_p;
+    }
+    // Final short panel (kb < b): the columns between the panel and the
+    // trailing square see Q^T from the left only. Their updated entries
+    // all land within band distance b, so they need no reflectors.
+    const std::size_t strip0 = i0 + kb;
+    if (strip0 < r0) {
+      const std::size_t w = r0 - strip0;
+      RealMatrix x(mt, w);
+      for (std::size_t r = 0; r < mt; ++r) {
+        for (std::size_t c = 0; c < w; ++c) x(r, c) = a(r0 + r, strip0 + c);
+      }
+      RealMatrix x1;
+      gemm(v, x, x1, 1.0, 0.0, /*transpose_a=*/true);
+      RealMatrix x2;
+      gemm(t, x1, x2, 1.0, 0.0, /*transpose_a=*/true);
+      gemm(v, x2, x, -1.0, 1.0);
+      for (std::size_t r = 0; r < mt; ++r) {
+        for (std::size_t c = 0; c < w; ++c) a(r0 + r, strip0 + c) = x(r, c);
+      }
+    }
+    // Two-sided trailing update A_t <- Q^T A_t Q as level-3 GEMM:
+    // W = A_t V, Y = W T, S = T^T (V^T Y) (symmetric), Z = Y - (1/2) V S,
+    // then the rank-2k A_t -= Z V^T + V Z^T as one GEMM with
+    // left = [Z | V], right = [V | Z].
+    RealMatrix at(mt, mt);
+    parallel_for(0, mt, eig_grain(mt),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t r = lo; r < hi; ++r) {
+                     std::copy(a.row(r0 + r) + r0, a.row(r0 + r) + n,
+                               at.row(r));
+                   }
+                 });
+    RealMatrix wmat;
+    gemm(at, v, wmat);
+    RealMatrix y;
+    gemm(wmat, t, y);
+    RealMatrix vty;
+    gemm(v, y, vty, 1.0, 0.0, /*transpose_a=*/true);
+    RealMatrix s;
+    gemm(t, vty, s, 1.0, 0.0, /*transpose_a=*/true);
+    RealMatrix zmat = y;
+    gemm(v, s, zmat, -0.5, 1.0);
+    RealMatrix left(mt, 2 * kb);
+    RealMatrix right(mt, 2 * kb);
+    parallel_for(0, mt, eig_grain(4 * kb),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t r = lo; r < hi; ++r) {
+                     for (std::size_t p = 0; p < kb; ++p) {
+                       const double zz = zmat(r, p);
+                       const double vv = v(r, p);
+                       left(r, p) = zz;
+                       left(r, kb + p) = vv;
+                       right(r, p) = vv;
+                       right(r, kb + p) = zz;
+                     }
+                   }
+                 });
+    gemm(left, right, at, -1.0, 1.0, /*transpose_a=*/false,
+         /*transpose_b=*/true);
+    parallel_for(0, mt, eig_grain(mt),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t r = lo; r < hi; ++r) {
+                     std::copy(at.row(r), at.row(r) + mt,
+                               a.row(r0 + r) + r0);
+                   }
+                 });
+    i0 += kb;
+  }
+}
+
+/// Captures the band into compact storage band(j, d) = A(j+d, j) for
+/// d in [0, b] (column b+1 is the chase's bulge slot), then overwrites
+/// each reflector's head slot a(j+b, j) with the explicit 1
+/// apply_q_panels reads. Columns are the leading index so the chase's
+/// varying-distance accesses land in one short row instead of striding
+/// n doubles apart (a 4 KiB critical stride at n = 512 that thrashes
+/// every access onto the same cache set).
+RealMatrix extract_band(RealMatrix& a, std::size_t b) {
+  const std::size_t n = a.rows();
+  RealMatrix band(n, b + 2);
+  for (std::size_t j = 0; j < n; ++j) {
+    double* row = band.row(j);
+    const std::size_t dmax = std::min(b, n - 1 - j);
+    for (std::size_t d = 0; d <= dmax; ++d) row[d] = a(j + d, j);
+  }
+  for (std::size_t j = 0; j + b + 1 < n; ++j) a(j + b, j) = 1.0;
+  return band;
+}
+
+/// Band -> tridiagonal Givens bulge chase (Schwarz / dsbtrd lineage) on
+/// the compact band storage. For source column j, chase dist (run for
+/// dist = dmax down to 2) annihilates the entry at distance dist below
+/// the diagonal with a rotation in planes (j + dist - 1, j + dist),
+/// then chases the fill-in bulge down the band to the edge; the chase's
+/// m-th rotation acts on plane j + dist + m b. Every rotation G acts as
+/// the similarity A <- G A G^T, so the accumulated transform is
+/// Q2^T = G_N ... G_1; apply_chase_rotations replays the log reversed
+/// and transposed. Before appending to `log`, each j's rotations are
+/// regrouped depth-major (stable bucket by m): in the replayed
+/// direction only same-depth adjacent-dist rotations conflict - planes
+/// j + dist + m b of one j coincide or touch only at equal m - and the
+/// stable scatter preserves their relative order, so the replayed
+/// product is bitwise identical to replaying in emission order. Each
+/// depth group then holds a run of consecutive descending planes
+/// (dist descending at fixed m) that apply_chase_rotations turns into
+/// one register-carried chain. `group_len` records each (j, m) group's
+/// rotation count and `j_groups` the number of groups per j (chases
+/// die off the bottom edge or on exact zeros, both data-dependent).
+/// On return `d`/`e` hold the tridiagonal matrix (e[i] couples rows
+/// i-1 and i, e[0] unused). Entirely serial: the rotation sequence is
+/// part of the bitwise-determinism contract.
+void band_to_tridiagonal(RealMatrix& band, std::size_t b,
+                         std::vector<double>& d, std::vector<double>& e,
+                         std::vector<GivensRotation>& log,
+                         std::vector<std::uint32_t>& group_len,
+                         std::vector<std::uint32_t>& j_groups) {
+  const std::size_t n = band.rows();
+  std::vector<GivensRotation> jbuf;    // this j's rotations, chase order
+  std::vector<std::uint32_t> jdepth;   // depth of each jbuf entry
+  std::vector<std::uint32_t> dcount;   // rotations per depth
+  std::vector<std::uint32_t> doff;     // scatter cursors per depth
+  std::vector<GivensRotation> sorted;  // depth-major scratch
+  for (std::size_t j = 0; j + 2 < n; ++j) {
+    const std::size_t dmax = std::min(b, n - 1 - j);
+    jbuf.clear();
+    jdepth.clear();
+    dcount.clear();
+    for (std::size_t dist = dmax; dist >= 2; --dist) {
+      std::size_t sc = j;      // column holding the entry to annihilate
+      std::size_t sd = dist;   // its distance below the diagonal
+      std::uint32_t m = 0;     // chase depth
+      for (;;) {
+        const std::size_t p = sc + sd;  // rotation plane (p-1, p)
+        const std::size_t p1 = p - 1;
+        const double f = band(sc, sd - 1);
+        const double g = band(sc, sd);
+        if (g == 0.0) break;  // nothing to chase further
+        const double r = pythag(f, g);
+        const double c = f / r;
+        const double s = -g / r;
+        band(sc, sd - 1) = r;
+        band(sc, sd) = 0.0;
+        jbuf.push_back({p1, c, s});
+        jdepth.push_back(m);
+        if (m >= dcount.size()) dcount.resize(m + 1, 0);
+        ++dcount[m];
+        ++m;
+        // Row pair (p-1, p) across earlier columns still inside the
+        // band: one adjacent pair per column row, stepping b+1 doubles.
+        for (std::size_t col = sc + 1; col < p1; ++col) {
+          double* entry = band.row(col) + (p1 - col);
+          const double u = entry[0];
+          const double l = entry[1];
+          entry[0] = c * u - s * l;
+          entry[1] = s * u + c * l;
+        }
+        // The 2x2 diagonal block.
+        {
+          const double a11 = band(p1, 0);
+          const double a21 = band(p1, 1);
+          const double a22 = band(p, 0);
+          band(p1, 0) = c * c * a11 - 2.0 * c * s * a21 + s * s * a22;
+          band(p1, 1) =
+              c * s * a11 + (c * c - s * s) * a21 - c * s * a22;
+          band(p, 0) = s * s * a11 + 2.0 * c * s * a21 + c * c * a22;
+        }
+        // Column pair (p-1, p) for rows below p: two contiguous runs,
+        // offset by one. Row p+b of column p-1 is the bulge slot the
+        // rotation fills in. The runs are contiguous, so this is the one
+        // chase loop worth vectorizing - explicit 8-wide FMA, with an
+        // std::fma scalar tail keeping the arithmetic identical.
+        const std::size_t rmax = std::min(n - 1, p + b);
+        double* up = band.row(p1);
+        double* lp = band.row(p);
+        std::size_t row = p + 1;
+#if NDFT_GEMM_SIMD
+        {
+          const V8d cv = V8d{} + c;
+          const V8d sv = V8d{} + s;
+          const V8d nsv = V8d{} - sv;
+          for (; row + 7 <= rmax; row += 8) {
+            double* uq = up + (row - p1);
+            double* lq = lp + (row - p);
+            const V8d u = v8_load(uq);
+            const V8d l = v8_load(lq);
+            v8_store(uq, v8_fma(cv, u, nsv * l));
+            v8_store(lq, v8_fma(sv, u, cv * l));
+          }
+        }
+#endif
+        for (; row <= rmax; ++row) {
+          const double u = up[row - p1];
+          const double l = lp[row - p];
+          up[row - p1] = std::fma(c, u, -s * l);
+          lp[row - p] = std::fma(s, u, c * l);
+        }
+        if (p + b >= n) break;  // bulge chased off the bottom
+        sc = p1;
+        sd = b + 1;
+      }
+    }
+    // Scatter this j's log segment into depth-major order (stable).
+    doff.assign(dcount.size(), 0);
+    std::uint32_t run = 0;
+    for (std::size_t m = 0; m < dcount.size(); ++m) {
+      doff[m] = run;
+      run += dcount[m];
+    }
+    sorted.resize(jbuf.size());
+    for (std::size_t i = 0; i < jbuf.size(); ++i) {
+      sorted[doff[jdepth[i]]++] = jbuf[i];
+    }
+    log.insert(log.end(), sorted.begin(), sorted.end());
+    std::uint32_t groups = 0;
+    for (std::size_t m = 0; m < dcount.size(); ++m) {
+      if (dcount[m] > 0) {
+        group_len.push_back(dcount[m]);
+        ++groups;
+      }
+    }
+    j_groups.push_back(groups);
+  }
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) d[i] = band(i, 0);
+  for (std::size_t i = 1; i < n; ++i) e[i] = band(i - 1, 1);
+}
+
+/// s <- Q2 s with Q2 = G_1^T G_2^T ... G_N^T: the chase log replayed in
+/// reverse order with transposed rotations, each mixing the contiguous
+/// rows (col, col+1) of s. Column bands split across the pool; every band
+/// sees the full reversed log in the same order, so the result is bitwise
+/// identical for any thread count.
+///
+/// band_to_tridiagonal emits the log in wavefronts (per source column j,
+/// per chase depth m, planes descending); reversing the log therefore
+/// yields, within each (j, m) group, a run of rotations on consecutive
+/// ascending planes. A run of K such rotations is applied as one
+/// register-carried chain over K + 1 rows: rotation i mixes rows
+/// (q0+i, q0+i+1) and hands the updated shared row to rotation i+1
+/// without a round trip through memory, so each rotation costs ~1 row
+/// load + 1 row store instead of 2 + 2 - and the replay is L2-bandwidth
+/// bound, so halving the traffic nearly halves the wall time. The
+/// per-element operation sequence matches the naive reversed replay
+/// exactly (fma(c,u,s*l) / fma(c,l,-s*u) in log order), so the chaining
+/// is bitwise neutral. Early-terminated chases leave holes in a
+/// wavefront; runs are re-segmented by checking plane adjacency.
+void apply_chase_rotations(const std::vector<GivensRotation>& log,
+                           const std::vector<std::uint32_t>& group_len,
+                           const std::vector<std::uint32_t>& j_groups,
+                           RealMatrix& s) {
+  if (log.empty()) return;
+  const std::size_t rows = s.rows();
+  const std::size_t cols = s.cols();
+  std::size_t max_group = 0;
+  for (std::uint32_t len : group_len) {
+    max_group = std::max<std::size_t>(max_group, len);
+  }
+  // Each column tile is staged through a compact (rows x tile) buffer
+  // before the replay: in place, successive rotation rows sit a full
+  // matrix row apart (4 KiB at n = 512 - the critical stride, so the
+  // reuse window of the chase replay collides onto one cache-set group
+  // and every access pays an L2 round trip). The row stride is padded
+  // off the power of two: the chain walks ~b rows at one vector's width
+  // per visit, and a 1 KiB stride would land every visited line in the
+  // same few L1 sets.
+  // Cap the tile so the staging buffer stays L2-resident even when few
+  // threads leave the grain wide (at one thread the grain is the whole
+  // matrix: a 2 MiB tile at n = 512, which demotes the replay from L2
+  // to L3 bandwidth).
+  const std::size_t cap = std::max<std::size_t>(64, (1024 * 1024) / (8 * rows));
+  const std::size_t band = std::min<std::size_t>(
+      cap,
+      std::min<std::size_t>(
+          cols, std::max<std::size_t>(64, parallel_grain(6 * log.size()))));
+  parallel_for(0, cols, band, [&](std::size_t lo, std::size_t hi) {
+    const std::size_t tw = hi - lo;
+    const std::size_t st = tw + 8;
+    std::vector<double> tile(rows * st);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* src = s.row(r) + lo;
+      double* dst = tile.data() + r * st;
+      for (std::size_t k = 0; k < tw; ++k) dst[k] = src[k];
+    }
+    std::vector<double> cseg(max_group);
+    std::vector<double> sseg(max_group);
+    // Reversed log: j descending, wavefront depth m descending within
+    // each j, planes ascending within each wavefront.
+    std::size_t gi = group_len.size();
+    std::size_t li = log.size();
+    for (std::size_t jr = j_groups.size(); jr-- > 0;) {
+      for (std::uint32_t gj = j_groups[jr]; gj-- > 0;) {
+        --gi;
+        const std::size_t len = group_len[gi];
+        li -= len;
+        // Group entries log[li .. li+len) hold descending planes; walk
+        // them back-to-front and chain maximal adjacent-plane runs.
+        std::size_t t = len;
+        while (t > 0) {
+          std::size_t t_lo = t - 1;  // run start (lowest plane)
+          while (t_lo > 0 &&
+                 log[li + t_lo - 1].col == log[li + t_lo].col + 1) {
+            --t_lo;
+          }
+          const std::size_t nseg = t - t_lo;
+          const std::size_t q0 = log[li + t - 1].col;
+          for (std::size_t i = 0; i < nseg; ++i) {
+            const GivensRotation& rot = log[li + t - 1 - i];
+            cseg[i] = rot.c;
+            sseg[i] = rot.s;
+          }
+          // Pipelined chain over rows q0 .. q0 + nseg: rotation i mixes
+          // (q0+i, q0+i+1); the updated shared row stays in registers.
+          std::size_t o = 0;
+#if NDFT_GEMM_SIMD
+          for (; o + 32 <= tw; o += 32) {
+            double* base = tile.data() + q0 * st + o;
+            V8d cur0 = v8_load(base);
+            V8d cur1 = v8_load(base + 8);
+            V8d cur2 = v8_load(base + 16);
+            V8d cur3 = v8_load(base + 24);
+            for (std::size_t i = 0; i < nseg; ++i) {
+              const V8d cv = V8d{} + cseg[i];
+              const V8d sv = V8d{} + sseg[i];
+              const V8d nv = V8d{} - sv;
+              double* up = base + i * st;
+              const V8d nxt0 = v8_load(up + st);
+              const V8d nxt1 = v8_load(up + st + 8);
+              const V8d nxt2 = v8_load(up + st + 16);
+              const V8d nxt3 = v8_load(up + st + 24);
+              v8_store(up, v8_fma(cv, cur0, sv * nxt0));
+              v8_store(up + 8, v8_fma(cv, cur1, sv * nxt1));
+              v8_store(up + 16, v8_fma(cv, cur2, sv * nxt2));
+              v8_store(up + 24, v8_fma(cv, cur3, sv * nxt3));
+              cur0 = v8_fma(cv, nxt0, nv * cur0);
+              cur1 = v8_fma(cv, nxt1, nv * cur1);
+              cur2 = v8_fma(cv, nxt2, nv * cur2);
+              cur3 = v8_fma(cv, nxt3, nv * cur3);
+            }
+            double* last = base + nseg * st;
+            v8_store(last, cur0);
+            v8_store(last + 8, cur1);
+            v8_store(last + 16, cur2);
+            v8_store(last + 24, cur3);
+          }
+          for (; o + 8 <= tw; o += 8) {
+            double* base = tile.data() + q0 * st + o;
+            V8d cur = v8_load(base);
+            for (std::size_t i = 0; i < nseg; ++i) {
+              const V8d cv = V8d{} + cseg[i];
+              const V8d sv = V8d{} + sseg[i];
+              double* up = base + i * st;
+              const V8d nxt = v8_load(up + st);
+              v8_store(up, v8_fma(cv, cur, sv * nxt));
+              cur = v8_fma(cv, nxt, (V8d{} - sv) * cur);
+            }
+            v8_store(base + nseg * st, cur);
+          }
+#endif
+          for (; o < tw; ++o) {
+            double* base = tile.data() + q0 * st + o;
+            double cur = base[0];
+            for (std::size_t i = 0; i < nseg; ++i) {
+              const double c = cseg[i];
+              const double sn = sseg[i];
+              double* up = base + i * st;
+              const double nxt = up[st];
+              up[0] = std::fma(c, cur, sn * nxt);
+              cur = std::fma(c, nxt, -sn * cur);
+            }
+            base[nseg * st] = cur;
+          }
+          t = t_lo;
+        }
+      }
+    }
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* src = tile.data() + r * st;
+      double* dst = s.row(r) + lo;
+      for (std::size_t k = 0; k < tw; ++k) dst[k] = src[k];
+    }
+  });
+}
+
+// ------------------------------------- divide & conquer tridiagonal stage
+//
+// Cuppen's method (dstedc/dlaed lineage): split the tridiagonal matrix in
+// the middle as T = diag(T1'', T2'') + rho z z^T, solve the halves
+// recursively, deflate (negligible z components and near-equal eigenvalue
+// pairs, dlaed2 shape), find the surviving secular-equation roots by
+// bisection to floating-point fixpoint, rebuild z from the computed roots
+// (Gu/Eisenstat) so the secular eigenvectors come out orthogonal to
+// working precision, and back-multiply through the merge as one GEMM. The
+// recursion tree and every scan are serial and depend only on the data;
+// the root solves and the GEMM partition disjoint outputs - bitwise
+// identical for any thread count.
+
+constexpr std::size_t kDcBase = 40;  ///< below this, tql2 solves directly
+
+
+/// One secular root: lambda_j = dhat[origin] + tau, stored split so the
+/// eigenvector denominators (dhat[i] - dhat[origin]) - tau stay accurate
+/// next to the poles.
+struct SecularRoot {
+  std::size_t origin = 0;
+  double tau = 0.0;
+};
+
+/// Secular function f(tau) = 1 + rho * sum_i zhat[i]^2 / (delta[i] - tau)
+/// with delta[i] = dhat[i] - dhat[origin]; strictly increasing between
+/// consecutive poles.
+double secular_f(const std::vector<double>& delta,
+                 const std::vector<double>& z2, double rho, double tau) {
+  double sum = 0.0;
+  const std::size_t k = delta.size();
+  for (std::size_t i = 0; i < k; ++i) sum += z2[i] / (delta[i] - tau);
+  return 1.0 + rho * sum;
+}
+
+/// psi/phi split sums and derivatives in one pass: psi ranges over poles
+/// i < split, phi over i >= split, with psi = sum z2[i] / (delta[i] -
+/// tau) and psip its derivative sum z2[i] / (delta[i] - tau)^2 (phi,
+/// phip likewise). Fixed-width independent partial sums (same
+/// determinism argument as dot_range: the accumulation order is a
+/// function of the index range alone, never of the thread count).
+void secular_sums(const double* __restrict delta,
+                  const double* __restrict z2, std::size_t begin,
+                  std::size_t end, double tau, double& sum, double& dsum) {
+  std::size_t i = begin;
+  double s_head = 0.0;
+  double d_head = 0.0;
+#if NDFT_GEMM_SIMD
+  V8d sv{};
+  V8d dv{};
+  const V8d tv = V8d{} + tau;
+  for (; i + 8 <= end; i += 8) {
+    const V8d inv = (V8d{} + 1.0) / (v8_load(delta + i) - tv);
+    const V8d term = v8_load(z2 + i) * inv;
+    sv += term;
+    dv += term * inv;
+  }
+  double sl[8];
+  double dl[8];
+  __builtin_memcpy(sl, &sv, sizeof(sl));
+  __builtin_memcpy(dl, &dv, sizeof(dl));
+  s_head = ((sl[0] + sl[1]) + (sl[2] + sl[3])) +
+           ((sl[4] + sl[5]) + (sl[6] + sl[7]));
+  d_head = ((dl[0] + dl[1]) + (dl[2] + dl[3])) +
+           ((dl[4] + dl[5]) + (dl[6] + dl[7]));
+#endif
+  for (; i < end; ++i) {
+    const double inv = 1.0 / (delta[i] - tau);
+    const double term = z2[i] * inv;
+    s_head += term;
+    d_head += term * inv;
+  }
+  sum = s_head;
+  dsum = d_head;
+}
+
+/// Finds the secular root on (tau_lo, tau_hi), where f < 0 at the left
+/// end and f > 0 at the right (limits at the poles). dlaed4's "middle
+/// way": each step splits f into psi (poles at or left of the bracket)
+/// and phi (poles right of it), fits one rational term per side to the
+/// sub-sum's value AND derivative at the iterate, and jumps to the root
+/// of the fitted model c + A/(dj - t) + B/(dj1 - t) - a quadratic in t.
+/// Matching the derivative makes the iteration quadratically convergent
+/// even when the root hugs a pole, where plain Newton crawls; iteration
+/// stops when |f| falls under a few eps of the sum's own magnitude (the
+/// terms then cancel to roundoff, so no iterate can do better). The
+/// sign-change bracket is kept at every step as a safeguard, a model
+/// step outside it falls back to the midpoint, and a bounded iteration
+/// cap finishes with pure bisection. `split` is the first phi pole
+/// (split == k for the half-open last interval, which degrades the model
+/// to its one-pole form). Fully serial and data-dependent only -
+/// deterministic for any thread count.
+double secular_solve(const std::vector<double>& delta,
+                     const std::vector<double>& z2, double rho,
+                     std::size_t split, double tau_lo, double tau_hi) {
+  const std::size_t k = delta.size();
+  double tau = 0.5 * (tau_lo + tau_hi);
+  if (tau <= std::min(tau_lo, tau_hi) || tau >= std::max(tau_lo, tau_hi)) {
+    return tau;  // bracket already spans at most one ulp
+  }
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double dj = delta[split - 1];
+  const double dj1 = split < k ? delta[split] : 0.0;
+  for (int iter = 0; iter < 64; ++iter) {
+    double psi;
+    double psip;
+    double phi;
+    double phip;
+    secular_sums(delta.data(), z2.data(), 0, split, tau, psi, psip);
+    secular_sums(delta.data(), z2.data(), split, k, tau, phi, phip);
+    const double f = 1.0 + rho * (psi + phi);
+    const double ftol =
+        8.0 * eps * (1.0 + std::fabs(rho) * (std::fabs(psi) + std::fabs(phi)));
+    if (std::fabs(f) <= ftol) return tau;
+    if (f > 0.0) {
+      tau_hi = tau;
+    } else {
+      tau_lo = tau;
+    }
+    const double blo = std::min(tau_lo, tau_hi);
+    const double bhi = std::max(tau_lo, tau_hi);
+    double next = tau - f / (rho * (psip + phip));  // Newton fallback
+    const double wj = dj - tau;
+    const double a_fit = rho * psip * wj * wj;    // pole weight at dj
+    const double c1 = psi - psip * wj;            // psi's smooth part
+    if (split < k) {
+      const double wj1 = dj1 - tau;
+      const double b_fit = rho * phip * wj1 * wj1;
+      const double c2 = phi - phip * wj1;
+      const double c = 1.0 + rho * (c1 + c2);
+      // c + A/(dj - t) + B/(dj1 - t) = 0, denominators cleared:
+      // c*t^2 - (c*(dj + dj1) + A + B)*t + (c*dj*dj1 + A*dj1 + B*dj) = 0
+      const double qa = c;
+      const double qb = -(c * (dj + dj1) + a_fit + b_fit);
+      const double qc = c * dj * dj1 + a_fit * dj1 + b_fit * dj;
+      if (qa != 0.0) {
+        const double disc = qb * qb - 4.0 * qa * qc;
+        if (disc >= 0.0) {
+          const double sq = std::sqrt(disc);
+          const double q = -0.5 * (qb + sign_of(sq, qb));
+          const double r1 = q / qa;
+          const double r2 = q != 0.0 ? qc / q : r1;
+          const bool in1 = r1 > dj && r1 < dj1;
+          const bool in2 = r2 > dj && r2 < dj1;
+          if (in1 && !in2) {
+            next = r1;
+          } else if (in2 && !in1) {
+            next = r2;
+          } else if (in1 && in2) {
+            next = std::fabs(r1 - tau) < std::fabs(r2 - tau) ? r1 : r2;
+          }
+        }
+      } else if (qb != 0.0) {
+        next = qc / qb;  // smooth part vanished: the model is linear
+      }
+    } else {
+      // Half-open last interval: one fitted pole plus the constant.
+      const double c = 1.0 + rho * (c1 + phi);
+      if (c != 0.0) next = dj + a_fit / c;
+    }
+    if (!(next > blo && next < bhi)) next = 0.5 * (tau_lo + tau_hi);
+    if (next == tau || next <= blo || next >= bhi) {
+      return next == tau ? tau : 0.5 * (tau_lo + tau_hi);
+    }
+    tau = next;
+  }
+  // The model cycled without collapsing the bracket: finish by bisection.
+  for (;;) {
+    const double mid = 0.5 * (tau_lo + tau_hi);
+    if (mid <= std::min(tau_lo, tau_hi) || mid >= std::max(tau_lo, tau_hi)) {
+      break;
+    }
+    if (secular_f(delta, z2, rho, mid) > 0.0) {
+      tau_hi = mid;
+    } else {
+      tau_lo = mid;
+    }
+  }
+  return 0.5 * (tau_lo + tau_hi);
+}
+
+void dc_recurse(std::vector<double>& d, std::vector<double>& e,
+                std::size_t lo, std::size_t hi, RealMatrix& q);
+
+/// Merges the two solved halves of [lo, hi): deflation, secular roots,
+/// Gu/Eisenstat z rebuild, GEMM back-multiply. `beta` is the original
+/// coupling e[mid]; q1/q2 are the halves' eigenvector matrices.
+void dc_merge(std::vector<double>& d, std::size_t lo, std::size_t mid,
+              std::size_t hi, double beta, const RealMatrix& q1,
+              const RealMatrix& q2, RealMatrix& q) {
+  const std::size_t m1 = mid - lo;
+  const std::size_t m2 = hi - mid;
+  const std::size_t m = m1 + m2;
+  const double rho = 2.0 * std::fabs(beta);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  const double sgn = beta >= 0.0 ? 1.0 : -1.0;
+
+  // Stable merge of the two sorted spectra (first block wins ties), with
+  // the rank-one vector z = [S1^T w1; +/- S2^T w2] / sqrt(2) permuted
+  // alongside.
+  std::vector<std::size_t> perm(m);
+  {
+    std::size_t i = 0, j = 0, t = 0;
+    while (i < m1 || j < m2) {
+      if (j >= m2 || (i < m1 && d[lo + i] <= d[mid + j])) {
+        perm[t++] = i++;
+      } else {
+        perm[t++] = m1 + j++;
+      }
+    }
+  }
+  std::vector<double> ds(m);
+  std::vector<double> zs(m);
+  // Row-block support of each qm column (bit 0: rows [0, m1), bit 1:
+  // rows [m1, m)) - block-diagonal until a type-2 deflation rotation
+  // mixes a pair across the split. The back-multiply GEMM below is
+  // restricted per row block to the columns with support there.
+  std::vector<std::uint8_t> support(m);
+  for (std::size_t t = 0; t < m; ++t) {
+    const std::size_t src = perm[t];
+    ds[t] = d[lo + src];
+    zs[t] = src < m1 ? inv_sqrt2 * q1(m1 - 1, src)
+                     : sgn * inv_sqrt2 * q2(0, src - m1);
+    support[t] = src < m1 ? 1 : 2;
+  }
+  // Block-diagonal eigenvector matrix with the same column permutation,
+  // filled row-wise: writes stay contiguous and the reads gather within
+  // one source row (column-wise filling would store with stride m - the
+  // 4 KiB critical stride at the top merge).
+  RealMatrix qm(m, m);
+  parallel_for(0, m, eig_grain(m), [&](std::size_t rlo, std::size_t rhi) {
+    for (std::size_t r = rlo; r < rhi; ++r) {
+      double* dst = qm.row(r);
+      if (r < m1) {
+        const double* srow = q1.row(r);
+        for (std::size_t t = 0; t < m; ++t) {
+          const std::size_t src = perm[t];
+          if (src < m1) dst[t] = srow[src];
+        }
+      } else {
+        const double* srow = q2.row(r - m1);
+        for (std::size_t t = 0; t < m; ++t) {
+          const std::size_t src = perm[t];
+          if (src >= m1) dst[t] = srow[src - m1];
+        }
+      }
+    }
+  });
+
+  // Deflation scan (dlaed2 shape). Type 1: rho*|z| negligible. Type 2:
+  // near-equal eigenvalue pair - a Givens rotation on (z_prev, z_cur) and
+  // the matching qm columns zeroes z_prev at an off-diagonal cost below
+  // tolerance. Serial scan; the order is part of the determinism contract.
+  const double eps = std::numeric_limits<double>::epsilon();
+  double dmax = 0.0;
+  double zmax = 0.0;
+  for (std::size_t t = 0; t < m; ++t) {
+    dmax = std::max(dmax, std::fabs(ds[t]));
+    zmax = std::max(zmax, std::fabs(zs[t]));
+  }
+  const double tol = 8.0 * eps * std::max(dmax, rho * zmax);
+  std::vector<std::size_t> keep;     // surviving (non-deflated) indices
+  std::vector<std::size_t> deflated;
+  keep.reserve(m);
+  for (std::size_t t = 0; t < m; ++t) {
+    if (rho * std::fabs(zs[t]) <= tol) {
+      deflated.push_back(t);
+      continue;
+    }
+    if (!keep.empty()) {
+      const std::size_t prev = keep.back();
+      const double zp = zs[prev];
+      const double zc = zs[t];
+      const double r = pythag(zp, zc);
+      const double c = zc / r;
+      const double s = -zp / r;
+      if (std::fabs((ds[t] - ds[prev]) * c * s) <= tol) {
+        // Rotate columns (prev, t) of qm and fold the pair: prev deflates
+        // with the mixed eigenvalue, t survives carrying |z| = r.
+        zs[prev] = 0.0;
+        zs[t] = r;
+        const double dp = ds[prev];
+        const double dc_ = ds[t];
+        ds[prev] = c * c * dp + s * s * dc_;
+        ds[t] = s * s * dp + c * c * dc_;
+        for (std::size_t row = 0; row < m; ++row) {
+          const double qp = qm(row, prev);
+          const double qc = qm(row, t);
+          qm(row, prev) = c * qp + s * qc;
+          qm(row, t) = c * qc - s * qp;
+        }
+        support[t] |= support[prev];
+        support[prev] = support[t];
+        keep.back() = t;
+        deflated.push_back(prev);
+        continue;
+      }
+    }
+    keep.push_back(t);
+  }
+  const std::size_t k = keep.size();
+
+  std::vector<double> dout(m);
+  RealMatrix qout(m, m);
+  if (k == 0) {
+    // Fully deflated (e.g. beta == 0): the merge is a pure column
+    // permutation of the deflated set, sorted by eigenvalue.
+    std::stable_sort(deflated.begin(), deflated.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return ds[x] < ds[y];
+                     });
+    for (std::size_t t = 0; t < m; ++t) dout[t] = ds[deflated[t]];
+    parallel_for(0, m, eig_grain(m),
+                 [&](std::size_t rlo, std::size_t rhi) {
+                   for (std::size_t r = rlo; r < rhi; ++r) {
+                     const double* srow = qm.row(r);
+                     double* dst = qout.row(r);
+                     for (std::size_t t = 0; t < m; ++t) {
+                       dst[t] = srow[deflated[t]];
+                     }
+                   }
+                 });
+    for (std::size_t t = 0; t < m; ++t) d[lo + t] = dout[t];
+    q = std::move(qout);
+    return;
+  }
+
+  // Secular roots: root j lives in (dhat[j], dhat[j+1]) (the last one in
+  // (dhat[k-1], dhat[k-1] + rho ||zhat||^2]). The origin pole is picked by
+  // the sign of f at the interval midpoint, and the root is stored as
+  // (origin, tau) for accurate eigenvector denominators.
+  std::vector<double> dhat(k);
+  std::vector<double> zhat(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    dhat[j] = ds[keep[j]];
+    zhat[j] = zs[keep[j]];
+  }
+  double znorm2 = 0.0;
+  for (std::size_t j = 0; j < k; ++j) znorm2 += zhat[j] * zhat[j];
+  std::vector<SecularRoot> roots(k);
+  parallel_for(0, k, eig_grain(64 * k), [&](std::size_t jlo,
+                                            std::size_t jhi) {
+    std::vector<double> delta(k);
+    std::vector<double> z2(k);
+    for (std::size_t i = 0; i < k; ++i) z2[i] = zhat[i] * zhat[i];
+    for (std::size_t j = jlo; j < jhi; ++j) {
+      SecularRoot root;
+      if (j + 1 < k) {
+        const double width = dhat[j + 1] - dhat[j];
+        // f at the interval midpoint decides which pole anchors tau.
+        for (std::size_t i = 0; i < k; ++i) delta[i] = dhat[i] - dhat[j];
+        double fmid = 0.0;
+        double unused = 0.0;
+        secular_sums(delta.data(), z2.data(), 0, k, 0.5 * width, fmid,
+                     unused);
+        fmid = 1.0 + rho * fmid;
+        if (fmid >= 0.0) {
+          root.origin = j;
+          root.tau =
+              secular_solve(delta, z2, rho, j + 1, 0.0, 0.5 * width);
+        } else {
+          root.origin = j + 1;
+          for (std::size_t i = 0; i < k; ++i) {
+            delta[i] = dhat[i] - dhat[j + 1];
+          }
+          root.tau =
+              secular_solve(delta, z2, rho, j + 1, -0.5 * width, 0.0);
+        }
+      } else {
+        root.origin = k - 1;
+        for (std::size_t i = 0; i < k; ++i) {
+          delta[i] = dhat[i] - dhat[k - 1];
+        }
+        root.tau = secular_solve(delta, z2, rho, k, 0.0, rho * znorm2);
+      }
+      roots[j] = root;
+    }
+  });
+
+
+  // Gu/Eisenstat: rebuild zhat from the computed roots so the analytic
+  // eigenvector formula is orthogonal to working precision. Every factor
+  // is positive by interlacing; the sign comes from the original zhat.
+  std::vector<double> zre(k);
+  parallel_for(0, k, eig_grain(8 * k), [&](std::size_t ilo,
+                                           std::size_t ihi) {
+    for (std::size_t i = ilo; i < ihi; ++i) {
+      const double di = dhat[i];
+      double prod =
+          (dhat[roots[k - 1].origin] - di) + roots[k - 1].tau;
+      for (std::size_t j = 0; j < i; ++j) {
+        const double num = (dhat[roots[j].origin] - di) + roots[j].tau;
+        prod *= num / (dhat[j] - di);
+      }
+      for (std::size_t j = i; j + 1 < k; ++j) {
+        const double num = (dhat[roots[j].origin] - di) + roots[j].tau;
+        prod *= num / (dhat[j + 1] - di);
+      }
+      zre[i] = sign_of(std::sqrt(std::fabs(prod)), zhat[i]);
+    }
+  });
+
+  // Secular eigenvectors, rows of ut (ut(j, i) = component i of vector j),
+  // then the back-multiply Q_keep * U as one GEMM (transpose_b folds the
+  // row layout).
+  RealMatrix ut(k, k);
+  parallel_for(0, k, eig_grain(6 * k), [&](std::size_t jlo,
+                                           std::size_t jhi) {
+    for (std::size_t j = jlo; j < jhi; ++j) {
+      double* row = ut.row(j);
+      const double dorg = dhat[roots[j].origin];
+      double norm2 = 0.0;
+      for (std::size_t i = 0; i < k; ++i) {
+        const double denom = (dhat[i] - dorg) - roots[j].tau;
+        const double value = zre[i] / denom;
+        row[i] = value;
+        norm2 += value * value;
+      }
+      const double inv = 1.0 / std::sqrt(norm2);
+      for (std::size_t i = 0; i < k; ++i) row[i] *= inv;
+    }
+  });
+  // Back-multiply Q_keep * U^T, split per row block (dlaed3 shape): a
+  // surviving column drawn from the first half is zero below row m1 and
+  // vice versa, so each row block multiplies only the columns with
+  // support there. With light deflation that halves the flops of the
+  // dense m x k x k product; type-2-mixed columns simply join both
+  // blocks. The packing is a row-wise gather, and each output block is
+  // one GEMM writing disjoint rows - deterministic for any thread count.
+  RealMatrix qsec(m, k);
+  const std::size_t row_lo[2] = {0, m1};
+  const std::size_t row_hi[2] = {m1, m};
+  for (int blk = 0; blk < 2; ++blk) {
+    const std::uint8_t bit = blk == 0 ? 1 : 2;
+    std::vector<std::size_t> jb;
+    jb.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (support[keep[j]] & bit) jb.push_back(j);
+    }
+    const std::size_t rows = row_hi[blk] - row_lo[blk];
+    if (rows == 0) continue;
+    const std::size_t kb = jb.size();
+    if (kb == 0) {
+      for (std::size_t r = row_lo[blk]; r < row_hi[blk]; ++r) {
+        double* dst = qsec.row(r);
+        for (std::size_t j = 0; j < k; ++j) dst[j] = 0.0;
+      }
+      continue;
+    }
+    RealMatrix qpack(rows, kb);
+    parallel_for(0, rows, eig_grain(kb),
+                 [&](std::size_t rlo, std::size_t rhi) {
+                   for (std::size_t r = rlo; r < rhi; ++r) {
+                     const double* src = qm.row(row_lo[blk] + r);
+                     double* dst = qpack.row(r);
+                     for (std::size_t c = 0; c < kb; ++c) {
+                       dst[c] = src[keep[jb[c]]];
+                     }
+                   }
+                 });
+    RealMatrix upack(k, kb);
+    parallel_for(0, k, eig_grain(kb),
+                 [&](std::size_t jlo, std::size_t jhi) {
+                   for (std::size_t j = jlo; j < jhi; ++j) {
+                     const double* src = ut.row(j);
+                     double* dst = upack.row(j);
+                     for (std::size_t c = 0; c < kb; ++c) {
+                       dst[c] = src[jb[c]];
+                     }
+                   }
+                 });
+    RealMatrix qblk;
+    gemm(qpack, upack, qblk, 1.0, 0.0, /*transpose_a=*/false,
+         /*transpose_b=*/true);
+    parallel_for(0, rows, eig_grain(k),
+                 [&](std::size_t rlo, std::size_t rhi) {
+                   for (std::size_t r = rlo; r < rhi; ++r) {
+                     const double* src = qblk.row(r);
+                     double* dst = qsec.row(row_lo[blk] + r);
+                     for (std::size_t j = 0; j < k; ++j) dst[j] = src[j];
+                   }
+                 });
+  }
+
+
+  // Assemble: merge the sorted secular roots with the sorted deflated set
+  // (secular wins ties - a fixed, data-independent rule).
+  std::stable_sort(deflated.begin(), deflated.end(),
+                   [&](std::size_t x, std::size_t y) {
+                     return ds[x] < ds[y];
+                   });
+  std::vector<double> lambda(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    lambda[j] = dhat[roots[j].origin] + roots[j].tau;
+  }
+  // Column sources first, then one row-wise gather pass: per output
+  // column either secular vector si or deflated qm column (column-wise
+  // copying would write with the stride-m critical stride).
+  std::vector<std::uint8_t> from_secular(m);
+  std::vector<std::size_t> col_src(m);
+  std::size_t si = 0;
+  std::size_t di = 0;
+  for (std::size_t t = 0; t < m; ++t) {
+    const bool take_secular =
+        si < k && (di >= deflated.size() || lambda[si] <= ds[deflated[di]]);
+    from_secular[t] = take_secular ? 1 : 0;
+    if (take_secular) {
+      dout[t] = lambda[si];
+      col_src[t] = si++;
+    } else {
+      const std::size_t src = deflated[di++];
+      dout[t] = ds[src];
+      col_src[t] = src;
+    }
+  }
+  parallel_for(0, m, eig_grain(m),
+               [&](std::size_t rlo, std::size_t rhi) {
+                 for (std::size_t r = rlo; r < rhi; ++r) {
+                   const double* srow_sec = qsec.row(r);
+                   const double* srow_defl = qm.row(r);
+                   double* dst = qout.row(r);
+                   for (std::size_t t = 0; t < m; ++t) {
+                     dst[t] = from_secular[t] ? srow_sec[col_src[t]]
+                                              : srow_defl[col_src[t]];
+                   }
+                 }
+               });
+  for (std::size_t t = 0; t < m; ++t) d[lo + t] = dout[t];
+  q = std::move(qout);
+}
+
+/// Solves [lo, hi) of the tridiagonal (d, e) recursively; on return
+/// d[lo..hi) holds the eigenvalues ascending and q the eigenvectors
+/// (column j pairs with d[lo + j]). The split point is a pure function of
+/// the size, so the recursion tree is identical for any thread count.
+void dc_recurse(std::vector<double>& d, std::vector<double>& e,
+                std::size_t lo, std::size_t hi, RealMatrix& q) {
+  const std::size_t m = hi - lo;
+  if (m <= kDcBase) {
+    std::vector<double> dd(d.begin() + static_cast<std::ptrdiff_t>(lo),
+                           d.begin() + static_cast<std::ptrdiff_t>(hi));
+    std::vector<double> ee(m, 0.0);
+    for (std::size_t i = 1; i < m; ++i) ee[i] = e[lo + i];
+    RealMatrix z(m, m);
+    for (std::size_t i = 0; i < m; ++i) z(i, i) = 1.0;
+    tql2(dd, ee, z);
+    std::vector<std::size_t> order(m);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) { return dd[x] < dd[y]; });
+    q = RealMatrix(m, m);
+    for (std::size_t j = 0; j < m; ++j) {
+      d[lo + j] = dd[order[j]];
+      for (std::size_t i = 0; i < m; ++i) q(i, j) = z(i, order[j]);
+    }
+    return;
+  }
+  const std::size_t mid = lo + m / 2;
+  const double beta = e[mid];  // couples rows (mid-1, mid)
+  const double abeta = std::fabs(beta);
+  d[mid - 1] -= abeta;
+  d[mid] -= abeta;
+  RealMatrix q1;
+  RealMatrix q2;
+  dc_recurse(d, e, lo, mid, q1);
+  dc_recurse(d, e, mid, hi, q2);
+  dc_merge(d, lo, mid, hi, beta, q1, q2, q);
+}
+
+/// Divide-and-conquer eigendecomposition of the tridiagonal (d, e)
+/// (e[i] couples rows i-1 and i, e[0] unused). On return d holds the
+/// eigenvalues ascending and q the eigenvectors as columns. The matrix is
+/// pre-scaled to unit max-magnitude so the deflation tolerances are
+/// scale-free.
+void tridiag_dc(std::vector<double>& d, std::vector<double>& e,
+                RealMatrix& q) {
+  const std::size_t n = d.size();
+  q = RealMatrix(n, n);
+  if (n == 0) return;
+  if (n == 1) {
+    q(0, 0) = 1.0;
+    return;
+  }
+  double amax = 0.0;
+  for (std::size_t i = 0; i < n; ++i) amax = std::max(amax, std::fabs(d[i]));
+  for (std::size_t i = 1; i < n; ++i) amax = std::max(amax, std::fabs(e[i]));
+  if (amax == 0.0) {
+    for (std::size_t i = 0; i < n; ++i) q(i, i) = 1.0;
+    return;
+  }
+  const double inv = 1.0 / amax;
+  for (std::size_t i = 0; i < n; ++i) d[i] *= inv;
+  for (std::size_t i = 1; i < n; ++i) e[i] *= inv;
+  dc_recurse(d, e, 0, n, q);
+  for (std::size_t i = 0; i < n; ++i) d[i] *= amax;
 }
 
 // ---------------------------------------------- partial tridiagonal stage
@@ -932,12 +2078,12 @@ void micro_kernel(std::size_t kc, const T* __restrict a_panel,
       const V8d b0 = v8_load(b_panel + l * kNr);
       const V8d b1 = v8_load(b_panel + l * kNr + 8);
       V8d av;
-      av = V8d{} + a[0]; c00 += av * b0; c01 += av * b1;
-      av = V8d{} + a[1]; c10 += av * b0; c11 += av * b1;
-      av = V8d{} + a[2]; c20 += av * b0; c21 += av * b1;
-      av = V8d{} + a[3]; c30 += av * b0; c31 += av * b1;
-      av = V8d{} + a[4]; c40 += av * b0; c41 += av * b1;
-      av = V8d{} + a[5]; c50 += av * b0; c51 += av * b1;
+      av = V8d{} + a[0]; c00 = v8_fma(av, b0, c00); c01 = v8_fma(av, b1, c01);
+      av = V8d{} + a[1]; c10 = v8_fma(av, b0, c10); c11 = v8_fma(av, b1, c11);
+      av = V8d{} + a[2]; c20 = v8_fma(av, b0, c20); c21 = v8_fma(av, b1, c21);
+      av = V8d{} + a[3]; c30 = v8_fma(av, b0, c30); c31 = v8_fma(av, b1, c31);
+      av = V8d{} + a[4]; c40 = v8_fma(av, b0, c40); c41 = v8_fma(av, b1, c41);
+      av = V8d{} + a[5]; c50 = v8_fma(av, b0, c50); c51 = v8_fma(av, b1, c51);
     }
     const V8d rows[12] = {c00, c01, c10, c11, c20, c21,
                           c30, c31, c40, c41, c50, c51};
@@ -1248,6 +2394,97 @@ void gemm_naive(const ComplexMatrix& a, const ComplexMatrix& b,
   }
 }
 
+namespace {
+
+/// One-stage solver body (blocked tridiagonalization + QL + compact WY),
+/// shared by the public wrappers; runs under their timer/trace scopes.
+EigenResult syevd_onestage_impl(const RealMatrix& symmetric,
+                                OpCount* count) {
+  const std::size_t n = symmetric.rows();
+  EigenResult result;
+  if (n == 0) return result;
+
+  RealMatrix reduced = symmetric;
+  std::vector<double> d;
+  std::vector<double> e;
+  std::vector<double> tau;
+  {
+    StageTimerScope stage(&LinalgStageTimes::reduce_ms);
+    blocked_tridiagonalize(reduced, d, e, tau);
+  }
+
+  // Eigenvectors of the tridiagonal matrix, accumulated transposed so the
+  // QL rotation sweeps touch contiguous rows.
+  RealMatrix zt(n, n);
+  for (std::size_t i = 0; i < n; ++i) zt(i, i) = 1.0;
+  {
+    StageTimerScope stage(&LinalgStageTimes::tridiag_ms);
+    tridiag_ql(d, e, zt);
+  }
+
+  RealMatrix z(n, n);
+  {
+    StageTimerScope stage(&LinalgStageTimes::backtransform_ms);
+    parallel_for(0, n, eig_grain(n),
+                 [&](std::size_t lo, std::size_t hi) {
+                   for (std::size_t r = lo; r < hi; ++r) {
+                     double* row = z.row(r);
+                     for (std::size_t c = 0; c < n; ++c) row[c] = zt(c, r);
+                   }
+                 });
+    apply_q_blocked(reduced, tau, z);
+  }
+
+  sort_eigenpairs(d, z, result);
+  count_syevd(n, count);
+  return result;
+}
+
+/// Two-stage solver body: full -> band -> tridiagonal, divide-and-conquer
+/// on the tridiagonal matrix, then the reversed chase rotations and the
+/// offset-b compact-WY panels bring the eigenvectors back.
+EigenResult syevd_twostage_impl(const RealMatrix& symmetric,
+                                OpCount* count) {
+  const std::size_t n = symmetric.rows();
+  EigenResult result;
+  if (n == 0) return result;
+
+  RealMatrix reduced = symmetric;
+  std::vector<double> d;
+  std::vector<double> e;
+  std::vector<double> tau;
+  std::vector<GivensRotation> chase_log;
+  std::vector<std::uint32_t> chase_groups;
+  std::vector<std::uint32_t> chase_j_groups;
+  {
+    StageTimerScope stage(&LinalgStageTimes::reduce_ms);
+    band_reduce(reduced, tau);
+    RealMatrix band = extract_band(reduced, band_width(n));
+    band_to_tridiagonal(band, band_width(n), d, e, chase_log, chase_groups,
+                        chase_j_groups);
+  }
+
+  RealMatrix s;
+  {
+    StageTimerScope stage(&LinalgStageTimes::tridiag_ms);
+    tridiag_dc(d, e, s);  // d ascending, columns of s pair with d
+  }
+
+  {
+    StageTimerScope stage(&LinalgStageTimes::backtransform_ms);
+    apply_chase_rotations(chase_log, chase_groups, chase_j_groups,
+                          s);                 // s <- Q2 s
+    apply_q_panels(reduced, tau, s, band_width(n));  // s <- Q1 s
+  }
+
+  result.eigenvalues = std::move(d);
+  result.eigenvectors = std::move(s);
+  count_syevd(n, count);
+  return result;
+}
+
+}  // namespace
+
 EigenResult syevd(const RealMatrix& symmetric, OpCount* count) {
   LinalgTimerScope timer;
   KernelTimer trace(KernelClass::kSyevd, "syevd");
@@ -1260,34 +2497,25 @@ EigenResult syevd(const RealMatrix& symmetric, OpCount* count) {
     trace.set_work(cost.flops, cost.bytes);
   }
   trace.set_io(n * n * sizeof(double), (n * n + n) * sizeof(double));
-  EigenResult result;
-  if (n == 0) return result;
+  if (n < kTwoStageMin) {
+    return syevd_onestage_impl(symmetric, count);
+  }
+  return syevd_twostage_impl(symmetric, count);
+}
 
-  RealMatrix reduced = symmetric;
-  std::vector<double> d;
-  std::vector<double> e;
-  std::vector<double> tau;
-  blocked_tridiagonalize(reduced, d, e, tau);
-
-  // Eigenvectors of the tridiagonal matrix, accumulated transposed so the
-  // QL rotation sweeps touch contiguous rows.
-  RealMatrix zt(n, n);
-  for (std::size_t i = 0; i < n; ++i) zt(i, i) = 1.0;
-  tridiag_ql(d, e, zt);
-
-  RealMatrix z(n, n);
-  parallel_for(0, n, eig_grain(n),
-               [&](std::size_t lo, std::size_t hi) {
-                 for (std::size_t r = lo; r < hi; ++r) {
-                   double* row = z.row(r);
-                   for (std::size_t c = 0; c < n; ++c) row[c] = zt(c, r);
-                 }
-               });
-  apply_q_blocked(reduced, tau, z);
-
-  sort_eigenpairs(d, z, result);
-  count_syevd(n, count);
-  return result;
+EigenResult syevd_onestage(const RealMatrix& symmetric, OpCount* count) {
+  LinalgTimerScope timer;
+  KernelTimer trace(KernelClass::kSyevd, "syevd.onestage");
+  NDFT_REQUIRE(symmetric.rows() == symmetric.cols(),
+               "syevd_onestage: matrix must be square");
+  const std::size_t n = symmetric.rows();
+  trace.set_dims(n, n, 0);
+  {
+    const SyevdCost cost = syevd_cost(n);
+    trace.set_work(cost.flops, cost.bytes);
+  }
+  trace.set_io(n * n * sizeof(double), (n * n + n) * sizeof(double));
+  return syevd_onestage_impl(symmetric, count);
 }
 
 EigenResult syevd_naive(const RealMatrix& symmetric, OpCount* count) {
@@ -1364,23 +2592,32 @@ EigenResult syevd_partial(const RealMatrix& symmetric, std::size_t m,
     std::vector<double> d;
     std::vector<double> e;
     std::vector<double> tau;
-    blocked_tridiagonalize(reduced, d, e, tau);
+    {
+      StageTimerScope stage(&LinalgStageTimes::reduce_ms);
+      blocked_tridiagonalize(reduced, d, e, tau);
+    }
 
     EigenResult result;
     RealMatrix vt;  // tridiagonal eigenvectors, one per row
-    tridiag_lowest(d, e, m, result.eigenvalues, vt);
+    {
+      StageTimerScope stage(&LinalgStageTimes::tridiag_ms);
+      tridiag_lowest(d, e, m, result.eigenvalues, vt);
+    }
 
     // Assemble the n x m eigenvector block and push it through the same
     // compact-WY panels as the full solver — O(n^2 m) instead of O(n^3).
     RealMatrix z(n, m);
-    parallel_for(0, n, eig_grain(m),
-                 [&](std::size_t lo, std::size_t hi) {
-                   for (std::size_t r = lo; r < hi; ++r) {
-                     double* row = z.row(r);
-                     for (std::size_t c = 0; c < m; ++c) row[c] = vt(c, r);
-                   }
-                 });
-    apply_q_blocked(reduced, tau, z);
+    {
+      StageTimerScope stage(&LinalgStageTimes::backtransform_ms);
+      parallel_for(0, n, eig_grain(m),
+                   [&](std::size_t lo, std::size_t hi) {
+                     for (std::size_t r = lo; r < hi; ++r) {
+                       double* row = z.row(r);
+                       for (std::size_t c = 0; c < m; ++c) row[c] = vt(c, r);
+                     }
+                   });
+      apply_q_blocked(reduced, tau, z);
+    }
     result.eigenvectors = std::move(z);
 
     if (count != nullptr) {
@@ -1475,12 +2712,24 @@ HermitianEigenResult heev(const ComplexMatrix& hermitian, OpCount* count) {
 
 SyevdCost syevd_cost(std::size_t n) noexcept {
   const auto cubic = static_cast<Flops>(n) * n * n;
-  return {cubic * 22 / 3, 3ull * n * n * sizeof(double)};
+  const auto nn = static_cast<Flops>(n) * n;
+  // Two-stage model: ~2n^3 band reduction + ~8/3 n^3 D&C merges + ~3n^3
+  // reversed chase rotations + ~2n^3 compact WY (29/3 n^3 total), plus
+  // the O(n^2 b) chase itself. Bytes: the per-panel trailing-square
+  // copies (~24 n^3 / b) over the 3 n^2 matrix doubles.
+  const auto b = static_cast<Flops>(band_width(n));
+  return {cubic * 29 / 3 + nn * 6 * b,
+          24ull * cubic / b + 3ull * nn * sizeof(double)};
 }
 
-void linalg_timer_reset() noexcept { tl_linalg_ms = 0.0; }
+void linalg_timer_reset() noexcept {
+  tl_linalg_ms = 0.0;
+  tl_stage_times = LinalgStageTimes{};
+}
 
 double linalg_timer_ms() noexcept { return tl_linalg_ms; }
+
+LinalgStageTimes linalg_stage_times() noexcept { return tl_stage_times; }
 
 void mirror_upper(RealMatrix& symmetric) {
   const std::size_t n = symmetric.rows();

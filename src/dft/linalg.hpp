@@ -2,17 +2,29 @@
 // Dense linear algebra kernels: blocked GEMM and symmetric/Hermitian
 // eigensolvers (the paper's SYEVD), implemented from scratch.
 //
-// The production eigensolver (`syevd`) is a blocked two-phase path:
-// Householder panel reduction to tridiagonal form with the trailing-matrix
-// rank-2k updates expressed as GEMM on the blocked kernel, implicit-shift
-// QL on the tridiagonal matrix with the Givens rotations applied to the
-// eigenvector matrix in pool-parallel contiguous sweeps, and a compact-WY
-// back-transformation built from the same GEMM. The serial EISPACK-lineage
-// tred2/tql2 pair is kept as `syevd_naive`, the reference the blocked
-// solver is tested and benchmarked against. Complex Hermitian problems are
-// solved through the standard real embedding [[A, -B], [B, A]], so they
-// ride the blocked real path too; large complex GEMMs are computed with a
-// 3M split (three real products on the real microkernel).
+// The production eigensolver (`syevd`) dispatches by size between two
+// complete paths:
+//
+//  * One-stage (small n, and public as `syevd_onestage`): blocked
+//    Householder panel reduction straight to tridiagonal form with the
+//    trailing-matrix rank-2k updates expressed as GEMM on the blocked
+//    kernel, implicit-shift QL on the tridiagonal matrix with the Givens
+//    rotations applied in pool-parallel contiguous sweeps, and a
+//    compact-WY GEMM back-transformation.
+//  * Two-stage + divide-and-conquer (large n): full -> band reduction via
+//    blocked QR panels whose two-sided trailing updates are pure level-3
+//    GEMM, band -> tridiagonal via Givens bulge chasing (the rotations are
+//    logged), then a Cuppen divide-and-conquer tridiagonal eigensolver
+//    (secular-equation roots with dlaed2-style deflation, merges
+//    back-multiplied as GEMMs). Eigenvectors come back through the
+//    reversed rotation log and the same compact-WY GEMMs.
+//
+// The serial EISPACK-lineage tred2/tql2 pair is kept as `syevd_naive`,
+// the reference both production paths are tested and benchmarked against.
+// Complex Hermitian problems are solved through the standard real
+// embedding [[A, -B], [B, A]], so they ride the blocked real path too;
+// large complex GEMMs are computed with a 3M split (three real products
+// on the real microkernel).
 
 #include <vector>
 
@@ -63,9 +75,12 @@ void gemm_naive(const ComplexMatrix& a, const ComplexMatrix& b,
                 bool conj_transpose_a = false, bool transpose_b = false,
                 OpCount* count = nullptr);
 
-/// Analytic cost tally of a full-spectrum n x n symmetric eigensolve:
-/// ~(4/3)n^3 flops for the reduction plus ~6n^3 for rotations with
-/// eigenvectors (22 n^3 / 3 total) over the 3 n^2 matrix doubles. The
+/// Analytic cost tally of a full-spectrum n x n symmetric eigensolve,
+/// modelling the production two-stage path: ~2n^3 level-3 flops for the
+/// full->band reduction, ~(8/3)n^3 for the divide-and-conquer merges,
+/// ~3n^3 for the reversed bulge-chase rotations and ~2n^3 for the
+/// compact-WY back-transform, plus the O(n^2 b) chase itself; bytes are
+/// dominated by the per-panel trailing-square copies (O(n^3 / b)). The
 /// one formula shared by the solvers' OpCount/trace accounting, the
 /// analytic workload descriptors and the Engine's queue estimator.
 struct SyevdCost {
@@ -81,13 +96,23 @@ struct EigenResult {
 };
 
 /// Solves the full eigenproblem of a real symmetric matrix (SYEVD). This
-/// is the production entry point every physics consumer goes through:
-/// blocked Householder tridiagonalization (panel reflectors, GEMM
-/// trailing updates), pool-parallel QL rotation sweeps, and a compact-WY
-/// GEMM back-transformation of the eigenvectors. Results are bitwise
-/// identical for any thread count. Throws NdftError if the matrix is not
-/// square or the QL iteration fails to converge (pathological input).
+/// is the production entry point every physics consumer goes through. It
+/// dispatches by size: small problems run the one-stage path (blocked
+/// Householder tridiagonalization, pool-parallel QL rotation sweeps,
+/// compact-WY GEMM back-transformation), large problems the two-stage
+/// band reduction + bulge chase + divide-and-conquer path, whose trailing
+/// updates and merge back-multiplications are level-3 GEMM. Results are
+/// bitwise identical for any thread count. Throws NdftError if the matrix
+/// is not square or an iteration fails to converge (pathological input).
 EigenResult syevd(const RealMatrix& symmetric, OpCount* count = nullptr);
+
+/// The one-stage path (blocked tridiagonalization + QL + compact WY),
+/// callable directly regardless of size. Kept public as the regression
+/// baseline the two-stage solver is benchmarked and gated against; small
+/// `syevd` calls dispatch here. Same semantics and OpCount accounting as
+/// syevd().
+EigenResult syevd_onestage(const RealMatrix& symmetric,
+                           OpCount* count = nullptr);
 
 /// Serial reference solver (EISPACK tred2/tql2 lineage), kept as the
 /// ground truth `syevd` is validated and benchmarked against. Same
@@ -129,15 +154,32 @@ struct HermitianEigenResult {
 HermitianEigenResult heev(const ComplexMatrix& hermitian,
                           OpCount* count = nullptr);
 
-/// Zeroes the calling thread's accumulated linalg wall time. The engine
-/// resets before executing a job and reads the tally after, giving every
-/// JobResult a `linalg_ms` timing bucket.
+/// Zeroes the calling thread's accumulated linalg wall time, including
+/// the per-stage tallies below. The engine resets before executing a job
+/// and reads the tallies after, giving every JobResult its `linalg_ms` /
+/// stage timing buckets.
 void linalg_timer_reset() noexcept;
 
 /// Wall-clock milliseconds the calling thread has spent inside top-level
 /// linalg entry points (gemm/syevd/heev) since the last reset. Nested
 /// calls (GEMM inside syevd) are counted once, under the outermost entry.
 double linalg_timer_ms() noexcept;
+
+/// Per-stage wall-clock split of the eigensolver time: the reduction to
+/// tridiagonal form (one-stage Householder, or band reduction + bulge
+/// chase), the tridiagonal eigensolve (QL, divide-and-conquer, or
+/// bisection), and the eigenvector back-transformations (reversed
+/// rotation log + compact-WY GEMMs). The three buckets are disjoint
+/// sub-spans of `linalg_timer_ms`, so they add up to at most the total.
+struct LinalgStageTimes {
+  double reduce_ms = 0.0;
+  double tridiag_ms = 0.0;
+  double backtransform_ms = 0.0;
+};
+
+/// The calling thread's accumulated stage split since the last
+/// linalg_timer_reset().
+LinalgStageTimes linalg_stage_times() noexcept;
 
 /// Frobenius norm of (A*x - lambda*x) for result verification in tests.
 double eigen_residual(const RealMatrix& symmetric, const EigenResult& result);

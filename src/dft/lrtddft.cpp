@@ -167,7 +167,7 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
     TraceRegion region(KernelClass::kFft, "fft.pairs");
     region.set_dims(dims[0], dims[1], dims[2]);
     region.add_work(static_cast<Flops>(npair) * fft_flops(nr),
-                    static_cast<Bytes>(npair) * 6 * nr * sizeof(Complex));
+                    static_cast<Bytes>(npair) * 4 * nr * sizeof(Complex));
     region.set_io(static_cast<Bytes>(npair) * nr * sizeof(Complex),
                   static_cast<Bytes>(npair) * nr * sizeof(Complex));
     parallel_for(0, npair, 1, [&](std::size_t lo, std::size_t hi) {
@@ -187,7 +187,7 @@ LrTddftResult solve_lrtddft(const PlaneWaveBasis& basis,
   }
   counts[KernelClass::kFft].add(
       static_cast<Flops>(npair) * fft_flops(nr),
-      static_cast<Bytes>(npair) * 6 * nr * sizeof(Complex));
+      static_cast<Bytes>(npair) * 4 * nr * sizeof(Complex));
 
   // Coulomb-weighted conjugate copy: rows conjugated and scaled by
   // 4 pi / |G|^2, G = 0 dropped (compensated by the neutralising

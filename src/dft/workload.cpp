@@ -121,19 +121,20 @@ Workload Workload::lrtddft_iteration(const SystemDims& dims,
   };
   w.kernels.push_back(alltoall("Alltoall(band->grid)"));
 
-  // --- 3. 3D FFTs of every pair product: 5 Nr log2 Nr flops, three
-  // strided read+write passes over the grid.
+  // --- 3. 3D FFTs of every pair product: 5 Nr log2 Nr flops, two
+  // read+write sweeps over the grid (the fused X+Y slab pass plus the
+  // strided Z pass).
   {
     KernelWork k;
     k.cls = KernelClass::kFft;
     k.name = "FFT(P_vc)";
     k.flops = static_cast<Flops>(5.0 * static_cast<double>(npair * nr) *
                                  log_nr);
-    k.l1_bytes = 96 * npair * nr;
+    k.l1_bytes = 64 * npair * nr;
     k.dram_bytes = k.l1_bytes;
     k.pattern = AccessPattern::kStrided;
-    k.stride_bytes = 1024;  // pass-mix average: one contiguous + two
-                            // strided passes per 3D transform
+    k.stride_bytes = 1024;  // pass-mix average: one mostly-contiguous
+                            // fused sweep + one strided Z sweep
     k.input_bytes = pair_matrix_bytes;
     k.output_bytes = pair_matrix_bytes;
     w.kernels.push_back(k);
@@ -231,7 +232,8 @@ KernelWork kernel_work_from_event(const TraceEvent& event) {
       break;
     }
     case KernelClass::kFft:
-      // Three strided read+write passes: instruction-level == DRAM-level.
+      // Strided grid sweeps (fused X+Y, then Z): instruction-level ==
+      // DRAM-level.
       k.pattern = AccessPattern::kStrided;
       k.stride_bytes = 1024;
       k.dram_bytes = k.l1_bytes;

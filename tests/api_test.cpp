@@ -464,6 +464,53 @@ TEST(EngineQueueTest, AgedJobsBypassCostOrder) {
             h_cheap.wait().engine.exec_seq);
 }
 
+TEST(EngineQueueTest, CheapBandJobOutranksLargeScfJob) {
+  // Regression for the two-stage syevd_cost/syevd_partial_cost rewrite:
+  // the queue prices jobs through those estimates, and a small band
+  // solve must still drain ahead of a large multi-iteration SCF job
+  // submitted first.
+  Engine engine(fast_config(/*dispatch_threads=*/0));
+  ScfJob scf;
+  scf.atoms = 64;
+  scf.scf.max_iterations = 2;
+  scf.scf.tolerance = 1e-1;
+  BandStructureJob band;
+  band.segments = 1;
+  band.bands = 6;
+  JobHandle h_scf = engine.submit(scf);
+  JobHandle h_band = engine.submit(band);
+  engine.drain();
+  ASSERT_TRUE(h_scf.wait().ok());
+  ASSERT_TRUE(h_band.wait().ok());
+  EXPECT_LT(h_band.wait().engine.exec_seq, h_scf.wait().engine.exec_seq);
+}
+
+// ------------------------------------------------- stage timing telemetry
+
+TEST(JobTimingsTest, EigensolverStageSplitIsAdditiveAndSerialized) {
+  // Any eigensolver-backed job must report the reduce/tridiag/
+  // backtransform split: each bucket non-negative, their sum bounded by
+  // the linalg total (they are disjoint sub-spans of it), and the fields
+  // must survive the v1 JSON round trip.
+  Engine engine(fast_config(/*dispatch_threads=*/0));
+  BandStructureJob band;
+  band.segments = 2;
+  const JobResult result = engine.run(band);
+  ASSERT_TRUE(result.ok());
+  const JobTimings& t = result.timings;
+  EXPECT_GT(t.reduce_ms, 0.0);
+  EXPECT_GE(t.tridiag_ms, 0.0);
+  EXPECT_GT(t.backtransform_ms, 0.0);
+  EXPECT_LE(t.reduce_ms + t.tridiag_ms + t.backtransform_ms,
+            t.linalg_ms + 1e-9);
+
+  const JobResult rebuilt =
+      JobResult::from_json(Json::parse(result.to_json().dump()));
+  EXPECT_EQ(rebuilt.timings.reduce_ms, t.reduce_ms);
+  EXPECT_EQ(rebuilt.timings.tridiag_ms, t.tridiag_ms);
+  EXPECT_EQ(rebuilt.timings.backtransform_ms, t.backtransform_ms);
+}
+
 // --------------------------------------------- concurrency determinism
 
 TEST(EngineStressTest, ConcurrentSimulationsMatchSerialBitwise) {

@@ -291,7 +291,62 @@ TEST(Fft3dTest, OpCountAccumulates) {
   OpCount count;
   fft3d(grid, FftDirection::kForward, &count);
   EXPECT_EQ(count.flops, fft_flops(512));
-  EXPECT_EQ(count.bytes, 6u * 512 * sizeof(Complex));
+  // Fused X+Y sweep + Z sweep: 4 grid traversals.
+  EXPECT_EQ(count.bytes, 4u * 512 * sizeof(Complex));
+  OpCount unfused_count;
+  Grid3 grid2(8, 8, 8);
+  fft3d_unfused(grid2, FftDirection::kForward, &unfused_count);
+  EXPECT_EQ(unfused_count.flops, fft_flops(512));
+  EXPECT_EQ(unfused_count.bytes, 6u * 512 * sizeof(Complex));
+}
+
+TEST(Fft3dTest, FusedMatchesUnfusedBitwise) {
+  // The fused X+Y slab pass performs the exact per-line operations of the
+  // separate passes, in the same per-element order, so the two transforms
+  // must agree bitwise — including on non-friendly (Bluestein) lengths.
+  for (const auto& dims : {std::array<std::size_t, 3>{32, 32, 32},
+                           std::array<std::size_t, 3>{12, 10, 7}}) {
+    Grid3 fused(dims[0], dims[1], dims[2]);
+    Prng prng(77);
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+      fused[i] = Complex{prng.next_double(-1, 1), prng.next_double(-1, 1)};
+    }
+    Grid3 unfused = fused;
+    fft3d(fused, FftDirection::kForward);
+    fft3d_unfused(unfused, FftDirection::kForward);
+    for (std::size_t i = 0; i < fused.size(); ++i) {
+      ASSERT_EQ(fused[i], unfused[i]) << "index " << i;
+    }
+  }
+}
+
+TEST(Fft3dTest, FusedDeterministicAcrossThreadCounts) {
+  // The fused transform parallelises over z slabs; each slab is written
+  // by exactly one task, so any pool width must give bitwise-identical
+  // grids.
+  Grid3 reference(48, 48, 48);
+  Prng prng(13);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    reference[i] = Complex{prng.next_double(-1, 1), prng.next_double(-1, 1)};
+  }
+
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t original_threads = pool.threads();
+  std::vector<Grid3> results;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    pool.resize(threads);
+    Grid3 grid = reference;
+    fft3d(grid, FftDirection::kForward);
+    results.push_back(std::move(grid));
+  }
+  pool.resize(original_threads);
+
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_EQ(results[0][i], results[t][i])
+          << "index " << i << " at thread variant " << t;
+    }
+  }
 }
 
 }  // namespace

@@ -439,6 +439,159 @@ TEST(SyevdTest, DeterministicAcrossThreadCounts) {
   }
 }
 
+// Two-stage + divide-and-conquer sweep. These sizes all sit above the
+// dispatch threshold, bracketing the band width / panel edges (multiples
+// of 32 and their neighbours), so the band reduction's short tail panel,
+// the chase and the D&C merge tree all get exercised. Matrices are
+// scaled to O(1/sqrt(n)) spectra so the 1e-13 naive-agreement bound is
+// absolute.
+class SyevdTwoStagePropertyTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SyevdTwoStagePropertyTest, ResidualOrthogonalityAndNaiveAgreement) {
+  const std::size_t n = GetParam();
+  RealMatrix m = random_symmetric(n, 500 + n);
+  const double scale = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) *= scale;
+  }
+  const EigenResult result = syevd(m);
+  ASSERT_EQ(result.eigenvalues.size(), n);
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_LE(result.eigenvalues[i - 1], result.eigenvalues[i]);
+  }
+  EXPECT_LT(eigen_residual(m, result), 1e-11 * static_cast<double>(n));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += result.eigenvectors(i, a) * result.eigenvectors(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-12);
+    }
+  }
+  const EigenResult reference = syevd_naive(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.eigenvalues[i], reference.eigenvalues[i], 1e-13)
+        << "eigenvalue " << i << " of " << n;
+  }
+  // The one-stage path solves the same problem; the two paths must agree
+  // to the same tolerance (they are gated against each other in bench).
+  const EigenResult onestage = syevd_onestage(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.eigenvalues[i], onestage.eigenvalues[i], 1e-13);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SyevdTwoStagePropertyTest,
+                         ::testing::Values(160, 161, 191, 192, 193, 224,
+                                           256));
+
+TEST(SyevdTwoStageTest, FullyDegenerateSpectrumDeflatesCompletely) {
+  // All-equal eigenvalues: every z component of every D&C merge is
+  // negligible, so the whole tree deflates. The solve must return the
+  // exact multiple eigenvalue with an orthonormal basis.
+  const std::size_t n = 200;
+  RealMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 0.75;
+  const EigenResult result = syevd(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.eigenvalues[i], 0.75, 1e-14);
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += result.eigenvectors(i, a) * result.eigenvectors(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-12);
+    }
+  }
+  EXPECT_LT(eigen_residual(m, result), 1e-11);
+}
+
+TEST(SyevdTwoStageTest, ClusteredSpectrumExercisesDeflation) {
+  // A dense matrix with a handful of tightly clustered eigenvalue groups:
+  // the close-pair (type 2) deflation path fires in every merge. Built as
+  // Q D Q^T from a deterministic orthonormal Q (Gram-Schmidt of a random
+  // matrix), so the exact spectrum is known.
+  const std::size_t n = 192;
+  std::vector<double> spectrum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = static_cast<double>(i / 48);  // 4 clusters
+    spectrum[i] = base + 1e-12 * static_cast<double>(i % 48);
+  }
+  RealMatrix q = random_matrix(n, n, 4242);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t prev = 0; prev < j; ++prev) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += q(i, prev) * q(i, j);
+      for (std::size_t i = 0; i < n; ++i) q(i, j) -= dot * q(i, prev);
+    }
+    double norm2 = 0.0;
+    for (std::size_t i = 0; i < n; ++i) norm2 += q(i, j) * q(i, j);
+    const double inv = 1.0 / std::sqrt(norm2);
+    for (std::size_t i = 0; i < n; ++i) q(i, j) *= inv;
+  }
+  RealMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        acc += q(i, k) * spectrum[k] * q(j, k);
+      }
+      m(i, j) = acc;
+      m(j, i) = acc;
+    }
+  }
+  const EigenResult result = syevd(m);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.eigenvalues[i], spectrum[i], 1e-10)
+        << "clustered eigenvalue " << i;
+  }
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a; b < n; ++b) {
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot += result.eigenvectors(i, a) * result.eigenvectors(i, b);
+      }
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-11);
+    }
+  }
+  EXPECT_LT(eigen_residual(m, result), 1e-9);
+}
+
+TEST(SyevdTwoStageTest, DeterministicAcrossThreadCounts) {
+  // Same contract as the one-stage determinism test, but sized to engage
+  // the two-stage path: band-reduction GEMM panels, the serial chase, the
+  // pool-parallel secular solves and the reversed rotation replay must
+  // all be bitwise identical for any pool width.
+  const std::size_t n = 224;
+  const RealMatrix m = random_symmetric(n, 1234);
+
+  ThreadPool& pool = ThreadPool::instance();
+  const std::size_t original_threads = pool.threads();
+  std::vector<EigenResult> results;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    pool.resize(threads);
+    results.push_back(syevd(m));
+  }
+  pool.resize(original_threads);
+
+  for (std::size_t t = 1; t < results.size(); ++t) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(results[0].eigenvalues[i], results[t].eigenvalues[i])
+          << "eigenvalue " << i << " at thread variant " << t;
+      for (std::size_t j = 0; j < n; ++j) {
+        ASSERT_EQ(results[0].eigenvectors(i, j),
+                  results[t].eigenvectors(i, j))
+            << "eigenvector element (" << i << ", " << j
+            << ") at thread variant " << t;
+      }
+    }
+  }
+}
+
 // Partial-spectrum sweep: the lowest-m path must agree with the full
 // solver on eigenvalues (to ~n*eps*||A||) and eigenvectors (to sign),
 // stay orthonormal, and keep a small residual. Sizes bracket the panel

@@ -97,8 +97,7 @@ TEST(TraceRecorderTest, NestedKernelsFoldIntoOutermost) {
   EXPECT_EQ(trace.events[0].cls, KernelClass::kSyevd);
   // Dims and costs follow the 2n x 2n real embedding the solve runs.
   EXPECT_EQ(trace.events[0].dims[0], 40u);
-  EXPECT_EQ(trace.events[0].flops,
-            static_cast<Flops>(40) * 40 * 40 * 22 / 3);
+  EXPECT_EQ(trace.events[0].flops, syevd_cost(40).flops);
 }
 
 TEST(TraceRecorderTest, RegionsAggregateAndSuppressInnerKernels) {
