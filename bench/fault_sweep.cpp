@@ -152,6 +152,59 @@ SweepRow sweep_net_accept() {
   return row;
 }
 
+/// sim.port never throws: the dropped message is recovered *inside* the
+/// simulation as a delayed retransmission, so there is no retry and no
+/// degradation note. The contract is observability — the job stays Ok on
+/// its first attempt, the delay count surfaces in the payload statistics
+/// ("<group>.fault_delays"), and the simulated time never shrinks below
+/// the fault-free run.
+SweepRow sweep_sim_port() {
+  SweepRow row;
+  row.site = "sim.port";
+  row.cls = FaultClass::kDevice;
+  const auto run_once = [](const char* spec) {
+    api::EngineConfig config;
+    config.dispatch_threads = 0;
+    config.system.sampled_ops_per_kernel = 20000;
+    config.system.min_ops_per_core = 200;
+    if (spec != nullptr) config.fault_spec = spec;
+    api::Engine engine(config);
+    api::SimulateJob job;
+    job.atoms = 16;
+    return engine.run(job);
+  };
+  const auto fault_delays = [](const api::JobResult& result) {
+    double delays = 0.0;
+    if (result.simulate) {
+      constexpr const char* kLeaf = "fault_delays";
+      const std::size_t n = std::strlen(kLeaf);
+      for (const auto& [key, value] : result.simulate->stats) {
+        if (key.size() > n && key.compare(key.size() - n, n, kLeaf) == 0) {
+          delays += value;
+        }
+      }
+    }
+    return delays;
+  };
+
+  const api::JobResult clean = run_once(nullptr);
+  bool pass = clean.ok() && fault_delays(clean) == 0.0;
+  for (const bool capped : {true, false}) {
+    const api::JobResult result =
+        run_once(capped ? "sim.port=1.0@1" : "sim.port=1.0");
+    const double delays = fault_delays(result);
+    bool ok = result.ok() && result.engine.attempts == 1 &&
+              result.simulate->total_ps >= clean.simulate->total_ps;
+    // Capped: exactly the one injected drop; uncapped: every message.
+    ok = ok && (capped ? delays == 1.0 : delays > 1.0);
+    (capped ? row.capped_outcome : row.uncapped_outcome) =
+        (ok ? "ok,delays=" : "FAIL:delays=") + strformat("%g", delays);
+    pass = pass && ok;
+  }
+  row.pass = pass;
+  return row;
+}
+
 bool transient(FaultClass cls) {
   return cls == FaultClass::kResource || cls == FaultClass::kDevice;
 }
@@ -175,6 +228,10 @@ int main(int argc, char** argv) try {
     }
     if (std::strcmp(site.name, "net.accept") == 0) {
       rows.push_back(sweep_net_accept());
+      continue;
+    }
+    if (std::strcmp(site.name, "sim.port") == 0) {
+      rows.push_back(sweep_sim_port());
       continue;
     }
     SweepRow row;

@@ -24,7 +24,9 @@
 #                  scatter/gather smoke (sharded payloads must stay
 #                  bitwise identical to a single engine; on >= 4
 #                  hardware threads the 4-backend tier must also reach
-#                  a 1.7x speedup).
+#                  a 1.7x speedup), and the event-fabric smoke
+#                  (machine-document simulations must reproduce
+#                  bitwise).
 #   --sanitize     additionally build an ASan+UBSan tree (build-asan,
 #                  -DNDFT_SANITIZE=ON) and run the api and robust tiers
 #                  under it; any sanitizer report fails the gate.
@@ -105,6 +107,10 @@ if [ "$BENCH_SMOKE" -eq 1 ]; then
   # bitwise at 1/2/4 backends; the speedup gate applies on real cores.
   (cd "$BUILD_DIR" && ./bench_shard_bench --smoke)
   echo "shard smoke: OK ($BUILD_DIR/BENCH_shard.json)"
+  # Event-fabric determinism: simulating the same "ndft.machine.v1"
+  # document twice must produce bitwise-identical payloads.
+  (cd "$BUILD_DIR" && ./bench_sim_fabric --smoke)
+  echo "sim fabric smoke: OK ($BUILD_DIR/BENCH_sim.json)"
 fi
 
 if [ "$SANITIZE" -eq 1 ]; then

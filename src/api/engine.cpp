@@ -204,7 +204,47 @@ SimulatePayload simulate_payload_from(const core::RunReport& report) {
   payload.pseudo_per_process = report.pseudo.per_process;
   payload.pseudo_capacity = report.pseudo.capacity;
   payload.pseudo_oom = report.pseudo.out_of_memory();
+  payload.stats = report.stats;
   return payload;
+}
+
+/// The simulator-emitted counterpart of a measured kernel trace: one
+/// "ndft.kernel_trace.v1" event per simulated kernel, carrying the
+/// analytic flop/byte tallies from the workload model and the *simulated*
+/// time as host_ms (1 ms per 1e9 ps). Stage names "sim[cpu]" / "sim[ndp]"
+/// / "sim[gpu]" mark the trace as simulator-born while keeping it
+/// consumable by everything that eats measured traces (CoDesignJob,
+/// runtime::AdaptiveScheduler::record_trace).
+KernelTrace trace_from_report(const dft::Workload& workload,
+                              const core::RunReport& report) {
+  KernelTrace trace;
+  trace.atoms = report.dims.atoms;
+  trace.basis_size = report.dims.basis_size;
+  trace.grid_points = report.dims.grid_points;
+  trace.pool_threads = 0;  // no host pool ran these kernels
+  trace.events.reserve(report.kernels.size());
+  for (std::size_t i = 0; i < report.kernels.size(); ++i) {
+    const core::KernelTime& timed = report.kernels[i];
+    TraceEvent event;
+    event.cls = timed.cls;
+    event.name = timed.name;
+    switch (timed.device) {
+      case DeviceKind::kNdp: event.stage = "sim[ndp]"; break;
+      case DeviceKind::kGpu: event.stage = "sim[gpu]"; break;
+      default: event.stage = "sim[cpu]"; break;
+    }
+    // run paths emit one KernelTime per workload kernel, in order.
+    if (i < workload.kernels.size()) {
+      const dft::KernelWork& work = workload.kernels[i];
+      event.flops = work.flops;
+      event.bytes = work.l1_bytes;
+      event.input_bytes = work.input_bytes;
+      event.output_bytes = work.output_bytes;
+    }
+    event.host_ms = static_cast<double>(timed.time_ps) * 1e-9;
+    trace.events.push_back(std::move(event));
+  }
+  return trace;
 }
 
 /// Distills a schedule into the serializable plan payload (shared by
@@ -243,44 +283,93 @@ PlanPayload plan_payload_from(const dft::Workload& workload,
 
 SimulatePayload execute_simulate(const SimulateJob& job,
                                  const core::NdftSystem& shared_system,
-                                 const core::SystemConfig& base_config) {
+                                 const core::SystemConfig& base_config,
+                                 std::optional<KernelTrace>& trace_out) {
   // The engine's machine template covers the common case; a per-job
-  // sampling override builds a one-shot system from the same config.
+  // sampling override or machine document builds a one-shot system from
+  // the same base config.
   const core::NdftSystem* system = &shared_system;
   std::unique_ptr<core::NdftSystem> scoped;
-  if (job.sampled_ops != 0) {
+  if (job.sampled_ops != 0 || job.machine) {
     core::SystemConfig config = base_config;
-    config.sampled_ops_per_kernel = job.sampled_ops;
+    if (job.sampled_ops != 0) {
+      config.sampled_ops_per_kernel = job.sampled_ops;
+    }
+    if (job.machine) {
+      // Already validated; from_json cannot throw here.
+      config.ndp = ndp::NdpSystemConfig::from_json(*job.machine);
+      config.ndp_profile =
+          core::ndp_profile_from(config.ndp, base_config.ndp_profile);
+    }
     scoped = std::make_unique<core::NdftSystem>(config);
     system = scoped.get();
   }
 
   const dft::Workload workload = system->workload_for(job.atoms);
-  return simulate_payload_from(system->run(workload, job.mode));
+  const core::RunReport report = system->run(workload, job.mode);
+  if (job.record_trace) {
+    trace_out = trace_from_report(workload, report);
+  }
+  return simulate_payload_from(report);
 }
 
 PlanPayload execute_plan(const PlanJob& job,
                          const core::NdftSystem& system,
-                         const core::SystemConfig& base_config) {
-  const runtime::DeviceProfile& cpu_profile =
-      job.profile_override.empty() ? base_config.cpu_profile
-                                   : job.profile_override[0];
-  const runtime::DeviceProfile& ndp_profile =
-      job.profile_override.empty() ? base_config.ndp_profile
-                                   : job.profile_override[1];
+                         const core::SystemConfig& base_config,
+                         const runtime::ProfileStore* profile_store,
+                         std::size_t pool_threads) {
+  runtime::DeviceProfile cpu_profile = base_config.cpu_profile;
+  runtime::DeviceProfile ndp_profile = base_config.ndp_profile;
+  if (job.machine) {
+    ndp_profile = core::ndp_profile_from(
+        ndp::NdpSystemConfig::from_json(*job.machine), ndp_profile);
+  }
+  bool used_stored_profile = false;
+  if (!job.profile_override.empty()) {
+    cpu_profile = job.profile_override[0];
+    ndp_profile = job.profile_override[1];
+  } else if (profile_store != nullptr) {
+    // No explicit what-if profiles: default to the calibrated beliefs a
+    // previous co-design run persisted for this build/host/pool context.
+    if (const std::optional<runtime::DeviceProfile> stored =
+            profile_store->get_cpu(
+                runtime::ProfileKey::current(pool_threads))) {
+      cpu_profile = *stored;
+      used_stored_profile = true;
+    }
+  }
   const dft::Workload workload = system.workload_for(job.atoms);
   const runtime::Sca sca(cpu_profile, ndp_profile);
   const runtime::CostModel cost(cpu_profile, ndp_profile);
   const runtime::Scheduler scheduler(sca, cost);
   const runtime::ExecutionPlan plan =
       scheduler.plan(workload, job.granularity);
-  return plan_payload_from(workload, sca, plan, job.atoms, job.granularity);
+  PlanPayload payload =
+      plan_payload_from(workload, sca, plan, job.atoms, job.granularity);
+  payload.used_stored_profile = used_stored_profile;
+  return payload;
 }
 
 CoDesignPayload execute_codesign(const CoDesignJob& job,
-                                 const core::NdftSystem& system,
-                                 const core::SystemConfig& base_config) {
-  const dft::Workload workload = system.workload_from_trace(job.trace);
+                                 const core::NdftSystem& shared_system,
+                                 const core::SystemConfig& base_config,
+                                 runtime::ProfileStore* profile_store,
+                                 std::size_t pool_threads) {
+  // A machine document re-bases both the simulated leg and the NDP-side
+  // scheduler beliefs.
+  const core::NdftSystem* system = &shared_system;
+  std::unique_ptr<core::NdftSystem> scoped;
+  runtime::DeviceProfile ndp_profile = base_config.ndp_profile;
+  if (job.machine) {
+    core::SystemConfig config = base_config;
+    config.ndp = ndp::NdpSystemConfig::from_json(*job.machine);
+    config.ndp_profile =
+        core::ndp_profile_from(config.ndp, base_config.ndp_profile);
+    ndp_profile = config.ndp_profile;
+    scoped = std::make_unique<core::NdftSystem>(config);
+    system = scoped.get();
+  }
+  const dft::Workload workload = system->workload_from_trace(job.trace);
 
   CoDesignPayload payload;
   payload.trace_events = job.trace.events.size();
@@ -306,10 +395,16 @@ CoDesignPayload execute_codesign(const CoDesignJob& job,
     payload.calibration.max_ratio = calibration.max_ratio;
     payload.calibration.fitted_events = calibration.fitted_events;
     payload.calibration.fitted_ms = calibration.fitted_ms;
+    if (calibration.calibrated && profile_store != nullptr) {
+      // Persist the fitted beliefs so later PlanJobs on this build/host
+      // start from measured reality instead of the Table-III defaults.
+      profile_store->put_cpu(runtime::ProfileKey::current(pool_threads),
+                             cpu_profile);
+    }
   }
 
-  const runtime::Sca sca(cpu_profile, base_config.ndp_profile);
-  const runtime::CostModel cost(cpu_profile, base_config.ndp_profile);
+  const runtime::Sca sca(cpu_profile, ndp_profile);
+  const runtime::CostModel cost(cpu_profile, ndp_profile);
   const runtime::Scheduler scheduler(sca, cost);
   const runtime::ExecutionPlan plan =
       scheduler.plan(workload, job.granularity);
@@ -317,7 +412,7 @@ CoDesignPayload execute_codesign(const CoDesignJob& job,
                                    job.granularity);
   if (job.simulate) {
     payload.simulate =
-        simulate_payload_from(system.run_planned(workload, plan));
+        simulate_payload_from(system->run_planned(workload, plan));
   }
   return payload;
 }
@@ -540,6 +635,10 @@ bool JobHandle::wait_for(double timeout_ms) const {
 
 Engine::Engine(EngineConfig config)
     : config_(std::move(config)), system_(config_.system) {
+  if (!config_.profile_store_path.empty()) {
+    profile_store_ =
+        std::make_unique<runtime::ProfileStore>(config_.profile_store_path);
+  }
   // Arm the fault-injection layer: the explicit config wins, the
   // NDFT_FAULTS environment variable is the fallback, and an empty spec
   // leaves the process-wide state alone (so engines without one do not
@@ -924,11 +1023,15 @@ JobResult Engine::execute_once(const JobRequest& request,
     } else if (const auto* job = std::get_if<LrtddftJob>(&request)) {
       result.lrtddft = execute_lrtddft(*job);
     } else if (const auto* job = std::get_if<SimulateJob>(&request)) {
-      result.simulate = execute_simulate(*job, system_, config_.system);
+      result.simulate =
+          execute_simulate(*job, system_, config_.system, result.trace);
     } else if (const auto* job = std::get_if<PlanJob>(&request)) {
-      result.plan = execute_plan(*job, system_, config_.system);
+      result.plan = execute_plan(*job, system_, config_.system,
+                                 profile_store_.get(), pool_threads());
     } else if (const auto* job = std::get_if<CoDesignJob>(&request)) {
-      result.codesign = execute_codesign(*job, system_, config_.system);
+      result.codesign = execute_codesign(*job, system_, config_.system,
+                                         profile_store_.get(),
+                                         pool_threads());
     } else {
       throw NdftError("unhandled job kind");
     }

@@ -36,6 +36,7 @@
 #include "api/result.hpp"
 #include "common/cancel.hpp"
 #include "core/ndft_system.hpp"
+#include "runtime/profile_store.hpp"
 
 namespace ndft::api {
 
@@ -68,6 +69,13 @@ struct EngineConfig {
   /// fallback when this is empty. The destructor clears whatever the
   /// constructor installed.
   std::string fault_spec;
+  /// Path of the persistent device-profile store
+  /// ("ndft.device_profile_store.v1", runtime/profile_store.hpp). When
+  /// non-empty, calibrated CoDesignJob runs record their fitted CPU
+  /// profile there and PlanJobs without an explicit profile_override
+  /// default to the stored beliefs for this {git SHA, host, pool width}.
+  /// Empty (the default) disables persistence entirely.
+  std::string profile_store_path;
 };
 
 namespace detail {
@@ -212,6 +220,9 @@ class Engine {
 
   EngineConfig config_;
   core::NdftSystem system_;  ///< machine template (thread-safe, immutable)
+  /// Persistent calibrated-profile store; null when
+  /// EngineConfig::profile_store_path is empty.
+  std::unique_ptr<runtime::ProfileStore> profile_store_;
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;  ///< signals dispatchers: work/stop

@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
 #include "common/str_util.hpp"
+#include "ndp/ndp_system.hpp"
 
 namespace ndft::api {
 namespace {
@@ -32,6 +34,19 @@ void check_deadline(double deadline_ms, std::vector<std::string>& errors) {
     errors.push_back(strformat(
         "deadline_ms must be finite and non-negative (got %g)",
         deadline_ms));
+  }
+}
+
+void check_machine(const std::optional<Json>& machine,
+                   std::vector<std::string>& errors) {
+  // Parse the machine document up front so a malformed hardware
+  // description is a kInvalid refusal with the parser's message, never a
+  // throw from inside the executor after the engine committed resources.
+  if (!machine) return;
+  try {
+    (void)ndp::NdpSystemConfig::from_json(*machine);
+  } catch (const NdftError& e) {
+    errors.push_back(e.what());
   }
 }
 
@@ -152,6 +167,7 @@ struct Validator {
   void operator()(const SimulateJob& job) {
     check_deadline(job.deadline_ms, errors);
     check_atoms(job.atoms, errors);
+    check_machine(job.machine, errors);
     switch (job.mode) {
       case core::ExecMode::kCpuBaseline:
       case core::ExecMode::kGpuBaseline:
@@ -167,6 +183,7 @@ struct Validator {
     check_deadline(job.deadline_ms, errors);
     check_atoms(job.atoms, errors);
     check_granularity(job.granularity);
+    check_machine(job.machine, errors);
     if (!job.profile_override.empty() && job.profile_override.size() != 2) {
       errors.push_back(strformat(
           "profile_override must hold exactly [cpu, ndp] profiles "
@@ -177,6 +194,7 @@ struct Validator {
   void operator()(const CoDesignJob& job) {
     check_deadline(job.deadline_ms, errors);
     check_granularity(job.granularity);
+    check_machine(job.machine, errors);
     if (job.trace.events.empty()) {
       errors.push_back("trace must carry at least one recorded event");
       return;

@@ -10,10 +10,12 @@
 // engine with the same configuration.
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/kernel_trace.hpp"
 #include "core/report.hpp"
 #include "dft/kpoints.hpp"
@@ -107,6 +109,17 @@ struct SimulateJob {
   core::ExecMode mode = core::ExecMode::kNdft;
   /// Sampled memory ops per kernel; 0 keeps the engine's default.
   std::size_t sampled_ops = 0;
+  /// Optional "ndft.machine.v1" hardware description
+  /// (ndp::NdpSystemConfig::from_json): this run simulates the described
+  /// machine instead of the engine's default. Validated up front — a
+  /// malformed document is kInvalid, never a mid-simulation throw.
+  std::optional<Json> machine;
+  /// Record the *simulator-emitted* per-kernel trace into
+  /// JobResult::trace: one "ndft.kernel_trace.v1" entry per simulated
+  /// kernel, stage "sim[cpu]"/"sim[ndp]"/"sim[gpu]", with host_ms
+  /// carrying simulated time. Feeds CoDesignJob / AdaptiveScheduler like
+  /// a measured trace does.
+  bool record_trace = false;
   /// Wall-clock budget in milliseconds, measured from submission
   /// (submit()) or from execution start (run()). 0 = unlimited. Expiry
   /// surfaces as JobStatus::kDeadlineExceeded, detected at the next
@@ -120,8 +133,12 @@ struct PlanJob {
   std::size_t atoms = 64;       ///< Si_n system (multiple of 8)
   runtime::Granularity granularity = runtime::Granularity::kFunction;
   /// Override the engine's scheduler beliefs (what-if experiments). Both
-  /// must be set together or left unset.
+  /// must be set together or left unset. When unset and the engine has a
+  /// profile store (EngineConfig::profile_store_path), the plan defaults
+  /// to the stored calibrated profile for this host instead.
   std::vector<runtime::DeviceProfile> profile_override;  ///< [cpu, ndp]
+  /// Optional "ndft.machine.v1" hardware description to plan against.
+  std::optional<Json> machine;
   /// Wall-clock budget in milliseconds, measured from submission
   /// (submit()) or from execution start (run()). 0 = unlimited. Expiry
   /// surfaces as JobStatus::kDeadlineExceeded, detected at the next
@@ -142,6 +159,9 @@ struct CoDesignJob {
   /// Also simulate the planned schedule on the CPU-NDP machine
   /// (core::NdftSystem::run_planned) and attach the SimulatePayload.
   bool simulate = true;
+  /// Optional "ndft.machine.v1" hardware description for the simulated
+  /// leg (and the NDP-side scheduler beliefs derived from it).
+  std::optional<Json> machine;
   /// Wall-clock budget in milliseconds, measured from submission
   /// (submit()) or from execution start (run()). 0 = unlimited. Expiry
   /// surfaces as JobStatus::kDeadlineExceeded, detected at the next

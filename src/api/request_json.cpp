@@ -45,14 +45,6 @@ core::ExecMode exec_mode_from(const std::string& name) {
   throw NdftError("unknown execution mode: " + name);
 }
 
-DeviceKind device_from(const std::string& name) {
-  for (const DeviceKind device :
-       {DeviceKind::kCpu, DeviceKind::kNdp, DeviceKind::kGpu}) {
-    if (name == to_string(device)) return device;
-  }
-  throw NdftError("unknown device: " + name);
-}
-
 const char* granularity_name(runtime::Granularity granularity) {
   switch (granularity) {
     case runtime::Granularity::kInstruction: return "instruction";
@@ -238,6 +230,10 @@ Json to_json(const SimulateJob& job) {
   j.set("atoms", job.atoms);
   j.set("mode", core::to_string(job.mode));
   j.set("sampled_ops", job.sampled_ops);
+  // The machine document travels verbatim (it has its own schema tag);
+  // absent = engine default hardware, so round-trips stay additive.
+  if (job.machine) j.set("machine", *job.machine);
+  j.set("record_trace", job.record_trace);
   j.set("deadline_ms", job.deadline_ms);
   return j;
 }
@@ -249,35 +245,14 @@ SimulateJob simulate_from_json(const Json& j) {
     job.mode = exec_mode_from(mode->as_string());
   }
   read(j, "sampled_ops", job.sampled_ops);
+  if (const Json* machine = j.find("machine")) job.machine = *machine;
+  read(j, "record_trace", job.record_trace);
   read(j, "deadline_ms", job.deadline_ms);
   return job;
 }
 
-Json to_json(const runtime::DeviceProfile& profile) {
-  Json j = Json::object();
-  j.set("kind", to_string(profile.kind));
-  j.set("peak_gflops", profile.peak_gflops);
-  j.set("dram_gbps", profile.dram_gbps);
-  j.set("link_gbps", profile.link_gbps);
-  j.set("switch_latency_ps", profile.switch_latency_ps);
-  j.set("blocked_compute_efficiency", profile.blocked_compute_efficiency);
-  return j;
-}
-
-runtime::DeviceProfile profile_from_json(const Json& j) {
-  runtime::DeviceProfile profile;
-  if (const Json* kind = j.find("kind")) {
-    profile.kind = device_from(kind->as_string());
-  }
-  read(j, "peak_gflops", profile.peak_gflops);
-  read(j, "dram_gbps", profile.dram_gbps);
-  read(j, "link_gbps", profile.link_gbps);
-  if (const Json* latency = j.find("switch_latency_ps")) {
-    profile.switch_latency_ps = latency->as_uint();
-  }
-  read(j, "blocked_compute_efficiency", profile.blocked_compute_efficiency);
-  return profile;
-}
+// DeviceProfile JSON lives with the type (runtime/device_profile.cpp):
+// the wire schema and the on-disk profile store share one format.
 
 Json to_json(const PlanJob& job) {
   Json j = Json::object();
@@ -285,9 +260,10 @@ Json to_json(const PlanJob& job) {
   j.set("granularity", granularity_name(job.granularity));
   Json profiles = Json::array();
   for (const runtime::DeviceProfile& profile : job.profile_override) {
-    profiles.push_back(to_json(profile));
+    profiles.push_back(profile.to_json());
   }
   j.set("profile_override", std::move(profiles));
+  if (job.machine) j.set("machine", *job.machine);
   j.set("deadline_ms", job.deadline_ms);
   return j;
 }
@@ -300,9 +276,11 @@ PlanJob plan_from_json(const Json& j) {
   }
   if (const Json* profiles = j.find("profile_override")) {
     for (const Json& profile : profiles->items()) {
-      job.profile_override.push_back(profile_from_json(profile));
+      job.profile_override.push_back(
+          runtime::DeviceProfile::from_json(profile));
     }
   }
+  if (const Json* machine = j.find("machine")) job.machine = *machine;
   read(j, "deadline_ms", job.deadline_ms);
   return job;
 }
@@ -313,6 +291,7 @@ Json to_json(const CoDesignJob& job) {
   j.set("granularity", granularity_name(job.granularity));
   j.set("calibrate", job.calibrate);
   j.set("simulate", job.simulate);
+  if (job.machine) j.set("machine", *job.machine);
   j.set("deadline_ms", job.deadline_ms);
   return j;
 }
@@ -327,6 +306,7 @@ CoDesignJob codesign_from_json(const Json& j) {
   }
   read(j, "calibrate", job.calibrate);
   read(j, "simulate", job.simulate);
+  if (const Json* machine = j.find("machine")) job.machine = *machine;
   read(j, "deadline_ms", job.deadline_ms);
   return job;
 }

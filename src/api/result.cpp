@@ -294,6 +294,13 @@ Json to_json(const SimulatePayload& p) {
   pseudo.set("capacity", p.pseudo_capacity);
   pseudo.set("out_of_memory", p.pseudo_oom);
   j.set("pseudo", std::move(pseudo));
+  // Additive: omitted entirely when empty so pre-fabric documents and
+  // their byte-exact round-trips are unchanged.
+  if (!p.stats.empty()) {
+    Json stats = Json::object();
+    for (const auto& [name, value] : p.stats) stats.set(name, value);
+    j.set("stats", std::move(stats));
+  }
   return j;
 }
 
@@ -322,6 +329,11 @@ SimulatePayload simulate_from_json(const Json& j) {
   p.pseudo_per_process = pseudo.at("per_process").as_uint();
   p.pseudo_capacity = pseudo.at("capacity").as_uint();
   p.pseudo_oom = pseudo.at("out_of_memory").as_bool();
+  if (const Json* stats = j.find("stats")) {
+    for (const auto& [name, value] : stats->members()) {
+      p.stats[name] = value.as_double();
+    }
+  }
   return p;
 }
 
@@ -348,6 +360,8 @@ Json to_json(const PlanPayload& p) {
   j.set("est_total_ps", p.est_total_ps);
   j.set("est_overhead_ps", p.est_overhead_ps);
   j.set("crossings", p.crossings);
+  // Additive: omitted when false so older documents round-trip unchanged.
+  if (p.used_stored_profile) j.set("used_stored_profile", true);
   return j;
 }
 
@@ -373,6 +387,9 @@ PlanPayload plan_from_json(const Json& j) {
   p.est_total_ps = j.at("est_total_ps").as_uint();
   p.est_overhead_ps = j.at("est_overhead_ps").as_uint();
   p.crossings = static_cast<unsigned>(j.at("crossings").as_uint());
+  if (const Json* used = j.find("used_stored_profile")) {
+    p.used_stored_profile = used->as_bool();
+  }
   return p;
 }
 

@@ -7,6 +7,7 @@
 // `from_json()` round-trip exactly (`dump()` of the reconstruction equals
 // `dump()` of the original), which tests/api_test.cpp pins down.
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -184,6 +185,11 @@ struct SimulatePayload {
   Bytes pseudo_per_process = 0;
   Bytes pseudo_capacity = 0;
   bool pseudo_oom = false;
+  /// Bounded component-statistics roll-up from RunReport::stats
+  /// ("mesh.hops", "dram.channel_utilization",
+  /// "serdes.backpressure_stall_ps", ...). Additive in
+  /// ndft.job_result.v1: older documents omit it and deserialize empty.
+  std::map<std::string, double> stats;
 };
 
 /// One kernel's placement decision plus the SCA view behind it (PlanJob).
@@ -208,6 +214,11 @@ struct PlanPayload {
   TimePs est_total_ps = 0;
   TimePs est_overhead_ps = 0;
   unsigned crossings = 0;
+  /// True when the CPU-side beliefs behind this plan came from the
+  /// engine's persisted device-profile store (a previous calibrated
+  /// co-design run on this host) rather than the static Table-III
+  /// defaults. Additive in ndft.job_result.v1.
+  bool used_stored_profile = false;
 
   /// Fraction of the estimated total spent on scheduling overhead
   /// (mirrors runtime::ExecutionPlan::overhead_fraction()).

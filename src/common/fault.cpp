@@ -31,6 +31,10 @@ const std::vector<FaultSite>& catalog() {
        FaultClass::kTrace},
       {"sim.mem", "simulated NDP/DRAM fault during an event batch",
        FaultClass::kDevice},
+      {"sim.port",
+       "message dropped on a fabric connection (recovered by a delayed "
+       "retransmission inside the simulation)",
+       FaultClass::kDevice},
       {"net.accept",
        "accepted connection dropped at the service boundary",
        FaultClass::kDevice},

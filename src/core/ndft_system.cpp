@@ -138,6 +138,45 @@ TimePs scaled(TimePs elapsed, double scale) {
   return static_cast<TimePs>(static_cast<double>(elapsed) * scale + 0.5);
 }
 
+/// Rolls the full per-instance StatSet tree into RunReport::stats: one
+/// bounded key per (component class, counter) pair. Counters sum across
+/// instances; *_peak counters keep the maximum seen on any instance.
+/// The allowlist keeps the payload size independent of the machine size
+/// (a 16-stack machine has 128 DRAM channels — nobody wants 128 rows of
+/// "row_hits" in a job result).
+void roll_up_stats(const sim::StatSet& all,
+                   std::map<std::string, double>& out) {
+  static const char* const kLeaves[] = {
+      // Fabric connection / staging counters (sim/port.hpp).
+      "messages", "bytes", "hops", "contention_ps", "backpressure_stalls",
+      "backpressure_stall_ps", "staged_peak", "queue_peak", "fault_delays",
+      // DRAM channel counters (mem/dram_channel.cpp).
+      "reads", "writes", "row_hits", "row_misses", "row_conflicts",
+      "refresh_stall_ps", "refreshes",
+  };
+  for (const auto& [key, value] : all.snapshot()) {
+    const char* group = nullptr;
+    if (key.find(".mesh.") != std::string::npos) group = "mesh";
+    else if (key.find(".serdes.") != std::string::npos) group = "serdes";
+    else if (key.find(".dram.") != std::string::npos) group = "dram";
+    else if (key.find(".spm.") != std::string::npos) group = "spm";
+    else continue;  // core/cache counters stay out of the bounded set
+    const std::size_t dot = key.rfind('.');
+    const std::string leaf = key.substr(dot + 1);
+    bool allowed = false;
+    for (const char* candidate : kLeaves) {
+      if (leaf == candidate) allowed = true;
+    }
+    if (!allowed) continue;
+    double& slot = out[std::string(group) + "." + leaf];
+    if (leaf.size() > 5 && leaf.compare(leaf.size() - 5, 5, "_peak") == 0) {
+      slot = std::max(slot, value);
+    } else {
+      slot += value;
+    }
+  }
+}
+
 }  // namespace
 
 NdftSystem::NdftSystem(SystemConfig config) : config_(std::move(config)) {}
@@ -219,6 +258,17 @@ RunReport NdftSystem::run_cpu_baseline(const dft::Workload& workload) const {
         background_mw * static_cast<double>(elapsed) * 1e-12;
     machine.invalidate_caches();
     queue.run();
+  }
+
+  sim::StatSet all_stats;
+  dram.collect_stats("xeon.dram", all_stats);
+  roll_up_stats(all_stats, report.stats);
+  if (queue.now() > 0) {
+    // GB/s (decimal) is 1e-3 bytes/ps.
+    report.stats["dram.channel_utilization"] =
+        report.stats["dram.bytes"] /
+        (config_.xeon_dram.peak_gbps() * 1e-3 *
+         static_cast<double>(queue.now()));
   }
 
   const runtime::PseudoStore store(workload, config_.processes);
@@ -410,6 +460,17 @@ RunReport NdftSystem::run_hybrid(const dft::Workload& workload,
     host.invalidate_caches();
     ndp.invalidate_caches();
     queue.run();
+  }
+
+  sim::StatSet all_stats;
+  ndp.collect_stats("ndp", all_stats);
+  roll_up_stats(all_stats, report.stats);
+  if (queue.now() > 0) {
+    // GB/s (decimal) is 1e-3 bytes/ps; peak aggregates over all stacks.
+    report.stats["dram.channel_utilization"] =
+        report.stats["dram.bytes"] /
+        (config_.ndp.stack.dram.peak_gbps() * stacks * 1e-3 *
+         static_cast<double>(queue.now()));
   }
 
   report.mesh_bytes = ndp.mesh().bytes_sent();

@@ -2,6 +2,7 @@
 // Run reports: per-kernel timing breakdowns in the shape of the paper's
 // Figure 7, plus footprints and communication statistics.
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,15 @@ struct RunReport {
   /// Memory-system energy (DRAM + fabric; GPU: HBM + PCIe) in millijoules,
   /// scaled up from the sampled windows like the kernel times.
   double memory_energy_mj = 0.0;
+  /// Bounded roll-up of the simulated components' StatSet counters,
+  /// aggregated per component class ("mesh.hops", "dram.row_hits",
+  /// "serdes.backpressure_stall_ps", ...): counters sum across instances,
+  /// *_peak keys take the maximum, and "dram.channel_utilization" is the
+  /// derived fraction of aggregate DRAM peak bandwidth used over the
+  /// simulated span. The key set is fixed by an allowlist (never one key
+  /// per channel/core), so payload size does not scale with the machine.
+  /// Empty for the analytic GPU baseline.
+  std::map<std::string, double> stats;
 
   /// Total simulated time including scheduling overhead.
   TimePs total_ps() const noexcept;

@@ -1,0 +1,42 @@
+#include "core/system_config.hpp"
+
+namespace ndft::core {
+namespace {
+
+double compute_capability(const ndp::NdpSystemConfig& config) {
+  return static_cast<double>(config.total_cores()) *
+         (static_cast<double>(config.stack.core.freq_mhz) / 1000.0) *
+         config.stack.core.flops_per_cycle;
+}
+
+double dram_capability(const ndp::NdpSystemConfig& config) {
+  return config.stack.dram.peak_gbps() * config.stacks();
+}
+
+double link_capability(const ndp::NdpSystemConfig& config) {
+  return config.cpu_link_gbps * config.cpu_links;
+}
+
+double ratio(double machine, double reference) {
+  return reference > 0.0 ? machine / reference : 1.0;
+}
+
+}  // namespace
+
+runtime::DeviceProfile ndp_profile_from(const ndp::NdpSystemConfig& machine,
+                                        const runtime::DeviceProfile& base) {
+  const ndp::NdpSystemConfig reference = ndp::NdpSystemConfig::table3();
+  runtime::DeviceProfile profile = base;
+  profile.peak_gflops =
+      base.peak_gflops *
+      ratio(compute_capability(machine), compute_capability(reference));
+  profile.dram_gbps =
+      base.dram_gbps *
+      ratio(dram_capability(machine), dram_capability(reference));
+  profile.link_gbps =
+      base.link_gbps *
+      ratio(link_capability(machine), link_capability(reference));
+  return profile;
+}
+
+}  // namespace ndft::core

@@ -47,4 +47,14 @@ struct SystemConfig {
   static SystemConfig paper_default() { return SystemConfig{}; }
 };
 
+/// Scheduler beliefs for the NDP side of an arbitrary machine config:
+/// `base`'s sustained numbers (Table-III-calibrated) scaled by the ratio
+/// of `machine`'s raw capability to the Table-III machine's — compute by
+/// total cores x frequency x flops/cycle, DRAM by aggregate peak
+/// bandwidth, link by aggregate SerDes bandwidth. The Table-III config
+/// itself maps to `base` exactly; microarchitectural properties
+/// (switch latency, blocked-kernel efficiency) carry over unscaled.
+runtime::DeviceProfile ndp_profile_from(const ndp::NdpSystemConfig& machine,
+                                        const runtime::DeviceProfile& base);
+
 }  // namespace ndft::core

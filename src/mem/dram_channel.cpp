@@ -4,26 +4,51 @@
 
 namespace ndft::mem {
 
+sim::LinkConfig DramChannel::ingress_link(std::size_t queue_depth) {
+  // An untimed (inline-delivering) wire: the bound is the controller
+  // queue, not a physical link, so the connection adds no latency. The
+  // credit returns explicitly when a request's data transfer retires.
+  sim::LinkConfig link;
+  link.latency_ps = 0;
+  link.gbps = 0.0;
+  link.capacity = queue_depth;
+  link.manual_credit = true;
+  return link;
+}
+
 DramChannel::DramChannel(std::string name, sim::EventQueue& queue,
                          const DramTiming& timing,
                          const DramGeometry& geometry, const AddressMap& map,
-                         PagePolicy policy)
+                         PagePolicy policy, std::size_t queue_depth)
     : SimObject(std::move(name), queue),
       timing_(timing),
       geometry_(geometry),
       policy_(policy),
       map_(&map),
+      ingress_(queue, ingress_link(queue_depth), &stats()),
       banks_(geometry.banks),
-      next_refresh_(cycles(timing.tREFI)) {}
+      next_refresh_(cycles(timing.tREFI)) {
+  ingress_.on_receive([this] {
+    while (!ingress_.empty()) {
+      ChannelRequest request = ingress_.pop();  // credit held until retire
+      enqueue_pending(Pending{std::move(request.req), request.coord, now(),
+                              /*credited=*/true});
+    }
+  });
+}
 
 void DramChannel::enqueue(MemRequest req, const DramCoord& coord) {
-  NDFT_ASSERT(coord.bank < banks_.size());
-  if (req.is_write) {
+  enqueue_pending(Pending{std::move(req), coord, now(), /*credited=*/false});
+}
+
+void DramChannel::enqueue_pending(Pending pending) {
+  NDFT_ASSERT(pending.coord.bank < banks_.size());
+  if (pending.req.is_write) {
     ++counters_.writes;
   } else {
     ++counters_.reads;
   }
-  queue_.push_back(Pending{std::move(req), coord, now()});
+  queue_.push_back(std::move(pending));
   ++queue_depth_;
   if (!drain_scheduled_) {
     drain_scheduled_ = true;
@@ -145,12 +170,16 @@ void DramChannel::drain() {
         static_cast<double>(data_end - pending.arrival);
 
     --queue_depth_;
-    if (pending.req.on_complete) {
-      auto callback = std::move(pending.req.on_complete);
-      queue().schedule_at(data_end,
-                          [callback = std::move(callback), data_end] {
-                            callback(data_end);
-                          });
+    if (pending.req.on_complete || pending.credited) {
+      // One retire event: free the controller slot (waking any staged
+      // producer) and deliver the data to the requester.
+      queue().schedule_at(
+          data_end, [this, credited = pending.credited,
+                     callback = std::move(pending.req.on_complete),
+                     data_end] {
+            if (credited) ingress_.return_credit();
+            if (callback) callback(data_end);
+          });
     }
   }
 }

@@ -5,6 +5,13 @@
 // the bank/bus state instead of replaying individual ACT/PRE commands as
 // separate events, which keeps large benches fast while preserving
 // row-hit/miss/conflict behaviour.
+//
+// The channel fronts the fabric with a bounded manual-credit ingress
+// Connection: a credit is consumed when a request enters the controller
+// and returned when its data transfer retires, so at most
+// `queue_depth` requests are outstanding inside the controller and a
+// saturating producer back-pressures (stages in the DramSystem's
+// CreditedSender) instead of growing an unbounded request queue.
 
 #include <deque>
 #include <vector>
@@ -13,6 +20,7 @@
 #include "mem/dram_timing.hpp"
 #include "mem/energy.hpp"
 #include "mem/mem_request.hpp"
+#include "sim/port.hpp"
 #include "sim/sim_object.hpp"
 
 namespace ndft::mem {
@@ -29,17 +37,28 @@ struct DramCounters {
   std::uint64_t refreshes = 0;
 };
 
+/// One request on a channel's ingress connection.
+struct ChannelRequest {
+  MemRequest req;
+  DramCoord coord;
+};
+
 /// A single DRAM channel with FR-FCFS scheduling.
 class DramChannel : public sim::SimObject {
  public:
   DramChannel(std::string name, sim::EventQueue& queue,
               const DramTiming& timing, const DramGeometry& geometry,
-              const AddressMap& map,
-              PagePolicy policy = PagePolicy::kOpen);
+              const AddressMap& map, PagePolicy policy = PagePolicy::kOpen,
+              std::size_t queue_depth = 4096);
 
-  /// Enqueues one line-granularity request for this channel.
+  /// Enqueues one line-granularity request for this channel directly
+  /// (bypassing the credited ingress — unit tests and legacy callers).
   /// The coordinate must belong to this channel.
   void enqueue(MemRequest req, const DramCoord& coord);
+
+  /// The bounded ingress port; DramSystem sends ChannelRequests through
+  /// it. Credits (== controller queue slots) return as requests retire.
+  sim::Connection<ChannelRequest>& ingress() noexcept { return ingress_; }
 
   /// Requests waiting or in flight.
   std::size_t pending() const noexcept { return queue_depth_; }
@@ -74,7 +93,12 @@ class DramChannel : public sim::SimObject {
     MemRequest req;
     DramCoord coord;
     TimePs arrival;
+    bool credited;  ///< arrived via ingress(): return the credit at retire
   };
+
+  static sim::LinkConfig ingress_link(std::size_t queue_depth);
+
+  void enqueue_pending(Pending pending);
 
   /// Drains the queue with FR-FCFS order, analytically scheduling each
   /// request's data transfer and completion callback.
@@ -92,6 +116,7 @@ class DramChannel : public sim::SimObject {
   DramGeometry geometry_;
   PagePolicy policy_;
   const AddressMap* map_;
+  sim::Connection<ChannelRequest> ingress_;
   std::vector<BankState> banks_;
   std::deque<Pending> queue_;
   std::size_t queue_depth_ = 0;

@@ -31,10 +31,16 @@ DramSystem::DramSystem(std::string name, sim::EventQueue& queue,
       config_(config),
       map_(config.channels, config.geometry, config.line_bytes) {
   channels_.reserve(config.channels);
+  ports_.reserve(config.channels);
+  senders_.reserve(config.channels);
   for (unsigned i = 0; i < config.channels; ++i) {
     channels_.push_back(std::make_unique<DramChannel>(
         this->name() + ".ch" + std::to_string(i), queue, config.timing,
-        config.geometry, map_, config.page_policy));
+        config.geometry, map_, config.page_policy, config.queue_depth));
+    ports_.push_back(std::make_unique<sim::OutputPort<ChannelRequest>>());
+    ports_.back()->bind(channels_.back()->ingress());
+    senders_.push_back(std::make_unique<sim::CreditedSender<ChannelRequest>>(
+        queue, *ports_.back(), &channels_.back()->stats()));
   }
 }
 
@@ -42,14 +48,18 @@ void DramSystem::access(MemRequest req) {
   const DramCoord coord = map_.decode(req.addr);
   NDFT_ASSERT(coord.channel < channels_.size());
   if (config_.access_latency_ps == 0) {
-    channels_[coord.channel]->enqueue(std::move(req), coord);
+    const Bytes size = req.size;
+    senders_[coord.channel]->push(ChannelRequest{std::move(req), coord},
+                                  size);
     return;
   }
   // Interconnect hop between the requester and the controller.
   queue().schedule_after(
       config_.access_latency_ps,
       [this, req = std::move(req), coord]() mutable {
-        channels_[coord.channel]->enqueue(std::move(req), coord);
+        const Bytes size = req.size;
+        senders_[coord.channel]->push(ChannelRequest{std::move(req), coord},
+                                      size);
       });
 }
 

@@ -25,6 +25,14 @@ struct DramConfig {
   /// (models the on-/off-chip interconnect between the LLC and DRAM; the
   /// NDP cores use ~0 here, the CPU pays SerDes + board traversal).
   TimePs access_latency_ps = 0;
+  /// Per-channel controller queue depth: the credit pool of the channel's
+  /// ingress connection. A credit is held from acceptance until the data
+  /// transfer retires, so bursts that out-run the channel stage in the
+  /// DramSystem and are accounted as back-pressure stalls. The default
+  /// exceeds any in-flight population today's requesters generate
+  /// (transaction-level drains schedule whole bursts ahead of time), so
+  /// the bound only bites when a machine config tightens it.
+  std::size_t queue_depth = 4096;
 
   /// Peak aggregate bandwidth in decimal GB/s.
   double peak_gbps() const noexcept {
@@ -70,6 +78,12 @@ class DramSystem : public sim::SimObject, public MemoryPort {
   DramConfig config_;
   AddressMap map_;
   std::vector<std::unique_ptr<DramChannel>> channels_;
+  // Per-channel ingress: an OutputPort on the channel's bounded
+  // connection, fronted by a staging sender so access() never drops or
+  // blocks — overload beyond the controller queue depth shows up as
+  // backpressure_stall stats on the channel instead.
+  std::vector<std::unique_ptr<sim::OutputPort<ChannelRequest>>> ports_;
+  std::vector<std::unique_ptr<sim::CreditedSender<ChannelRequest>>> senders_;
 };
 
 }  // namespace ndft::mem

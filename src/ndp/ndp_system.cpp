@@ -23,7 +23,52 @@ NdpSystem::NdpSystem(const std::string& name, sim::EventQueue& queue,
         name + ".stack" + std::to_string(i), queue, config.stack));
   }
   cpu_port_ = std::make_unique<CpuPort>(*this);
-  cpu_link_free_.assign(std::max(config.cpu_links, 1u), 0);
+
+  // Outbound SerDes links: store-forward (a request is fully serialized
+  // before the PHY latency), one bounded connection per physical link.
+  sim::LinkConfig link;
+  link.latency_ps = config.serdes_latency_ps;
+  link.gbps = config.cpu_link_gbps;
+  link.capacity = std::max<std::size_t>(config.cpu_link_queue, 1);
+  link.delivery = sim::Delivery::kStoreForward;
+  const unsigned links = std::max(config.cpu_links, 1u);
+  for (unsigned i = 0; i < links; ++i) {
+    cpu_links_.push_back(std::make_unique<sim::Connection<CpuRequestMsg>>(
+        queue, link, &serdes_stats_));
+    cpu_links_.back()->on_receive([this, i] {
+      auto& in = *cpu_links_[i];
+      while (!in.empty()) {
+        handle_cpu_request(in.pop());
+      }
+    });
+    cpu_link_out_.push_back(
+        std::make_unique<sim::OutputPort<CpuRequestMsg>>(*cpu_links_.back()));
+    cpu_link_senders_.push_back(
+        std::make_unique<sim::CreditedSender<CpuRequestMsg>>(
+            queue, *cpu_link_out_.back(), &serdes_stats_));
+  }
+
+  // Return path for read data leaving the mesh: the outbound trip already
+  // charged the wire, so the exit pays PHY latency only (gbps 0 = no
+  // serialization, no contention) — the historical asymmetry, kept
+  // bitwise.
+  sim::LinkConfig response;
+  response.latency_ps = config.serdes_latency_ps;
+  response.gbps = 0.0;
+  response.capacity = 1024;
+  response.delivery = sim::Delivery::kStoreForward;
+  cpu_response_ = std::make_unique<sim::Connection<CpuResponseMsg>>(
+      queue, response, &serdes_stats_);
+  cpu_response_->on_receive([this] {
+    while (!cpu_response_->empty()) {
+      CpuResponseMsg msg = cpu_response_->pop();
+      if (msg.on_complete) msg.on_complete(queue_->now());
+    }
+  });
+  cpu_response_out_ =
+      std::make_unique<sim::OutputPort<CpuResponseMsg>>(*cpu_response_);
+  cpu_response_sender_ = std::make_unique<sim::CreditedSender<CpuResponseMsg>>(
+      queue, *cpu_response_out_, &serdes_stats_);
 }
 
 unsigned NdpSystem::stack_of_addr(Addr addr) const noexcept {
@@ -58,68 +103,62 @@ unsigned NdpSystem::entry_node_for(unsigned stack) const noexcept {
 
 void NdpSystem::CpuPort::access(mem::MemRequest req) {
   NdpSystem& sys = *owner_;
-  const unsigned stack = sys.stack_of_addr(req.addr);
-  const unsigned entry = sys.entry_node_for(stack);
-  const Addr local = sys.local_addr(req.addr);
-  const Bytes data_bytes = req.size;
-  const bool is_write = req.is_write;
+  CpuRequestMsg msg;
+  msg.stack = sys.stack_of_addr(req.addr);
+  msg.entry = sys.entry_node_for(msg.stack);
+  msg.local = sys.local_addr(req.addr);
+  msg.data_bytes = req.size;
+  msg.is_write = req.is_write;
+  msg.on_complete = std::move(req.on_complete);
 
-  // Pick the least-loaded SerDes link and pay serialization + latency.
-  auto& link_free = sys.cpu_link_free_;
-  const std::size_t link =
-      static_cast<std::size_t>(std::min_element(link_free.begin(),
-                                                link_free.end()) -
-                               link_free.begin());
-  const Bytes outbound = sys.config_.request_bytes +
-                         (is_write ? data_bytes : 0);
-  const TimePs serialization =
-      transfer_time_ps(outbound, sys.config_.cpu_link_gbps);
-  const TimePs start = std::max(sys.queue_->now(), link_free[link]);
-  link_free[link] = start + serialization;
-  const TimePs at_mesh =
-      start + serialization + sys.config_.serdes_latency_ps;
+  // Pick the least-loaded SerDes link by wire availability (ties go to
+  // the lowest-numbered link, as before); the connection then pays
+  // serialization + PHY latency.
+  std::size_t link = 0;
+  for (std::size_t i = 1; i < sys.cpu_links_.size(); ++i) {
+    if (sys.cpu_links_[i]->wire_free_at() <
+        sys.cpu_links_[link]->wire_free_at()) {
+      link = i;
+    }
+  }
+  const Bytes outbound =
+      sys.config_.request_bytes + (msg.is_write ? msg.data_bytes : 0);
+  sys.cpu_link_senders_[link]->push(std::move(msg), outbound);
+}
 
-  auto callback = std::move(req.on_complete);
-  sys.queue_->schedule_at(at_mesh, [&sys, stack, entry, local, data_bytes,
-                                    is_write,
-                                    callback = std::move(callback)]() mutable {
-    // Hop across the mesh to the owning stack.
-    sys.mesh_->send(entry, stack, sys.config_.request_bytes,
-                    [&sys, stack, entry, local, data_bytes, is_write,
-                     callback = std::move(callback)](TimePs) mutable {
-      mem::MemRequest dram_req;
-      dram_req.addr = local;
-      dram_req.size = data_bytes;
-      dram_req.is_write = is_write;
-      if (is_write) {
-        // Posted write: complete once the stack DRAM accepts it.
-        dram_req.on_complete = nullptr;
-        sys.stacks_[stack]->dram().access(std::move(dram_req));
-        if (callback) {
-          callback(sys.queue_->now());
+void NdpSystem::handle_cpu_request(CpuRequestMsg msg) {
+  // Hop across the mesh to the owning stack.
+  mesh_->send(
+      msg.entry, msg.stack, config_.request_bytes,
+      [this, msg = std::move(msg)](TimePs) mutable {
+        mem::MemRequest dram_req;
+        dram_req.addr = msg.local;
+        dram_req.size = msg.data_bytes;
+        dram_req.is_write = msg.is_write;
+        if (msg.is_write) {
+          // Posted write: complete once the stack DRAM accepts it.
+          dram_req.on_complete = nullptr;
+          stacks_[msg.stack]->dram().access(std::move(dram_req));
+          if (msg.on_complete) {
+            msg.on_complete(queue_->now());
+          }
+          return;
         }
-        return;
-      }
-      dram_req.on_complete = [&sys, stack, entry, data_bytes,
-                              callback =
-                                  std::move(callback)](TimePs) mutable {
-        // Data response crosses the mesh back and exits over SerDes.
-        sys.mesh_->send(
-            stack, entry, data_bytes + sys.config_.response_overhead,
-            [&sys, callback = std::move(callback)](TimePs) mutable {
-              const TimePs done =
-                  sys.queue_->now() + sys.config_.serdes_latency_ps;
-              if (callback) {
-                sys.queue_->schedule_at(
-                    done, [callback = std::move(callback), done]() {
-                      callback(done);
-                    });
-              }
-            });
-      };
-      sys.stacks_[stack]->dram().access(std::move(dram_req));
-    });
-  });
+        const unsigned stack = msg.stack;
+        dram_req.on_complete = [this, stack, entry = msg.entry,
+                                data_bytes = msg.data_bytes,
+                                callback = std::move(msg.on_complete)](
+                                   TimePs) mutable {
+          // Data response crosses the mesh back and exits over SerDes.
+          mesh_->send(stack, entry,
+                      data_bytes + config_.response_overhead,
+                      [this, callback = std::move(callback)](TimePs) mutable {
+                        cpu_response_sender_->push(
+                            CpuResponseMsg{std::move(callback)}, 0);
+                      });
+        };
+        stacks_[stack]->dram().access(std::move(dram_req));
+      });
 }
 
 void NdpSystem::run(const std::vector<const cpu::Trace*>& traces,
@@ -194,6 +233,7 @@ double NdpSystem::energy_nj() const {
 void NdpSystem::collect_stats(const std::string& prefix,
                               sim::StatSet& out) const {
   out.merge_prefixed(prefix + ".mesh", mesh_->stats());
+  out.merge_prefixed(prefix + ".serdes", serdes_stats_);
   for (std::size_t i = 0; i < stacks_.size(); ++i) {
     stacks_[i]->collect_stats(prefix + ".stack" + std::to_string(i), out);
   }

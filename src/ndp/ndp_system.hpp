@@ -8,10 +8,12 @@
 #include <memory>
 #include <vector>
 
+#include "common/json.hpp"
 #include "cpu/trace.hpp"
 #include "mem/mem_request.hpp"
 #include "ndp/ndp_stack.hpp"
 #include "noc/mesh.hpp"
+#include "sim/port.hpp"
 
 namespace ndft::ndp {
 
@@ -24,6 +26,10 @@ struct NdpSystemConfig {
   TimePs serdes_latency_ps = 10000;  ///< one-way SerDes + PHY latency
   Bytes request_bytes = 32;          ///< read/write request packet size
   Bytes response_overhead = 16;      ///< header on a data response
+  /// In-flight requests per SerDes link (credits). The default exceeds
+  /// the aggregate MLP the host complex can offer, so the bound is
+  /// behavior-neutral until a machine config tightens it.
+  std::size_t cpu_link_queue = 256;
 
   unsigned stacks() const noexcept { return mesh.stacks(); }
   unsigned total_cores() const noexcept {
@@ -36,6 +42,15 @@ struct NdpSystemConfig {
 
   /// Table III NDP system (16 stacks, 64 GiB, 128 NDP units).
   static NdpSystemConfig table3();
+
+  /// Parses an "ndft.machine.v1" hardware description (machine_json.cpp).
+  /// Strict: unknown members are rejected so a typo'd sweep fails loudly.
+  /// Throws NdftError on any violation.
+  static NdpSystemConfig from_json(const Json& j);
+
+  /// Serializes this config as an "ndft.machine.v1" document;
+  /// from_json(to_json()) round-trips bitwise.
+  Json to_json() const;
 };
 
 /// The CPU-visible memory port plus all NDP compute resources.
@@ -86,6 +101,20 @@ class NdpSystem {
   double dram_background_mw() const;
 
  private:
+  /// One CPU line request crossing a SerDes link into the mesh.
+  struct CpuRequestMsg {
+    unsigned stack = 0;   ///< owning HBM stack
+    unsigned entry = 0;   ///< mesh entry/exit corner
+    Addr local = 0;       ///< stack-local address
+    Bytes data_bytes = 0;
+    bool is_write = false;
+    mem::MemCallback on_complete;
+  };
+  /// A read's data coming back out of the mesh over SerDes.
+  struct CpuResponseMsg {
+    mem::MemCallback on_complete;
+  };
+
   /// Adapts CPU line requests onto the mesh + stack DRAM round trip.
   class CpuPort : public mem::MemoryPort {
    public:
@@ -95,6 +124,11 @@ class NdpSystem {
    private:
     NdpSystem* owner_;
   };
+
+  /// Receiver at the mesh side of a SerDes link: forwards the request
+  /// across the mesh, into the owning stack's DRAM, and routes a read's
+  /// data back over the response connection.
+  void handle_cpu_request(CpuRequestMsg msg);
 
   /// Stack that owns a physical address (line-interleaved).
   unsigned stack_of_addr(Addr addr) const noexcept;
@@ -108,7 +142,19 @@ class NdpSystem {
   std::unique_ptr<noc::Mesh> mesh_;
   std::vector<std::unique_ptr<NdpStack>> stacks_;
   std::unique_ptr<CpuPort> cpu_port_;
-  std::vector<TimePs> cpu_link_free_;  ///< per-SerDes-link availability
+  // SerDes fabric: one bounded store-forward connection per outbound CPU
+  // link (serialization + PHY latency, request picks the least-loaded
+  // wire) and one latency-only return connection for read data leaving
+  // the mesh. All share serdes_stats_ ("contention_ps",
+  // "backpressure_stall_ps", ...), merged by collect_stats().
+  sim::StatSet serdes_stats_;
+  std::vector<std::unique_ptr<sim::Connection<CpuRequestMsg>>> cpu_links_;
+  std::vector<std::unique_ptr<sim::OutputPort<CpuRequestMsg>>> cpu_link_out_;
+  std::vector<std::unique_ptr<sim::CreditedSender<CpuRequestMsg>>>
+      cpu_link_senders_;
+  std::unique_ptr<sim::Connection<CpuResponseMsg>> cpu_response_;
+  std::unique_ptr<sim::OutputPort<CpuResponseMsg>> cpu_response_out_;
+  std::unique_ptr<sim::CreditedSender<CpuResponseMsg>> cpu_response_sender_;
   unsigned running_ = 0;
   std::function<void()> on_done_;
 };

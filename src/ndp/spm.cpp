@@ -7,10 +7,33 @@
 
 namespace ndft::ndp {
 
+namespace {
+
+sim::LinkConfig spm_port_link(const SpmConfig& config) {
+  sim::LinkConfig link;
+  link.latency_ps = config.access_latency_ps;
+  link.gbps = config.bandwidth_gbps;
+  link.capacity = config.port_queue;
+  link.delivery = sim::Delivery::kStoreForward;
+  return link;
+}
+
+}  // namespace
+
 Spm::Spm(std::string name, sim::EventQueue& queue, const SpmConfig& config)
-    : SimObject(std::move(name), queue), config_(config) {
+    : SimObject(std::move(name), queue),
+      config_(config),
+      port_(queue, spm_port_link(config), &stats()),
+      out_(port_),
+      sender_(queue, out_, &stats()) {
   NDFT_REQUIRE(config.capacity > 0, "SPM capacity must be positive");
   regions_.push_back(Region{0, config.capacity, false});
+  port_.on_receive([this] {
+    while (!port_.empty()) {
+      Access access = port_.pop();
+      if (access.done) access.done(now());
+    }
+  });
 }
 
 std::optional<Addr> Spm::alloc(Bytes size) {
@@ -65,16 +88,12 @@ void Spm::free(Addr offset) {
 
 void Spm::timed_access(Bytes size, bool is_write,
                        std::function<void(TimePs)> done) {
-  const TimePs serialization = transfer_time_ps(
-      std::max<Bytes>(size, 1), config_.bandwidth_gbps);
-  const TimePs start = std::max(now(), port_free_);
-  const TimePs end = start + config_.access_latency_ps + serialization;
-  port_free_ = start + serialization;
   stats().add(is_write ? "write_bytes" : "read_bytes",
               static_cast<double>(size));
-  if (done) {
-    queue().schedule_at(end, [cb = std::move(done), end] { cb(end); });
-  }
+  // The connection reproduces the previous port arithmetic exactly:
+  // start = max(now, wire_free), completion at start + latency +
+  // serialization, wire busy for the serialization time.
+  sender_.push(Access{std::move(done)}, std::max<Bytes>(size, 1));
 }
 
 void Spm::read(Bytes size, std::function<void(TimePs)> done) {

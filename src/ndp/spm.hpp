@@ -11,6 +11,7 @@
 #include <optional>
 
 #include "common/types.hpp"
+#include "sim/port.hpp"
 #include "sim/sim_object.hpp"
 
 namespace ndft::ndp {
@@ -20,6 +21,7 @@ struct SpmConfig {
   Bytes capacity = 256 * 1024;
   TimePs access_latency_ps = 1500;  ///< ~3 cycles at 2 GHz
   double bandwidth_gbps = 128.0;    ///< wide on-die port
+  std::size_t port_queue = 8;       ///< in-flight accesses on the port
 
   static SpmConfig table3() { return SpmConfig{}; }
 };
@@ -55,13 +57,25 @@ class Spm : public sim::SimObject {
     bool allocated;
   };
 
+  /// One access in flight on the port connection.
+  struct Access {
+    std::function<void(TimePs)> done;
+  };
+
   void timed_access(Bytes size, bool is_write,
                     std::function<void(TimePs)> done);
 
   SpmConfig config_;
   std::list<Region> regions_;  // ordered by offset; adjacent free merged
   Bytes used_ = 0;
-  TimePs port_free_ = 0;
+  // The timed port is a store-forward fabric connection: an access holds
+  // the wire for its serialization time (start = max(now, wire_free)),
+  // completes latency + serialization later, and at most `port_queue`
+  // accesses are in flight — beyond that, requests stage in sender_ and
+  // the wait is accounted as backpressure_stall_ps in stats().
+  sim::Connection<Access> port_;
+  sim::OutputPort<Access> out_;
+  sim::CreditedSender<Access> sender_;
 };
 
 }  // namespace ndft::ndp

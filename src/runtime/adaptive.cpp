@@ -22,6 +22,24 @@ void AdaptiveScheduler::record(const std::string& kernel_name,
   }
 }
 
+std::size_t AdaptiveScheduler::record_trace(const KernelTrace& trace) {
+  std::size_t recorded = 0;
+  for (const TraceEvent& event : trace.events) {
+    if (!(event.host_ms > 0.0)) {
+      continue;  // zero-time events carry no timing signal
+    }
+    DeviceKind device = DeviceKind::kCpu;
+    if (event.stage == "sim[ndp]") {
+      device = DeviceKind::kNdp;
+    } else if (event.stage == "sim[gpu]") {
+      device = DeviceKind::kGpu;
+    }
+    record(event.name, device, static_cast<TimePs>(event.host_ms * 1e9));
+    ++recorded;
+  }
+  return recorded;
+}
+
 bool AdaptiveScheduler::has_measurement(const std::string& kernel_name,
                                         DeviceKind device) const {
   return measurements_.count({kernel_name, device}) != 0;

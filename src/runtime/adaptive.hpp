@@ -13,6 +13,7 @@
 #include <map>
 #include <string>
 
+#include "common/kernel_trace.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace ndft::runtime {
@@ -27,6 +28,15 @@ class AdaptiveScheduler {
   /// Repeated measurements are blended with an exponential moving average.
   void record(const std::string& kernel_name, DeviceKind device,
               TimePs measured_ps);
+
+  /// Feeds a whole kernel trace into the measurement table: one record()
+  /// per event, with the device decoded from the event's stage label —
+  /// "sim[ndp]" -> NDP, "sim[gpu]" -> GPU, anything else (measured host
+  /// traces and "sim[cpu]") -> CPU — and host_ms converted to picoseconds.
+  /// This is how simulator-emitted traces (SimulateJob::record_trace)
+  /// close the loop back into profile-guided planning. Returns the number
+  /// of events recorded (zero-time events are skipped).
+  std::size_t record_trace(const KernelTrace& trace);
 
   /// True if a measurement exists for this (kernel, device).
   bool has_measurement(const std::string& kernel_name,

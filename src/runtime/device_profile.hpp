@@ -5,6 +5,7 @@
 // from the timing simulation, which is how scheduling mispredictions stay
 // possible, as in the real system.
 
+#include "common/json.hpp"
 #include "common/types.hpp"
 
 namespace ndft::runtime {
@@ -32,6 +33,11 @@ struct DeviceProfile {
   static DeviceProfile table3_ndp();
   /// Section V Xeon baseline (2x E5-2695, DDR4).
   static DeviceProfile xeon_baseline();
+
+  /// JSON form used by the job-request wire schema and the on-disk
+  /// device-profile store; from_json(to_json()) round-trips exactly.
+  Json to_json() const;
+  static DeviceProfile from_json(const Json& j);
 };
 
 }  // namespace ndft::runtime

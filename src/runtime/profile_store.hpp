@@ -1,0 +1,63 @@
+#pragma once
+// Persistent store of fitted device profiles ("ndft.device_profile_store.v1"):
+// when a CoDesignJob calibrates the CPU-side roofline constants from a
+// measured trace, the fitted profile is recorded here keyed by
+// {git SHA, hostname, kernel-pool width}, and later PlanJobs on the same
+// build/host default to the calibrated beliefs instead of the static
+// Table-III numbers. The key is deliberately narrow: a profile fitted on
+// another machine, another pool width, or another build of the kernels
+// says little about this one.
+//
+// One JSON file holds every entry. Writes go through a temp file + rename
+// so a crash mid-write never corrupts the store, and a process-wide mutex
+// serializes concurrent engines in one process. Cross-process writers are
+// last-writer-wins per file replace — acceptable for a calibration cache
+// whose entries converge to the same values.
+
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "runtime/device_profile.hpp"
+
+namespace ndft::runtime {
+
+/// Identity of one calibration context.
+struct ProfileKey {
+  std::string git_sha;       ///< build revision (common/run_metadata)
+  std::string host;          ///< gethostname() of the measuring machine
+  std::size_t pool_threads;  ///< kernel pool width during the run
+
+  /// The calling process's context: build SHA, hostname, `pool_threads`.
+  static ProfileKey current(std::size_t pool_threads);
+};
+
+/// File-backed map from ProfileKey to a fitted CPU DeviceProfile.
+/// Thread-safe; every operation re-reads the file so multiple engines
+/// (and processes) observe each other's writes.
+class ProfileStore {
+ public:
+  /// Opens (lazily) the store at `path`. The file need not exist yet;
+  /// it is created on the first put().
+  explicit ProfileStore(std::string path);
+
+  /// The fitted CPU profile recorded for `key`, if any. A missing file,
+  /// an unreadable file, or a schema mismatch all read as "no entry" —
+  /// the store is a cache, never a source of failure.
+  std::optional<DeviceProfile> get_cpu(const ProfileKey& key) const;
+
+  /// Records (or replaces) the fitted CPU profile for `key` and persists
+  /// the store. Throws NdftError when the file cannot be written.
+  void put_cpu(const ProfileKey& key, const DeviceProfile& profile);
+
+  /// Number of entries currently persisted (0 for a missing file).
+  std::size_t size() const;
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace ndft::runtime

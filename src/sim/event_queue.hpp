@@ -39,8 +39,11 @@ class EventQueue {
   /// Runs events until the queue drains. Returns the time of the last event.
   TimePs run();
 
-  /// Runs events with timestamp <= `deadline`; time stops at the deadline
-  /// or at the last event, whichever is later reached.
+  /// Runs events with timestamp <= `deadline`, then clamps: now() lands
+  /// exactly on `deadline` even when the queue drains early or events
+  /// remain scheduled past it. Returns now() (== deadline unless the
+  /// queue was already past it, in which case time does not move
+  /// backwards). Pinned by sim_test RunUntil* tests.
   TimePs run_until(TimePs deadline);
 
   /// Number of events waiting to fire.

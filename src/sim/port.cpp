@@ -1,0 +1,16 @@
+#include "sim/port.hpp"
+
+#include "common/fault.hpp"
+
+namespace ndft::sim {
+
+TimePs port_fault_delay_ps(TimePs latency_ps) noexcept {
+  // A dropped message is recovered by retransmission: the receiver times
+  // out after several wire latencies before the resend lands. The +1000ps
+  // floor keeps untimed (latency 0) connections observably delayed too.
+  return 10 * latency_ps + 1000;
+}
+
+bool port_fault_fires() noexcept { return fault_fires("sim.port"); }
+
+}  // namespace ndft::sim

@@ -67,6 +67,50 @@ TEST(EventQueueTest, RunUntilStopsAtDeadline) {
   EXPECT_EQ(fired, 2);
 }
 
+// run_until pins: now() lands exactly on the deadline (a clean clamp) —
+// when events remain past it, when the queue drains early, and never
+// backwards once time has passed the deadline.
+TEST(EventQueueTest, RunUntilClampsExactlyToDeadlineWithEventsRemaining) {
+  EventQueue queue;
+  queue.schedule_at(10, [] {});
+  queue.schedule_at(100, [] {});
+  EXPECT_EQ(queue.run_until(50), 50u);
+  EXPECT_EQ(queue.now(), 50u);  // not 10 (last event), not 100 (next event)
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesToDeadlineWhenQueueDrainsEarly) {
+  EventQueue queue;
+  queue.schedule_at(10, [] {});
+  EXPECT_EQ(queue.run_until(75), 75u);
+  EXPECT_EQ(queue.now(), 75u);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(EventQueueTest, RunUntilOnEmptyQueueStillAdvancesTime) {
+  EventQueue queue;
+  EXPECT_EQ(queue.run_until(40), 40u);
+  EXPECT_EQ(queue.now(), 40u);
+}
+
+TEST(EventQueueTest, RunUntilNeverMovesTimeBackwards) {
+  EventQueue queue;
+  queue.schedule_at(100, [] {});
+  queue.run();
+  EXPECT_EQ(queue.now(), 100u);
+  EXPECT_EQ(queue.run_until(50), 100u);  // past deadline: clamp is a no-op
+  EXPECT_EQ(queue.now(), 100u);
+}
+
+TEST(EventQueueTest, RunUntilRunsEventsScheduledExactlyAtDeadline) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule_at(50, [&] { ++fired; });
+  queue.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.now(), 50u);
+}
+
 TEST(EventQueueTest, CountsExecutedEvents) {
   EventQueue queue;
   for (int i = 0; i < 25; ++i) {
